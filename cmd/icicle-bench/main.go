@@ -1,0 +1,216 @@
+// Command icicle-bench regenerates every table and figure of the paper's
+// evaluation section — the equivalent of the artifact's
+// plots-iiswc-2025-ae.sh. Select individual artifacts with -only.
+//
+// Usage:
+//
+//	icicle-bench                # everything
+//	icicle-bench -only fig7a,table5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"icicle/internal/experiments"
+)
+
+type artifact struct {
+	name string
+	desc string
+	run  func() error
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated artifact list (fig3,fig7a,fig7c,fig7d,fig7ef,fig7g,fig7k,fig7m,fig7n,table5,table6,fig8,fig9,undercount,archcmp,widthsweep,ras)")
+	outDir := flag.String("out", "", "also write each artifact to <dir>/<name>.txt (the artifact's iiswc-2025-ae-out equivalent)")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	artifacts := []artifact{
+		{"fig3", "motivating frontend trace", func() error {
+			r, err := experiments.Fig3FrontendTrace()
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		}},
+		{"fig7a", "Rocket microbenchmark TMA (top level + backend)", func() error {
+			g, err := experiments.Fig7aRocketMicro()
+			if err != nil {
+				return err
+			}
+			g.Fprint(w)
+			g.FprintBackend(w)
+			return nil
+		}},
+		{"fig7c", "Rocket CS1: L1D size study", func() error {
+			cs, err := experiments.Fig7cCacheStudy()
+			if err != nil {
+				return err
+			}
+			cs.Fprint(w)
+			return nil
+		}},
+		{"fig7d", "Rocket CS2: branch inversion", func() error {
+			cs, err := experiments.Fig7dBranchInversion()
+			if err != nil {
+				return err
+			}
+			cs.Fprint(w)
+			return nil
+		}},
+		{"fig7ef", "Rocket CS3: CoreMark scheduling", func() error {
+			cs, err := experiments.Fig7efCoreMarkSched()
+			if err != nil {
+				return err
+			}
+			cs.Fprint(w)
+			fmt.Fprintln(w, cs.Base.B.BackendRow(cs.BaseName))
+			fmt.Fprintln(w, cs.Variant.B.BackendRow(cs.VarName))
+			return nil
+		}},
+		{"fig7g", "BOOM SPEC proxy TMA (top + second level)", func() error {
+			g, err := experiments.Fig7gBoomSPEC()
+			if err != nil {
+				return err
+			}
+			g.Fprint(w)
+			g.FprintBackend(w)
+			return nil
+		}},
+		{"fig7k", "BOOM microbenchmark TMA", func() error {
+			g, err := experiments.Fig7kBoomMicro()
+			if err != nil {
+				return err
+			}
+			g.Fprint(w)
+			g.FprintBackend(w)
+			return nil
+		}},
+		{"fig7m", "BOOM CS: CoreMark scheduling", func() error {
+			cs, err := experiments.Fig7mBoomCoreMarkSched()
+			if err != nil {
+				return err
+			}
+			cs.Fprint(w)
+			return nil
+		}},
+		{"fig7n", "BOOM CS: branch inversion", func() error {
+			cs, err := experiments.Fig7nBoomBranchInversion()
+			if err != nil {
+				return err
+			}
+			cs.Fprint(w)
+			return nil
+		}},
+		{"table5", "per-lane event rates", func() error {
+			t, err := experiments.Table5PerLane()
+			if err != nil {
+				return err
+			}
+			t.Fprint(w)
+			return nil
+		}},
+		{"table6", "temporal TMA overlap bound", func() error {
+			t, err := experiments.Table6Overlap(50)
+			if err != nil {
+				return err
+			}
+			t.Fprint(w)
+			return nil
+		}},
+		{"fig8", "recovery-length CDF", func() error {
+			r, err := experiments.Fig8RecoveryCDF()
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		}},
+		{"fig9", "physical-design overheads", func() error {
+			r, err := experiments.Fig9Physical(true)
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		}},
+		{"undercount", "distributed-counter undercount bound", func() error {
+			u, err := experiments.UndercountBound("rsort")
+			if err != nil {
+				return err
+			}
+			u.Fprint(w)
+			return nil
+		}},
+		{"archcmp", "counter architecture value comparison", func() error {
+			c, err := experiments.CounterArchComparison("coremark", "uops-issued")
+			if err != nil {
+				return err
+			}
+			c.Fprint(w)
+			return nil
+		}},
+		{"widthsweep", "distributed local-counter width ablation", func() error {
+			r, err := experiments.WidthSweep("coremark", "uops-issued")
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		}},
+		{"ras", "return-address stack ablation", func() error {
+			r, err := experiments.RASAblation("towers")
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		}},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "icicle-bench:", err)
+			os.Exit(1)
+		}
+	}
+	for _, a := range artifacts {
+		if len(want) > 0 && !want[a.name] {
+			continue
+		}
+		var file *os.File
+		if *outDir != "" {
+			var err error
+			file, err = os.Create(filepath.Join(*outDir, a.name+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "icicle-bench:", err)
+				os.Exit(1)
+			}
+			w = io.MultiWriter(os.Stdout, file)
+		}
+		fmt.Fprintf(w, "\n==== %s: %s ====\n", a.name, a.desc)
+		if err := a.run(); err != nil {
+			fmt.Fprintln(os.Stderr, "icicle-bench:", a.name, err)
+			os.Exit(1)
+		}
+		if file != nil {
+			if err := file.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "icicle-bench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

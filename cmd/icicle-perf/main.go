@@ -1,0 +1,127 @@
+// Command icicle-perf is the perf-like front end of the Icicle stack: it
+// runs a workload kernel on a simulated Rocket or BOOM core with the PMU
+// programmed through the CSR interface, then prints the hierarchical TMA
+// breakdown (the tma_tool of the paper's artifact).
+//
+// Usage:
+//
+//	icicle-perf -core boom -size large -kernel coremark
+//	icicle-perf -core rocket -kernel qsort -counters distributed
+//	icicle-perf -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"icicle/internal/boom"
+	"icicle/internal/core"
+	"icicle/internal/kernel"
+	"icicle/internal/perf"
+	"icicle/internal/pmu"
+	"icicle/internal/rocket"
+)
+
+func main() {
+	var (
+		coreKind = flag.String("core", "boom", "core to simulate: rocket or boom")
+		size     = flag.String("size", "large", "BOOM size: small, medium, large, mega, giga")
+		kname    = flag.String("kernel", "coremark", "workload kernel (see -list)")
+		counters = flag.String("counters", "add-wires", "counter architecture: scalar, add-wires, distributed")
+		list     = flag.Bool("list", false, "list available kernels and exit")
+		events   = flag.Bool("events", false, "also dump raw event totals")
+		tlb      = flag.Bool("tlb", false, "enable the third-level TLB extension")
+		ras      = flag.Bool("ras", false, "enable BOOM's return-address stack")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, k := range kernel.All() {
+			fmt.Printf("%-18s %-11s %s\n", k.Name, k.Category, k.Description)
+		}
+		return
+	}
+
+	arch, err := pmu.ParseArchitecture(*counters)
+	if err != nil {
+		fatal(err)
+	}
+	k, err := kernel.ByName(*kname)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *coreKind {
+	case "rocket":
+		cfg := rocket.DefaultConfig()
+		cfg.PMUArch = arch
+		res, b, err := perf.RunRocket(cfg, k)
+		if err != nil {
+			fatal(err)
+		}
+		if *tlb {
+			b = withTLB(b, cfg.Hierarchy.TLBHitL2, cfg.Hierarchy.PTWLatency)
+		}
+		fmt.Printf("%s on Rocket (%v counters)\n", k.Name, arch)
+		fmt.Print(b)
+		if *events {
+			dump(res.Tally)
+		}
+	case "boom":
+		s, err := boom.ParseSize(*size)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := boom.NewConfig(s)
+		cfg.PMUArch = arch
+		cfg.UseRAS = *ras
+		res, b, err := perf.RunBoom(cfg, k)
+		if err != nil {
+			fatal(err)
+		}
+		if *tlb {
+			b = withTLB(b, cfg.Hierarchy.TLBHitL2, cfg.Hierarchy.PTWLatency)
+		}
+		fmt.Printf("%s on %s (%v counters)\n", k.Name, cfg.Name, arch)
+		fmt.Print(b)
+		if *events {
+			dump(res.Tally)
+		}
+	default:
+		fatal(fmt.Errorf("unknown core %q (want rocket or boom)", *coreKind))
+	}
+}
+
+// withTLB re-evaluates a breakdown with the TLB extension enabled, using
+// the hierarchy's translation penalties.
+func withTLB(b core.Breakdown, l2hit, ptw int) core.Breakdown {
+	cfg := b.Cfg
+	cfg.TLB = &core.TLBPenalties{L2TLBHit: l2hit, PTW: ptw}
+	return core.MustEvaluate(cfg, b.Counts)
+}
+
+func dump(tally map[string]uint64) {
+	fmt.Println("raw event totals:")
+	for _, k := range sortedKeys(tally) {
+		fmt.Printf("  %-24s %d\n", k, tally[k])
+	}
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "icicle-perf:", err)
+	os.Exit(1)
+}

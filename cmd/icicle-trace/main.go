@@ -1,0 +1,162 @@
+// Command icicle-trace drives the out-of-band tracing path (§IV-C): it
+// runs a kernel with the TracerV-style bridge attached, writes the packed
+// binary trace to disk, and runs the temporal-TMA analyses (§V-B) over it —
+// recovery-length CDF, class-overlap bounding, and Fig. 3-style timelines.
+//
+// Usage:
+//
+//	icicle-trace -core boom -kernel qsort -out trace.bin
+//	icicle-trace -core rocket -kernel mergesort -fig3
+//	icicle-trace -analyze trace.bin -pad 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"icicle/internal/boom"
+	"icicle/internal/experiments"
+	"icicle/internal/kernel"
+	"icicle/internal/rocket"
+	"icicle/internal/trace"
+)
+
+func main() {
+	var (
+		coreKind = flag.String("core", "boom", "core to simulate: rocket or boom")
+		size     = flag.String("size", "large", "BOOM size")
+		kname    = flag.String("kernel", "qsort", "workload kernel")
+		out      = flag.String("out", "", "write the binary trace to this file")
+		analyze  = flag.String("analyze", "", "analyze an existing trace file instead of simulating")
+		pad      = flag.Int("pad", 50, "overlap window padding in cycles (§V-B)")
+		fig3     = flag.Bool("fig3", false, "reproduce the Fig. 3 frontend trace study")
+		window   = flag.Int("window", 80, "timeline window length in cycles")
+	)
+	flag.Parse()
+
+	if *fig3 {
+		r, err := experiments.Fig3FrontendTrace()
+		if err != nil {
+			fatal(err)
+		}
+		r.Fprint(os.Stdout)
+		return
+	}
+
+	if *analyze != "" {
+		f, err := os.Open(*analyze)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		rd, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		a, err := trace.NewAnalyzer(rd)
+		if err != nil {
+			fatal(err)
+		}
+		report(a, *pad, *window)
+		return
+	}
+
+	k, err := kernel.ByName(*kname)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = k.Name + ".ictr"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	switch *coreKind {
+	case "rocket":
+		c := rocket.New(rocket.DefaultConfig(), k.MustProgram())
+		w, err := trace.NewWriter(f, trace.MustBundle(rocket.Events,
+			rocket.EvICacheMiss, rocket.EvICacheBlocked, rocket.EvFetchBubbles,
+			rocket.EvRecovering, rocket.EvBrMispredict, rocket.EvInstIssued))
+		if err != nil {
+			fatal(err)
+		}
+		c.SetCycleHook(w.WriteCycle)
+		if _, err := c.Run(); err != nil {
+			fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d cycles to %s\n", w.Cycles(), path)
+	case "boom":
+		s, err := boom.ParseSize(*size)
+		if err != nil {
+			fatal(err)
+		}
+		c, err := boom.New(boom.NewConfig(s), k.MustProgram())
+		if err != nil {
+			fatal(err)
+		}
+		w, err := trace.NewWriter(f, trace.MustBundle(c.Space,
+			boom.EvICacheMiss, boom.EvICacheBlocked, boom.EvFetchBubbles,
+			boom.EvRecovering, boom.EvBrMispredict, boom.EvUopsIssued))
+		if err != nil {
+			fatal(err)
+		}
+		c.SetCycleHook(w.WriteCycle)
+		if _, err := c.Run(); err != nil {
+			fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d cycles to %s\n", w.Cycles(), path)
+	default:
+		fatal(fmt.Errorf("unknown core %q", *coreKind))
+	}
+
+	// Re-open and analyze what we just wrote (the host-side DMA path).
+	rf, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer rf.Close()
+	rd, err := trace.NewReader(rf)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := trace.NewAnalyzer(rd)
+	if err != nil {
+		fatal(err)
+	}
+	report(a, *pad, *window)
+}
+
+func report(a *trace.Analyzer, pad, window int) {
+	fmt.Printf("trace: %d cycles, events %v\n", a.Cycles(), a.Names())
+	fmt.Println("totals:")
+	tot := a.Totals()
+	for _, n := range a.Names() {
+		fmt.Printf("  %-24s %d\n", n, tot[n])
+	}
+	if cdf, err := a.RecoveryCDF("recovering"); err == nil && cdf.N() > 0 {
+		fmt.Printf("recovery sequences: %d, mode %d, p50 %d, max %d\n",
+			cdf.N(), cdf.Mode(), cdf.Quantile(0.5), cdf.Max())
+	}
+	if rep, err := a.OverlapBound("fetch-bubbles", "icache-miss", "recovering", pad); err == nil {
+		fmt.Println("overlap bound:", rep)
+	}
+	if at := a.FindWindow("icache-miss", 0); at >= 0 {
+		fmt.Println(a.Timeline(at, at+window))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "icicle-trace:", err)
+	os.Exit(1)
+}

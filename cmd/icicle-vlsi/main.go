@@ -1,0 +1,47 @@
+// Command icicle-vlsi reports the physical-design overheads of the PMU
+// counter architectures (Fig. 9): post-placement power, area, wirelength,
+// and the longest CSR-crossing combinational path, per BOOM size. With
+// -activity, dynamic power uses per-event switching activity measured from
+// an actual simulation rather than defaults.
+//
+// Usage:
+//
+//	icicle-vlsi
+//	icicle-vlsi -activity
+//	icicle-vlsi -ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"icicle/internal/boom"
+	"icicle/internal/experiments"
+	"icicle/internal/vlsi"
+)
+
+func main() {
+	var (
+		withActivity = flag.Bool("activity", false, "drive dynamic power from a measured CoreMark run per size")
+		ablation     = flag.Bool("ablation", false, "also print the adder chain vs adder tree ablation")
+	)
+	flag.Parse()
+
+	r, err := experiments.Fig9Physical(*withActivity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icicle-vlsi:", err)
+		os.Exit(1)
+	}
+	r.Fprint(os.Stdout)
+
+	if *ablation {
+		fmt.Println("-- ablation: sequential adder chain vs adder tree (delay units) --")
+		fmt.Printf("%-12s %8s %8s\n", "config", "chain", "tree")
+		for _, s := range boom.Sizes {
+			cfg := boom.NewConfig(s)
+			chain, tree := vlsi.AdderTreeDelay(cfg)
+			fmt.Printf("%-12s %8.2f %8.2f\n", cfg.Name, chain, tree)
+		}
+	}
+}

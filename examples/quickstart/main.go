@@ -1,0 +1,39 @@
+// Quickstart: run a CoreMark-like workload on LargeBOOM with the PMU
+// programmed through the CSR interface, and print the hierarchical TMA
+// breakdown — the minimal end-to-end use of the Icicle stack.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"icicle/internal/boom"
+	"icicle/internal/kernel"
+	"icicle/internal/perf"
+)
+
+func main() {
+	// 1. Pick a workload. Kernels are self-checking RV64 programs; see
+	//    `icicle-perf -list` for the full suite.
+	k, err := kernel.ByName("coremark")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Pick a core. Table IV's five BOOM sizes are available, plus
+	//    Rocket via perf.RunRocket.
+	cfg := boom.NewConfig(boom.Large)
+
+	// 3. Simulate and evaluate TMA. RunBoom programs the TMA events into
+	//    the counter file, simulates cycle by cycle, and applies the
+	//    Table II model.
+	res, breakdown, err := perf.RunBoom(cfg, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %s: %d instructions in %d cycles\n",
+		k.Name, cfg.Name, res.Insts, res.Cycles)
+	fmt.Print(breakdown)
+	fmt.Printf("dominant bottleneck: %s\n", breakdown.Dominant())
+}

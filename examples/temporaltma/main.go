@@ -1,0 +1,78 @@
+// Temporal TMA (§IV-C/§V-B): attach the TracerV-style bridge to a BOOM
+// simulation, stream every cycle's event signals through the binary trace
+// format, and run the trace-based validation analyses — the recovery
+// CDF, the class-overlap upper bound, and a Fig. 3-style timeline.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"icicle/internal/boom"
+	"icicle/internal/kernel"
+	"icicle/internal/trace"
+)
+
+func main() {
+	k, err := kernel.ByName("qsort")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := boom.NewConfig(boom.Large)
+	c, err := boom.New(cfg, k.MustProgram())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Select the signals to stream over the bridge (§IV-C: "each event
+	// must be chosen manually in the BOOM core").
+	bundle := trace.MustBundle(c.Space,
+		boom.EvFetchBubbles, boom.EvICacheBlocked, boom.EvRecovering,
+		boom.EvBrMispredict, boom.EvUopsIssued)
+
+	var bridge bytes.Buffer // stands in for the PCIe DMA stream
+	w, err := trace.NewWriter(&bridge, bundle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.SetCycleHook(w.WriteCycle)
+
+	if _, err := c.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bridge carried %d cycles × %d bytes/frame = %d bytes\n",
+		w.Cycles(), bundle.FrameBytes(), int(w.Cycles())*bundle.FrameBytes())
+
+	// Host side: decode and analyze.
+	rd, err := trace.NewReader(&bridge)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := trace.NewAnalyzer(rd)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cdf, err := a.RecoveryCDF(boom.EvRecovering)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecovery sequences: %d  mode %d cycles  max %d (Fig. 8b)\n",
+		cdf.N(), cdf.Mode(), cdf.Max())
+
+	rep, err := a.OverlapBound(boom.EvFetchBubbles, boom.EvICacheBlocked,
+		boom.EvRecovering, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("overlap bound (Table VI):", rep)
+
+	if at := a.FindWindow(boom.EvBrMispredict, 1000); at >= 0 {
+		fmt.Println("\ntimeline around a branch mispredict:")
+		fmt.Println(a.Timeline(at-2, at+20))
+	}
+}

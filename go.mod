@@ -1,0 +1,3 @@
+module icicle
+
+go 1.22

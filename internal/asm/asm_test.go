@@ -1,0 +1,381 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"icicle/internal/isa"
+	"icicle/internal/mem"
+)
+
+// run assembles src, loads it into a fresh memory, and executes it to halt.
+func run(t *testing.T, src string) *isa.CPU {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := mem.NewSparse()
+	prog.LoadInto(m)
+	c := isa.NewCPU(m, prog.Entry)
+	if _, err := c.Run(10_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return c
+}
+
+func TestAssembleSimpleProgram(t *testing.T) {
+	c := run(t, `
+		li   a0, 40
+		addi a0, a0, 2
+		ecall
+	`)
+	if c.ExitCode != 42 {
+		t.Fatalf("exit = %d, want 42", c.ExitCode)
+	}
+}
+
+func TestAssembleLoop(t *testing.T) {
+	c := run(t, `
+		li   t0, 100
+		li   a0, 0
+	loop:
+		add  a0, a0, t0
+		addi t0, t0, -1
+		bnez t0, loop
+		ecall
+	`)
+	if c.ExitCode != 5050 {
+		t.Fatalf("sum = %d, want 5050", c.ExitCode)
+	}
+}
+
+func TestAssembleDataSection(t *testing.T) {
+	c := run(t, `
+		la   a1, table
+		ld   a0, 8(a1)
+		ecall
+		.data
+	table:
+		.dword 11, 22, 33
+	`)
+	if c.ExitCode != 22 {
+		t.Fatalf("got %d, want 22", c.ExitCode)
+	}
+}
+
+func TestAssembleCallRet(t *testing.T) {
+	c := run(t, `
+		li   a0, 5
+		call double
+		call double
+		ecall
+	double:
+		slli a0, a0, 1
+		ret
+	`)
+	if c.ExitCode != 20 {
+		t.Fatalf("got %d, want 20", c.ExitCode)
+	}
+}
+
+func TestAssembleBranchPseudos(t *testing.T) {
+	c := run(t, `
+		li   t0, 3
+		li   t1, 7
+		li   a0, 0
+		bgt  t1, t0, one     # taken
+		ecall
+	one:
+		addi a0, a0, 1
+		ble  t0, t1, two     # taken
+		ecall
+	two:
+		addi a0, a0, 1
+		bltz t0, fail
+		bgez t0, three       # taken
+	fail:
+		ecall
+	three:
+		addi a0, a0, 1
+		ecall
+	`)
+	if c.ExitCode != 3 {
+		t.Fatalf("got %d, want 3", c.ExitCode)
+	}
+}
+
+func TestAssembleLiWide(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint64
+	}{
+		{"li a0, 0", 0},
+		{"li a0, 2047", 2047},
+		{"li a0, -2048", 0xFFFF_FFFF_FFFF_F800},
+		{"li a0, 0x7fffffff", 0x7fffffff},
+		{"li a0, -2147483648", 0xFFFF_FFFF_8000_0000},
+		{"li a0, 0x123456789abcdef0", 0x123456789abcdef0},
+		{"li a0, 0xffffffffffffffff", ^uint64(0)},
+		{"li a0, 0x8000000000000000", 1 << 63},
+	}
+	for _, tc := range cases {
+		c := run(t, tc.src+"\necall\n")
+		if got := c.Reg(isa.A0); got != tc.want {
+			t.Errorf("%s: a0 = %#x, want %#x", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestAssembleMemoryOps(t *testing.T) {
+	c := run(t, `
+		li   sp, 0x200000
+		li   t0, 0xdeadbeef
+		sw   t0, -16(sp)
+		lwu  a0, -16(sp)
+		ecall
+	`)
+	if c.ExitCode != 0xdeadbeef {
+		t.Fatalf("got %#x, want 0xdeadbeef", c.ExitCode)
+	}
+}
+
+func TestAssembleStringData(t *testing.T) {
+	prog, err := Assemble(`
+		ecall
+		.data
+	msg:
+		.asciz "hi"
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewSparse()
+	prog.LoadInto(m)
+	addr, err := prog.Symbol("msg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadBytes(addr, 3); string(got) != "hi\x00" {
+		t.Fatalf("msg = %q", got)
+	}
+}
+
+func TestAssembleAlignAndSpace(t *testing.T) {
+	prog, err := Assemble(`
+		ecall
+		.data
+		.byte 1
+		.align 3
+	v:
+		.dword 9
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := prog.Symbol("v")
+	if addr%8 != 0 {
+		t.Fatalf("v not 8-aligned: %#x", addr)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus a0, a1",
+		"addi a0, a1",        // missing operand
+		"addi a0, a1, 99999", // imm out of range
+		"lw a0, 0(nope)",
+		"beq a0, a1, 3", // odd branch offset is an encode error
+		"j missing_label\n",
+		"x: nop\nx: nop",        // duplicate label
+		".data\naddi a0, a0, 1", // code in data
+		".word 1",               // data in text
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAssembleCSRNames(t *testing.T) {
+	prog, err := Assemble(`
+		csrr  a0, mhpmcounter3
+		csrw  mhpmevent3, a1
+		rdcycle a2
+		ecall
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := prog.Disassemble()
+	if insts[0].Op != isa.CSRRS || insts[0].Imm != 0xB03 {
+		t.Errorf("csrr mhpmcounter3 → %v", insts[0])
+	}
+	if insts[1].Op != isa.CSRRW || insts[1].Imm != 0x323 {
+		t.Errorf("csrw mhpmevent3 → %v", insts[1])
+	}
+	if insts[2].Op != isa.CSRRS || insts[2].Imm != 0xC00 {
+		t.Errorf("rdcycle → %v", insts[2])
+	}
+}
+
+func TestLabelArithmetic(t *testing.T) {
+	c := run(t, `
+		la   a1, tab+8
+		ld   a0, 0(a1)
+		ecall
+		.data
+	tab:
+		.dword 5, 6, 7
+	`)
+	if c.ExitCode != 6 {
+		t.Fatalf("got %d, want 6", c.ExitCode)
+	}
+}
+
+func TestRecursionFibonacci(t *testing.T) {
+	c := run(t, `
+		li   sp, 0x300000
+		li   a0, 12
+		call fib
+		ecall
+	fib:                      # naive recursive fibonacci
+		li   t0, 2
+		blt  a0, t0, base
+		addi sp, sp, -24
+		sd   ra, 0(sp)
+		sd   a0, 8(sp)
+		addi a0, a0, -1
+		call fib
+		sd   a0, 16(sp)
+		ld   a0, 8(sp)
+		addi a0, a0, -2
+		call fib
+		ld   t1, 16(sp)
+		add  a0, a0, t1
+		ld   ra, 0(sp)
+		addi sp, sp, 24
+		ret
+	base:
+		ret
+	`)
+	if c.ExitCode != 144 {
+		t.Fatalf("fib(12) = %d, want 144", c.ExitCode)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	prog := MustAssemble(`
+		addi a0, a0, 1
+		add  a1, a2, a3
+		lw   t0, 4(sp)
+		ecall
+	`)
+	insts := prog.Disassemble()
+	want := []string{"addi a0, a0, 1", "add a1, a2, a3", "lw t0, 4(sp)", "ecall"}
+	if len(insts) != len(want) {
+		t.Fatalf("got %d insts, want %d", len(insts), len(want))
+	}
+	for i, w := range want {
+		if insts[i].String() != w {
+			t.Errorf("inst %d = %q, want %q", i, insts[i], w)
+		}
+	}
+}
+
+func TestSortedSymbols(t *testing.T) {
+	prog := MustAssemble(`
+	start:
+		nop
+	end:
+		ecall
+	`)
+	syms := prog.SortedSymbols()
+	if len(syms) != 2 || syms[0] != "start" || syms[1] != "end" {
+		t.Fatalf("symbols = %v", syms)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("bogus")
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	c := run(t, strings.Join([]string{
+		"  # full-line comment",
+		"\tli a0, 7   # trailing",
+		"// slash comment",
+		"   ecall",
+	}, "\n"))
+	if c.ExitCode != 7 {
+		t.Fatalf("got %d, want 7", c.ExitCode)
+	}
+}
+
+func TestHiLoRelocations(t *testing.T) {
+	// The standard %hi/%lo pair must reach the same address as `la`.
+	c := run(t, `
+		lui  a1, %hi(val)
+		addi a1, a1, %lo(val)
+		ld   a0, 0(a1)
+		ecall
+		.data
+	val:
+		.dword 77
+	`)
+	if c.ExitCode != 77 {
+		t.Fatalf("got %d, want 77", c.ExitCode)
+	}
+}
+
+func TestHiLoErrors(t *testing.T) {
+	for _, src := range []string{
+		"lui a1, %hi(missing)\necall",
+		"addi a1, a1, %lo()\necall",
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded", src)
+		}
+	}
+}
+
+func TestAtomics(t *testing.T) {
+	c := run(t, `
+		li   s0, 0x400000
+		li   t0, 5
+		sd   t0, 0(s0)
+		li   t1, 37
+		amoadd.d a1, t1, (s0)   # a1 = 5, mem = 42
+		ld   a2, 0(s0)
+		lr.d a3, (s0)           # 42, reserve
+		li   t2, 100
+		sc.d a4, t2, (s0)       # succeeds: a4 = 0, mem = 100
+		sc.d a5, t2, (s0)       # no reservation: a5 = 1
+		ld   a6, 0(s0)
+		add  a0, a1, a2         # 5 + 42
+		add  a0, a0, a4         # + 0
+		add  a0, a0, a5         # + 1
+		add  a0, a0, a6         # + 100
+		ecall
+	`)
+	if c.ExitCode != 5+42+0+1+100 {
+		t.Fatalf("atomics = %d", c.ExitCode)
+	}
+}
+
+func TestAtomicSyntaxErrors(t *testing.T) {
+	for _, src := range []string{
+		"amoadd.d a0, a1, 8(a2)\necall", // nonzero offset
+		"lr.d a0, a1, (a2)\necall",      // lr takes 2 operands
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded", src)
+		}
+	}
+}

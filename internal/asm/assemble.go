@@ -1,0 +1,229 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"icicle/internal/isa"
+)
+
+// Assemble translates RV64IM assembly source into a Program using the
+// default section bases.
+func Assemble(src string) (*Program, error) {
+	return AssembleAt(src, DefaultTextBase, DefaultDataBase)
+}
+
+// MustAssemble is Assemble that panics on error; kernels are compiled-in
+// string constants, so assembly failure is a programming bug.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// AssembleAt assembles with explicit text/data base addresses.
+func AssembleAt(src string, textBase, dataBase uint64) (*Program, error) {
+	a := &assembler{
+		textBase: textBase,
+		dataBase: dataBase,
+		symbols:  make(map[string]uint64),
+	}
+	if err := a.firstPass(src); err != nil {
+		return nil, err
+	}
+	if err := a.secondPass(); err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Entry:    textBase,
+		Symbols:  a.symbols,
+		TextSize: len(a.text),
+		Segments: []Segment{{Addr: textBase, Bytes: a.text}},
+	}
+	if len(a.data) > 0 {
+		prog.Segments = append(prog.Segments, Segment{Addr: dataBase, Bytes: a.data})
+	}
+	return prog, nil
+}
+
+// item is a pending instruction with possibly unresolved label operands.
+type item struct {
+	line   int
+	addr   uint64
+	inst   isa.Inst
+	label  string // unresolved label for imm, "" if resolved
+	reloc  relocKind
+	addend int64
+}
+
+type relocKind uint8
+
+const (
+	relocNone   relocKind = iota
+	relocBranch           // PC-relative, B/J-format immediate
+	relocHi               // %hi(sym): upper 20 bits (with round-up)
+	relocLo               // %lo(sym): low 12 bits
+	relocAbs              // whole address (for li-style pseudo internal use)
+)
+
+type assembler struct {
+	textBase uint64
+	dataBase uint64
+	text     []byte
+	data     []byte
+	items    []item
+	symbols  map[string]uint64
+	inData   bool
+	line     int
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return fmt.Errorf("asm: line %d: %s", a.line, fmt.Sprintf(format, args...))
+}
+
+func (a *assembler) pc() uint64 {
+	if a.inData {
+		return a.dataBase + uint64(len(a.data))
+	}
+	return a.textBase + uint64(len(a.text))
+}
+
+func (a *assembler) firstPass(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		line := stripComment(raw)
+		// A line may carry several labels and one statement.
+		for {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				break
+			}
+			if j := strings.IndexByte(line, ':'); j >= 0 && isLabel(line[:j]) {
+				name := line[:j]
+				if _, dup := a.symbols[name]; dup {
+					return a.errf("duplicate label %q", name)
+				}
+				a.symbols[name] = a.pc()
+				line = line[j+1:]
+				continue
+			}
+			if err := a.statement(line); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	return nil
+}
+
+func stripComment(s string) string {
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '#':
+			return s[:i]
+		case s[i] == '/' && i+1 < len(s) && s[i+1] == '/':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func isLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) statement(s string) error {
+	mnemonic, rest := splitMnemonic(s)
+	if strings.HasPrefix(mnemonic, ".") {
+		return a.directive(mnemonic, rest)
+	}
+	if a.inData {
+		return a.errf("instruction %q in .data section", mnemonic)
+	}
+	ops := splitOperands(rest)
+	return a.instruction(strings.ToLower(mnemonic), ops)
+}
+
+func splitMnemonic(s string) (string, string) {
+	s = strings.TrimSpace(s)
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			return s[:i], s[i+1:]
+		}
+	}
+	return s, ""
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// emit appends a resolved or to-be-relocated instruction to the text.
+func (a *assembler) emit(in isa.Inst, label string, kind relocKind, addend int64) {
+	a.items = append(a.items, item{
+		line: a.line, addr: a.pc(), inst: in, label: label, reloc: kind, addend: addend,
+	})
+	a.text = append(a.text, 0, 0, 0, 0) // patched in pass 2
+}
+
+func (a *assembler) secondPass() error {
+	for _, it := range a.items {
+		a.line = it.line
+		in := it.inst
+		if it.label != "" {
+			target, ok := a.symbols[it.label]
+			if !ok {
+				return a.errf("undefined label %q", it.label)
+			}
+			val := int64(target) + it.addend
+			switch it.reloc {
+			case relocBranch:
+				in.Imm = val - int64(it.addr)
+			case relocHi:
+				in.Imm = (val + 0x800) >> 12
+			case relocLo:
+				in.Imm = val & 0xfff
+				if in.Imm >= 0x800 {
+					in.Imm -= 0x1000
+				}
+			case relocAbs:
+				in.Imm = val
+			}
+		}
+		w, err := isa.Encode(in)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		off := it.addr - a.textBase
+		a.text[off] = byte(w)
+		a.text[off+1] = byte(w >> 8)
+		a.text[off+2] = byte(w >> 16)
+		a.text[off+3] = byte(w >> 24)
+	}
+	return nil
+}

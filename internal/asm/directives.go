@@ -1,0 +1,100 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+
+	"icicle/internal/isa"
+)
+
+// directive handles assembler directives (.text, .data, .word, …).
+func (a *assembler) directive(name, rest string) error {
+	switch strings.ToLower(name) {
+	case ".text":
+		a.inData = false
+		return nil
+	case ".data":
+		a.inData = true
+		return nil
+	case ".global", ".globl", ".option", ".type", ".size", ".file", ".section":
+		return nil // accepted and ignored
+
+	case ".byte":
+		return a.emitData(rest, 1)
+	case ".half", ".short", ".2byte":
+		return a.emitData(rest, 2)
+	case ".word", ".4byte":
+		return a.emitData(rest, 4)
+	case ".dword", ".quad", ".8byte":
+		return a.emitData(rest, 8)
+
+	case ".space", ".zero":
+		n, err := a.parseImm(strings.TrimSpace(rest))
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return a.errf(".space with negative size %d", n)
+		}
+		return a.pad(int(n))
+
+	case ".align", ".p2align":
+		n, err := a.parseImm(strings.TrimSpace(rest))
+		if err != nil {
+			return err
+		}
+		if n < 0 || n > 20 {
+			return a.errf("bad alignment %d", n)
+		}
+		align := uint64(1) << uint(n)
+		pc := a.pc()
+		padBytes := int((align - pc%align) % align)
+		return a.pad(padBytes)
+
+	case ".ascii", ".asciz", ".string":
+		s, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return a.errf("bad string literal %s", rest)
+		}
+		b := []byte(s)
+		if strings.ToLower(name) != ".ascii" {
+			b = append(b, 0)
+		}
+		if !a.inData {
+			return a.errf("string data in .text section")
+		}
+		a.data = append(a.data, b...)
+		return nil
+	}
+	return a.errf("unknown directive %q", name)
+}
+
+func (a *assembler) pad(n int) error {
+	if !a.inData {
+		if n%4 != 0 {
+			return a.errf("text padding %d not a multiple of 4", n)
+		}
+		for i := 0; i < n/4; i++ {
+			a.emit(isa.NOP, "", relocNone, 0)
+		}
+		return nil
+	}
+	a.data = append(a.data, make([]byte, n)...)
+	return nil
+}
+
+func (a *assembler) emitData(rest string, size int) error {
+	if !a.inData {
+		return a.errf("data directive in .text section")
+	}
+	for _, f := range splitOperands(rest) {
+		v, err := a.parseImm(f)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < size; i++ {
+			a.data = append(a.data, byte(uint64(v)>>(8*i)))
+		}
+	}
+	return nil
+}

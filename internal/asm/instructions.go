@@ -1,0 +1,696 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+
+	"icicle/internal/isa"
+)
+
+// Standard CSR names usable in assembly (the PMU address map; see
+// internal/pmu for the register semantics).
+var csrNames = map[string]int64{
+	"cycle":         0xC00,
+	"time":          0xC01,
+	"instret":       0xC02,
+	"mcycle":        0xB00,
+	"minstret":      0xB02,
+	"mcountinhibit": 0x320,
+}
+
+func init() {
+	for i := 3; i <= 31; i++ {
+		csrNames["mhpmcounter"+strconv.Itoa(i)] = 0xB00 + int64(i)
+		csrNames["mhpmevent"+strconv.Itoa(i)] = 0x320 + int64(i)
+		csrNames["hpmcounter"+strconv.Itoa(i)] = 0xC00 + int64(i)
+	}
+}
+
+func (a *assembler) parseReg(s string) (isa.Reg, error) {
+	r, ok := isa.RegNames[strings.ToLower(strings.TrimSpace(s))]
+	if !ok {
+		return 0, a.errf("bad register %q", s)
+	}
+	return r, nil
+}
+
+func (a *assembler) parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex like 0xffffffffffffffff.
+		if u, uerr := strconv.ParseUint(s, 0, 64); uerr == nil {
+			return int64(u), nil
+		}
+		return 0, a.errf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+func (a *assembler) parseCSR(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if v, ok := csrNames[s]; ok {
+		return v, nil
+	}
+	return a.parseImm(s)
+}
+
+// parseMem parses "off(reg)" or "(reg)" or "reg".
+func (a *assembler) parseMem(s string) (off int64, base isa.Reg, err error) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexByte(s, '(')
+	if i < 0 {
+		base, err = a.parseReg(s)
+		return 0, base, err
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, 0, a.errf("bad memory operand %q", s)
+	}
+	if o := strings.TrimSpace(s[:i]); o != "" {
+		if off, err = a.parseImm(o); err != nil {
+			return 0, 0, err
+		}
+	}
+	base, err = a.parseReg(s[i+1 : len(s)-1])
+	return off, base, err
+}
+
+func (a *assembler) want(ops []string, n int) error {
+	if len(ops) != n {
+		return a.errf("want %d operands, got %d", n, len(ops))
+	}
+	return nil
+}
+
+// labelOrImm returns either a literal immediate or a label with addend
+// ("sym" or "sym+4").
+func (a *assembler) labelOrImm(s string) (imm int64, label string, addend int64, err error) {
+	s = strings.TrimSpace(s)
+	if v, e := strconv.ParseInt(s, 0, 64); e == nil {
+		return v, "", 0, nil
+	}
+	if i := strings.IndexAny(s, "+-"); i > 0 {
+		add, e := strconv.ParseInt(s[i:], 0, 64)
+		if e != nil {
+			return 0, "", 0, a.errf("bad label expression %q", s)
+		}
+		if !isLabel(s[:i]) {
+			return 0, "", 0, a.errf("bad label %q", s[:i])
+		}
+		return 0, s[:i], add, nil
+	}
+	if !isLabel(s) {
+		return 0, "", 0, a.errf("bad label or immediate %q", s)
+	}
+	return 0, s, 0, nil
+}
+
+var rTypeOps = map[string]isa.Op{
+	"add": isa.ADD, "sub": isa.SUB, "sll": isa.SLL, "slt": isa.SLT,
+	"sltu": isa.SLTU, "xor": isa.XOR, "srl": isa.SRL, "sra": isa.SRA,
+	"or": isa.OR, "and": isa.AND,
+	"addw": isa.ADDW, "subw": isa.SUBW, "sllw": isa.SLLW,
+	"srlw": isa.SRLW, "sraw": isa.SRAW,
+	"mul": isa.MUL, "mulh": isa.MULH, "mulhsu": isa.MULHSU, "mulhu": isa.MULHU,
+	"div": isa.DIV, "divu": isa.DIVU, "rem": isa.REM, "remu": isa.REMU,
+	"mulw": isa.MULW, "divw": isa.DIVW, "divuw": isa.DIVUW,
+	"remw": isa.REMW, "remuw": isa.REMUW,
+}
+
+var iTypeOps = map[string]isa.Op{
+	"addi": isa.ADDI, "slti": isa.SLTI, "sltiu": isa.SLTIU, "xori": isa.XORI,
+	"ori": isa.ORI, "andi": isa.ANDI, "slli": isa.SLLI, "srli": isa.SRLI,
+	"srai": isa.SRAI, "addiw": isa.ADDIW, "slliw": isa.SLLIW,
+	"srliw": isa.SRLIW, "sraiw": isa.SRAIW,
+}
+
+var loadOps = map[string]isa.Op{
+	"lb": isa.LB, "lh": isa.LH, "lw": isa.LW, "ld": isa.LD,
+	"lbu": isa.LBU, "lhu": isa.LHU, "lwu": isa.LWU,
+}
+
+var storeOps = map[string]isa.Op{
+	"sb": isa.SB, "sh": isa.SH, "sw": isa.SW, "sd": isa.SD,
+}
+
+var branchOps = map[string]isa.Op{
+	"beq": isa.BEQ, "bne": isa.BNE, "blt": isa.BLT, "bge": isa.BGE,
+	"bltu": isa.BLTU, "bgeu": isa.BGEU,
+}
+
+// swapped-operand branch pseudos: bgt a,b ≡ blt b,a etc.
+var branchSwapOps = map[string]isa.Op{
+	"bgt": isa.BLT, "ble": isa.BGE, "bgtu": isa.BLTU, "bleu": isa.BGEU,
+}
+
+// zero-comparison branch pseudos mapped to (op, zeroIsRs1).
+var branchZeroOps = map[string]struct {
+	op      isa.Op
+	zeroRs1 bool
+}{
+	"beqz": {isa.BEQ, false}, "bnez": {isa.BNE, false},
+	"bltz": {isa.BLT, false}, "bgez": {isa.BGE, false},
+	"blez": {isa.BGE, true}, "bgtz": {isa.BLT, true},
+}
+
+// A-extension mnemonics.
+var amoOps = map[string]isa.Op{
+	"lr.w": isa.LRW, "lr.d": isa.LRD, "sc.w": isa.SCW, "sc.d": isa.SCD,
+	"amoswap.w": isa.AMOSWAPW, "amoswap.d": isa.AMOSWAPD,
+	"amoadd.w": isa.AMOADDW, "amoadd.d": isa.AMOADDD,
+	"amoxor.w": isa.AMOXORW, "amoxor.d": isa.AMOXORD,
+	"amoand.w": isa.AMOANDW, "amoand.d": isa.AMOANDD,
+	"amoor.w": isa.AMOORW, "amoor.d": isa.AMOORD,
+}
+
+func (a *assembler) instruction(m string, ops []string) error {
+	if op, ok := amoOps[m]; ok {
+		return a.emitAMO(op, ops)
+	}
+	if op, ok := rTypeOps[m]; ok {
+		if err := a.want(ops, 3); err != nil {
+			return err
+		}
+		rd, err := a.parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := a.parseReg(ops[2])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, "", relocNone, 0)
+		return nil
+	}
+	if op, ok := iTypeOps[m]; ok {
+		if err := a.want(ops, 3); err != nil {
+			return err
+		}
+		rd, err := a.parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		if sym, ok := relocOperand(ops[2], "%lo"); ok {
+			a.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1}, sym, relocLo, 0)
+			return nil
+		}
+		imm, err := a.parseImm(ops[2])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm}, "", relocNone, 0)
+		return nil
+	}
+	if op, ok := loadOps[m]; ok {
+		if err := a.want(ops, 2); err != nil {
+			return err
+		}
+		rd, err := a.parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := a.parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Rs1: base, Imm: off}, "", relocNone, 0)
+		return nil
+	}
+	if op, ok := storeOps[m]; ok {
+		if err := a.want(ops, 2); err != nil {
+			return err
+		}
+		rs2, err := a.parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := a.parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rs1: base, Rs2: rs2, Imm: off}, "", relocNone, 0)
+		return nil
+	}
+	if op, ok := branchOps[m]; ok {
+		if err := a.want(ops, 3); err != nil {
+			return err
+		}
+		return a.emitBranch(op, ops[0], ops[1], ops[2])
+	}
+	if op, ok := branchSwapOps[m]; ok {
+		if err := a.want(ops, 3); err != nil {
+			return err
+		}
+		return a.emitBranch(op, ops[1], ops[0], ops[2])
+	}
+	if bz, ok := branchZeroOps[m]; ok {
+		if err := a.want(ops, 2); err != nil {
+			return err
+		}
+		if bz.zeroRs1 {
+			return a.emitBranch(bz.op, "x0", ops[0], ops[1])
+		}
+		return a.emitBranch(bz.op, ops[0], "x0", ops[1])
+	}
+	return a.special(m, ops)
+}
+
+// emitAMO parses "lr.d rd, (rs1)" / "amoadd.d rd, rs2, (rs1)".
+func (a *assembler) emitAMO(op isa.Op, ops []string) error {
+	wantOps := 3
+	if op == isa.LRW || op == isa.LRD {
+		wantOps = 2
+	}
+	if err := a.want(ops, wantOps); err != nil {
+		return err
+	}
+	rd, err := a.parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	var rs2 isa.Reg
+	addrOp := ops[1]
+	if wantOps == 3 {
+		if rs2, err = a.parseReg(ops[1]); err != nil {
+			return err
+		}
+		addrOp = ops[2]
+	}
+	off, base, err := a.parseMem(addrOp)
+	if err != nil {
+		return err
+	}
+	if off != 0 {
+		return a.errf("atomic address must have zero offset, got %d", off)
+	}
+	a.emit(isa.Inst{Op: op, Rd: rd, Rs1: base, Rs2: rs2}, "", relocNone, 0)
+	return nil
+}
+
+func (a *assembler) emitBranch(op isa.Op, rs1s, rs2s, target string) error {
+	rs1, err := a.parseReg(rs1s)
+	if err != nil {
+		return err
+	}
+	rs2, err := a.parseReg(rs2s)
+	if err != nil {
+		return err
+	}
+	imm, label, addend, err := a.labelOrImm(target)
+	if err != nil {
+		return err
+	}
+	kind := relocNone
+	if label != "" {
+		kind = relocBranch
+	}
+	a.emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: imm}, label, kind, addend)
+	return nil
+}
+
+func (a *assembler) special(m string, ops []string) error {
+	switch m {
+	case "lui", "auipc":
+		if err := a.want(ops, 2); err != nil {
+			return err
+		}
+		rd, err := a.parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		op := isa.LUI
+		if m == "auipc" {
+			op = isa.AUIPC
+		}
+		if sym, ok := relocOperand(ops[1], "%hi"); ok {
+			a.emit(isa.Inst{Op: op, Rd: rd}, sym, relocHi, 0)
+			return nil
+		}
+		imm, err := a.parseImm(ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Imm: imm}, "", relocNone, 0)
+		return nil
+
+	case "jal":
+		var rd isa.Reg = isa.RA
+		target := ""
+		switch len(ops) {
+		case 1:
+			target = ops[0]
+		case 2:
+			r, err := a.parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			rd, target = r, ops[1]
+		default:
+			return a.errf("jal wants 1 or 2 operands")
+		}
+		imm, label, addend, err := a.labelOrImm(target)
+		if err != nil {
+			return err
+		}
+		kind := relocNone
+		if label != "" {
+			kind = relocBranch
+		}
+		a.emit(isa.Inst{Op: isa.JAL, Rd: rd, Imm: imm}, label, kind, addend)
+		return nil
+
+	case "jalr":
+		switch len(ops) {
+		case 1: // jalr rs
+			rs, err := a.parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			a.emit(isa.Inst{Op: isa.JALR, Rd: isa.RA, Rs1: rs}, "", relocNone, 0)
+			return nil
+		case 2: // jalr rd, off(rs)
+			rd, err := a.parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			off, base, err := a.parseMem(ops[1])
+			if err != nil {
+				return err
+			}
+			a.emit(isa.Inst{Op: isa.JALR, Rd: rd, Rs1: base, Imm: off}, "", relocNone, 0)
+			return nil
+		case 3: // jalr rd, rs, off
+			rd, err := a.parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			rs, err := a.parseReg(ops[1])
+			if err != nil {
+				return err
+			}
+			off, err := a.parseImm(ops[2])
+			if err != nil {
+				return err
+			}
+			a.emit(isa.Inst{Op: isa.JALR, Rd: rd, Rs1: rs, Imm: off}, "", relocNone, 0)
+			return nil
+		}
+		return a.errf("jalr wants 1-3 operands")
+
+	case "j":
+		if err := a.want(ops, 1); err != nil {
+			return err
+		}
+		imm, label, addend, err := a.labelOrImm(ops[0])
+		if err != nil {
+			return err
+		}
+		kind := relocNone
+		if label != "" {
+			kind = relocBranch
+		}
+		a.emit(isa.Inst{Op: isa.JAL, Rd: isa.X0, Imm: imm}, label, kind, addend)
+		return nil
+
+	case "jr":
+		if err := a.want(ops, 1); err != nil {
+			return err
+		}
+		rs, err := a.parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.JALR, Rs1: rs}, "", relocNone, 0)
+		return nil
+
+	case "ret":
+		a.emit(isa.Inst{Op: isa.JALR, Rs1: isa.RA}, "", relocNone, 0)
+		return nil
+
+	case "call":
+		if err := a.want(ops, 1); err != nil {
+			return err
+		}
+		imm, label, addend, err := a.labelOrImm(ops[0])
+		if err != nil {
+			return err
+		}
+		kind := relocNone
+		if label != "" {
+			kind = relocBranch
+		}
+		a.emit(isa.Inst{Op: isa.JAL, Rd: isa.RA, Imm: imm}, label, kind, addend)
+		return nil
+
+	case "nop":
+		a.emit(isa.NOP, "", relocNone, 0)
+		return nil
+
+	case "mv":
+		return a.alias2(ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rs}
+		})
+	case "not":
+		return a.alias2(ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.XORI, Rd: rd, Rs1: rs, Imm: -1}
+		})
+	case "neg":
+		return a.alias2(ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.SUB, Rd: rd, Rs2: rs}
+		})
+	case "negw":
+		return a.alias2(ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.SUBW, Rd: rd, Rs2: rs}
+		})
+	case "sext.w":
+		return a.alias2(ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.ADDIW, Rd: rd, Rs1: rs}
+		})
+	case "seqz":
+		return a.alias2(ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.SLTIU, Rd: rd, Rs1: rs, Imm: 1}
+		})
+	case "snez":
+		return a.alias2(ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.SLTU, Rd: rd, Rs2: rs}
+		})
+	case "sltz":
+		return a.alias2(ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.SLT, Rd: rd, Rs1: rs}
+		})
+	case "sgtz":
+		return a.alias2(ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.SLT, Rd: rd, Rs2: rs}
+		})
+
+	case "li":
+		if err := a.want(ops, 2); err != nil {
+			return err
+		}
+		rd, err := a.parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := a.parseImm(ops[1])
+		if err != nil {
+			return err
+		}
+		a.synthLI(rd, v)
+		return nil
+
+	case "la":
+		if err := a.want(ops, 2); err != nil {
+			return err
+		}
+		rd, err := a.parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		_, label, addend, err := a.labelOrImm(ops[1])
+		if err != nil {
+			return err
+		}
+		if label == "" {
+			return a.errf("la wants a label operand")
+		}
+		a.emit(isa.Inst{Op: isa.LUI, Rd: rd}, label, relocHi, addend)
+		a.emit(isa.Inst{Op: isa.ADDIW, Rd: rd, Rs1: rd}, label, relocLo, addend)
+		return nil
+
+	case "fence":
+		a.emit(isa.Inst{Op: isa.FENCE}, "", relocNone, 0)
+		return nil
+	case "fence.i":
+		a.emit(isa.Inst{Op: isa.FENCEI}, "", relocNone, 0)
+		return nil
+	case "ecall":
+		a.emit(isa.Inst{Op: isa.ECALL}, "", relocNone, 0)
+		return nil
+	case "ebreak":
+		a.emit(isa.Inst{Op: isa.EBREAK}, "", relocNone, 0)
+		return nil
+
+	case "csrrw", "csrrs", "csrrc":
+		if err := a.want(ops, 3); err != nil {
+			return err
+		}
+		rd, err := a.parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		csr, err := a.parseCSR(ops[1])
+		if err != nil {
+			return err
+		}
+		rs, err := a.parseReg(ops[2])
+		if err != nil {
+			return err
+		}
+		op := map[string]isa.Op{"csrrw": isa.CSRRW, "csrrs": isa.CSRRS, "csrrc": isa.CSRRC}[m]
+		a.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs, Imm: csr}, "", relocNone, 0)
+		return nil
+
+	case "csrrwi", "csrrsi", "csrrci":
+		if err := a.want(ops, 3); err != nil {
+			return err
+		}
+		rd, err := a.parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		csr, err := a.parseCSR(ops[1])
+		if err != nil {
+			return err
+		}
+		z, err := a.parseImm(ops[2])
+		if err != nil {
+			return err
+		}
+		if z < 0 || z > 31 {
+			return a.errf("csr immediate %d out of range", z)
+		}
+		op := map[string]isa.Op{"csrrwi": isa.CSRRWI, "csrrsi": isa.CSRRSI, "csrrci": isa.CSRRCI}[m]
+		a.emit(isa.Inst{Op: op, Rd: rd, CSRImm: uint8(z), Imm: csr}, "", relocNone, 0)
+		return nil
+
+	case "csrr": // csrr rd, csr
+		if err := a.want(ops, 2); err != nil {
+			return err
+		}
+		rd, err := a.parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		csr, err := a.parseCSR(ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.CSRRS, Rd: rd, Imm: csr}, "", relocNone, 0)
+		return nil
+
+	case "csrw": // csrw csr, rs
+		if err := a.want(ops, 2); err != nil {
+			return err
+		}
+		csr, err := a.parseCSR(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.CSRRW, Rs1: rs, Imm: csr}, "", relocNone, 0)
+		return nil
+
+	case "rdcycle":
+		return a.readCSR(ops, csrNames["cycle"])
+	case "rdinstret":
+		return a.readCSR(ops, csrNames["instret"])
+	}
+	return a.errf("unknown mnemonic %q", m)
+}
+
+// relocOperand matches "%hi(sym)" / "%lo(sym)" forms.
+func relocOperand(s, kind string) (sym string, ok bool) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, kind+"(") && strings.HasSuffix(s, ")") {
+		inner := s[len(kind)+1 : len(s)-1]
+		if isLabel(inner) {
+			return inner, true
+		}
+	}
+	return "", false
+}
+
+func (a *assembler) readCSR(ops []string, csr int64) error {
+	if err := a.want(ops, 1); err != nil {
+		return err
+	}
+	rd, err := a.parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	a.emit(isa.Inst{Op: isa.CSRRS, Rd: rd, Imm: csr}, "", relocNone, 0)
+	return nil
+}
+
+func (a *assembler) alias2(ops []string, f func(rd, rs isa.Reg) isa.Inst) error {
+	if err := a.want(ops, 2); err != nil {
+		return err
+	}
+	rd, err := a.parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	rs, err := a.parseReg(ops[1])
+	if err != nil {
+		return err
+	}
+	a.emit(f(rd, rs), "", relocNone, 0)
+	return nil
+}
+
+// synthLI emits the canonical load-immediate sequence for an arbitrary
+// 64-bit constant.
+func (a *assembler) synthLI(rd isa.Reg, v int64) {
+	if v >= -2048 && v < 2048 {
+		a.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Imm: v}, "", relocNone, 0)
+		return
+	}
+	if v >= -(1<<31) && v < 1<<31 {
+		lo := v & 0xfff
+		if lo >= 0x800 {
+			lo -= 0x1000
+		}
+		// The 20-bit LUI field wraps; ADDIW's 32-bit truncation makes the
+		// combination exact for any 32-bit constant.
+		hi := (v - lo) >> 12 & 0xfffff
+		if hi >= 1<<19 {
+			hi -= 1 << 20
+		}
+		a.emit(isa.Inst{Op: isa.LUI, Rd: rd, Imm: hi}, "", relocNone, 0)
+		if lo != 0 {
+			a.emit(isa.Inst{Op: isa.ADDIW, Rd: rd, Rs1: rd, Imm: lo}, "", relocNone, 0)
+		}
+		return
+	}
+	// Wide constant: build the upper bits, shift, then OR in 12-bit chunks.
+	lo := v & 0xfff
+	if lo >= 0x800 {
+		lo -= 0x1000
+	}
+	a.synthLI(rd, (v-lo)>>12)
+	a.emit(isa.Inst{Op: isa.SLLI, Rd: rd, Rs1: rd, Imm: 12}, "", relocNone, 0)
+	if lo != 0 {
+		a.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rd, Imm: lo}, "", relocNone, 0)
+	}
+}

@@ -1,0 +1,87 @@
+// Package asm implements a two-pass RV64IM assembler used to author the
+// Icicle workload kernels. It supports the standard label/section syntax,
+// the usual pseudo-instructions (li, la, mv, j, ret, beqz, …), and data
+// directives (.word, .dword, .space, .align, .asciz).
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"icicle/internal/isa"
+)
+
+// Default section base addresses. Chosen low enough that every address fits
+// in a positive 32-bit value so `la` can expand to lui+addi.
+const (
+	DefaultTextBase = 0x0001_0000
+	DefaultDataBase = 0x0010_0000
+)
+
+// Segment is a contiguous byte image at a fixed address.
+type Segment struct {
+	Addr  uint64
+	Bytes []byte
+}
+
+// Program is the output of assembly: loadable segments plus symbols.
+type Program struct {
+	Entry    uint64
+	Segments []Segment
+	Symbols  map[string]uint64
+	// TextSize is the number of bytes of instruction memory.
+	TextSize int
+}
+
+// Memory is the subset of the memory interface the loader needs.
+type Memory interface {
+	WriteBytes(addr uint64, b []byte)
+}
+
+// LoadInto copies every segment into m.
+func (p *Program) LoadInto(m Memory) {
+	for _, s := range p.Segments {
+		m.WriteBytes(s.Addr, s.Bytes)
+	}
+}
+
+// Symbol returns the address of a label, or an error if undefined.
+func (p *Program) Symbol(name string) (uint64, error) {
+	a, ok := p.Symbols[name]
+	if !ok {
+		return 0, fmt.Errorf("asm: undefined symbol %q", name)
+	}
+	return a, nil
+}
+
+// Disassemble decodes the text segment back into instructions — useful in
+// tests and the trace analyzer.
+func (p *Program) Disassemble() []isa.Inst {
+	var out []isa.Inst
+	for _, s := range p.Segments {
+		if s.Addr != p.Entry {
+			continue
+		}
+		for i := 0; i+isa.InstBytes <= len(s.Bytes); i += isa.InstBytes {
+			w := uint32(s.Bytes[i]) | uint32(s.Bytes[i+1])<<8 |
+				uint32(s.Bytes[i+2])<<16 | uint32(s.Bytes[i+3])<<24
+			out = append(out, isa.Decode(w))
+		}
+	}
+	return out
+}
+
+// SortedSymbols returns symbol names sorted by address (for diagnostics).
+func (p *Program) SortedSymbols() []string {
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if p.Symbols[names[i]] != p.Symbols[names[j]] {
+			return p.Symbols[names[i]] < p.Symbols[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

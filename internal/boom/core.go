@@ -1,0 +1,859 @@
+package boom
+
+import (
+	"fmt"
+	"math/bits"
+
+	"icicle/internal/asm"
+	"icicle/internal/branch"
+	"icicle/internal/isa"
+	"icicle/internal/mem"
+	"icicle/internal/pmu"
+)
+
+// CycleHook observes every simulated cycle (used by the trace bridge).
+type CycleHook func(cycle uint64, sample pmu.Sample)
+
+type queueKind uint8
+
+const (
+	qInt queueKind = iota
+	qMem
+	qLong
+	numQueues
+)
+
+// uop is one micro-op in flight: a ROB entry.
+type uop struct {
+	seq    uint64
+	rec    isa.Retired // zero for poison uops
+	inst   isa.Inst
+	pc     uint64
+	poison bool // wrong-path: will be flushed, never retires
+
+	queue      queueKind
+	src1, src2 *uop // producers captured at rename (nil = ready)
+
+	issued   bool
+	issuedAt uint64
+	done     bool
+	doneAt   uint64
+
+	isMispredBr bool // resolving this branch flushes the pipeline
+	isLoad      bool
+	isStore     bool
+	isFence     bool
+	isFenceI    bool
+	isHalt      bool
+	memAddr     uint64
+}
+
+// fbEntry is one fetch-buffer slot (pre-decode).
+type fbEntry struct {
+	rec         isa.Retired
+	inst        isa.Inst
+	pc          uint64
+	poison      bool
+	mispredBr   bool
+	availableAt uint64
+}
+
+// Core is the BOOM timing model.
+type Core struct {
+	Cfg   Config
+	CPU   *isa.CPU
+	Hier  *mem.Hierarchy
+	Pred  branch.Predictor
+	RAS   *branch.RAS // nil unless Cfg.UseRAS
+	PMU   *pmu.PMU
+	Space *pmu.Space
+
+	sample pmu.Sample
+	tally  []uint64
+	hook   CycleHook
+	ev     map[string]int
+
+	cycle uint64
+	seq   uint64
+
+	// frontend
+	putback        []isa.Retired
+	fb             []fbEntry
+	wrongPath      bool
+	wrongPC        uint64
+	recovering     int  // minimum redirect cycles remaining
+	recoveringFlag bool // set at flush, cleared when a fetch packet is valid
+	fetchStall     uint64
+	refillUntil    uint64
+	lastFetchBlock uint64
+	haveFetchBlock bool
+
+	// backend
+	rob        []*uop // ring buffer
+	robHead    int
+	robCount   int
+	iq         [numQueues][]*uop
+	renameLast [32]*uop
+	inflight   []*uop
+	longBusy   uint64 // unpipelined divider busy until
+
+	retiredTotal uint64
+	done         bool
+
+	// per-cycle scratch
+	issuedThisCycle int
+}
+
+// New builds a core executing prog.
+func New(cfg Config, prog *asm.Program) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	memory := mem.NewSparse()
+	prog.LoadInto(memory)
+	space := NewSpace(cfg.DecodeWidth, cfg.IssueWidth)
+	p := pmu.New(space, cfg.PMUArch)
+	cpu := isa.NewCPU(memory, prog.Entry)
+	cpu.CSR = p
+	c := &Core{
+		Cfg:    cfg,
+		CPU:    cpu,
+		Hier:   mem.NewHierarchy(cfg.Hierarchy),
+		Pred:   branch.NewBoomPredictor(),
+		PMU:    p,
+		Space:  space,
+		sample: space.NewSample(),
+		tally:  make([]uint64, len(space.Events)),
+		ev:     make(map[string]int, len(space.Events)),
+		rob:    make([]*uop, cfg.ROBEntries),
+	}
+	if cfg.UseRAS {
+		c.RAS = branch.NewRAS(cfg.RASEntries)
+	}
+	for i, e := range space.Events {
+		c.ev[e.Name] = i
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on config errors.
+func MustNew(cfg Config, prog *asm.Program) *Core {
+	c, err := New(cfg, prog)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SetCycleHook installs a per-cycle observer.
+func (c *Core) SetCycleHook(h CycleHook) { c.hook = h }
+
+func (c *Core) assert(name string)            { c.sample.Assert(c.ev[name], 0) }
+func (c *Core) assertLane(name string, l int) { c.sample.Assert(c.ev[name], l) }
+
+// --- instruction stream ---
+
+func (c *Core) next() (isa.Retired, bool, error) {
+	if n := len(c.putback); n > 0 {
+		r := c.putback[n-1]
+		c.putback = c.putback[:n-1]
+		return r, true, nil
+	}
+	if c.CPU.Halted {
+		return isa.Retired{}, false, nil
+	}
+	r, err := c.CPU.Step()
+	if err != nil {
+		return isa.Retired{}, false, err
+	}
+	return r, true, nil
+}
+
+func (c *Core) streamEmpty() bool { return len(c.putback) == 0 && c.CPU.Halted }
+
+// --- ROB ring ---
+
+func (c *Core) robFull() bool { return c.robCount == len(c.rob) }
+
+func (c *Core) robPush(u *uop) {
+	c.rob[(c.robHead+c.robCount)%len(c.rob)] = u
+	c.robCount++
+}
+
+func (c *Core) robAt(i int) *uop { return c.rob[(c.robHead+i)%len(c.rob)] }
+
+func (c *Core) robPop() *uop {
+	u := c.rob[c.robHead]
+	c.rob[c.robHead] = nil
+	c.robHead = (c.robHead + 1) % len(c.rob)
+	c.robCount--
+	return u
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	Cycles uint64
+	Insts  uint64
+	Tally  map[string]uint64
+	// LaneTally records per-lane totals for the multi-source TMA events
+	// (Table V).
+	LaneTally map[string][]uint64
+	L1I       mem.CacheStats
+	L1D       mem.CacheStats
+	L2        mem.CacheStats
+	Exit      uint64
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// Run simulates until the workload halts and the pipeline drains.
+func (c *Core) Run() (Result, error) {
+	laneTally := make(map[string][]uint64)
+	for _, e := range c.Space.Events {
+		if e.Sources > 1 {
+			laneTally[e.Name] = make([]uint64, e.Sources)
+		}
+	}
+	maxCycles := c.Cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 2_000_000_000
+	}
+	for !c.done {
+		if c.cycle >= maxCycles {
+			return Result{}, fmt.Errorf("boom: cycle budget %d exhausted (pc 0x%x)", maxCycles, c.CPU.PC)
+		}
+		if err := c.step(laneTally); err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{
+		Cycles:    c.cycle,
+		Insts:     c.retiredTotal,
+		Tally:     make(map[string]uint64, len(c.tally)),
+		LaneTally: laneTally,
+		L1I:       c.Hier.L1I.Stats(),
+		L1D:       c.Hier.L1D.Stats(),
+		L2:        c.Hier.L2.Stats(),
+		Exit:      c.CPU.ExitCode,
+	}
+	for i, e := range c.Space.Events {
+		res.Tally[e.Name] = c.tally[i]
+	}
+	return res, nil
+}
+
+func (c *Core) step(laneTally map[string][]uint64) error {
+	c.sample.Reset()
+	c.assert(EvCycles)
+	c.issuedThisCycle = 0
+
+	c.completeStage()
+	retired := c.commitStage()
+	c.issueStage()
+	c.dispatchStage()
+	if err := c.fetchStage(); err != nil {
+		return err
+	}
+
+	// I$-blocked heuristic (§IV-A): refill in flight and fetch buffer empty.
+	if c.refillUntil > c.cycle && len(c.fb) == 0 {
+		c.assert(EvICacheBlocked)
+	}
+	// D$-blocked heuristic (§IV-A): issue starved, queues non-empty, and at
+	// least one MSHR handling a miss — one event per missing commit slot.
+	if c.issuedThisCycle < c.Cfg.DecodeWidth && c.anyIQNonEmpty() &&
+		c.Hier.MSHRs.AnyBusy(c.cycle) {
+		for l := c.issuedThisCycle; l < c.Cfg.DecodeWidth; l++ {
+			c.assertLane(EvDCacheBlocked, l)
+		}
+	}
+
+	for i, m := range c.sample {
+		n := bits.OnesCount64(m)
+		c.tally[i] += uint64(n)
+		if lt, ok := laneTally[c.Space.Events[i].Name]; ok {
+			mm := m
+			for mm != 0 {
+				l := bits.TrailingZeros64(mm)
+				mm &^= 1 << uint(l)
+				if l < len(lt) {
+					lt[l]++
+				}
+			}
+		}
+	}
+	c.PMU.Tick(c.sample, retired)
+	if c.hook != nil {
+		c.hook(c.cycle, c.sample)
+	}
+	c.cycle++
+
+	if c.streamEmpty() && len(c.fb) == 0 && c.robCount == 0 &&
+		!c.wrongPath && c.recovering == 0 && len(c.inflight) == 0 {
+		c.done = true
+	}
+	return nil
+}
+
+func (c *Core) anyIQNonEmpty() bool {
+	for q := range c.iq {
+		if len(c.iq[q]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// --- complete: writeback, branch resolution, memory-ordering checks ---
+
+func (c *Core) completeStage() {
+	// Process completions oldest-first so the earliest flush this cycle
+	// wins.
+	var flushAt *uop  // mispredicted branch resolving now
+	var violator *uop // oldest load hit by a store-ordering violation
+	keep := c.inflight[:0]
+	for _, u := range c.inflight {
+		if u.doneAt > c.cycle {
+			keep = append(keep, u)
+			continue
+		}
+		u.done = true
+		if u.inst.Op.IsBranch() && !u.poison {
+			c.assert(EvBranchResolved)
+		}
+		if u.isMispredBr && (flushAt == nil || u.seq < flushAt.seq) {
+			flushAt = u
+		}
+		if u.isStore && !u.poison {
+			if v := c.findOrderingViolation(u); v != nil &&
+				(violator == nil || v.seq < violator.seq) {
+				violator = v
+			}
+		}
+	}
+	c.inflight = keep
+
+	// A branch mispredict flush beats a (younger) ordering violation.
+	switch {
+	case flushAt != nil && (violator == nil || flushAt.seq < violator.seq):
+		c.assert(EvBrMispredict)
+		c.assert(EvFlush)
+		c.flushAfter(flushAt.seq)
+	case violator != nil:
+		// Machine clear: the load and everything younger replays.
+		c.assert(EvFlush)
+		c.flushAfter(violator.seq - 1)
+	}
+}
+
+// forwardableStore reports whether an older completed store to the same
+// dword is still in the window (store→load forwarding). Dword-granular
+// like the violation check; partial overlaps fall back to the cache.
+func (c *Core) forwardableStore(ld *uop) bool {
+	for i := c.robCount - 1; i >= 0; i-- {
+		u := c.robAt(i)
+		if u.isStore && !u.poison && u.seq < ld.seq &&
+			u.done && u.doneAt <= c.cycle && u.memAddr>>3 == ld.memAddr>>3 {
+			return true
+		}
+	}
+	return false
+}
+
+// findOrderingViolation returns the oldest already-issued younger load
+// that overlaps the store's dword (naive memory-disambiguation
+// speculation: loads issue past unresolved stores and are squashed when
+// proven wrong).
+func (c *Core) findOrderingViolation(st *uop) *uop {
+	var oldest *uop
+	for i := 0; i < c.robCount; i++ {
+		u := c.robAt(i)
+		if u.isLoad && !u.poison && u.seq > st.seq && u.issued &&
+			u.issuedAt < st.doneAt && u.memAddr>>3 == st.memAddr>>3 {
+			if oldest == nil || u.seq < oldest.seq {
+				oldest = u
+			}
+		}
+	}
+	return oldest
+}
+
+// flushAfter squashes every µop with seq > bound: ROB tail, issue queues,
+// in-flight ops, and the fetch buffer. Real (non-poison) records are
+// returned to the stream for refetch; the frontend then recovers.
+func (c *Core) flushAfter(bound uint64) {
+	// Fetch buffer first (youngest instructions): push youngest-first so
+	// the oldest pops first.
+	for i := len(c.fb) - 1; i >= 0; i-- {
+		if !c.fb[i].poison {
+			c.putback = append(c.putback, c.fb[i].rec)
+		}
+	}
+	c.fb = c.fb[:0]
+
+	// ROB tail.
+	for c.robCount > 0 {
+		u := c.robAt(c.robCount - 1)
+		if u.seq <= bound {
+			break
+		}
+		if !u.poison {
+			c.putback = append(c.putback, u.rec)
+		}
+		c.rob[(c.robHead+c.robCount-1)%len(c.rob)] = nil
+		c.robCount--
+	}
+
+	// Issue queues and inflight.
+	for q := range c.iq {
+		kept := c.iq[q][:0]
+		for _, u := range c.iq[q] {
+			if u.seq <= bound {
+				kept = append(kept, u)
+			}
+		}
+		c.iq[q] = kept
+	}
+	kept := c.inflight[:0]
+	for _, u := range c.inflight {
+		if u.seq <= bound {
+			kept = append(kept, u)
+		}
+	}
+	c.inflight = kept
+
+	// Rebuild the rename table from the surviving ROB entries.
+	c.renameLast = [32]*uop{}
+	for i := 0; i < c.robCount; i++ {
+		u := c.robAt(i)
+		if rd := u.inst.DestReg(); rd != isa.X0 {
+			c.renameLast[rd] = u
+		}
+	}
+
+	c.wrongPath = false
+	c.fetchStall = 0
+	c.haveFetchBlock = false // the redirected fetch re-accesses the I$
+	c.recovering = c.Cfg.RedirectLatency
+	c.recoveringFlag = true
+}
+
+// --- commit ---
+
+func (c *Core) commitStage() int {
+	retired := 0
+	for retired < c.Cfg.DecodeWidth && c.robCount > 0 {
+		u := c.rob[c.robHead]
+		if u.poison || !u.done || u.doneAt > c.cycle {
+			break
+		}
+		c.robPop()
+		c.assertLane(EvUopsRetired, retired)
+		c.assertLane(EvInstRet, retired)
+		if c.renameLast[u.inst.DestReg()] == u {
+			c.renameLast[u.inst.DestReg()] = nil // value now architectural
+		}
+		switch {
+		case u.isFenceI:
+			c.assert(EvFenceRetired)
+			c.assert(EvFlush)
+			c.Hier.L1I.Flush()
+			c.flushAfter(u.seq)
+		case u.isFence:
+			c.assert(EvFenceRetired)
+		case u.isHalt:
+			c.assert(EvException)
+		}
+		retired++
+		c.retiredTotal++
+	}
+	return retired
+}
+
+// --- issue/execute ---
+
+func (c *Core) issueStage() {
+	lane := 0
+	lane = c.issueQueue(qInt, c.Cfg.IntPorts, lane)
+	lane = c.issueQueue(qMem, c.Cfg.MemPorts, lane)
+	c.issueQueue(qLong, c.Cfg.LongPorts, lane)
+}
+
+func (c *Core) issueQueue(q queueKind, ports, laneBase int) int {
+	used := 0
+	kept := c.iq[q][:0]
+	for _, u := range c.iq[q] {
+		if used >= ports || !c.ready(u) || (q == qLong && c.longBusy > c.cycle) {
+			kept = append(kept, u)
+			continue
+		}
+		c.executeUop(u)
+		c.assertLane(EvUopsIssued, laneBase+used)
+		used++
+		c.issuedThisCycle++
+	}
+	c.iq[q] = kept
+	return laneBase + ports
+}
+
+func (c *Core) ready(u *uop) bool {
+	if u.src1 != nil && (!u.src1.done || u.src1.doneAt > c.cycle) {
+		return false
+	}
+	if u.src2 != nil && (!u.src2.done || u.src2.doneAt > c.cycle) {
+		return false
+	}
+	// With store forwarding enabled the LSU also disambiguates: a load
+	// waits for older same-dword stores instead of speculating past them
+	// (and then takes the bypass). Without it, loads speculate and
+	// ordering violations machine-clear (the default, §IV-A).
+	if c.Cfg.StoreForwarding && u.isLoad && !u.poison {
+		for i := 0; i < c.robCount; i++ {
+			st := c.robAt(i)
+			if st.seq >= u.seq {
+				break
+			}
+			if st.isStore && !st.poison && st.memAddr>>3 == u.memAddr>>3 &&
+				(!st.done || st.doneAt > c.cycle) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (c *Core) executeUop(u *uop) {
+	u.issued = true
+	u.issuedAt = c.cycle
+	if u.poison {
+		u.doneAt = c.cycle + 1
+		c.inflight = append(c.inflight, u)
+		return
+	}
+	switch u.inst.Op.Class() {
+	case isa.ClassLoad:
+		if c.Cfg.StoreForwarding && c.forwardableStore(u) {
+			u.doneAt = c.cycle + 1 // bypass from the store queue
+			break
+		}
+		d := c.Hier.AccessD(u.memAddr, false, c.cycle)
+		c.noteDAccess(d)
+		u.doneAt = c.cycle + uint64(c.Cfg.LoadLatency) + uint64(d.Latency)
+	case isa.ClassStore:
+		d := c.Hier.AccessD(u.memAddr, true, c.cycle)
+		c.noteDAccess(d)
+		u.doneAt = c.cycle + 1
+	case isa.ClassAtomic:
+		d := c.Hier.AccessD(u.memAddr, true, c.cycle)
+		c.noteDAccess(d)
+		u.doneAt = c.cycle + uint64(c.Cfg.LoadLatency) + uint64(d.Latency) + 1
+	case isa.ClassMul:
+		u.doneAt = c.cycle + uint64(c.Cfg.MulLatency)
+	case isa.ClassDiv:
+		u.doneAt = c.cycle + uint64(c.Cfg.DivLatency)
+		c.longBusy = u.doneAt // unpipelined
+	case isa.ClassCSR:
+		u.doneAt = c.cycle + 2
+	default:
+		u.doneAt = c.cycle + 1
+	}
+	c.inflight = append(c.inflight, u)
+}
+
+func (c *Core) noteDAccess(d mem.DResult) {
+	if d.TLBMiss {
+		c.assert(EvDTLBMiss)
+	}
+	if d.L2TLBMiss {
+		c.assert(EvL2TLBMiss)
+	}
+	if d.Miss {
+		c.assert(EvDCacheMiss)
+		if d.Writeback {
+			c.assert(EvDCacheRel)
+		}
+	}
+}
+
+// --- dispatch (decode/rename) ---
+
+func (c *Core) dispatchStage() {
+	dispatched := 0
+	backpressured := false
+	for dispatched < c.Cfg.DecodeWidth && len(c.fb) > 0 {
+		e := c.fb[0]
+		if e.availableAt > c.cycle {
+			break
+		}
+		if !c.tryDispatch(e) {
+			backpressured = true
+			break
+		}
+		c.fb = c.fb[1:]
+		dispatched++
+	}
+	// Fetch-bubble events (§III, §IV-A): decode lane ready but no valid
+	// µop, suppressed while recovering and when the stall is decode's own
+	// backpressure.
+	if !backpressured && !c.recoveringFlag {
+		for l := dispatched; l < c.Cfg.DecodeWidth; l++ {
+			if c.streamEmpty() && len(c.fb) == 0 && !c.wrongPath {
+				break // drain: the program is over, not a stall
+			}
+			c.assertLane(EvFetchBubbles, l)
+		}
+	}
+}
+
+// tryDispatch renames and inserts one µop; false means backpressure.
+func (c *Core) tryDispatch(e fbEntry) bool {
+	if c.robFull() {
+		return false
+	}
+	cls := e.inst.Op.Class()
+	var q queueKind
+	switch cls {
+	case isa.ClassLoad, isa.ClassStore, isa.ClassAtomic:
+		q = qMem
+	case isa.ClassMul, isa.ClassDiv:
+		q = qLong
+	default:
+		q = qInt
+	}
+	cap := [numQueues]int{c.Cfg.IQInt, c.Cfg.IQMem, c.Cfg.IQLong}[q]
+	if len(c.iq[q]) >= cap {
+		return false
+	}
+	if cls == isa.ClassLoad && c.countMem(true) >= c.Cfg.LQEntries {
+		return false
+	}
+	if cls == isa.ClassStore && c.countMem(false) >= c.Cfg.STQEntries {
+		return false
+	}
+	isFence := cls == isa.ClassFence
+	if isFence && (c.robCount > 0 || len(c.inflight) > 0) {
+		return false // fences dispatch only into an empty window
+	}
+
+	c.seq++
+	u := &uop{
+		seq:         c.seq,
+		rec:         e.rec,
+		inst:        e.inst,
+		pc:          e.pc,
+		poison:      e.poison,
+		queue:       q,
+		isMispredBr: e.mispredBr,
+		isLoad:      cls == isa.ClassLoad || cls == isa.ClassAtomic,
+		isStore:     cls == isa.ClassStore || cls == isa.ClassAtomic,
+		isFence:     isFence,
+		isFenceI:    e.inst.Op == isa.FENCEI,
+		isHalt:      e.rec.Halt,
+		memAddr:     e.rec.MemAddr,
+	}
+	if !u.poison {
+		rs1, rs2 := e.inst.SrcRegs()
+		if rs1 != isa.X0 {
+			u.src1 = c.renameLast[rs1]
+		}
+		if rs2 != isa.X0 {
+			u.src2 = c.renameLast[rs2]
+		}
+	}
+	if rd := e.inst.DestReg(); rd != isa.X0 {
+		c.renameLast[rd] = u
+	}
+	c.robPush(u)
+	c.iq[q] = append(c.iq[q], u)
+	return true
+}
+
+func (c *Core) countMem(loads bool) int {
+	n := 0
+	for i := 0; i < c.robCount; i++ {
+		u := c.robAt(i)
+		if (loads && u.isLoad) || (!loads && u.isStore) {
+			n++
+		}
+	}
+	return n
+}
+
+// --- fetch ---
+
+func (c *Core) fetchStage() error {
+	// Recovering (§IV-A): asserts from the flush event until a fetch
+	// packet is valid — through the redirect latency and, if the new PC
+	// misses the I-cache, through the refill as well (those lost slots
+	// are attributed to Bad Speculation, as the paper specifies).
+	if c.recovering > 0 {
+		c.assert(EvRecovering)
+		c.recovering--
+		return nil
+	}
+	if c.refillUntil > c.cycle || c.fetchStall > c.cycle {
+		if c.recoveringFlag {
+			c.assert(EvRecovering)
+		}
+		return nil
+	}
+	if c.wrongPath {
+		c.fetchWrongPath()
+		return nil
+	}
+	before := len(c.fb)
+	if err := c.fetchRealPath(); err != nil {
+		return err
+	}
+	if len(c.fb) > before {
+		c.recoveringFlag = false // a fetch packet is valid again
+	} else if c.recoveringFlag && !c.streamEmpty() {
+		c.assert(EvRecovering)
+	}
+	return nil
+}
+
+// fetchWrongPath streams poison µops decoded from memory at the
+// mispredicted PC until the branch resolves and flushes them.
+func (c *Core) fetchWrongPath() {
+	for n := 0; n < c.Cfg.FetchWidth && len(c.fb) < c.Cfg.FBEntries; n++ {
+		word := uint32(c.CPU.Mem.Load(c.wrongPC, isa.InstBytes))
+		in := isa.Decode(word)
+		if in.Op == isa.ILLEGAL {
+			in = isa.NOP // wrong-path garbage still occupies a slot
+		}
+		c.fb = append(c.fb, fbEntry{
+			inst:        in,
+			pc:          c.wrongPC,
+			poison:      true,
+			availableAt: c.cycle + 1,
+		})
+		c.wrongPC += isa.InstBytes
+	}
+}
+
+func (c *Core) fetchRealPath() error {
+	// The fetch packet covers one aligned FetchWidth-instruction window:
+	// a packet starting mid-window (e.g. a branch target) delivers only
+	// the window's tail, which is where most per-lane fetch bubbles come
+	// from on real hardware.
+	window := c.Cfg.FetchWidth
+	for n := 0; n < window && len(c.fb) < c.Cfg.FBEntries; n++ {
+		rec, ok, err := c.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if n == 0 {
+			off := int(rec.PC/isa.InstBytes) & (c.Cfg.FetchWidth - 1)
+			window = c.Cfg.FetchWidth - off
+			if window < 1 {
+				window = 1
+			}
+		}
+		blk := c.Hier.L1I.BlockAddr(rec.PC)
+		if n == 0 && (!c.haveFetchBlock || blk != c.lastFetchBlock) {
+			ir := c.Hier.AccessI(rec.PC, c.cycle)
+			c.lastFetchBlock, c.haveFetchBlock = blk, true
+			if ir.TLBMiss {
+				c.assert(EvITLBMiss)
+			}
+			if ir.L2TLBMiss {
+				c.assert(EvL2TLBMiss)
+			}
+			if ir.Miss {
+				c.assert(EvICacheMiss)
+				c.refillUntil = c.cycle + uint64(ir.Latency)
+				c.putback = append(c.putback, rec)
+				return nil
+			}
+		}
+		e := fbEntry{rec: rec, inst: rec.Inst, pc: rec.PC, availableAt: c.cycle + 1}
+		redirecting := rec.NextPC != rec.PC+isa.InstBytes
+
+		switch rec.Inst.Op.Class() {
+		case isa.ClassBranch:
+			pred := c.Pred.PredictBranch(rec.PC)
+			c.Pred.UpdateBranch(rec.PC, rec.Taken)
+			if pred != rec.Taken {
+				e.mispredBr = true
+				c.fb = append(c.fb, e)
+				c.enterWrongPath(rec, pred)
+				return nil
+			}
+			c.fb = append(c.fb, e)
+			if rec.Taken {
+				c.redirect(rec, c.Cfg.BTBMissPenalty)
+				return nil
+			}
+		case isa.ClassJump:
+			c.fb = append(c.fb, e)
+			// RAS maintenance: calls push the return address, returns pop
+			// a prediction that beats the BTB.
+			if c.RAS != nil && rec.Inst.Rd == isa.RA {
+				c.RAS.Push(rec.PC + isa.InstBytes)
+			}
+			if redirecting {
+				if c.RAS != nil && rec.Inst.Op == isa.JALR &&
+					rec.Inst.Rs1 == isa.RA && rec.Inst.Rd == isa.X0 {
+					if target, ok := c.RAS.Pop(); ok && target == rec.NextPC {
+						if c.Cfg.TakenBubble > 0 {
+							c.fetchStall = c.cycle + uint64(c.Cfg.TakenBubble)
+						}
+						return nil // predicted return: no resteer
+					}
+				}
+				pen := 1 // jal: target decoded in the frontend
+				if rec.Inst.Op == isa.JALR {
+					pen = c.Cfg.JALRPenalty
+				}
+				c.redirect(rec, pen)
+				return nil
+			}
+		default:
+			c.fb = append(c.fb, e)
+			if redirecting {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// enterWrongPath switches fetch to the (incorrect) predicted path.
+func (c *Core) enterWrongPath(rec isa.Retired, predTaken bool) {
+	c.wrongPath = true
+	if predTaken {
+		if t, ok := c.Pred.PredictTarget(rec.PC); ok {
+			c.wrongPC = t
+		} else {
+			c.wrongPC = rec.PC + 2*isa.InstBytes
+		}
+	} else {
+		c.wrongPC = rec.PC + isa.InstBytes
+	}
+	c.Pred.UpdateTarget(rec.PC, rec.NextPC)
+}
+
+func (c *Core) redirect(rec isa.Retired, missPenalty int) {
+	target, ok := c.Pred.PredictTarget(rec.PC)
+	if ok && target == rec.NextPC {
+		// Correctly predicted redirect: the fetch stream still breaks for
+		// TakenBubble cycles while the PC wraps around the frontend.
+		if c.Cfg.TakenBubble > 0 {
+			c.fetchStall = c.cycle + uint64(c.Cfg.TakenBubble)
+		}
+		return
+	}
+	c.assert(EvCFTargetMiss)
+	c.fetchStall = c.cycle + uint64(missPenalty)
+	c.Pred.UpdateTarget(rec.PC, rec.NextPC)
+}

@@ -1,0 +1,76 @@
+// Package boom implements a cycle-level timing model of the BOOM core: a
+// parameterizable superscalar out-of-order RV64 pipeline (the five Table IV
+// sizes) with a fetch buffer, renaming dispatch into a reorder buffer,
+// three asymmetric issue queues, non-blocking loads through MSHRs,
+// speculative wrong-path fetch after branch mispredictions, and the full
+// Table I event list including the seven events Icicle adds for TMA.
+package boom
+
+import "icicle/internal/pmu"
+
+// Event set IDs (§II-A).
+const (
+	SetBasic     = 0
+	SetMicroarch = 1
+	SetMemory    = 2
+	SetTMA       = 3
+)
+
+// Event names.
+const (
+	EvCycles    = "cycles"
+	EvInstRet   = "instructions-retired"
+	EvException = "exception"
+
+	EvBrMispredict   = "br-mispredict"
+	EvCFTargetMiss   = "cf-target-mispredict"
+	EvFlush          = "flush"
+	EvBranchResolved = "branch-resolved"
+
+	EvICacheMiss = "icache-miss"
+	EvDCacheMiss = "dcache-miss"
+	EvDCacheRel  = "dcache-release"
+	EvITLBMiss   = "itlb-miss"
+	EvDTLBMiss   = "dtlb-miss"
+	EvL2TLBMiss  = "l2tlb-miss"
+
+	// TMA events added by Icicle (§IV-A: 7 new BOOM events).
+	EvUopsIssued    = "uops-issued"    // W_I sources (one per issue port)
+	EvFetchBubbles  = "fetch-bubbles"  // W_C sources (one per decode lane)
+	EvRecovering    = "recovering"     // 1 source
+	EvUopsRetired   = "uops-retired"   // W_C sources (ROB commit lanes)
+	EvFenceRetired  = "fence-retired"  // 1 source
+	EvICacheBlocked = "icache-blocked" // 1 source
+	EvDCacheBlocked = "dcache-blocked" // W_C sources
+)
+
+// NewSpace builds the event space for a core with the given decode/commit
+// width (W_C) and total issue width (W_I). Unlike Rocket, BOOM's event
+// space depends on the configuration because the TMA events are per-lane.
+func NewSpace(commitWidth, issueWidth int) *pmu.Space {
+	return pmu.MustSpace([]pmu.Event{
+		{Name: EvCycles, Set: SetBasic, Bit: 0, Sources: 1},
+		{Name: EvInstRet, Set: SetBasic, Bit: 1, Sources: commitWidth},
+		{Name: EvException, Set: SetBasic, Bit: 2, Sources: 1},
+
+		{Name: EvBrMispredict, Set: SetMicroarch, Bit: 0, Sources: 1},
+		{Name: EvCFTargetMiss, Set: SetMicroarch, Bit: 1, Sources: 1},
+		{Name: EvFlush, Set: SetMicroarch, Bit: 2, Sources: 1},
+		{Name: EvBranchResolved, Set: SetMicroarch, Bit: 3, Sources: 1},
+
+		{Name: EvICacheMiss, Set: SetMemory, Bit: 0, Sources: 1},
+		{Name: EvDCacheMiss, Set: SetMemory, Bit: 1, Sources: 1},
+		{Name: EvDCacheRel, Set: SetMemory, Bit: 2, Sources: 1},
+		{Name: EvITLBMiss, Set: SetMemory, Bit: 3, Sources: 1},
+		{Name: EvDTLBMiss, Set: SetMemory, Bit: 4, Sources: 1},
+		{Name: EvL2TLBMiss, Set: SetMemory, Bit: 5, Sources: 1},
+
+		{Name: EvUopsIssued, Set: SetTMA, Bit: 0, Sources: issueWidth},
+		{Name: EvFetchBubbles, Set: SetTMA, Bit: 1, Sources: commitWidth},
+		{Name: EvRecovering, Set: SetTMA, Bit: 2, Sources: 1},
+		{Name: EvUopsRetired, Set: SetTMA, Bit: 3, Sources: commitWidth},
+		{Name: EvFenceRetired, Set: SetTMA, Bit: 4, Sources: 1},
+		{Name: EvICacheBlocked, Set: SetTMA, Bit: 5, Sources: 1},
+		{Name: EvDCacheBlocked, Set: SetTMA, Bit: 6, Sources: commitWidth},
+	})
+}

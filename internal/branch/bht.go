@@ -1,0 +1,55 @@
+package branch
+
+// BHT is Rocket's direction predictor: a table of 2-bit saturating
+// counters indexed by a hash of the PC, with a 28-entry BTB for targets
+// (Table IV: 512-entry BHT, 28-entry BTB).
+type BHT struct {
+	counters []uint8
+	btb      *BTB
+}
+
+// NewRocketPredictor returns the paper's Rocket configuration.
+func NewRocketPredictor() *BHT { return NewBHT(512, 28) }
+
+// NewBHT returns a BHT with the given table and BTB sizes. Table size must
+// be a power of two (it is rounded up otherwise).
+func NewBHT(tableEntries, btbEntries int) *BHT {
+	n := 1
+	for n < tableEntries {
+		n <<= 1
+	}
+	c := make([]uint8, n)
+	for i := range c {
+		c[i] = 1 // weakly not-taken
+	}
+	return &BHT{counters: c, btb: NewBTB(btbEntries)}
+}
+
+func (b *BHT) index(pc uint64) uint64 {
+	return (pc >> 2) & uint64(len(b.counters)-1)
+}
+
+// PredictBranch implements Predictor.
+func (b *BHT) PredictBranch(pc uint64) bool {
+	return b.counters[b.index(pc)] >= 2
+}
+
+// UpdateBranch implements Predictor.
+func (b *BHT) UpdateBranch(pc uint64, taken bool) {
+	i := b.index(pc)
+	if taken {
+		if b.counters[i] < 3 {
+			b.counters[i]++
+		}
+	} else if b.counters[i] > 0 {
+		b.counters[i]--
+	}
+}
+
+// PredictTarget implements Predictor.
+func (b *BHT) PredictTarget(pc uint64) (uint64, bool) { return b.btb.Lookup(pc) }
+
+// UpdateTarget implements Predictor.
+func (b *BHT) UpdateTarget(pc, target uint64) { b.btb.Update(pc, target) }
+
+var _ Predictor = (*BHT)(nil)

@@ -1,0 +1,154 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBTBLookupUpdate(t *testing.T) {
+	b := NewBTB(4)
+	if _, ok := b.Lookup(0x100); ok {
+		t.Fatal("cold BTB hit")
+	}
+	b.Update(0x100, 0x200)
+	if tgt, ok := b.Lookup(0x100); !ok || tgt != 0x200 {
+		t.Fatalf("lookup = %#x, %v", tgt, ok)
+	}
+	b.Update(0x100, 0x300) // refresh
+	if tgt, _ := b.Lookup(0x100); tgt != 0x300 {
+		t.Fatalf("refresh failed: %#x", tgt)
+	}
+}
+
+func TestBTBLRUReplacement(t *testing.T) {
+	b := NewBTB(2)
+	b.Update(1, 10)
+	b.Update(2, 20)
+	b.Lookup(1)     // 2 becomes LRU
+	b.Update(3, 30) // evicts 2
+	if _, ok := b.Lookup(2); ok {
+		t.Fatal("LRU victim survived")
+	}
+	if _, ok := b.Lookup(1); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+}
+
+func TestBHTLearnsBias(t *testing.T) {
+	p := NewRocketPredictor()
+	pc := uint64(0x400)
+	for i := 0; i < 10; i++ {
+		p.UpdateBranch(pc, true)
+	}
+	if !p.PredictBranch(pc) {
+		t.Fatal("BHT did not learn taken bias")
+	}
+	for i := 0; i < 10; i++ {
+		p.UpdateBranch(pc, false)
+	}
+	if p.PredictBranch(pc) {
+		t.Fatal("BHT did not learn not-taken bias")
+	}
+}
+
+func TestBHTColdPredictsNotTaken(t *testing.T) {
+	p := NewRocketPredictor()
+	if p.PredictBranch(0x1234) {
+		t.Fatal("Rocket BHT must cold-predict not-taken (brmiss case study)")
+	}
+}
+
+func TestTAGEColdPredictsTaken(t *testing.T) {
+	p := NewBoomPredictor()
+	if !p.PredictBranch(0x1234) {
+		t.Fatal("BOOM TAGE must cold-predict taken (brmiss case study)")
+	}
+}
+
+// accuracy trains a predictor on a branch outcome function and returns the
+// fraction predicted correctly over the second half of the run.
+func accuracy(p Predictor, outcome func(i int) bool, n int) float64 {
+	correct, counted := 0, 0
+	for i := 0; i < n; i++ {
+		taken := outcome(i)
+		pred := p.PredictBranch(0x800)
+		if i >= n/2 {
+			counted++
+			if pred == taken {
+				correct++
+			}
+		}
+		p.UpdateBranch(0x800, taken)
+	}
+	return float64(correct) / float64(counted)
+}
+
+func TestTAGELearnsPeriodicPattern(t *testing.T) {
+	// Period-7 pattern: beyond bimodal, needs history. TAGE should nail
+	// it; the BHT should not.
+	pattern := func(i int) bool { return i%7 == 0 }
+	tage := accuracy(NewBoomPredictor(), pattern, 4000)
+	bht := accuracy(NewRocketPredictor(), pattern, 4000)
+	if tage < 0.95 {
+		t.Fatalf("TAGE accuracy on periodic pattern = %.2f", tage)
+	}
+	if bht > tage {
+		t.Fatalf("BHT (%.2f) beat TAGE (%.2f) on a history pattern", bht, tage)
+	}
+}
+
+func TestPredictorsNearChanceOnRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	outcomes := make([]bool, 4000)
+	for i := range outcomes {
+		outcomes[i] = r.Intn(2) == 0
+	}
+	f := func(i int) bool { return outcomes[i] }
+	for _, tc := range []struct {
+		name string
+		p    Predictor
+	}{{"tage", NewBoomPredictor()}, {"bht", NewRocketPredictor()}} {
+		acc := accuracy(tc.p, f, len(outcomes))
+		if acc > 0.62 {
+			t.Errorf("%s accuracy %.2f on random outcomes (should be near chance)", tc.name, acc)
+		}
+	}
+}
+
+func TestTAGELearnsLoopBranch(t *testing.T) {
+	// Loop branch: taken 15 times, then not taken, repeating.
+	pattern := func(i int) bool { return i%16 != 15 }
+	if acc := accuracy(NewBoomPredictor(), pattern, 6400); acc < 0.9 {
+		t.Fatalf("TAGE loop-branch accuracy %.2f", acc)
+	}
+}
+
+func TestTAGEStats(t *testing.T) {
+	p := NewBoomPredictor()
+	for i := 0; i < 100; i++ {
+		p.PredictBranch(uint64(i * 4))
+		p.UpdateBranch(uint64(i*4), i%2 == 0)
+	}
+	if p.Predictions != 100 {
+		t.Fatalf("predictions = %d", p.Predictions)
+	}
+	var provided uint64
+	for _, n := range p.ProviderHits {
+		provided += n
+	}
+	if provided != 100 {
+		t.Fatalf("provider hits sum to %d", provided)
+	}
+}
+
+func TestFoldHistory(t *testing.T) {
+	if foldHistory(0, 10, 5) != 0 {
+		t.Fatal("fold of empty history nonzero")
+	}
+	// Folding must be confined to `bits` bits.
+	for h := uint64(1); h < 1<<16; h = h*3 + 1 {
+		if f := foldHistory(h, 36, 9); f >= 1<<9 {
+			t.Fatalf("fold overflow: %#x", f)
+		}
+	}
+}

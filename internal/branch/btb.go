@@ -1,0 +1,80 @@
+// Package branch implements the branch-prediction substrates of the two
+// cores: Rocket's 512-entry BHT + 28-entry BTB and BOOM's TAGE + BTB
+// (Table IV). Both expose the same Predictor interface consumed by the
+// timing models, so case studies can also swap predictors for ablations.
+package branch
+
+// BTB is a direct-lookup branch target buffer with true-LRU replacement
+// over a fully-associative entry file (Rocket's BTB is small enough — 28
+// entries — that full associativity matches the RTL's behaviour closely).
+type BTB struct {
+	entries []btbEntry
+	stamp   uint64
+	// stats
+	Lookups uint64
+	Hits    uint64
+}
+
+type btbEntry struct {
+	pc     uint64
+	target uint64
+	valid  bool
+	lru    uint64
+}
+
+// NewBTB returns a BTB with n entries (minimum 1).
+func NewBTB(n int) *BTB {
+	if n <= 0 {
+		n = 1
+	}
+	return &BTB{entries: make([]btbEntry, n)}
+}
+
+// Lookup returns the predicted target for the control-flow instruction at
+// pc, if present.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	b.Lookups++
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.valid && e.pc == pc {
+			b.stamp++
+			e.lru = b.stamp
+			b.Hits++
+			return e.target, true
+		}
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the target for pc.
+func (b *BTB) Update(pc, target uint64) {
+	b.stamp++
+	victim := 0
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.valid && e.pc == pc {
+			e.target = target
+			e.lru = b.stamp
+			return
+		}
+		if !e.valid {
+			victim = i
+		} else if b.entries[victim].valid && e.lru < b.entries[victim].lru {
+			victim = i
+		}
+	}
+	b.entries[victim] = btbEntry{pc: pc, target: target, valid: true, lru: b.stamp}
+}
+
+// Predictor is the direction+target interface used by the cores.
+type Predictor interface {
+	// PredictBranch predicts the direction of the conditional branch at pc.
+	PredictBranch(pc uint64) bool
+	// UpdateBranch trains the direction predictor with the outcome.
+	UpdateBranch(pc uint64, taken bool)
+	// PredictTarget predicts the target of a taken control-flow
+	// instruction at pc; ok is false on a BTB miss.
+	PredictTarget(pc uint64) (target uint64, ok bool)
+	// UpdateTarget trains the BTB.
+	UpdateTarget(pc, target uint64)
+}

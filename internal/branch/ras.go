@@ -1,0 +1,53 @@
+package branch
+
+// RAS is a return-address stack. BOOM's frontend uses one to predict
+// function returns; the model exposes it as an optional ablation
+// (boom.Config.UseRAS) so the cost of return mispredictions is
+// measurable. The stack wraps on overflow (overwriting the oldest entry),
+// like the hardware structure.
+type RAS struct {
+	entries []uint64
+	top     int // index of the next push slot
+	depth   int // live entries, ≤ len(entries)
+
+	// stats
+	Pushes     uint64
+	Pops       uint64
+	Underflows uint64
+	Overwrites uint64
+}
+
+// NewRAS returns a stack with n entries (minimum 1).
+func NewRAS(n int) *RAS {
+	if n <= 0 {
+		n = 1
+	}
+	return &RAS{entries: make([]uint64, n)}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint64) {
+	r.Pushes++
+	if r.depth == len(r.entries) {
+		r.Overwrites++
+	} else {
+		r.depth++
+	}
+	r.entries[r.top] = addr
+	r.top = (r.top + 1) % len(r.entries)
+}
+
+// Pop predicts the target of a return; ok is false on underflow.
+func (r *RAS) Pop() (addr uint64, ok bool) {
+	if r.depth == 0 {
+		r.Underflows++
+		return 0, false
+	}
+	r.Pops++
+	r.top = (r.top - 1 + len(r.entries)) % len(r.entries)
+	r.depth--
+	return r.entries[r.top], true
+}
+
+// Depth returns the current number of live entries.
+func (r *RAS) Depth() int { return r.depth }

@@ -1,0 +1,68 @@
+package branch
+
+import "testing"
+
+func TestRASBasicPushPop(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(0x100)
+	r.Push(0x200)
+	if d := r.Depth(); d != 2 {
+		t.Fatalf("depth = %d", d)
+	}
+	if a, ok := r.Pop(); !ok || a != 0x200 {
+		t.Fatalf("pop = %#x, %v", a, ok)
+	}
+	if a, ok := r.Pop(); !ok || a != 0x100 {
+		t.Fatalf("pop = %#x, %v", a, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty stack succeeded")
+	}
+	if r.Underflows != 1 {
+		t.Fatalf("underflows = %d", r.Underflows)
+	}
+}
+
+func TestRASOverflowWrapsOldest(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if r.Overwrites != 1 {
+		t.Fatalf("overwrites = %d", r.Overwrites)
+	}
+	if a, _ := r.Pop(); a != 3 {
+		t.Fatalf("pop = %d", a)
+	}
+	if a, _ := r.Pop(); a != 2 {
+		t.Fatalf("pop = %d", a)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("entry 1 should have been overwritten")
+	}
+}
+
+func TestRASDeepRecursionPattern(t *testing.T) {
+	// Balanced call/return nesting within capacity predicts perfectly.
+	r := NewRAS(8)
+	var addrs []uint64
+	for i := 0; i < 8; i++ {
+		a := uint64(0x1000 + i*4)
+		addrs = append(addrs, a)
+		r.Push(a)
+	}
+	for i := 7; i >= 0; i-- {
+		got, ok := r.Pop()
+		if !ok || got != addrs[i] {
+			t.Fatalf("unwind %d: %#x, %v", i, got, ok)
+		}
+	}
+}
+
+func TestRASZeroSize(t *testing.T) {
+	r := NewRAS(0)
+	r.Push(5)
+	if a, ok := r.Pop(); !ok || a != 5 {
+		t.Fatal("minimum-size RAS broken")
+	}
+}

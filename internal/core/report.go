@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is one class in the rendered TMA hierarchy.
+type Node struct {
+	Name     string
+	Fraction float64
+	Children []Node
+}
+
+// Tree renders the breakdown as the Fig. 5 class hierarchy.
+func (b Breakdown) Tree() Node {
+	return Node{Name: "slots", Fraction: 1, Children: []Node{
+		{Name: "Retiring", Fraction: b.Retiring},
+		{Name: "Bad Speculation", Fraction: b.BadSpec, Children: []Node{
+			{Name: "Machine Clears", Fraction: b.MachineClears},
+			{Name: "Branch Mispredicts", Fraction: b.BranchMispred, Children: []Node{
+				{Name: "Resteers", Fraction: b.Resteers},
+				{Name: "Recovery Bubbles", Fraction: b.RecoveryBubbles},
+			}},
+		}},
+		{Name: "Frontend Bound", Fraction: b.Frontend, Children: []Node{
+			{Name: "Fetch Latency", Fraction: b.FetchLatency, Children: tlbChild("ITLB Bound", b.ITLBBound, b.Cfg.TLB != nil)},
+			{Name: "PC Resteer", Fraction: b.PCResteer},
+		}},
+		{Name: "Backend Bound", Fraction: b.Backend, Children: []Node{
+			{Name: "Core Bound", Fraction: b.CoreBound},
+			{Name: "Mem Bound", Fraction: b.MemBound, Children: tlbChild("DTLB Bound", b.DTLBBound, b.Cfg.TLB != nil)},
+		}},
+	}}
+}
+
+func tlbChild(name string, v float64, enabled bool) []Node {
+	if !enabled {
+		return nil
+	}
+	return []Node{{Name: name, Fraction: v}}
+}
+
+// String renders the breakdown as an indented percentage tree, the
+// icicle-perf CLI's default output.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "IPC %.3f  (cycles %d, insts %d)\n", b.IPC, b.Counts.Cycles, b.Counts.InstRet)
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		if depth > 0 {
+			fmt.Fprintf(&sb, "%s%-22s %6.2f%%\n",
+				strings.Repeat("  ", depth-1), n.Name, n.Fraction*100)
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(b.Tree(), 0)
+	return sb.String()
+}
+
+// Row renders the top-level breakdown as one fixed-width table row, used by
+// the benchmark harness to print Fig. 7-style series.
+func (b Breakdown) Row(name string) string {
+	return fmt.Sprintf("%-18s ret %5.1f%%  badspec %5.1f%%  frontend %5.1f%%  backend %5.1f%%  ipc %5.2f",
+		name, b.Retiring*100, b.BadSpec*100, b.Frontend*100, b.Backend*100, b.IPC)
+}
+
+// BackendRow renders the backend drill-down (Fig. 7 b/l).
+func (b Breakdown) BackendRow(name string) string {
+	return fmt.Sprintf("%-18s backend %5.1f%%  core %5.1f%%  mem %5.1f%%",
+		name, b.Backend*100, b.CoreBound*100, b.MemBound*100)
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func validCounts(r *rand.Rand) Counts {
+	cycles := uint64(r.Intn(1_000_000) + 1000)
+	wc := uint64(3)
+	slots := cycles * wc
+	ret := uint64(r.Int63n(int64(slots)))
+	issued := ret + uint64(r.Int63n(int64(slots-ret)+1))/2
+	fb := uint64(r.Int63n(int64(slots - ret + 1)))
+	bm := uint64(r.Intn(int(cycles/10) + 1))
+	return Counts{
+		Cycles:        cycles,
+		InstRet:       ret,
+		UopsIssued:    issued,
+		UopsRetired:   ret,
+		FetchBubbles:  fb / 2,
+		Recovering:    uint64(r.Intn(int(cycles/10) + 1)),
+		Flushes:       uint64(r.Intn(100)),
+		BrMispred:     bm,
+		FenceRetired:  uint64(r.Intn(10)),
+		ICacheBlocked: uint64(r.Intn(int(cycles/20) + 1)),
+		DCacheBlocked: uint64(r.Intn(int(slots/4) + 1)),
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(Config{CommitWidth: 0}, Counts{Cycles: 1}); err == nil {
+		t.Fatal("zero commit width accepted")
+	}
+	if _, err := Evaluate(DefaultConfig(3, 5), Counts{}); err == nil {
+		t.Fatal("zero cycles accepted")
+	}
+}
+
+func TestTopLevelSumsToOne(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		c := validCounts(r)
+		b, err := Evaluate(DefaultConfig(3, 5), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(b.TopLevelSum()-1) > 1e-9 {
+			t.Fatalf("top level sums to %f for %+v", b.TopLevelSum(), c)
+		}
+	}
+}
+
+func TestSecondLevelConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 500; i++ {
+		b, err := Evaluate(DefaultConfig(3, 5), validCounts(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := b.FetchLatency + b.PCResteer - b.Frontend; math.Abs(d) > 1e-9 {
+			t.Fatalf("frontend children mismatch: %g", d)
+		}
+		if d := b.CoreBound + b.MemBound - b.Backend; math.Abs(d) > 1e-9 {
+			t.Fatalf("backend children mismatch: %g", d)
+		}
+		if d := b.Resteers + b.RecoveryBubbles - b.BranchMispred; math.Abs(d) > 1e-9 {
+			t.Fatalf("bad-spec children mismatch: %g", d)
+		}
+		if b.FetchLatency < 0 || b.MemBound < 0 || b.Retiring < 0 {
+			t.Fatalf("negative class: %+v", b)
+		}
+		if b.FetchLatency > b.Frontend+1e-12 {
+			t.Fatal("fetch latency exceeds frontend")
+		}
+	}
+}
+
+func TestPureRetiringWorkload(t *testing.T) {
+	// A perfect machine: every slot retires.
+	c := Counts{Cycles: 1000, InstRet: 3000, UopsIssued: 3000, UopsRetired: 3000}
+	b := MustEvaluate(DefaultConfig(3, 5), c)
+	if b.Retiring != 1 || b.BadSpec != 0 || b.Frontend != 0 || math.Abs(b.Backend) > 1e-12 {
+		t.Fatalf("breakdown %+v", b)
+	}
+	if b.IPC != 3 {
+		t.Fatalf("ipc = %f", b.IPC)
+	}
+}
+
+func TestFencesExcludedFromBadSpec(t *testing.T) {
+	// All flushes are fences: flushed slots must not land in Bad Spec.
+	c := Counts{
+		Cycles: 1000, InstRet: 1000,
+		UopsIssued: 1500, UopsRetired: 1000,
+		FenceRetired: 50,
+	}
+	b := MustEvaluate(DefaultConfig(3, 5), c)
+	if b.BadSpec != 0 {
+		t.Fatalf("fence flushes classified as bad speculation: %f", b.BadSpec)
+	}
+}
+
+func TestBranchMispredictsDominateBadSpec(t *testing.T) {
+	c := Counts{
+		Cycles: 1000, InstRet: 1000,
+		UopsIssued: 2000, UopsRetired: 1000,
+		BrMispred: 100, Recovering: 400,
+	}
+	b := MustEvaluate(DefaultConfig(3, 5), c)
+	if b.BadSpec <= 0 {
+		t.Fatal("no bad speculation")
+	}
+	if math.Abs(b.MachineClears) > 1e-12 {
+		t.Fatalf("machine clears with no machine flushes: %f", b.MachineClears)
+	}
+	if math.Abs(b.BadSpec-(b.MachineClears+b.BranchMispred)) > 1e-9 {
+		t.Fatal("bad-spec children do not sum")
+	}
+}
+
+func TestApproxRecovery(t *testing.T) {
+	c := Counts{
+		Cycles: 10000, InstRet: 10000,
+		UopsIssued: 12000, UopsRetired: 10000,
+		BrMispred: 250, Recovering: 1000,
+	}
+	cfg := DefaultConfig(3, 5)
+	exact := MustEvaluate(cfg, c)
+	cfg.ApproxRecovery = true
+	approx := MustEvaluate(cfg, c)
+	// RecoverLength=4, BrMispred=250 → approximated recovery = 1000
+	// cycles = the measured value, so the two must agree exactly.
+	if math.Abs(exact.BadSpec-approx.BadSpec) > 1e-12 {
+		t.Fatalf("approx recovery diverged: %f vs %f", exact.BadSpec, approx.BadSpec)
+	}
+}
+
+func TestDominant(t *testing.T) {
+	c := Counts{Cycles: 1000, InstRet: 500, UopsIssued: 500, UopsRetired: 500,
+		FetchBubbles: 2000}
+	b := MustEvaluate(DefaultConfig(3, 5), c)
+	if b.Dominant() != "frontend" {
+		t.Fatalf("dominant = %s", b.Dominant())
+	}
+}
+
+func TestQuickNoNaNs(t *testing.T) {
+	f := func(cyc uint32, ret, issued, fb, rec, fl, bm, fen, iblk, dblk uint16) bool {
+		c := Counts{
+			Cycles: uint64(cyc%100000) + 1, InstRet: uint64(ret),
+			UopsIssued: uint64(issued), UopsRetired: uint64(ret),
+			FetchBubbles: uint64(fb), Recovering: uint64(rec),
+			Flushes: uint64(fl), BrMispred: uint64(bm), FenceRetired: uint64(fen),
+			ICacheBlocked: uint64(iblk), DCacheBlocked: uint64(dblk),
+		}
+		b, err := Evaluate(DefaultConfig(3, 5), c)
+		if err != nil {
+			return false
+		}
+		for _, v := range []float64{b.Retiring, b.BadSpec, b.Frontend, b.Backend,
+			b.MachineClears, b.BranchMispred, b.FetchLatency, b.PCResteer,
+			b.CoreBound, b.MemBound, b.IPC} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return math.Abs(b.TopLevelSum()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	c := Counts{Cycles: 1000, InstRet: 2000, UopsIssued: 2500, UopsRetired: 2000,
+		FetchBubbles: 200, Recovering: 50, BrMispred: 20, ICacheBlocked: 30,
+		DCacheBlocked: 100}
+	b := MustEvaluate(DefaultConfig(3, 5), c)
+	s := b.String()
+	for _, want := range []string{"Retiring", "Bad Speculation", "Frontend Bound",
+		"Backend Bound", "Fetch Latency", "Mem Bound", "Recovery Bubbles"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(b.Row("x"), "ret") || !strings.Contains(b.BackendRow("x"), "mem") {
+		t.Error("row renderers incomplete")
+	}
+	tree := b.Tree()
+	if len(tree.Children) != 4 {
+		t.Fatalf("tree has %d top-level classes", len(tree.Children))
+	}
+}
+
+func TestTLBExtension(t *testing.T) {
+	c := Counts{
+		Cycles: 10000, InstRet: 10000,
+		UopsIssued: 10000, UopsRetired: 10000,
+		ICacheBlocked: 500, FetchBubbles: 2000, DCacheBlocked: 4000,
+		ITLBMisses: 100, DTLBMisses: 300, L2TLBMisses: 40,
+	}
+	cfg := DefaultConfig(3, 5)
+	plain := MustEvaluate(cfg, c)
+	if plain.ITLBBound != 0 || plain.DTLBBound != 0 {
+		t.Fatal("TLB classes nonzero without the extension enabled")
+	}
+	cfg.TLB = &TLBPenalties{L2TLBHit: 6, PTW: 40}
+	ext := MustEvaluate(cfg, c)
+	if ext.ITLBBound <= 0 || ext.DTLBBound <= 0 {
+		t.Fatalf("TLB classes not computed: %+v", ext)
+	}
+	if ext.ITLBBound > ext.FetchLatency+1e-12 {
+		t.Fatal("ITLB bound exceeds its parent Fetch Latency")
+	}
+	if ext.DTLBBound > ext.MemBound+1e-12 {
+		t.Fatal("DTLB bound exceeds its parent Mem Bound")
+	}
+	// The extension must not disturb the upper levels.
+	if ext.Retiring != plain.Retiring || ext.Backend != plain.Backend {
+		t.Fatal("TLB extension changed upper-level classes")
+	}
+	if !strings.Contains(ext.String(), "DTLB Bound") {
+		t.Fatal("report missing DTLB Bound")
+	}
+	if strings.Contains(plain.String(), "DTLB Bound") {
+		t.Fatal("report shows TLB classes when disabled")
+	}
+}
+
+func TestTLBExtensionZeroMisses(t *testing.T) {
+	c := Counts{Cycles: 1000, InstRet: 1000, UopsIssued: 1000, UopsRetired: 1000}
+	cfg := DefaultConfig(3, 5)
+	cfg.TLB = &TLBPenalties{L2TLBHit: 6, PTW: 40}
+	b := MustEvaluate(cfg, c)
+	if b.ITLBBound != 0 || b.DTLBBound != 0 {
+		t.Fatal("TLB bound nonzero with no misses")
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"icicle/internal/boom"
+	"icicle/internal/kernel"
+	"icicle/internal/perf"
+	"icicle/internal/pmu"
+)
+
+// WidthPoint is one point of the distributed-counter width sweep.
+type WidthPoint struct {
+	Width   uint
+	Read    uint64
+	Residue uint64
+	Lost    uint64
+}
+
+// WidthSweepResult is the DESIGN.md ablation: how the distributed
+// architecture's local counter width trades read-time undercount against
+// correctness (undersized widths drop events outright).
+type WidthSweepResult struct {
+	Kernel    string
+	Event     string
+	Exact     uint64
+	AutoWidth uint
+	Points    []WidthPoint
+}
+
+// WidthSweep runs the same workload with forced local-counter widths 1..6.
+func WidthSweep(kernelName, event string) (WidthSweepResult, error) {
+	k, err := kernel.ByName(kernelName)
+	if err != nil {
+		return WidthSweepResult{}, err
+	}
+	out := WidthSweepResult{Kernel: kernelName, Event: event}
+	for width := uint(0); width <= 6; width++ {
+		cfg := boom.NewConfig(boom.Large)
+		cfg.PMUArch = pmu.Distributed
+		c, err := boom.New(cfg, k.MustProgram())
+		if err != nil {
+			return out, err
+		}
+		c.PMU.DistWidth = width
+		if err := c.PMU.ConfigureEvents(0, event); err != nil {
+			return out, err
+		}
+		c.PMU.EnableAll()
+		res, err := c.Run()
+		if err != nil {
+			return out, err
+		}
+		if width == 0 {
+			out.Exact = res.Tally[event]
+			out.AutoWidth = c.PMU.LocalWidth(0)
+			continue
+		}
+		out.Points = append(out.Points, WidthPoint{
+			Width:   width,
+			Read:    c.PMU.Read(0),
+			Residue: c.PMU.Residue(0),
+			Lost:    c.PMU.Lost(0),
+		})
+	}
+	return out, nil
+}
+
+// Fprint renders the sweep.
+func (w WidthSweepResult) Fprint(out io.Writer) {
+	fmt.Fprintf(out, "-- ablation: distributed local-counter width (%s / %s, exact %d, auto width %d) --\n",
+		w.Kernel, w.Event, w.Exact, w.AutoWidth)
+	fmt.Fprintf(out, "%6s %12s %9s %7s %12s\n", "width", "read", "residue", "lost", "read-err%")
+	for _, p := range w.Points {
+		errPct := 100 * float64(w.Exact-p.Read) / float64(w.Exact)
+		fmt.Fprintf(out, "%6d %12d %9d %7d %11.3f%%\n", p.Width, p.Read, p.Residue, p.Lost, errPct)
+	}
+}
+
+// RASResult is the return-address-stack ablation on a call/return
+// dominated workload.
+type RASResult struct {
+	Kernel             string
+	BaseCycles         uint64
+	RASCycles          uint64
+	BasePCResteer      float64
+	RASPCResteer       float64
+	BaseCFTargetMisses uint64
+	RASCFTargetMisses  uint64
+}
+
+// RASAblation compares LargeBOOM with and without the return-address
+// stack.
+func RASAblation(kernelName string) (RASResult, error) {
+	k, err := kernel.ByName(kernelName)
+	if err != nil {
+		return RASResult{}, err
+	}
+	out := RASResult{Kernel: kernelName}
+	for _, useRAS := range []bool{false, true} {
+		cfg := boom.NewConfig(boom.Large)
+		cfg.UseRAS = useRAS
+		res, b, err := perf.RunBoom(cfg, k)
+		if err != nil {
+			return out, err
+		}
+		if useRAS {
+			out.RASCycles = res.Cycles
+			out.RASPCResteer = b.PCResteer
+			out.RASCFTargetMisses = res.Tally[boom.EvCFTargetMiss]
+		} else {
+			out.BaseCycles = res.Cycles
+			out.BasePCResteer = b.PCResteer
+			out.BaseCFTargetMisses = res.Tally[boom.EvCFTargetMiss]
+		}
+	}
+	return out, nil
+}
+
+// Fprint renders the ablation.
+func (r RASResult) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "-- ablation: return-address stack on %s (LargeBOOM) --\n", r.Kernel)
+	fmt.Fprintf(w, "%-8s cycles %9d  pc-resteer %5.1f%%  cf-target-misses %d\n",
+		"no-RAS", r.BaseCycles, r.BasePCResteer*100, r.BaseCFTargetMisses)
+	fmt.Fprintf(w, "%-8s cycles %9d  pc-resteer %5.1f%%  cf-target-misses %d\n",
+		"RAS", r.RASCycles, r.RASPCResteer*100, r.RASCFTargetMisses)
+	fmt.Fprintf(w, "speedup: %.1f%%\n", (float64(r.BaseCycles)/float64(r.RASCycles)-1)*100)
+}

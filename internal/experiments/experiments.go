@@ -1,0 +1,247 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V): the Fig. 7 TMA grids and case studies, Table V's
+// per-lane event rates, Table VI's temporal-TMA overlap bound, Fig. 8's
+// recovery-length CDF, and Fig. 9's physical-design overheads. Each
+// experiment returns a structured result (asserted on by the benchmark
+// harness and tests) and renders the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"icicle/internal/boom"
+	"icicle/internal/core"
+	"icicle/internal/kernel"
+	"icicle/internal/perf"
+	"icicle/internal/rocket"
+)
+
+// Row is one benchmark's TMA evaluation.
+type Row struct {
+	Name   string
+	Cycles uint64
+	Insts  uint64
+	B      core.Breakdown
+}
+
+// TMAGrid is a set of rows (one Fig. 7 subfigure).
+type TMAGrid struct {
+	Title string
+	Rows  []Row
+}
+
+// Fprint renders the grid's top-level classes.
+func (g TMAGrid) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "-- %s --\n", g.Title)
+	for _, r := range g.Rows {
+		fmt.Fprintln(w, r.B.Row(r.Name))
+	}
+}
+
+// FprintBackend renders the backend drill-down (Fig. 7 b/l).
+func (g TMAGrid) FprintBackend(w io.Writer) {
+	fmt.Fprintf(w, "-- %s (backend drill-down) --\n", g.Title)
+	for _, r := range g.Rows {
+		fmt.Fprintln(w, r.B.BackendRow(r.Name))
+	}
+}
+
+// Find returns the named row.
+func (g TMAGrid) Find(name string) (Row, bool) {
+	for _, r := range g.Rows {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Row{}, false
+}
+
+func rocketRow(cfg rocket.Config, k *kernel.Kernel) (Row, error) {
+	res, b, err := perf.RunRocket(cfg, k)
+	if err != nil {
+		return Row{}, fmt.Errorf("%s on rocket: %w", k.Name, err)
+	}
+	if k.Expected != 0 && res.Exit != k.Expected {
+		return Row{}, fmt.Errorf("%s on rocket: checksum %#x != %#x", k.Name, res.Exit, k.Expected)
+	}
+	return Row{Name: k.Name, Cycles: res.Cycles, Insts: res.Insts, B: b}, nil
+}
+
+func boomRow(cfg boom.Config, k *kernel.Kernel) (Row, error) {
+	res, b, err := perf.RunBoom(cfg, k)
+	if err != nil {
+		return Row{}, fmt.Errorf("%s on %s: %w", k.Name, cfg.Name, err)
+	}
+	if k.Expected != 0 && res.Exit != k.Expected {
+		return Row{}, fmt.Errorf("%s on %s: checksum %#x != %#x", k.Name, cfg.Name, res.Exit, k.Expected)
+	}
+	return Row{Name: k.Name, Cycles: res.Cycles, Insts: res.Insts, B: b}, nil
+}
+
+func grid(title string, rows []Row, err error) (TMAGrid, error) {
+	if err != nil {
+		return TMAGrid{}, err
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return TMAGrid{Title: title, Rows: rows}, nil
+}
+
+// Fig7aRocketMicro: Rocket top-level TMA over the microbenchmark suite
+// (Fig. 7a; the backend drill-down of the same rows is Fig. 7b).
+func Fig7aRocketMicro() (TMAGrid, error) {
+	var rows []Row
+	for _, k := range kernel.ByCategory(kernel.CatMicro) {
+		r, err := rocketRow(rocket.DefaultConfig(), k)
+		if err != nil {
+			return TMAGrid{}, err
+		}
+		rows = append(rows, r)
+	}
+	return grid("Fig 7(a,b): Rocket microbenchmarks", rows, nil)
+}
+
+// Fig7gBoomSPEC: BOOM (Large) top-level TMA over the SPEC CPU2017 intrate
+// proxies (Fig. 7g; second-level drill-downs are Fig. 7h-j).
+func Fig7gBoomSPEC() (TMAGrid, error) {
+	cfg := boom.NewConfig(boom.Large)
+	var rows []Row
+	for _, k := range kernel.ByCategory(kernel.CatSPEC) {
+		r, err := boomRow(cfg, k)
+		if err != nil {
+			return TMAGrid{}, err
+		}
+		rows = append(rows, r)
+	}
+	return grid("Fig 7(g-j): LargeBOOM SPEC CPU2017 intrate proxies", rows, nil)
+}
+
+// Fig7kBoomMicro: BOOM microbenchmark TMA (Fig. 7k; backend zoom is 7l).
+func Fig7kBoomMicro() (TMAGrid, error) {
+	cfg := boom.NewConfig(boom.Large)
+	var rows []Row
+	for _, k := range kernel.ByCategory(kernel.CatMicro) {
+		r, err := boomRow(cfg, k)
+		if err != nil {
+			return TMAGrid{}, err
+		}
+		rows = append(rows, r)
+	}
+	return grid("Fig 7(k,l): LargeBOOM microbenchmarks", rows, nil)
+}
+
+// CaseStudy compares a pair of runs (baseline vs variant).
+type CaseStudy struct {
+	Title    string
+	Base     Row
+	Variant  Row
+	BaseName string
+	VarName  string
+}
+
+// Speedup returns base cycles / variant cycles (>1 ⇒ variant faster).
+func (cs CaseStudy) Speedup() float64 {
+	return float64(cs.Base.Cycles) / float64(cs.Variant.Cycles)
+}
+
+// Fprint renders both rows and the headline delta.
+func (cs CaseStudy) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "-- %s --\n", cs.Title)
+	fmt.Fprintln(w, cs.Base.B.Row(cs.BaseName))
+	fmt.Fprintln(w, cs.Variant.B.Row(cs.VarName))
+	fmt.Fprintf(w, "variant speedup: %.2f%%\n", (cs.Speedup()-1)*100)
+}
+
+// Fig7cCacheStudy: Rocket CS1 — 531.deepsjeng_r with 32 KiB vs 16 KiB L1D.
+func Fig7cCacheStudy() (CaseStudy, error) {
+	k, err := kernel.ByName("531.deepsjeng_r")
+	if err != nil {
+		return CaseStudy{}, err
+	}
+	big := rocket.DefaultConfig()
+	small := rocket.DefaultConfig()
+	small.Hierarchy.L1D.SizeBytes = 16 << 10
+	b, err := rocketRow(big, k)
+	if err != nil {
+		return CaseStudy{}, err
+	}
+	s, err := rocketRow(small, k)
+	if err != nil {
+		return CaseStudy{}, err
+	}
+	return CaseStudy{
+		Title: "Fig 7(c): Rocket CS1 — L1D cache size on deepsjeng",
+		Base:  b, Variant: s,
+		BaseName: "L1D=32KiB", VarName: "L1D=16KiB",
+	}, nil
+}
+
+func branchInvStudy(title string, run func(*kernel.Kernel) (Row, error)) (CaseStudy, error) {
+	km, err := kernel.ByName("brmiss")
+	if err != nil {
+		return CaseStudy{}, err
+	}
+	ki, err := kernel.ByName("brmiss_inv")
+	if err != nil {
+		return CaseStudy{}, err
+	}
+	b, err := run(km)
+	if err != nil {
+		return CaseStudy{}, err
+	}
+	v, err := run(ki)
+	if err != nil {
+		return CaseStudy{}, err
+	}
+	return CaseStudy{Title: title, Base: b, Variant: v,
+		BaseName: "brmiss", VarName: "brmiss_inv"}, nil
+}
+
+// Fig7dBranchInversion: Rocket CS2 — brmiss vs brmiss_inv.
+func Fig7dBranchInversion() (CaseStudy, error) {
+	return branchInvStudy("Fig 7(d): Rocket CS2 — branch inversion",
+		func(k *kernel.Kernel) (Row, error) { return rocketRow(rocket.DefaultConfig(), k) })
+}
+
+// Fig7nBoomBranchInversion: the same study on BOOM shows the opposite
+// effect (the predictors cold-predict opposite directions).
+func Fig7nBoomBranchInversion() (CaseStudy, error) {
+	return branchInvStudy("Fig 7(n): BOOM CS — branch inversion",
+		func(k *kernel.Kernel) (Row, error) { return boomRow(boom.NewConfig(boom.Large), k) })
+}
+
+func schedStudy(title string, run func(*kernel.Kernel) (Row, error)) (CaseStudy, error) {
+	kb, err := kernel.ByName("coremark")
+	if err != nil {
+		return CaseStudy{}, err
+	}
+	ks, err := kernel.ByName("coremark-sched")
+	if err != nil {
+		return CaseStudy{}, err
+	}
+	b, err := run(kb)
+	if err != nil {
+		return CaseStudy{}, err
+	}
+	v, err := run(ks)
+	if err != nil {
+		return CaseStudy{}, err
+	}
+	return CaseStudy{Title: title, Base: b, Variant: v,
+		BaseName: "coremark", VarName: "coremark-sched"}, nil
+}
+
+// Fig7efCoreMarkSched: Rocket CS3 — CoreMark with and without the
+// instruction-scheduling pass (identical instruction counts).
+func Fig7efCoreMarkSched() (CaseStudy, error) {
+	return schedStudy("Fig 7(e,f): Rocket CS3 — CoreMark instruction scheduling",
+		func(k *kernel.Kernel) (Row, error) { return rocketRow(rocket.DefaultConfig(), k) })
+}
+
+// Fig7mBoomCoreMarkSched: the same study on BOOM (the OoO core hides the
+// scheduling difference almost entirely).
+func Fig7mBoomCoreMarkSched() (CaseStudy, error) {
+	return schedStudy("Fig 7(m): BOOM CS — CoreMark instruction scheduling",
+		func(k *kernel.Kernel) (Row, error) { return boomRow(boom.NewConfig(boom.Large), k) })
+}

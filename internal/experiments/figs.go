@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"icicle/internal/boom"
+	"icicle/internal/kernel"
+	"icicle/internal/rocket"
+	"icicle/internal/stats"
+	"icicle/internal/trace"
+	"icicle/internal/vlsi"
+)
+
+// Fig3Result is the motivating cycle-accurate frontend trace (Fig. 3):
+// mergesort on Rocket, six frontend-critical signals.
+type Fig3Result struct {
+	Timeline      string // ASCII rendering around the first I$ miss (Fig. 3a)
+	LateTimeline  string // a warm-cache window (Fig. 3b)
+	Totals        map[string]uint64
+	BubblesNotICB uint64 // fetch-bubble cycles with no I$-blocked anywhere near
+	Cycles        int
+}
+
+// Fig3Events are the traced signals. IBuf-ready/valid are represented by
+// their derived fetch-bubble signal plus the raw blocking events, which is
+// what the added TMA event makes observable.
+var Fig3Events = []string{
+	rocket.EvICacheMiss, rocket.EvICacheBlocked, rocket.EvFetchBubbles,
+	rocket.EvRecovering, rocket.EvBrMispredict, rocket.EvInstIssued,
+}
+
+// Fig3FrontendTrace reproduces the motivating example: most mergesort
+// frontend stalls are NOT attributable to the I-cache.
+func Fig3FrontendTrace() (Fig3Result, error) {
+	k, err := kernel.ByName("mergesort")
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	c := rocket.New(rocket.DefaultConfig(), k.MustProgram())
+	bundle := trace.MustBundle(rocket.Events, Fig3Events...)
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, bundle)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	c.SetCycleHook(w.WriteCycle)
+	if _, err := c.Run(); err != nil {
+		return Fig3Result{}, err
+	}
+	if err := w.Flush(); err != nil {
+		return Fig3Result{}, err
+	}
+	rd, err := trace.NewReader(&buf)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	a, err := trace.NewAnalyzer(rd)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+
+	out := Fig3Result{Totals: a.Totals(), Cycles: a.Cycles()}
+	// Fig 3(a): zoom around the first I-cache miss.
+	if at := a.FindWindow(rocket.EvICacheMiss, 0); at >= 0 {
+		out.Timeline = a.Timeline(at-4, at+76)
+	}
+	// Fig 3(b): a warm window later in the run.
+	mid := a.Cycles() / 2
+	out.LateTimeline = a.Timeline(mid, mid+80)
+
+	// The motivating count: fetch bubbles outside any I$-blocked window.
+	bubbles, err := a.EventBits(rocket.EvFetchBubbles)
+	if err != nil {
+		return out, err
+	}
+	blocked, err := a.EventBits(rocket.EvICacheBlocked)
+	if err != nil {
+		return out, err
+	}
+	win := stats.PadWindows(blocked, 8)
+	for i, b := range bubbles {
+		if b && !win[i] {
+			out.BubblesNotICB++
+		}
+	}
+	return out, nil
+}
+
+// Fprint renders the Fig. 3 evidence.
+func (f Fig3Result) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "-- Fig 3: cycle-accurate frontend trace of mergesort (Rocket) --")
+	fmt.Fprintln(w, "(a) first I-cache miss window:")
+	fmt.Fprintln(w, f.Timeline)
+	fmt.Fprintln(w, "(b) warm-cache window:")
+	fmt.Fprintln(w, f.LateTimeline)
+	fmt.Fprintf(w, "fetch-bubble cycles: %d; within an I$-blocked window: %d; elsewhere: %d\n",
+		f.Totals[rocket.EvFetchBubbles],
+		f.Totals[rocket.EvFetchBubbles]-f.BubblesNotICB, f.BubblesNotICB)
+	fmt.Fprintln(w, "=> I$-miss/I$-blocked alone cannot account for the Frontend stalls (§III)")
+}
+
+// Fig8Result is the recovery-sequence study (Fig. 8b).
+type Fig8Result struct {
+	CDF        *stats.CDF
+	Mode       uint64
+	Max        uint64
+	FracAtMode float64
+}
+
+// Fig8RecoveryCDF traces Recovering on LargeBOOM across branchy workloads
+// and builds the distribution of recovery-sequence lengths.
+func Fig8RecoveryCDF() (Fig8Result, error) {
+	cfg := boom.NewConfig(boom.Large)
+	var all []uint64
+	for _, name := range []string{"qsort", "multiply", "531.deepsjeng_r", "525.x264_r", "fencemix"} {
+		k, err := kernel.ByName(name)
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		c, err := boom.New(cfg, k.MustProgram())
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		bundle := trace.MustBundle(c.Space, boom.EvRecovering)
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf, bundle)
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		c.SetCycleHook(w.WriteCycle)
+		if _, err := c.Run(); err != nil {
+			return Fig8Result{}, err
+		}
+		if err := w.Flush(); err != nil {
+			return Fig8Result{}, err
+		}
+		rd, err := trace.NewReader(&buf)
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		a, err := trace.NewAnalyzer(rd)
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		bits, err := a.EventBits(boom.EvRecovering)
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		all = append(all, stats.RunLengths(bits)...)
+	}
+	cdf := stats.NewCDF(all)
+	mode := cdf.Mode()
+	return Fig8Result{
+		CDF:        cdf,
+		Mode:       mode,
+		Max:        cdf.Max(),
+		FracAtMode: cdf.At(mode) - cdf.At(mode-1),
+	}, nil
+}
+
+// Fprint renders the CDF series and headline stats.
+func (f Fig8Result) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "-- Fig 8(b): CDF of Recovering sequence lengths (LargeBOOM) --")
+	fmt.Fprintf(w, "sequences: %d, mode: %d cycles (%.0f%% of sequences), max: %d\n",
+		f.CDF.N(), f.Mode, f.FracAtMode*100, f.Max)
+	fmt.Fprintln(w, "length\tP(X<=length)")
+	fmt.Fprint(w, f.CDF.Series())
+}
+
+// Fig9Result carries the physical-design grid (Fig. 9a/9b).
+type Fig9Result struct {
+	Reports []vlsi.Report
+	// DelayNorm: CSR path delay normalized to the scalar implementation
+	// of the same size (Fig. 9b's normalization).
+	DelayNorm map[string]map[string]float64
+}
+
+// Fig9Physical evaluates every size × architecture point. When
+// withActivity is true, dynamic power uses event activity measured from a
+// CoreMark run at each size.
+func Fig9Physical(withActivity bool) (Fig9Result, error) {
+	var activity map[string]map[string]float64
+	if withActivity {
+		activity = map[string]map[string]float64{}
+		k, err := kernel.ByName("coremark")
+		if err != nil {
+			return Fig9Result{}, err
+		}
+		for _, s := range boom.Sizes {
+			cfg := boom.NewConfig(s)
+			c, err := boom.New(cfg, k.MustProgram())
+			if err != nil {
+				return Fig9Result{}, err
+			}
+			res, err := c.Run()
+			if err != nil {
+				return Fig9Result{}, err
+			}
+			act := map[string]float64{}
+			for name, total := range res.Tally {
+				act[name] = float64(total) / float64(res.Cycles)
+			}
+			activity[cfg.Name] = act
+		}
+	}
+	reports := vlsi.AnalyzeAll(activity)
+	norm := map[string]map[string]float64{}
+	scalarDelay := map[string]float64{}
+	for _, r := range reports {
+		if r.Arch.String() == "scalar" {
+			scalarDelay[r.Config] = r.CSRPathDelay
+		}
+	}
+	for _, r := range reports {
+		if norm[r.Config] == nil {
+			norm[r.Config] = map[string]float64{}
+		}
+		norm[r.Config][r.Arch.String()] = r.CSRPathDelay / scalarDelay[r.Config]
+	}
+	return Fig9Result{Reports: reports, DelayNorm: norm}, nil
+}
+
+// Fprint renders Fig. 9a (power) and 9b (normalized CSR path).
+func (f Fig9Result) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "-- Fig 9(a): post-placement overheads (lower is better) --")
+	fmt.Fprintf(w, "%-12s %-12s %8s %8s %8s\n", "config", "arch", "power%", "area%", "wire%")
+	for _, r := range f.Reports {
+		fmt.Fprintf(w, "%-12s %-12s %8.2f %8.2f %8.2f\n",
+			r.Config, r.Arch, r.PowerPct, r.AreaPct, r.WirelenPct)
+	}
+	fmt.Fprintln(w, "-- Fig 9(b): longest CSR-crossing combinational path (normalized to scalar) --")
+	fmt.Fprintf(w, "%-12s %10s %10s %12s\n", "config", "scalar", "add-wires", "distributed")
+	for _, s := range boom.Sizes {
+		name := boom.NewConfig(s).Name
+		n := f.DelayNorm[name]
+		fmt.Fprintf(w, "%-12s %10.2f %10.2f %12.2f\n",
+			name, n["scalar"], n["add-wires"], n["distributed"])
+	}
+}

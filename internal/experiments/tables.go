@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+
+	"icicle/internal/boom"
+	"icicle/internal/kernel"
+	"icicle/internal/pmu"
+	"icicle/internal/trace"
+)
+
+// Table5Benchmarks are the workloads reported in Table V.
+var Table5Benchmarks = []string{
+	"505.mcf_r", "523.xalancbmk_r", "541.leela_r", "525.x264_r",
+	"548.exchange2_r", "500.perlbench_r", "mm", "memcpy",
+}
+
+// LaneRates is one benchmark's per-lane event rates (events per cycle).
+type LaneRates struct {
+	Name        string
+	FetchBubble []float64 // W_C lanes
+	DBlocked    []float64 // W_C lanes
+	UopsIssued  []float64 // W_I lanes
+
+	// ApproxError is the relative Frontend-class error of the paper's
+	// lightweight per-lane approximation: W_C × the middle lane's bubbles
+	// instead of the true per-lane sum (§V-A "3 × Fetch-bubble1").
+	ApproxError float64
+}
+
+// Table5Result is the per-lane event study (Table V + the §V-A
+// approximation analysis).
+type Table5Result struct {
+	Config string
+	Rows   []LaneRates
+}
+
+// Table5PerLane measures per-lane event rates on LargeBOOM.
+func Table5PerLane() (Table5Result, error) {
+	cfg := boom.NewConfig(boom.Large)
+	out := Table5Result{Config: cfg.Name}
+	for _, name := range Table5Benchmarks {
+		k, err := kernel.ByName(name)
+		if err != nil {
+			return out, err
+		}
+		c, err := boom.New(cfg, k.MustProgram())
+		if err != nil {
+			return out, err
+		}
+		res, err := c.Run()
+		if err != nil {
+			return out, err
+		}
+		rates := func(ev string) []float64 {
+			lanes := res.LaneTally[ev]
+			r := make([]float64, len(lanes))
+			for i, v := range lanes {
+				r[i] = float64(v) / float64(res.Cycles)
+			}
+			return r
+		}
+		lr := LaneRates{
+			Name:        name,
+			FetchBubble: rates(boom.EvFetchBubbles),
+			DBlocked:    rates(boom.EvDCacheBlocked),
+			UopsIssued:  rates(boom.EvUopsIssued),
+		}
+		total := res.Tally[boom.EvFetchBubbles]
+		mid := res.LaneTally[boom.EvFetchBubbles][cfg.DecodeWidth/2]
+		approx := float64(cfg.DecodeWidth) * float64(mid)
+		if total > 0 {
+			lr.ApproxError = approx/float64(total) - 1
+		}
+		out.Rows = append(out.Rows, lr)
+	}
+	return out, nil
+}
+
+// Fprint renders Table V.
+func (t Table5Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "-- Table V: per-lane events per total cycles (%s) --\n", t.Config)
+	fmt.Fprintf(w, "%-18s %-26s %-26s %-38s %8s\n",
+		"benchmark", "fetch-bubble", "d$-blocked", "uops-issued", "approx")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-18s %-26s %-26s %-38s %7.1f%%\n",
+			r.Name, rateStr(r.FetchBubble), rateStr(r.DBlocked),
+			rateStr(r.UopsIssued), r.ApproxError*100)
+	}
+}
+
+func rateStr(r []float64) string {
+	var b bytes.Buffer
+	for i, v := range r {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.3f", v)
+	}
+	return b.String()
+}
+
+// Table6Benchmarks feed the temporal-TMA overlap study.
+var Table6Benchmarks = []string{"qsort", "mergesort", "531.deepsjeng_r", "multiply", "coremark", "fencemix"}
+
+// Table6Result is the temporal-TMA class-overlap bound (Table VI).
+type Table6Result struct {
+	Cycles        uint64
+	TotalSlots    uint64
+	OverlapSlots  uint64
+	FrontendSlots uint64
+	BadSpecSlots  uint64 // recovering cycles × W_C (the model's attribution)
+
+	OverlapFrac          float64
+	FrontendFrac         float64
+	BadSpecFrac          float64
+	FrontendPerturbation float64
+	BadSpecPerturbation  float64
+}
+
+// Fprint renders Table VI.
+func (t Table6Result) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "-- Table VI: temporal TMA overlap upper bound --")
+	fmt.Fprintf(w, "trace sample: %d cycles (%d slots)\n", t.Cycles, t.TotalSlots)
+	fmt.Fprintf(w, "overlap Frontend, I$-miss & Bad Speculation  %8.4f%%\n", t.OverlapFrac*100)
+	fmt.Fprintf(w, "Frontend        %8.2f%%  ± %.2f%%\n", t.FrontendFrac*100, t.FrontendPerturbation*100)
+	fmt.Fprintf(w, "Bad Speculation %8.2f%%  ± %.2f%%\n", t.BadSpecFrac*100, t.BadSpecPerturbation*100)
+}
+
+// Table6Overlap traces the Table VI benchmarks on LargeBOOM and bounds
+// Frontend / Bad Speculation overlap with a ±pad-cycle rolling window
+// (§V-B uses 50).
+func Table6Overlap(pad int) (Table6Result, error) {
+	cfg := boom.NewConfig(boom.Large)
+	var out Table6Result
+	for _, name := range Table6Benchmarks {
+		k, err := kernel.ByName(name)
+		if err != nil {
+			return out, err
+		}
+		c, err := boom.New(cfg, k.MustProgram())
+		if err != nil {
+			return out, err
+		}
+		bundle := trace.MustBundle(c.Space,
+			boom.EvFetchBubbles, boom.EvICacheBlocked, boom.EvRecovering)
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf, bundle)
+		if err != nil {
+			return out, err
+		}
+		c.SetCycleHook(w.WriteCycle)
+		if _, err := c.Run(); err != nil {
+			return out, err
+		}
+		if err := w.Flush(); err != nil {
+			return out, err
+		}
+		rd, err := trace.NewReader(&buf)
+		if err != nil {
+			return out, err
+		}
+		a, err := trace.NewAnalyzer(rd)
+		if err != nil {
+			return out, err
+		}
+		rep, err := a.OverlapBound(boom.EvFetchBubbles, boom.EvICacheBlocked,
+			boom.EvRecovering, pad)
+		if err != nil {
+			return out, err
+		}
+		out.Cycles += uint64(rep.Cycles)
+		out.TotalSlots += rep.TotalSlots
+		out.OverlapSlots += rep.OverlapSlots
+		out.FrontendSlots += rep.FrontendSlots
+		out.BadSpecSlots += a.Totals()[boom.EvRecovering] * uint64(cfg.DecodeWidth)
+	}
+	if out.TotalSlots > 0 {
+		out.OverlapFrac = float64(out.OverlapSlots) / float64(out.TotalSlots)
+		out.FrontendFrac = float64(out.FrontendSlots) / float64(out.TotalSlots)
+		out.BadSpecFrac = float64(out.BadSpecSlots) / float64(out.TotalSlots)
+	}
+	if out.FrontendSlots > 0 {
+		out.FrontendPerturbation = float64(out.OverlapSlots) / float64(out.FrontendSlots)
+	}
+	if out.BadSpecSlots > 0 {
+		out.BadSpecPerturbation = float64(out.OverlapSlots) / float64(out.BadSpecSlots)
+	}
+	return out, nil
+}
+
+// UndercountResult is the §IV-B distributed-counter undercount study
+// (experiment E15).
+type UndercountResult struct {
+	Kernel     string
+	Event      string
+	Exact      uint64
+	Read       uint64
+	Residue    uint64
+	Bound      uint64 // sources × 2^width
+	LocalWidth uint
+}
+
+// Fprint renders the undercount analysis.
+func (u UndercountResult) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "-- §IV-B: distributed-counter undercount bound --")
+	fmt.Fprintf(w, "%s/%s: exact %d, read %d, residue %d (bound %d, local width %d bits)\n",
+		u.Kernel, u.Event, u.Exact, u.Read, u.Residue, u.Bound, u.LocalWidth)
+	if u.Exact > 0 {
+		fmt.Fprintf(w, "worst-case relative error: %.4f%%\n",
+			100*float64(u.Bound)/float64(u.Exact+u.Bound))
+	}
+}
+
+// UndercountBound measures the distributed architecture's undercount on a
+// real workload and checks it against the closed-form bound.
+func UndercountBound(kernelName string) (UndercountResult, error) {
+	k, err := kernel.ByName(kernelName)
+	if err != nil {
+		return UndercountResult{}, err
+	}
+	cfg := boom.NewConfig(boom.Large)
+	cfg.PMUArch = pmu.Distributed
+	c, err := boom.New(cfg, k.MustProgram())
+	if err != nil {
+		return UndercountResult{}, err
+	}
+	if err := c.PMU.ConfigureEvents(0, boom.EvFetchBubbles); err != nil {
+		return UndercountResult{}, err
+	}
+	c.PMU.EnableAll()
+	res, err := c.Run()
+	if err != nil {
+		return UndercountResult{}, err
+	}
+	u := UndercountResult{
+		Kernel:     kernelName,
+		Event:      boom.EvFetchBubbles,
+		Exact:      res.Tally[boom.EvFetchBubbles],
+		Read:       c.PMU.Read(0),
+		Residue:    c.PMU.Residue(0),
+		LocalWidth: c.PMU.LocalWidth(0),
+	}
+	u.Bound = uint64(cfg.DecodeWidth) << u.LocalWidth
+	if u.Read+u.Residue != u.Exact {
+		return u, fmt.Errorf("undercount conservation violated: %d + %d != %d",
+			u.Read, u.Residue, u.Exact)
+	}
+	return u, nil
+}
+
+// ArchComparison is the artifact's AddWires vs DistributedCounters counter
+// value comparison (E16).
+type ArchComparison struct {
+	Kernel string
+	Event  string
+	Exact  map[pmu.Architecture]uint64 // read + residue
+	Read   map[pmu.Architecture]uint64
+}
+
+// CounterArchComparison runs the same kernel under all three counter
+// architectures and compares the counter values.
+func CounterArchComparison(kernelName, event string) (ArchComparison, error) {
+	k, err := kernel.ByName(kernelName)
+	if err != nil {
+		return ArchComparison{}, err
+	}
+	out := ArchComparison{
+		Kernel: kernelName, Event: event,
+		Exact: map[pmu.Architecture]uint64{},
+		Read:  map[pmu.Architecture]uint64{},
+	}
+	for _, arch := range []pmu.Architecture{pmu.Scalar, pmu.AddWires, pmu.Distributed} {
+		cfg := boom.NewConfig(boom.Large)
+		cfg.PMUArch = arch
+		c, err := boom.New(cfg, k.MustProgram())
+		if err != nil {
+			return out, err
+		}
+		if err := c.PMU.ConfigureEvents(0, event); err != nil {
+			return out, err
+		}
+		c.PMU.EnableAll()
+		if _, err := c.Run(); err != nil {
+			return out, err
+		}
+		out.Read[arch] = c.PMU.Read(0)
+		out.Exact[arch] = c.PMU.Read(0) + c.PMU.Residue(0)
+	}
+	return out, nil
+}
+
+// Fprint renders the comparison.
+func (a ArchComparison) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "-- counter architecture comparison: %s / %s --\n", a.Kernel, a.Event)
+	for _, arch := range []pmu.Architecture{pmu.Scalar, pmu.AddWires, pmu.Distributed} {
+		fmt.Fprintf(w, "%-12s read %12d\n", arch, a.Read[arch])
+	}
+	aw := float64(a.Read[pmu.AddWires])
+	if aw > 0 {
+		fmt.Fprintf(w, "distributed relative error: %.4f%%\n",
+			100*math.Abs(aw-float64(a.Read[pmu.Distributed]))/aw)
+		fmt.Fprintf(w, "scalar undercount:          %.1f%%\n",
+			100*(1-float64(a.Read[pmu.Scalar])/aw))
+	}
+}

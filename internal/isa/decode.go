@@ -1,0 +1,207 @@
+package isa
+
+// Reverse tables for R-type decode, keyed by funct7<<3|funct3.
+var rTypeDec = invert(rTypeEnc)
+var r32TypeDec = invert(r32TypeEnc)
+var amoDec = invert(amoEnc) // keyed by funct5<<3|funct3
+
+func invert(enc map[Op]encInfo) map[uint32]Op {
+	dec := make(map[uint32]Op, len(enc))
+	for op, e := range enc {
+		dec[e.funct7<<3|e.funct3] = op
+	}
+	return dec
+}
+
+// Decode unpacks a 32-bit instruction word. Unrecognized encodings decode to
+// an Inst with Op == ILLEGAL rather than an error: real fetch units can pull
+// arbitrary bytes (e.g. down a mispredicted path), and the pipelines must be
+// able to carry such slots to the flush point.
+func Decode(word uint32) Inst {
+	opc := word & 0x7f
+	rd := Reg(word >> 7 & 0x1f)
+	f3 := word >> 12 & 0x7
+	rs1 := Reg(word >> 15 & 0x1f)
+	rs2 := Reg(word >> 20 & 0x1f)
+	f7 := word >> 25 & 0x7f
+
+	switch opc {
+	case opcLUI:
+		return Inst{Op: LUI, Rd: rd, Imm: immU(word)}
+	case opcAUIPC:
+		return Inst{Op: AUIPC, Rd: rd, Imm: immU(word)}
+	case opcJAL:
+		return Inst{Op: JAL, Rd: rd, Imm: immJ(word)}
+	case opcJALR:
+		if f3 != 0 {
+			return Inst{Op: ILLEGAL}
+		}
+		return Inst{Op: JALR, Rd: rd, Rs1: rs1, Imm: immI(word)}
+
+	case opcBranch:
+		var op Op
+		switch f3 {
+		case 0b000:
+			op = BEQ
+		case 0b001:
+			op = BNE
+		case 0b100:
+			op = BLT
+		case 0b101:
+			op = BGE
+		case 0b110:
+			op = BLTU
+		case 0b111:
+			op = BGEU
+		default:
+			return Inst{Op: ILLEGAL}
+		}
+		return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: immB(word)}
+
+	case opcLoad:
+		ops := [...]Op{LB, LH, LW, LD, LBU, LHU, LWU, ILLEGAL}
+		op := ops[f3]
+		if op == ILLEGAL {
+			return Inst{Op: ILLEGAL}
+		}
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: immI(word)}
+
+	case opcStore:
+		ops := [...]Op{SB, SH, SW, SD}
+		if f3 > 3 {
+			return Inst{Op: ILLEGAL}
+		}
+		return Inst{Op: ops[f3], Rs1: rs1, Rs2: rs2, Imm: immS(word)}
+
+	case opcOpImm:
+		switch f3 {
+		case 0b000:
+			return Inst{Op: ADDI, Rd: rd, Rs1: rs1, Imm: immI(word)}
+		case 0b010:
+			return Inst{Op: SLTI, Rd: rd, Rs1: rs1, Imm: immI(word)}
+		case 0b011:
+			return Inst{Op: SLTIU, Rd: rd, Rs1: rs1, Imm: immI(word)}
+		case 0b100:
+			return Inst{Op: XORI, Rd: rd, Rs1: rs1, Imm: immI(word)}
+		case 0b110:
+			return Inst{Op: ORI, Rd: rd, Rs1: rs1, Imm: immI(word)}
+		case 0b111:
+			return Inst{Op: ANDI, Rd: rd, Rs1: rs1, Imm: immI(word)}
+		case 0b001:
+			if f7>>1 != 0 {
+				return Inst{Op: ILLEGAL}
+			}
+			return Inst{Op: SLLI, Rd: rd, Rs1: rs1, Imm: int64(word >> 20 & 0x3f)}
+		case 0b101:
+			switch f7 >> 1 { // funct6
+			case 0b000000:
+				return Inst{Op: SRLI, Rd: rd, Rs1: rs1, Imm: int64(word >> 20 & 0x3f)}
+			case 0b010000:
+				return Inst{Op: SRAI, Rd: rd, Rs1: rs1, Imm: int64(word >> 20 & 0x3f)}
+			}
+			return Inst{Op: ILLEGAL}
+		}
+
+	case opcOpImm32:
+		switch f3 {
+		case 0b000:
+			return Inst{Op: ADDIW, Rd: rd, Rs1: rs1, Imm: immI(word)}
+		case 0b001:
+			if f7 != 0 {
+				return Inst{Op: ILLEGAL}
+			}
+			return Inst{Op: SLLIW, Rd: rd, Rs1: rs1, Imm: int64(word >> 20 & 0x1f)}
+		case 0b101:
+			switch f7 {
+			case 0b0000000:
+				return Inst{Op: SRLIW, Rd: rd, Rs1: rs1, Imm: int64(word >> 20 & 0x1f)}
+			case 0b0100000:
+				return Inst{Op: SRAIW, Rd: rd, Rs1: rs1, Imm: int64(word >> 20 & 0x1f)}
+			}
+		}
+		return Inst{Op: ILLEGAL}
+
+	case opcOp:
+		if op, ok := rTypeDec[f7<<3|f3]; ok {
+			return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
+		}
+		return Inst{Op: ILLEGAL}
+
+	case opcOp32:
+		if op, ok := r32TypeDec[f7<<3|f3]; ok {
+			return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
+		}
+		return Inst{Op: ILLEGAL}
+
+	case opcAMO:
+		if op, ok := amoDec[(word>>27)<<3|f3]; ok {
+			in := Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
+			switch op {
+			case LRW, LRD:
+				in.Rs2 = 0
+			}
+			return in
+		}
+		return Inst{Op: ILLEGAL}
+
+	case opcMiscMem:
+		switch f3 {
+		case 0b000:
+			return Inst{Op: FENCE}
+		case 0b001:
+			return Inst{Op: FENCEI}
+		}
+		return Inst{Op: ILLEGAL}
+
+	case opcSystem:
+		switch f3 {
+		case 0b000:
+			switch word >> 20 {
+			case 0:
+				return Inst{Op: ECALL}
+			case 1:
+				return Inst{Op: EBREAK}
+			}
+			return Inst{Op: ILLEGAL}
+		case 0b001:
+			return Inst{Op: CSRRW, Rd: rd, Rs1: rs1, Imm: int64(word >> 20)}
+		case 0b010:
+			return Inst{Op: CSRRS, Rd: rd, Rs1: rs1, Imm: int64(word >> 20)}
+		case 0b011:
+			return Inst{Op: CSRRC, Rd: rd, Rs1: rs1, Imm: int64(word >> 20)}
+		case 0b101:
+			return Inst{Op: CSRRWI, Rd: rd, CSRImm: uint8(rs1), Imm: int64(word >> 20)}
+		case 0b110:
+			return Inst{Op: CSRRSI, Rd: rd, CSRImm: uint8(rs1), Imm: int64(word >> 20)}
+		case 0b111:
+			return Inst{Op: CSRRCI, Rd: rd, CSRImm: uint8(rs1), Imm: int64(word >> 20)}
+		}
+	}
+	return Inst{Op: ILLEGAL}
+}
+
+// Immediate extractors (sign-extended).
+
+func immI(w uint32) int64 { return int64(int32(w)) >> 20 }
+
+func immS(w uint32) int64 {
+	return int64(int32(w)&^0x1ffffff)>>20 | int64(w>>7&0x1f)
+}
+
+func immB(w uint32) int64 {
+	imm := int64(int32(w)>>31) << 12 // bit 12 (sign)
+	imm |= int64(w>>25&0x3f) << 5    // bits 10:5
+	imm |= int64(w >> 8 & 0xf << 1)  // bits 4:1
+	imm |= int64(w >> 7 & 1 << 11)   // bit 11
+	return imm
+}
+
+func immU(w uint32) int64 { return int64(int32(w)) >> 12 }
+
+func immJ(w uint32) int64 {
+	imm := int64(int32(w)>>31) << 20 // bit 20 (sign)
+	imm |= int64(w >> 21 & 0x3ff << 1)
+	imm |= int64(w >> 20 & 1 << 11)
+	imm |= int64(w >> 12 & 0xff << 12)
+	return imm
+}

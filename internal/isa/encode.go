@@ -1,0 +1,229 @@
+package isa
+
+import "fmt"
+
+// RISC-V base opcodes.
+const (
+	opcAMO      = 0b0101111
+	opcLUI      = 0b0110111
+	opcAUIPC    = 0b0010111
+	opcJAL      = 0b1101111
+	opcJALR     = 0b1100111
+	opcBranch   = 0b1100011
+	opcLoad     = 0b0000011
+	opcStore    = 0b0100011
+	opcOpImm    = 0b0010011
+	opcOpImm32  = 0b0011011
+	opcOp       = 0b0110011
+	opcOp32     = 0b0111011
+	opcMiscMem  = 0b0001111
+	opcSystem   = 0b1110011
+	instBytes   = 4 // all instructions are 32-bit (no C extension)
+	maxShamt64  = 63
+	maxShamt32  = 31
+	csrAddrBits = 12
+)
+
+// InstBytes is the fixed instruction width in bytes.
+const InstBytes = instBytes
+
+type encInfo struct {
+	funct3 uint32
+	funct7 uint32
+}
+
+var rTypeEnc = map[Op]encInfo{
+	ADD: {0b000, 0b0000000}, SUB: {0b000, 0b0100000},
+	SLL: {0b001, 0b0000000}, SLT: {0b010, 0b0000000}, SLTU: {0b011, 0b0000000},
+	XOR: {0b100, 0b0000000}, SRL: {0b101, 0b0000000}, SRA: {0b101, 0b0100000},
+	OR: {0b110, 0b0000000}, AND: {0b111, 0b0000000},
+	MUL: {0b000, 0b0000001}, MULH: {0b001, 0b0000001}, MULHSU: {0b010, 0b0000001},
+	MULHU: {0b011, 0b0000001}, DIV: {0b100, 0b0000001}, DIVU: {0b101, 0b0000001},
+	REM: {0b110, 0b0000001}, REMU: {0b111, 0b0000001},
+}
+
+var r32TypeEnc = map[Op]encInfo{
+	ADDW: {0b000, 0b0000000}, SUBW: {0b000, 0b0100000}, SLLW: {0b001, 0b0000000},
+	SRLW: {0b101, 0b0000000}, SRAW: {0b101, 0b0100000},
+	MULW: {0b000, 0b0000001}, DIVW: {0b100, 0b0000001}, DIVUW: {0b101, 0b0000001},
+	REMW: {0b110, 0b0000001}, REMUW: {0b111, 0b0000001},
+}
+
+var branchFunct3 = map[Op]uint32{
+	BEQ: 0b000, BNE: 0b001, BLT: 0b100, BGE: 0b101, BLTU: 0b110, BGEU: 0b111,
+}
+
+var loadFunct3 = map[Op]uint32{
+	LB: 0b000, LH: 0b001, LW: 0b010, LD: 0b011, LBU: 0b100, LHU: 0b101, LWU: 0b110,
+}
+
+var storeFunct3 = map[Op]uint32{
+	SB: 0b000, SH: 0b001, SW: 0b010, SD: 0b011,
+}
+
+var opImmFunct3 = map[Op]uint32{
+	ADDI: 0b000, SLTI: 0b010, SLTIU: 0b011, XORI: 0b100, ORI: 0b110, ANDI: 0b111,
+}
+
+// amoEnc maps A-extension ops to (funct5, funct3).
+var amoEnc = map[Op]encInfo{
+	LRW: {0b010, 0b00010}, LRD: {0b011, 0b00010},
+	SCW: {0b010, 0b00011}, SCD: {0b011, 0b00011},
+	AMOSWAPW: {0b010, 0b00001}, AMOSWAPD: {0b011, 0b00001},
+	AMOADDW: {0b010, 0b00000}, AMOADDD: {0b011, 0b00000},
+	AMOXORW: {0b010, 0b00100}, AMOXORD: {0b011, 0b00100},
+	AMOANDW: {0b010, 0b01100}, AMOANDD: {0b011, 0b01100},
+	AMOORW: {0b010, 0b01000}, AMOORD: {0b011, 0b01000},
+}
+
+var csrFunct3 = map[Op]uint32{
+	CSRRW: 0b001, CSRRS: 0b010, CSRRC: 0b011,
+	CSRRWI: 0b101, CSRRSI: 0b110, CSRRCI: 0b111,
+}
+
+// Encode packs the instruction into its 32-bit RISC-V encoding.
+// It returns an error if an immediate does not fit its field.
+func Encode(in Inst) (uint32, error) {
+	rd := uint32(in.Rd) << 7
+	rs1 := uint32(in.Rs1) << 15
+	rs2 := uint32(in.Rs2) << 20
+
+	switch in.Op {
+	case LUI, AUIPC:
+		if !fits(in.Imm, 20) {
+			return 0, immErr(in)
+		}
+		opc := uint32(opcLUI)
+		if in.Op == AUIPC {
+			opc = opcAUIPC
+		}
+		return opc | rd | (uint32(in.Imm)&0xfffff)<<12, nil
+
+	case JAL:
+		if in.Imm&1 != 0 || !fits(in.Imm, 21) {
+			return 0, immErr(in)
+		}
+		imm := uint32(in.Imm)
+		enc := (imm>>20&1)<<31 | (imm>>1&0x3ff)<<21 | (imm>>11&1)<<20 | (imm >> 12 & 0xff << 12)
+		return opcJAL | rd | enc, nil
+
+	case JALR:
+		if !fits(in.Imm, 12) {
+			return 0, immErr(in)
+		}
+		return opcJALR | rd | rs1 | (uint32(in.Imm)&0xfff)<<20, nil
+
+	case FENCE:
+		return opcMiscMem, nil
+	case FENCEI:
+		return opcMiscMem | 0b001<<12, nil
+	case ECALL:
+		return opcSystem, nil
+	case EBREAK:
+		return opcSystem | 1<<20, nil
+
+	case SLLI, SRLI, SRAI:
+		if in.Imm < 0 || in.Imm > maxShamt64 {
+			return 0, immErr(in)
+		}
+		f3 := uint32(0b001)
+		hi := uint32(0)
+		if in.Op != SLLI {
+			f3 = 0b101
+		}
+		if in.Op == SRAI {
+			hi = 0b010000 << 26
+		}
+		return opcOpImm | rd | f3<<12 | rs1 | uint32(in.Imm)<<20 | hi, nil
+
+	case SLLIW, SRLIW, SRAIW:
+		if in.Imm < 0 || in.Imm > maxShamt32 {
+			return 0, immErr(in)
+		}
+		f3 := uint32(0b001)
+		hi := uint32(0)
+		if in.Op != SLLIW {
+			f3 = 0b101
+		}
+		if in.Op == SRAIW {
+			hi = 0b0100000 << 25
+		}
+		return opcOpImm32 | rd | f3<<12 | rs1 | uint32(in.Imm)<<20 | hi, nil
+
+	case ADDIW:
+		if !fits(in.Imm, 12) {
+			return 0, immErr(in)
+		}
+		return opcOpImm32 | rd | rs1 | (uint32(in.Imm)&0xfff)<<20, nil
+	}
+
+	if f3, ok := opImmFunct3[in.Op]; ok {
+		if !fits(in.Imm, 12) {
+			return 0, immErr(in)
+		}
+		return opcOpImm | rd | f3<<12 | rs1 | (uint32(in.Imm)&0xfff)<<20, nil
+	}
+	if e, ok := rTypeEnc[in.Op]; ok {
+		return opcOp | rd | e.funct3<<12 | rs1 | rs2 | e.funct7<<25, nil
+	}
+	if e, ok := r32TypeEnc[in.Op]; ok {
+		return opcOp32 | rd | e.funct3<<12 | rs1 | rs2 | e.funct7<<25, nil
+	}
+	if f3, ok := branchFunct3[in.Op]; ok {
+		if in.Imm&1 != 0 || !fits(in.Imm, 13) {
+			return 0, immErr(in)
+		}
+		imm := uint32(in.Imm)
+		enc := (imm>>12&1)<<31 | (imm>>5&0x3f)<<25 | (imm>>1&0xf)<<8 | (imm >> 11 & 1 << 7)
+		return opcBranch | f3<<12 | rs1 | rs2 | enc, nil
+	}
+	if f3, ok := loadFunct3[in.Op]; ok {
+		if !fits(in.Imm, 12) {
+			return 0, immErr(in)
+		}
+		return opcLoad | rd | f3<<12 | rs1 | (uint32(in.Imm)&0xfff)<<20, nil
+	}
+	if f3, ok := storeFunct3[in.Op]; ok {
+		if !fits(in.Imm, 12) {
+			return 0, immErr(in)
+		}
+		imm := uint32(in.Imm)
+		return opcStore | (imm&0x1f)<<7 | f3<<12 | rs1 | rs2 | (imm>>5&0x7f)<<25, nil
+	}
+	if e, ok := amoEnc[in.Op]; ok {
+		// funct5 in bits 31:27; aq/rl zero.
+		return opcAMO | rd | e.funct3<<12 | rs1 | rs2 | e.funct7<<27, nil
+	}
+	if f3, ok := csrFunct3[in.Op]; ok {
+		if in.Imm < 0 || in.Imm >= 1<<csrAddrBits {
+			return 0, immErr(in)
+		}
+		src := rs1
+		switch in.Op {
+		case CSRRWI, CSRRSI, CSRRCI:
+			src = uint32(in.CSRImm&0x1f) << 15
+		}
+		return opcSystem | rd | f3<<12 | src | uint32(in.Imm)<<20, nil
+	}
+	return 0, fmt.Errorf("isa: cannot encode %v", in.Op)
+}
+
+// MustEncode is Encode that panics on error; it is used by the assembler
+// after immediates have already been range-checked.
+func MustEncode(in Inst) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func fits(v int64, bits int) bool {
+	min := -(int64(1) << (bits - 1))
+	max := int64(1)<<(bits-1) - 1
+	return v >= min && v <= max
+}
+
+func immErr(in Inst) error {
+	return fmt.Errorf("isa: immediate %d out of range for %v", in.Imm, in.Op)
+}

@@ -1,0 +1,142 @@
+package isa
+
+import "fmt"
+
+// Reg names an integer register x0..x31.
+type Reg uint8
+
+// ABI register names.
+const (
+	X0 Reg = iota
+	RA
+	SP
+	GP
+	TP
+	T0
+	T1
+	T2
+	S0
+	S1
+	A0
+	A1
+	A2
+	A3
+	A4
+	A5
+	A6
+	A7
+	S2
+	S3
+	S4
+	S5
+	S6
+	S7
+	S8
+	S9
+	S10
+	S11
+	T3
+	T4
+	T5
+	T6
+)
+
+// Zero is the hard-wired zero register (alias of X0).
+const Zero = X0
+
+var regNames = [...]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("x%d", uint8(r))
+}
+
+// RegNames maps ABI and numeric names to registers. Exposed for the
+// assembler.
+var RegNames = func() map[string]Reg {
+	m := make(map[string]Reg, 64)
+	for i, n := range regNames {
+		m[n] = Reg(i)
+		m[fmt.Sprintf("x%d", i)] = Reg(i)
+	}
+	m["fp"] = S0
+	return m
+}()
+
+// Inst is one decoded instruction. Imm holds the sign-extended immediate;
+// for CSR instructions Imm is the CSR address and CSRImm the 5-bit zimm.
+type Inst struct {
+	Op     Op
+	Rd     Reg
+	Rs1    Reg
+	Rs2    Reg
+	Imm    int64
+	CSRImm uint8
+}
+
+// NOP is the canonical no-op (addi x0, x0, 0).
+var NOP = Inst{Op: ADDI}
+
+func (in Inst) String() string {
+	switch in.Op.Class() {
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case ClassBranch:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case ClassAtomic:
+		switch in.Op {
+		case LRW, LRD:
+			return fmt.Sprintf("%s %s, (%s)", in.Op, in.Rd, in.Rs1)
+		}
+		return fmt.Sprintf("%s %s, %s, (%s)", in.Op, in.Rd, in.Rs2, in.Rs1)
+	case ClassCSR:
+		switch in.Op {
+		case CSRRWI, CSRRSI, CSRRCI:
+			return fmt.Sprintf("%s %s, 0x%x, %d", in.Op, in.Rd, uint64(in.Imm), in.CSRImm)
+		}
+		return fmt.Sprintf("%s %s, 0x%x, %s", in.Op, in.Rd, uint64(in.Imm), in.Rs1)
+	case ClassFence, ClassSystem:
+		return in.Op.String()
+	}
+	switch in.Op {
+	case LUI, AUIPC:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case JAL:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case JALR:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	}
+	if in.Op.ReadsRs2() {
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+	return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+}
+
+// DestReg returns the written register, or X0 when the instruction has no
+// destination (writes to X0 are architecturally discarded anyway).
+func (in Inst) DestReg() Reg {
+	if in.Op.WritesRd() {
+		return in.Rd
+	}
+	return X0
+}
+
+// SrcRegs returns the live source registers (X0 for unused slots).
+func (in Inst) SrcRegs() (rs1, rs2 Reg) {
+	if in.Op.ReadsRs1() {
+		rs1 = in.Rs1
+	}
+	if in.Op.ReadsRs2() {
+		rs2 = in.Rs2
+	}
+	return rs1, rs2
+}

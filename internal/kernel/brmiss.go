@@ -1,0 +1,106 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Branch-inversion case study (Rocket CS2 / BOOM CS, Fig. 7 d/n): a
+// straight-line chain of branch blocks executed once, so no predictor can
+// learn the pattern.
+//
+//   - brmiss: every branch is taken (beq x0,x0). Rocket's BHT cold-predicts
+//     not-taken → every branch mispredicts. BOOM's TAGE base cold-predicts
+//     taken → direction is right, but the (cold) BTB misses every target,
+//     so the cost appears as frontend resteers instead.
+//   - brmiss_inv: every branch is not-taken (bne x0,x0) — the inverted
+//     build. Rocket predicts it perfectly; BOOM mispredicts every one.
+//
+// 500 blocks < 512 BHT entries, so every branch gets its own (cold)
+// counter and the "always mispredicted" property holds without aliasing.
+const brBlocks = 500
+
+func brmissSource(inverted bool) string {
+	op := "beq"
+	if inverted {
+		op = "bne"
+	}
+	var sb strings.Builder
+	sb.WriteString("\tli a0, 0\n\tli a1, 0\n")
+	for i := 0; i < brBlocks; i++ {
+		fmt.Fprintf(&sb, "\t%s x0, x0, bm%d\n", op, i)
+		sb.WriteString("\taddi a0, a0, 1\n") // skipped when taken
+		fmt.Fprintf(&sb, "bm%d:\n", i)
+		sb.WriteString("\taddi a1, a1, 1\n")
+	}
+	sb.WriteString("\tadd a0, a0, a1\n\tecall\n")
+	return sb.String()
+}
+
+// Brmiss is the always-taken chain.
+var Brmiss = register(&Kernel{
+	Name:        "brmiss",
+	Description: "straight-line chain of 500 taken branches (cold-predictor torture)",
+	Category:    CatCaseStudy,
+	Expected:    brBlocks, // a0=0 (all skipped) + a1=blocks
+	Source:      brmissSource(false),
+})
+
+// BrmissInv is the inverted (never-taken) chain.
+var BrmissInv = register(&Kernel{
+	Name:        "brmiss_inv",
+	Description: "inverted chain: 500 never-taken branches",
+	Category:    CatCaseStudy,
+	Expected:    2 * brBlocks, // both addi chains execute
+	Source:      brmissSource(true),
+})
+
+// Fencemix interleaves unpredictable branches with fence.i instructions:
+// a fence.i immediately after a misprediction produces the paper's
+// longest Recovering sequences (Fig. 8b's tail), since the pipeline
+// flushes back-to-back and the refetch misses the freshly-flushed I$.
+const fencemixIters = 400
+
+var Fencemix = register(&Kernel{
+	Name:        "fencemix",
+	Description: "random branches with periodic fence.i (Fig. 8b tail workload)",
+	Category:    CatCaseStudy,
+	Expected:    goldenFencemix(),
+	Source: fmt.Sprintf(`
+	li   s6, %d
+	li   s7, %d
+	li   s8, %d
+	li   s10, 0
+	li   s11, %d
+	li   a0, 0
+fmloop:
+	mul  s6, s6, s7
+	add  s6, s6, s8
+	srli t5, s6, 33
+	andi t5, t5, 1
+	beqz t5, fmskip        # ~50/50 data-dependent
+	addi a0, a0, 3
+fmskip:
+	addi a0, a0, 1
+	andi t6, s10, 7
+	bnez t6, fmnofence     # every 8th iteration
+	fence.i
+fmnofence:
+	addi s10, s10, 1
+	bne  s10, s11, fmloop
+	ecall
+`, lcgSeed, lcgMul, lcgInc, fencemixIters),
+})
+
+func goldenFencemix() uint64 {
+	x := uint64(lcgSeed)
+	var acc uint64
+	for i := 0; i < fencemixIters; i++ {
+		x = lcgNext(x)
+		if x>>33&1 != 0 {
+			acc += 3
+		}
+		acc++
+	}
+	return acc
+}

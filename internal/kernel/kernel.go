@@ -1,0 +1,119 @@
+// Package kernel provides the workload suite: riscv-tests-style
+// microbenchmarks (mergesort, qsort, rsort, memcpy, mm, …), CoreMark- and
+// Dhrystone-like kernels for the compiler case studies, the brmiss /
+// brmiss_inv branch-inversion pair, and behaviour-matched synthetic proxies
+// for the ten SPEC CPU2017 intrate benchmarks.
+//
+// Every kernel is self-checking: it leaves a checksum in a0 before ecall,
+// and a pure-Go golden model (golden.go) computes the expected value, so
+// the whole simulation stack is validated end to end.
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"icicle/internal/asm"
+)
+
+// Category groups kernels for the benchmark harness.
+type Category string
+
+const (
+	CatMicro     Category = "micro"
+	CatSPEC      Category = "spec"
+	CatCaseStudy Category = "case-study"
+)
+
+// Kernel is one runnable workload.
+type Kernel struct {
+	Name        string
+	Description string
+	Category    Category
+	Source      string
+	// Expected is the checksum the kernel must leave in a0 (verified by
+	// tests against the golden model). Zero means "not checked".
+	Expected uint64
+
+	once sync.Once
+	prog *asm.Program
+	err  error
+}
+
+// Program assembles the kernel (cached).
+func (k *Kernel) Program() (*asm.Program, error) {
+	k.once.Do(func() { k.prog, k.err = asm.Assemble(k.Source) })
+	if k.err != nil {
+		return nil, fmt.Errorf("kernel %s: %w", k.Name, k.err)
+	}
+	return k.prog, nil
+}
+
+// MustProgram is Program that panics on assembly errors.
+func (k *Kernel) MustProgram() *asm.Program {
+	p, err := k.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var registry = map[string]*Kernel{}
+
+func register(k *Kernel) *Kernel {
+	if _, dup := registry[k.Name]; dup {
+		panic("kernel: duplicate " + k.Name)
+	}
+	registry[k.Name] = k
+	return k
+}
+
+// ByName looks a kernel up.
+func ByName(name string) (*Kernel, error) {
+	k, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("kernel: unknown kernel %q", name)
+	}
+	return k, nil
+}
+
+// All returns every kernel, sorted by name.
+func All() []*Kernel {
+	out := make([]*Kernel, 0, len(registry))
+	for _, k := range registry {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByCategory returns the kernels in one category, sorted by name.
+func ByCategory(c Category) []*Kernel {
+	var out []*Kernel
+	for _, k := range All() {
+		if k.Category == c {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Memory layout shared by all kernels: code at the assembler default text
+// base, two heap arenas, and a stack well away from both.
+const (
+	heapA = 0x40_0000
+	heapB = 0x48_0000
+	heapC = 0x50_0000
+	stack = 0x30_0000
+)
+
+// LCG constants (Knuth's MMIX) used by every kernel's data generator; the
+// golden model mirrors them exactly.
+const (
+	lcgMul  = 6364136223846793005
+	lcgInc  = 1442695040888963407
+	lcgSeed = 123456789
+)
+
+func lcgNext(x uint64) uint64 { return x*lcgMul + lcgInc }

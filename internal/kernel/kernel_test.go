@@ -1,0 +1,67 @@
+package kernel
+
+import (
+	"testing"
+
+	"icicle/internal/isa"
+	"icicle/internal/mem"
+)
+
+// runFunctional executes a kernel on the bare functional model (no timing)
+// and returns the exit checksum.
+func runFunctional(t *testing.T, k *Kernel) uint64 {
+	t.Helper()
+	prog, err := k.Program()
+	if err != nil {
+		t.Fatalf("%s: %v", k.Name, err)
+	}
+	m := mem.NewSparse()
+	prog.LoadInto(m)
+	c := isa.NewCPU(m, prog.Entry)
+	if _, err := c.Run(200_000_000); err != nil {
+		t.Fatalf("%s: %v", k.Name, err)
+	}
+	return c.ExitCode
+}
+
+func TestKernelChecksums(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			got := runFunctional(t, k)
+			if k.Expected == 0 {
+				t.Logf("%s: checksum %#x (unchecked)", k.Name, got)
+				return
+			}
+			if got != k.Expected {
+				t.Fatalf("%s: checksum = %#x, want %#x", k.Name, got, k.Expected)
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if _, err := ByName("mergesort"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Fatal("ByName(nonexistent) succeeded")
+	}
+	if len(ByCategory(CatMicro)) < 5 {
+		t.Fatalf("too few micro kernels: %d", len(ByCategory(CatMicro)))
+	}
+	// All() is sorted and unique.
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Fatalf("All() not sorted at %d: %s >= %s", i, all[i-1].Name, all[i].Name)
+		}
+	}
+}
+
+func TestSortKernelsAgree(t *testing.T) {
+	// mergesort and qsort sort the same data; their checksums must match.
+	if Mergesort.Expected != Qsort.Expected {
+		t.Fatalf("mergesort %#x != qsort %#x", Mergesort.Expected, Qsort.Expected)
+	}
+}

@@ -1,0 +1,777 @@
+package kernel
+
+import "fmt"
+
+// fillSrc generates the common data-generation prologue: fill N dwords at
+// `base` with LCG values. Uses s0 (base), s2 (N), t0..t4; leaves t1 = final
+// LCG state.
+func fillSrc(base uint64, n int) string {
+	return fmt.Sprintf(`
+	li   s0, %d
+	li   s2, %d
+	li   t1, %d
+	li   t2, %d
+	li   t3, %d
+	li   t0, 0
+fill:
+	mul  t1, t1, t2
+	add  t1, t1, t3
+	slli t4, t0, 3
+	add  t4, t4, s0
+	sd   t1, 0(t4)
+	addi t0, t0, 1
+	bne  t0, s2, fill
+`, base, n, lcgSeed, lcgMul, lcgInc)
+}
+
+// sumSrc generates the common checksum epilogue: a0 = Σ (i+1)*mem[s0+8i]
+// over s2 dwords, then halt.
+const sumSrc = `
+	li   t0, 0
+	li   a0, 0
+chk:
+	slli t4, t0, 3
+	add  t4, t4, s0
+	ld   t5, 0(t4)
+	addi t6, t0, 1
+	mul  t5, t5, t6
+	add  a0, a0, t5
+	addi t0, t0, 1
+	bne  t0, s2, chk
+	ecall
+`
+
+const mergesortN = 1024
+
+// Mergesort is the paper's Fig. 3 microbenchmark: recursive top-down
+// merge sort (riscv-tests style). The deep call/return recursion defeats
+// the BTB's return prediction, which is what makes its Frontend stalls
+// come from PC resteers rather than the I-cache (§III's point).
+var Mergesort = register(&Kernel{
+	Name:        "mergesort",
+	Description: "recursive merge sort of 1024 random dwords (Fig. 3 workload)",
+	Category:    CatMicro,
+	Expected:    goldenMergesort(mergesortN),
+	Source: fillSrc(heapA, mergesortN) + fmt.Sprintf(`
+	li   s1, %d            # scratch buffer
+	li   sp, %d
+	li   a0, 0             # lo
+	mv   a1, s2            # hi
+	call msort
+	j    msortdone
+
+	# msort(a0=lo, a1=hi): sort A[lo,hi) using B as merge scratch
+msort:
+	sub  t0, a1, a0
+	li   t1, 2
+	blt  t0, t1, msret
+	addi sp, sp, -32
+	sd   ra, 0(sp)
+	sd   a0, 8(sp)
+	sd   a1, 16(sp)
+	add  t2, a0, a1
+	srli t2, t2, 1
+	sd   t2, 24(sp)
+	mv   a1, t2
+	call msort             # msort(lo, mid)
+	ld   a0, 24(sp)
+	ld   a1, 16(sp)
+	call msort             # msort(mid, hi)
+	ld   a0, 8(sp)         # lo
+	ld   t2, 24(sp)        # mid
+	ld   a1, 16(sp)        # hi
+	# merge A[lo,mid) and A[mid,hi) into B[lo,hi)
+	mv   t0, a0            # l
+	mv   t1, t2            # r
+	mv   t4, a0            # out
+mloop:
+	bge  t4, a1, mcopy
+	bge  t0, t2, taker
+	bge  t1, a1, takel
+	slli t5, t0, 3
+	add  t5, t5, s0
+	ld   t5, 0(t5)
+	slli t6, t1, 3
+	add  t6, t6, s0
+	ld   t6, 0(t6)
+	bleu t5, t6, takelv
+	slli a2, t4, 3
+	add  a2, a2, s1
+	sd   t6, 0(a2)
+	addi t1, t1, 1
+	addi t4, t4, 1
+	j    mloop
+takelv:
+	slli a2, t4, 3
+	add  a2, a2, s1
+	sd   t5, 0(a2)
+	addi t0, t0, 1
+	addi t4, t4, 1
+	j    mloop
+takel:
+	slli t5, t0, 3
+	add  t5, t5, s0
+	ld   t5, 0(t5)
+	slli a2, t4, 3
+	add  a2, a2, s1
+	sd   t5, 0(a2)
+	addi t0, t0, 1
+	addi t4, t4, 1
+	j    mloop
+taker:
+	slli t6, t1, 3
+	add  t6, t6, s0
+	ld   t6, 0(t6)
+	slli a2, t4, 3
+	add  a2, a2, s1
+	sd   t6, 0(a2)
+	addi t1, t1, 1
+	addi t4, t4, 1
+	j    mloop
+mcopy:
+	mv   t0, a0
+mcpl:
+	bge  t0, a1, mcdone
+	slli t5, t0, 3
+	add  t6, t5, s1
+	ld   t6, 0(t6)
+	add  a2, t5, s0
+	sd   t6, 0(a2)
+	addi t0, t0, 1
+	j    mcpl
+mcdone:
+	ld   ra, 0(sp)
+	addi sp, sp, 32
+msret:
+	ret
+msortdone:
+`, heapB, stack) + sumSrc,
+})
+
+const qsortN = 1024
+
+// Qsort: iterative quicksort (Lomuto, last-element pivot). The pivot
+// comparison on random data mispredicts ~50% of the time, making this the
+// paper's Bad-Speculation-dominated Rocket benchmark (§V-A).
+var Qsort = register(&Kernel{
+	Name:        "qsort",
+	Description: "quicksort of 1024 random dwords; unpredictable pivot branch",
+	Category:    CatMicro,
+	Expected:    goldenQsort(qsortN),
+	Source: fillSrc(heapA, qsortN) + fmt.Sprintf(`
+	li   sp, %d
+	li   t0, 0
+	li   t1, %d
+	addi sp, sp, -16
+	sd   t0, 0(sp)
+	sd   t1, 8(sp)
+qloop:
+	li   t5, %d
+	beq  sp, t5, qdone
+	ld   t0, 0(sp)         # lo
+	ld   t1, 8(sp)         # hi
+	addi sp, sp, 16
+	bge  t0, t1, qloop
+	slli t2, t1, 3
+	add  t2, t2, s0
+	ld   t2, 0(t2)         # pivot
+	addi t3, t0, -1        # i
+	mv   t4, t0            # j
+part:
+	bge  t4, t1, partdone
+	slli t5, t4, 3
+	add  t5, t5, s0
+	ld   t6, 0(t5)
+	bgeu t6, t2, noswap    # unpredictable on random data
+	addi t3, t3, 1
+	slli a2, t3, 3
+	add  a2, a2, s0
+	ld   a3, 0(a2)
+	sd   t6, 0(a2)
+	sd   a3, 0(t5)
+noswap:
+	addi t4, t4, 1
+	j    part
+partdone:
+	addi t3, t3, 1         # p
+	slli a2, t3, 3
+	add  a2, a2, s0
+	ld   a3, 0(a2)
+	slli a4, t1, 3
+	add  a4, a4, s0
+	ld   a5, 0(a4)
+	sd   a5, 0(a2)
+	sd   a3, 0(a4)
+	addi a2, t3, -1
+	addi sp, sp, -16
+	sd   t0, 0(sp)
+	sd   a2, 8(sp)
+	addi a3, t3, 1
+	addi sp, sp, -16
+	sd   a3, 0(sp)
+	sd   t1, 8(sp)
+	j    qloop
+qdone:
+`, stack, qsortN-1, stack) + sumSrc,
+})
+
+const rsortN = 2048
+
+// Rsort: LSD radix sort (8 bits/pass, 4 passes over 32-bit keys). Control
+// flow is loop-centric and fully predictable — the near-ideal-IPC Rocket
+// benchmark (§V-A).
+var Rsort = register(&Kernel{
+	Name:        "rsort",
+	Description: "radix sort of 2048 32-bit keys; loop-centric, near-ideal IPC",
+	Category:    CatMicro,
+	Expected:    goldenRsort(rsortN),
+	Source: fillSrc(heapA, rsortN) + fmt.Sprintf(`
+	# mask keys to 32 bits so 4 passes fully sort
+	li   t0, 0
+mask:
+	slli t4, t0, 3
+	add  t4, t4, s0
+	lwu  t5, 0(t4)
+	sd   t5, 0(t4)
+	addi t0, t0, 1
+	bne  t0, s2, mask
+
+	li   s1, %d            # dst buffer
+	li   s3, %d            # count table (256 dwords)
+	li   s4, 0             # pass
+pass:
+	# clear counts
+	li   t0, 0
+clr:
+	slli t4, t0, 3
+	add  t4, t4, s3
+	sd   x0, 0(t4)
+	addi t0, t0, 1
+	li   t5, 256
+	bne  t0, t5, clr
+	# histogram
+	slli s5, s4, 3         # shift = 8*pass
+	li   t0, 0
+hist:
+	slli t4, t0, 3
+	add  t4, t4, s0
+	ld   t5, 0(t4)
+	srl  t5, t5, s5
+	andi t5, t5, 255
+	slli t5, t5, 3
+	add  t5, t5, s3
+	ld   t6, 0(t5)
+	addi t6, t6, 1
+	sd   t6, 0(t5)
+	addi t0, t0, 1
+	bne  t0, s2, hist
+	# inclusive prefix sums
+	li   t0, 1
+pfx:
+	slli t4, t0, 3
+	add  t4, t4, s3
+	ld   t5, 0(t4)
+	ld   t6, -8(t4)
+	add  t5, t5, t6
+	sd   t5, 0(t4)
+	addi t0, t0, 1
+	li   t5, 256
+	bne  t0, t5, pfx
+	# stable scatter, high index first
+	mv   t0, s2
+scat:
+	addi t0, t0, -1
+	slli t4, t0, 3
+	add  t4, t4, s0
+	ld   t5, 0(t4)         # key
+	srl  t6, t5, s5
+	andi t6, t6, 255
+	slli t6, t6, 3
+	add  t6, t6, s3
+	ld   a2, 0(t6)
+	addi a2, a2, -1
+	sd   a2, 0(t6)
+	slli a3, a2, 3
+	add  a3, a3, s1
+	sd   t5, 0(a3)
+	bnez t0, scat
+	# swap buffers
+	mv   t4, s0
+	mv   s0, s1
+	mv   s1, t4
+	addi s4, s4, 1
+	li   t5, 4
+	bne  s4, t5, pass
+`, heapB, heapC) + sumSrc,
+})
+
+const memcpyDwords = 16384 // 128 KiB
+
+// Memcpy: 128 KiB block copy, unrolled ×4 — the paper's most Backend/Mem
+// Bound microbenchmark on both cores.
+var Memcpy = register(&Kernel{
+	Name:        "memcpy",
+	Description: "128 KiB dword copy, unrolled x4; memory bound",
+	Category:    CatMicro,
+	Expected:    goldenMemcpy(memcpyDwords),
+	Source: fillSrc(heapA, memcpyDwords) + fmt.Sprintf(`
+	li   s1, %d            # dst
+	li   t0, 0
+cpy:
+	slli t4, t0, 3
+	add  t5, t4, s0
+	add  t6, t4, s1
+	ld   a2, 0(t5)
+	ld   a3, 8(t5)
+	ld   a4, 16(t5)
+	ld   a5, 24(t5)
+	sd   a2, 0(t6)
+	sd   a3, 8(t6)
+	sd   a4, 16(t6)
+	sd   a5, 24(t6)
+	addi t0, t0, 4
+	bne  t0, s2, cpy
+	mv   s0, s1            # checksum the destination
+`, heapB) + sumSrc,
+})
+
+const mmN = 40
+
+// MM: dense int64 matrix multiply (i-k-j order), 40×40.
+var MM = register(&Kernel{
+	Name:        "mm",
+	Description: "40x40 int64 matrix multiply (i-k-j)",
+	Category:    CatMicro,
+	Expected:    goldenMM(mmN),
+	Source: fillSrc(heapA, 2*mmN*mmN) + fmt.Sprintf(`
+	# A at heapA, B at heapA + N*N*8 (both filled above), C at heapB
+	li   s1, %d            # C
+	li   s3, %d            # N
+	# clear C
+	li   t0, 0
+	mul  t5, s3, s3
+clrc:
+	slli t4, t0, 3
+	add  t4, t4, s1
+	sd   x0, 0(t4)
+	addi t0, t0, 1
+	bne  t0, t5, clrc
+	# B base
+	mul  t5, s3, s3
+	slli t5, t5, 3
+	add  s4, s0, t5        # B = A + N*N*8
+	li   a2, 0             # i
+iloop:
+	li   a3, 0             # k
+kloop:
+	# a = A[i][k]
+	mul  t4, a2, s3
+	add  t4, t4, a3
+	slli t4, t4, 3
+	add  t4, t4, s0
+	ld   a6, 0(t4)
+	# row pointers
+	mul  t4, a3, s3
+	slli t4, t4, 3
+	add  t4, t4, s4        # &B[k][0]
+	mul  t5, a2, s3
+	slli t5, t5, 3
+	add  t5, t5, s1        # &C[i][0]
+	li   a4, 0             # j
+jloop:
+	ld   t6, 0(t4)
+	ld   a5, 0(t5)
+	mul  t6, t6, a6
+	add  a5, a5, t6
+	sd   a5, 0(t5)
+	addi t4, t4, 8
+	addi t5, t5, 8
+	addi a4, a4, 1
+	bne  a4, s3, jloop
+	addi a3, a3, 1
+	bne  a3, s3, kloop
+	addi a2, a2, 1
+	bne  a2, s3, iloop
+	# checksum C
+	mv   s0, s1
+	mul  s2, s3, s3
+`, heapB, mmN) + sumSrc,
+})
+
+const vvaddN = 8192
+
+// VVadd: element-wise vector add (riscv-tests vvadd).
+var VVadd = register(&Kernel{
+	Name:        "vvadd",
+	Description: "8192-element vector add",
+	Category:    CatMicro,
+	Expected:    goldenVVadd(vvaddN),
+	Source: fillSrc(heapA, 2*vvaddN) + fmt.Sprintf(`
+	# a at heapA, b at heapA+N*8, c at heapB
+	li   s1, %d
+	li   s3, %d            # N
+	slli t5, s3, 3
+	add  s4, s0, t5        # b
+	li   t0, 0
+vadd:
+	slli t4, t0, 3
+	add  t5, t4, s0
+	ld   t6, 0(t5)
+	add  a2, t4, s4
+	ld   a3, 0(a2)
+	add  t6, t6, a3
+	add  a4, t4, s1
+	sd   t6, 0(a4)
+	addi t0, t0, 1
+	bne  t0, s3, vadd
+	mv   s0, s1
+	mv   s2, s3
+`, heapB, vvaddN) + sumSrc,
+})
+
+const towersDepth = 16
+
+// Towers: Towers of Hanoi (riscv-tests towers) — deep predictable
+// recursion, call/return heavy.
+var Towers = register(&Kernel{
+	Name:        "towers",
+	Description: "towers of hanoi, depth 16; call/return heavy",
+	Category:    CatMicro,
+	Expected:    1<<towersDepth - 1,
+	Source: fmt.Sprintf(`
+	li   sp, %d
+	li   a0, %d
+	li   s1, 0
+	call hanoi
+	mv   a0, s1
+	ecall
+hanoi:
+	li   t0, 1
+	beq  a0, t0, hbase
+	addi sp, sp, -16
+	sd   ra, 0(sp)
+	sd   a0, 8(sp)
+	addi a0, a0, -1
+	call hanoi
+	addi s1, s1, 1
+	ld   a0, 8(sp)
+	addi a0, a0, -1
+	call hanoi
+	ld   ra, 0(sp)
+	addi sp, sp, 16
+	ret
+hbase:
+	addi s1, s1, 1
+	ret
+`, stack, towersDepth),
+})
+
+const medianN = 4096
+
+// Median: 3-tap median filter (riscv-tests median) — short data-dependent
+// compare ladders.
+var Median = register(&Kernel{
+	Name:        "median",
+	Description: "3-tap median filter over 4096 dwords",
+	Category:    CatMicro,
+	Expected:    goldenMedian(medianN),
+	Source: fillSrc(heapA, medianN) + fmt.Sprintf(`
+	li   s1, %d            # out
+	li   t0, 1
+	addi s3, s2, -1
+med:
+	slli t4, t0, 3
+	add  t4, t4, s0
+	ld   a2, -8(t4)        # x
+	ld   a3, 0(t4)         # y
+	ld   a4, 8(t4)         # z
+	bleu a2, a3, m1
+	mv   t5, a2
+	mv   a2, a3
+	mv   a3, t5
+m1:
+	bleu a3, a4, m2
+	mv   t5, a3
+	mv   a3, a4
+	mv   a4, t5
+m2:
+	bleu a2, a3, m3
+	mv   a3, a2
+m3:
+	slli t5, t0, 3
+	add  t5, t5, s1
+	sd   a3, 0(t5)
+	addi t0, t0, 1
+	bne  t0, s3, med
+	# checksum out[1..N-2]
+	li   t0, 1
+	li   a0, 0
+mchk:
+	slli t4, t0, 3
+	add  t4, t4, s1
+	ld   t5, 0(t4)
+	addi t6, t0, 1
+	mul  t5, t5, t6
+	add  a0, a0, t5
+	addi t0, t0, 1
+	bne  t0, s3, mchk
+	ecall
+`, heapB),
+})
+
+const multiplyN = 512
+
+// Multiply: software shift-add multiply (riscv-tests multiply) — the inner
+// loop branches on data bits, mispredicting heavily.
+var Multiply = register(&Kernel{
+	Name:        "multiply",
+	Description: "software shift-add multiply, data-dependent branches",
+	Category:    CatMicro,
+	Expected:    goldenMultiply(multiplyN),
+	Source: fillSrc(heapA, 2*multiplyN) + fmt.Sprintf(`
+	li   s3, %d            # N
+	slli t5, s3, 3
+	add  s4, s0, t5        # b array
+	li   t0, 0             # i
+	li   a0, 0             # checksum
+mulloop:
+	slli t4, t0, 3
+	add  t5, t4, s0
+	ld   a2, 0(t5)
+	add  t6, t4, s4
+	ld   a3, 0(t6)
+	# 16-bit operands
+	li   t5, 0xffff
+	and  a2, a2, t5
+	and  a3, a3, t5
+	# softmul: a4 = a2*a3 by shift-add
+	li   a4, 0
+smul:
+	beqz a3, smuldone
+	andi t6, a3, 1
+	beqz t6, noadd         # data-dependent
+	add  a4, a4, a2
+noadd:
+	slli a2, a2, 1
+	srli a3, a3, 1
+	j    smul
+smuldone:
+	add  a0, a0, a4
+	addi t0, t0, 1
+	bne  t0, s3, mulloop
+	ecall
+`, multiplyN),
+})
+
+const (
+	spmvRows = 256
+	spmvNNZ  = 8
+	spmvCols = 4096
+)
+
+// Spmv: sparse matrix-vector multiply in ELL format (riscv-tests spmv
+// flavor) — irregular gathers over a vector that exactly fills the L1D.
+var Spmv = register(&Kernel{
+	Name:        "spmv",
+	Description: "256x4096 sparse matrix-vector multiply; irregular gathers",
+	Category:    CatMicro,
+	Expected:    goldenSpmv(),
+	Source: fillSrc(heapA, spmvCols) + fmt.Sprintf(`
+	# cols at heapB (R*NNZ dwords), vals at heapB + R*NNZ*8
+	li   s3, %d
+	li   s4, %d            # R*NNZ entries
+	li   a6, %d            # column mask
+	li   t0, 0
+sbuild:
+	mul  t1, t1, t2
+	add  t1, t1, t3
+	and  t4, t1, a6        # column index
+	slli t5, t0, 3
+	add  t5, t5, s3
+	sd   t4, 0(t5)
+	mul  t1, t1, t2
+	add  t1, t1, t3
+	li   t6, %d
+	add  t6, t6, t5
+	sd   t1, 0(t6)         # value
+	addi t0, t0, 1
+	bne  t0, s4, sbuild
+	# y[r] = sum vals[r][j] * x[cols[r][j]]
+	li   s5, %d            # y
+	li   t0, 0
+	li   s6, %d            # rows
+rloop:
+	li   a2, 0
+	slli t4, t0, 6         # r * NNZ * 8 bytes
+	add  t5, t4, s3
+	li   a3, %d
+nnz:
+	ld   t6, 0(t5)
+	slli t6, t6, 3
+	add  t6, t6, s0
+	ld   t6, 0(t6)         # x[col] — irregular gather
+	li   a4, %d
+	add  a4, a4, t5
+	ld   a4, 0(a4)
+	mul  t6, t6, a4
+	add  a2, a2, t6
+	addi t5, t5, 8
+	addi a3, a3, -1
+	bnez a3, nnz
+	slli a5, t0, 3
+	add  a5, a5, s5
+	sd   a2, 0(a5)
+	addi t0, t0, 1
+	bne  t0, s6, rloop
+	mv   s0, s5
+	li   s2, %d
+`, heapB, spmvRows*spmvNNZ, spmvCols-1, spmvRows*spmvNNZ*8,
+		heapC, spmvRows, spmvNNZ, spmvRows*spmvNNZ*8, spmvRows) + sumSrc,
+})
+
+const (
+	bfsVerts = 512
+	bfsDeg   = 4
+	bfsReps  = 30
+)
+
+// BFS: breadth-first search over a random regular digraph — frontier
+// queue churn, data-dependent visited branches, irregular adjacency
+// gathers.
+var BFS = register(&Kernel{
+	Name:        "bfs",
+	Description: "BFS over a 512-vertex random digraph, 30 repetitions",
+	Category:    CatMicro,
+	Expected:    goldenBFS(),
+	Source: fmt.Sprintf(`
+	# adjacency at heapA (V*DEG dwords), visited at heapB (V dwords),
+	# queue at heapC (V dwords)
+	li   s0, %d
+	li   s1, %d
+	li   s3, %d
+	li   t1, %d
+	li   t2, %d
+	li   t3, %d
+	# build edges: adj[i] = lcg mod V (V is a power of two)
+	li   t0, 0
+	li   t5, %d            # V*DEG
+ebuild:
+	mul  t1, t1, t2
+	add  t1, t1, t3
+	srli t4, t1, 13
+	andi t4, t4, %d        # vertex mask (V-1)
+	slli t6, t0, 3
+	add  t6, t6, s0
+	sd   t4, 0(t6)
+	addi t0, t0, 1
+	bne  t0, t5, ebuild
+
+	li   s10, 0            # repetition counter
+breps:
+	# clear visited
+	li   t0, 0
+	li   t5, %d            # V
+bclr:
+	slli t4, t0, 3
+	add  t4, t4, s1
+	sd   x0, 0(t4)
+	addi t0, t0, 1
+	bne  t0, t5, bclr
+	# seed: visited[0]=1, queue[0]=0
+	li   t4, 1
+	sd   t4, 0(s1)
+	sd   x0, 0(s3)
+	li   s4, 0             # head
+	li   s5, 1             # tail
+bloop:
+	bge  s4, s5, bdone
+	slli t4, s4, 3
+	add  t4, t4, s3
+	ld   t6, 0(t4)         # v = queue[head]
+	addi s4, s4, 1
+	slli a2, t6, 3
+	add  a2, a2, s1
+	ld   a3, 0(a2)         # dist = visited[v]
+	slli t4, t6, 5         # v * DEG * 8
+	add  t4, t4, s0        # &adj[v*DEG]
+	li   a4, %d            # DEG
+bneigh:
+	ld   a5, 0(t4)         # u
+	slli a6, a5, 3
+	add  a6, a6, s1
+	ld   a7, 0(a6)         # visited[u]
+	bnez a7, bseen         # data-dependent
+	addi a7, a3, 1
+	sd   a7, 0(a6)
+	slli a7, s5, 3
+	add  a7, a7, s3
+	sd   a5, 0(a7)         # enqueue u
+	addi s5, s5, 1
+bseen:
+	addi t4, t4, 8
+	addi a4, a4, -1
+	bnez a4, bneigh
+	j    bloop
+bdone:
+	addi s10, s10, 1
+	li   t5, %d
+	bne  s10, t5, breps
+	# checksum visited levels
+	mv   s0, s1
+	li   s2, %d
+`, heapA, heapB, heapC, lcgSeed, lcgMul, lcgInc,
+		bfsVerts*bfsDeg, bfsVerts-1, bfsVerts, bfsDeg, bfsReps, bfsVerts) + sumSrc,
+})
+
+const histN = 8192
+
+// Histogram: byte-value histogram built with amoadd.d — the atomic
+// read-modify-write workload (Rocket's Basic event set includes an Atomic
+// event that plain RV64IM code never raises).
+var Histogram = register(&Kernel{
+	Name:        "histogram",
+	Description: "256-bin histogram via amoadd.d over 8192 random bytes",
+	Category:    CatMicro,
+	Expected:    goldenHistogram(),
+	Source: fillSrc(heapA, histN/8) + fmt.Sprintf(`
+	li   s1, %d            # bins (256 dwords)
+	# clear bins
+	li   t0, 0
+hclr:
+	slli t4, t0, 3
+	add  t4, t4, s1
+	sd   x0, 0(t4)
+	addi t0, t0, 1
+	li   t5, 256
+	bne  t0, t5, hclr
+	# count bytes
+	li   t0, 0
+	li   t5, %d            # bytes
+	li   t6, 1
+hcnt:
+	add  t4, t0, s0
+	lbu  a2, 0(t4)
+	slli a2, a2, 3
+	add  a2, a2, s1
+	amoadd.d a3, t6, (a2)  # bins[b]++ returns old count
+	add  a4, a4, a3        # fold old counts into a side checksum
+	addi t0, t0, 1
+	bne  t0, t5, hcnt
+	# checksum bins, then mix in the side sum
+	mv   s0, s1
+	li   s2, 256
+	li   t0, 0
+	li   a0, 0
+hchk:
+	slli t4, t0, 3
+	add  t4, t4, s0
+	ld   t5, 0(t4)
+	addi t6, t0, 1
+	mul  t5, t5, t6
+	add  a0, a0, t5
+	addi t0, t0, 1
+	bne  t0, s2, hchk
+	add  a0, a0, a4
+	ecall
+`, heapB, histN),
+})

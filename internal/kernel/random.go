@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// RandomProgram generates a random but guaranteed-terminating RV64IM
+// program for differential testing: the same program must produce the same
+// architectural result on the functional model and on both timing
+// simulators, no matter how they squash, replay, and refetch.
+//
+// Structure: a register pool seeded with random constants, an outer
+// countdown loop containing random straight-line ALU work, data-dependent
+// (but skip-forward-only) branches, and loads/stores confined to a 16 KiB
+// arena. The result is a fold of every live register.
+func RandomProgram(seed int64) string {
+	r := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+
+	// Register pool the generator may freely clobber.
+	pool := []string{"a1", "a2", "a3", "a4", "a5", "t0", "t1", "t2", "t3", "s2", "s3", "s4"}
+	reg := func() string { return pool[r.Intn(len(pool))] }
+
+	fmt.Fprintf(&sb, "\tli   s0, %d\n", heapA)
+	for _, p := range pool {
+		fmt.Fprintf(&sb, "\tli   %s, %d\n", p, r.Int63())
+	}
+	iters := r.Intn(400) + 50
+	fmt.Fprintf(&sb, "\tli   s11, %d\nrouter:\n", iters)
+
+	blocks := r.Intn(6) + 2
+	label := 0
+	for b := 0; b < blocks; b++ {
+		n := r.Intn(10) + 3
+		for i := 0; i < n; i++ {
+			d, s1, s2 := reg(), reg(), reg()
+			switch r.Intn(13) {
+			case 0:
+				fmt.Fprintf(&sb, "\tadd  %s, %s, %s\n", d, s1, s2)
+			case 1:
+				fmt.Fprintf(&sb, "\tsub  %s, %s, %s\n", d, s1, s2)
+			case 2:
+				fmt.Fprintf(&sb, "\txor  %s, %s, %s\n", d, s1, s2)
+			case 3:
+				fmt.Fprintf(&sb, "\tmul  %s, %s, %s\n", d, s1, s2)
+			case 4:
+				fmt.Fprintf(&sb, "\tslli %s, %s, %d\n", d, s1, r.Intn(63)+1)
+			case 5:
+				fmt.Fprintf(&sb, "\tsrli %s, %s, %d\n", d, s1, r.Intn(63)+1)
+			case 6:
+				fmt.Fprintf(&sb, "\tdivu %s, %s, %s\n", d, s1, s2)
+			case 7:
+				fmt.Fprintf(&sb, "\tremu %s, %s, %s\n", d, s1, s2)
+			case 8:
+				fmt.Fprintf(&sb, "\taddi %s, %s, %d\n", d, s1, r.Intn(4095)-2048)
+			case 9: // store: confine the address to the arena, 8-aligned
+				fmt.Fprintf(&sb, "\tandi t4, %s, 0x3f8\n", s1)
+				sb.WriteString("\tadd  t4, t4, s0\n")
+				fmt.Fprintf(&sb, "\tsd   %s, 0(t4)\n", s2)
+			case 10: // load
+				fmt.Fprintf(&sb, "\tandi t4, %s, 0x3f8\n", s1)
+				sb.WriteString("\tadd  t4, t4, s0\n")
+				fmt.Fprintf(&sb, "\tld   %s, 0(t4)\n", d)
+			case 12: // atomic read-modify-write in the arena
+				fmt.Fprintf(&sb, "\tandi t4, %s, 0x3f8\n", s1)
+				sb.WriteString("\tadd  t4, t4, s0\n")
+				fmt.Fprintf(&sb, "\tamoadd.d %s, %s, (t4)\n", d, s2)
+			case 11: // data-dependent forward skip
+				fmt.Fprintf(&sb, "\tandi t4, %s, 1\n", s1)
+				fmt.Fprintf(&sb, "\tbeqz t4, rskip%d\n", label)
+				fmt.Fprintf(&sb, "\taddi %s, %s, 1\n", d, d)
+				fmt.Fprintf(&sb, "\txor  %s, %s, %s\n", d, d, s1)
+				fmt.Fprintf(&sb, "rskip%d:\n", label)
+				label++
+			}
+		}
+		if r.Intn(3) == 0 {
+			sb.WriteString("\tfence\n")
+		}
+	}
+	sb.WriteString("\taddi s11, s11, -1\n\tbnez s11, router\n")
+
+	// Fold everything into a0.
+	sb.WriteString("\tli   a0, 0\n")
+	for _, p := range pool {
+		fmt.Fprintf(&sb, "\txor  a0, a0, %s\n", p)
+	}
+	sb.WriteString("\tecall\n")
+	return sb.String()
+}

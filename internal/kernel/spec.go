@@ -1,0 +1,373 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Synthetic proxies for the ten SPEC CPU2017 intrate benchmarks (Fig. 7
+// g-j, Table V). Each proxy composes parameterized phases — dependent
+// pointer chasing, streaming, random branches, dense ALU, call chains, and
+// jalr dispatch — weighted to match the published bottleneck structure of
+// its namesake (e.g. 505.mcf_r ≈ 80% Backend/Mem Bound; 525.x264_r high
+// retiring with the largest Bad Speculation; 548.exchange2_r pure core
+// bound with zero D$-blocked).
+//
+// Register conventions across phases:
+//
+//	s5  accumulator (checksum)
+//	s6  LCG state, s7/s8 LCG constants
+//	s9  chase index (persists across outer iterations)
+//	s10 outer loop counter, s11 outer loop bound
+//	a4  chase arena base, a6 stream arena base
+//	t*, a2/a3/a5/a7 scratch
+type specParams struct {
+	Outer int // outer loop iterations
+
+	ChaseNodes  int // dependent pointer-chase footprint (64 B/node); 0 = off
+	ChaseSteps  int // chase loads per outer iteration
+	ChaseStride int // index stride (odd, for a full cycle)
+
+	StreamDwords int // streaming-sum footprint; 0 = off
+	StreamStep   int // dwords summed per outer iteration
+
+	BranchIters int // LCG-driven unpredictable branches per outer iteration
+
+	ALUIters int // dense 8-op ALU blocks per outer iteration
+
+	CallIters int // call/return pairs per outer iteration
+
+	DispatchIters int // jalr jump-table dispatches per outer iteration
+
+	// CodeBlocks emits a straight-line chain of CodeBlocks ALU
+	// instructions called once per outer iteration — an instruction
+	// footprint that pressures the 32 KiB L1I the way real SPEC code
+	// does (each instruction is 4 bytes).
+	CodeBlocks int
+}
+
+func specSource(p specParams) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `
+	li   s5, 0
+	li   s6, %d
+	li   s7, %d
+	li   s8, %d
+	li   s10, 0
+	li   s11, %d
+`, lcgSeed, lcgMul, lcgInc, p.Outer)
+
+	if p.ChaseNodes > 0 {
+		// Node i at a4 + 64*i holds the next index (i + stride) mod nodes.
+		fmt.Fprintf(&sb, `
+	li   a4, %d
+	li   t0, 0
+	li   t2, %d            # nodes
+	li   t3, %d            # stride
+cbuild:
+	add  t4, t0, t3
+	bltu t4, t2, cnowrap
+	sub  t4, t4, t2
+cnowrap:
+	slli t5, t0, 6
+	add  t5, t5, a4
+	sd   t4, 0(t5)
+	addi t0, t0, 1
+	bne  t0, t2, cbuild
+	li   s9, 0
+`, heapA, p.ChaseNodes, p.ChaseStride)
+	}
+	if p.StreamDwords > 0 {
+		fmt.Fprintf(&sb, `
+	li   a6, %d
+	li   t0, 0
+	li   t2, %d
+sbuild:
+	mul  s6, s6, s7
+	add  s6, s6, s8
+	slli t5, t0, 3
+	add  t5, t5, a6
+	sd   s6, 0(t5)
+	addi t0, t0, 1
+	bne  t0, t2, sbuild
+	li   a7, 0             # stream cursor
+`, heapC, p.StreamDwords)
+	}
+
+	sb.WriteString("\tli   t0, 0\nouter:\n")
+
+	if p.ChaseSteps > 0 {
+		fmt.Fprintf(&sb, `
+	li   a2, %d
+chase:
+	slli a3, s9, 6
+	add  a3, a3, a4
+	ld   s9, 0(a3)         # dependent load: next index
+	addi a2, a2, -1
+	bnez a2, chase
+	add  s5, s5, s9
+`, p.ChaseSteps)
+	}
+	if p.StreamStep > 0 {
+		fmt.Fprintf(&sb, `
+	li   a2, %d
+	li   t2, %d
+stream:
+	slli a3, a7, 3
+	add  a3, a3, a6
+	ld   t5, 0(a3)
+	add  s5, s5, t5
+	addi a7, a7, 1
+	bltu a7, t2, snowrap
+	li   a7, 0
+snowrap:
+	addi a2, a2, -1
+	bnez a2, stream
+`, p.StreamStep, p.StreamDwords)
+	}
+	if p.BranchIters > 0 {
+		fmt.Fprintf(&sb, `
+	li   a2, %d
+rbr:
+	mul  s6, s6, s7
+	add  s6, s6, s8
+	srli t5, s6, 33
+	andi t5, t5, 1
+	beqz t5, rskip         # ~50/50, data dependent
+	addi s5, s5, 3
+rskip:
+	addi s5, s5, 1
+	addi a2, a2, -1
+	bnez a2, rbr
+`, p.BranchIters)
+	}
+	if p.ALUIters > 0 {
+		fmt.Fprintf(&sb, `
+	li   a2, %d
+alu:
+	addi t0, t0, 7
+	slli t2, a2, 3
+	xor  t3, t0, t2
+	srli t4, t3, 5
+	add  t5, t4, t0
+	andi t6, t5, 1023
+	add  s5, s5, t6
+	addi a2, a2, -1
+	bnez a2, alu
+`, p.ALUIters)
+	}
+	if p.CallIters > 0 {
+		fmt.Fprintf(&sb, `
+	li   a2, %d
+calls:
+	call leaf
+	addi a2, a2, -1
+	bnez a2, calls
+	j    callsdone
+leaf:
+	addi s5, s5, 13
+	slli t5, s5, 1
+	srli t5, t5, 1
+	ret
+callsdone:
+`, p.CallIters)
+	}
+	if p.DispatchIters > 0 {
+		// Four handlers dispatched through a jalr on LCG bits: indirect
+		// targets vary per iteration, defeating the BTB.
+		fmt.Fprintf(&sb, `
+	la   t6, disp0
+	li   a2, %d
+dsp:
+	mul  s6, s6, s7
+	add  s6, s6, s8
+	srli t5, s6, 35
+	andi t5, t5, 3
+	slli t5, t5, 4         # handlers are 16 bytes apart
+	add  t5, t5, t6
+	jalr ra, 0(t5)
+	addi a2, a2, -1
+	bnez a2, dsp
+	j    dspdone
+disp0:
+	addi s5, s5, 1
+	nop
+	nop
+	ret
+disp1:
+	addi s5, s5, 2
+	nop
+	nop
+	ret
+disp2:
+	addi s5, s5, 4
+	nop
+	nop
+	ret
+disp3:
+	addi s5, s5, 8
+	nop
+	nop
+	ret
+dspdone:
+`, p.DispatchIters)
+	}
+
+	if p.CodeBlocks > 0 {
+		sb.WriteString("\tcall bigcode\n")
+	}
+	sb.WriteString(`
+	addi s10, s10, 1
+	bne  s10, s11, outer
+	mv   a0, s5
+	ecall
+`)
+	if p.CodeBlocks > 0 {
+		sb.WriteString("bigcode:\n\tli   t5, 0\n")
+		for i := 0; i < p.CodeBlocks; i++ {
+			sb.WriteString("\taddi t5, t5, 3\n")
+		}
+		sb.WriteString("\tadd  s5, s5, t5\n\tret\n")
+	}
+	return sb.String()
+}
+
+// goldenSpec mirrors specSource exactly.
+func goldenSpec(p specParams) uint64 {
+	lcg := uint64(lcgSeed)
+	var acc uint64
+	var chase []uint64
+	var stream []uint64
+	var chaseIdx uint64
+	var streamCur uint64
+	if p.ChaseNodes > 0 {
+		chase = make([]uint64, p.ChaseNodes)
+		for i := range chase {
+			chase[i] = uint64((i + p.ChaseStride) % p.ChaseNodes)
+		}
+	}
+	if p.StreamDwords > 0 {
+		stream = make([]uint64, p.StreamDwords)
+		for i := range stream {
+			lcg = lcgNext(lcg)
+			stream[i] = lcg
+		}
+	}
+	var t0 uint64 // ALU phase accumulator persists across iterations
+	for it := 0; it < p.Outer; it++ {
+		for s := 0; s < p.ChaseSteps; s++ {
+			chaseIdx = chase[chaseIdx]
+		}
+		if p.ChaseSteps > 0 {
+			acc += chaseIdx
+		}
+		for s := 0; s < p.StreamStep; s++ {
+			acc += stream[streamCur]
+			streamCur++
+			if streamCur >= uint64(p.StreamDwords) {
+				streamCur = 0
+			}
+		}
+		for s := 0; s < p.BranchIters; s++ {
+			lcg = lcgNext(lcg)
+			if lcg>>33&1 != 0 {
+				acc += 3
+			}
+			acc++
+		}
+		for a2 := uint64(p.ALUIters); a2 > 0; a2-- {
+			t0 += 7
+			t3 := t0 ^ (a2 << 3)
+			t5 := (t3 >> 5) + t0
+			acc += t5 & 1023
+		}
+		for s := 0; s < p.CallIters; s++ {
+			acc += 13
+		}
+		for s := 0; s < p.DispatchIters; s++ {
+			lcg = lcgNext(lcg)
+			acc += uint64(1) << (lcg >> 35 & 3)
+		}
+		acc += 3 * uint64(p.CodeBlocks)
+	}
+	return acc
+}
+
+func specKernel(name, desc string, p specParams) *Kernel {
+	return register(&Kernel{
+		Name:        name,
+		Description: desc,
+		Category:    CatSPEC,
+		Expected:    goldenSpec(p),
+		Source:      specSource(p),
+	})
+}
+
+// The ten SPEC CPU2017 intrate proxies. Footprints: 64 B per chase node,
+// 8 B per stream dword. L1D = 32 KiB, L2 = 512 KiB.
+var (
+	// 505.mcf_r: single-thread network simplex — dominated by dependent
+	// pointer chasing over a multi-MiB arena; ~80% Backend, mostly Mem.
+	Mcf = specKernel("505.mcf_r",
+		"mcf proxy: DRAM-resident dependent pointer chase",
+		specParams{Outer: 40, ChaseNodes: 16384, ChaseSteps: 600,
+			ChaseStride: 5741, ALUIters: 3600})
+
+	// 523.xalancbmk_r: XML tree walking — pointer chasing plus branchy
+	// traversal; ~80% Backend.
+	Xalancbmk = specKernel("523.xalancbmk_r",
+		"xalancbmk proxy: L2/DRAM pointer chase + branchy traversal",
+		specParams{Outer: 40, ChaseNodes: 12288, ChaseSteps: 500,
+			ChaseStride: 4099, BranchIters: 150, ALUIters: 2600, CodeBlocks: 7000})
+
+	// 525.x264_r: dense SAD/DCT loops — highest IPC and retire rate, with
+	// the suite's largest Bad Speculation share.
+	X264 = specKernel("525.x264_r",
+		"x264 proxy: dense ALU + streaming with unpredictable mode decisions",
+		specParams{Outer: 40, StreamDwords: 2048, StreamStep: 700,
+			BranchIters: 320, ALUIters: 1100, CodeBlocks: 4000})
+
+	// 531.deepsjeng_r: alpha-beta game search — data-dependent branches
+	// over a transposition table that just exceeds a 16 KiB D$.
+	Deepsjeng = specKernel("531.deepsjeng_r",
+		"deepsjeng proxy: branchy search over a ~24 KiB table",
+		specParams{Outer: 40, ChaseNodes: 384, ChaseSteps: 45,
+			ChaseStride: 131, BranchIters: 110, ALUIters: 260, CallIters: 40, CodeBlocks: 5000})
+
+	// 541.leela_r: MCTS go engine — mixed tree walking and evaluation.
+	Leela = specKernel("541.leela_r",
+		"leela proxy: L2-resident chase + branches + evaluation ALU",
+		specParams{Outer: 40, ChaseNodes: 3072, ChaseSteps: 220,
+			ChaseStride: 1033, BranchIters: 180, ALUIters: 600, CallIters: 30, CodeBlocks: 6000})
+
+	// 548.exchange2_r: recursive sudoku solver — pure integer compute,
+	// essentially no memory stalls (Table V: D$-blocked = 0.00).
+	Exchange2 = specKernel("548.exchange2_r",
+		"exchange2 proxy: pure ALU + deep call chains, no data footprint",
+		specParams{Outer: 40, ALUIters: 600, CallIters: 170, BranchIters: 90, CodeBlocks: 2500})
+
+	// 500.perlbench_r: interpreter dispatch — indirect jumps and calls.
+	Perlbench = specKernel("500.perlbench_r",
+		"perlbench proxy: jalr opcode dispatch + branches + small heap",
+		specParams{Outer: 40, DispatchIters: 350, BranchIters: 150,
+			ChaseNodes: 1536, ChaseSteps: 60, ChaseStride: 517, ALUIters: 150, CodeBlocks: 9000})
+
+	// 502.gcc_r: compiler passes — branchy pointer-heavy IR walking.
+	Gcc = specKernel("502.gcc_r",
+		"gcc proxy: medium-footprint chase + heavy branching",
+		specParams{Outer: 40, ChaseNodes: 6144, ChaseSteps: 300,
+			ChaseStride: 2053, BranchIters: 250, ALUIters: 700, CallIters: 40, CodeBlocks: 10000})
+
+	// 520.omnetpp_r: discrete event simulation — heap/event-queue churn.
+	Omnetpp = specKernel("520.omnetpp_r",
+		"omnetpp proxy: event-queue pointer chase + moderate branches",
+		specParams{Outer: 40, ChaseNodes: 8192, ChaseSteps: 400,
+			ChaseStride: 3571, BranchIters: 150, ALUIters: 900, CallIters: 30, CodeBlocks: 6000})
+
+	// 557.xz_r: LZMA compression — streaming with data-dependent match
+	// branches.
+	Xz = specKernel("557.xz_r",
+		"xz proxy: streaming + data-dependent match loops",
+		specParams{Outer: 40, StreamDwords: 16384, StreamStep: 450,
+			BranchIters: 130, ALUIters: 250, CodeBlocks: 3000})
+)

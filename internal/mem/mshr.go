@@ -1,0 +1,75 @@
+package mem
+
+// MSHRFile models a file of Miss Status Holding Registers: outstanding
+// cache-miss refills. BOOM's D$-blocked event (§IV-A) asserts only while at
+// least one MSHR is busy, so occupancy must be queryable per cycle.
+type MSHRFile struct {
+	entries []mshr
+	// stats
+	Allocations uint64
+	MergedHits  uint64 // accesses that merged into an in-flight refill
+	FullStalls  uint64 // allocation attempts rejected because all busy
+}
+
+type mshr struct {
+	busy    bool
+	block   uint64
+	readyAt uint64
+}
+
+// NewMSHRFile returns a file with n entries. n must be positive.
+func NewMSHRFile(n int) *MSHRFile {
+	if n <= 0 {
+		n = 1
+	}
+	return &MSHRFile{entries: make([]mshr, n)}
+}
+
+// Size returns the number of MSHR entries.
+func (f *MSHRFile) Size() int { return len(f.entries) }
+
+// Lookup returns the ready cycle of an in-flight refill for block, if any.
+func (f *MSHRFile) Lookup(block uint64, now uint64) (readyAt uint64, ok bool) {
+	for i := range f.entries {
+		e := &f.entries[i]
+		if e.busy && e.block == block {
+			if e.readyAt <= now {
+				e.busy = false
+				continue
+			}
+			f.MergedHits++
+			return e.readyAt, true
+		}
+	}
+	return 0, false
+}
+
+// Allocate records a new refill for block completing at readyAt. It returns
+// false when every entry is busy (the access must stall and retry).
+func (f *MSHRFile) Allocate(block uint64, now, readyAt uint64) bool {
+	for i := range f.entries {
+		e := &f.entries[i]
+		if !e.busy || e.readyAt <= now {
+			*e = mshr{busy: true, block: block, readyAt: readyAt}
+			f.Allocations++
+			return true
+		}
+	}
+	f.FullStalls++
+	return false
+}
+
+// Busy returns the number of refills still in flight at cycle now.
+func (f *MSHRFile) Busy(now uint64) int {
+	n := 0
+	for i := range f.entries {
+		e := &f.entries[i]
+		if e.busy && e.readyAt > now {
+			n++
+		}
+	}
+	return n
+}
+
+// AnyBusy reports whether at least one refill is in flight at cycle now.
+func (f *MSHRFile) AnyBusy(now uint64) bool { return f.Busy(now) > 0 }

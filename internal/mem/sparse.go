@@ -1,0 +1,75 @@
+// Package mem implements the memory substrate for the Icicle core models: a
+// sparse byte-addressable backing store (the functional memory), timing-only
+// set-associative caches with MSHRs, TLBs, and the two-level hierarchy that
+// the Rocket and BOOM simulators share (32 KiB 8-way L1 I/D, 512 KiB 8-way
+// L2, no LLC — Table III/IV of the paper).
+package mem
+
+const frameBits = 12 // 4 KiB frames
+const frameSize = 1 << frameBits
+
+// Sparse is a sparse byte-addressable memory backed by 4 KiB frames. It
+// implements isa.Memory. Reads of unwritten memory return zero bytes.
+type Sparse struct {
+	frames map[uint64]*[frameSize]byte
+}
+
+// NewSparse returns an empty memory.
+func NewSparse() *Sparse {
+	return &Sparse{frames: make(map[uint64]*[frameSize]byte)}
+}
+
+func (m *Sparse) frame(addr uint64, create bool) *[frameSize]byte {
+	key := addr >> frameBits
+	f := m.frames[key]
+	if f == nil && create {
+		f = new([frameSize]byte)
+		m.frames[key] = f
+	}
+	return f
+}
+
+// Load returns size bytes at addr, little-endian, zero-extended.
+// Accesses may straddle frame boundaries.
+func (m *Sparse) Load(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		f := m.frame(addr+uint64(i), false)
+		if f != nil {
+			v |= uint64(f[(addr+uint64(i))&(frameSize-1)]) << (8 * i)
+		}
+	}
+	return v
+}
+
+// Store writes the low size bytes of val at addr, little-endian.
+func (m *Sparse) Store(addr uint64, size int, val uint64) {
+	for i := 0; i < size; i++ {
+		f := m.frame(addr+uint64(i), true)
+		f[(addr+uint64(i))&(frameSize-1)] = byte(val >> (8 * i))
+	}
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Sparse) WriteBytes(addr uint64, b []byte) {
+	for i, c := range b {
+		f := m.frame(addr+uint64(i), true)
+		f[(addr+uint64(i))&(frameSize-1)] = c
+	}
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Sparse) ReadBytes(addr uint64, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		f := m.frame(addr+uint64(i), false)
+		if f != nil {
+			b[i] = f[(addr+uint64(i))&(frameSize-1)]
+		}
+	}
+	return b
+}
+
+// Footprint returns the number of bytes of allocated frames (an upper bound
+// on the touched working set, at 4 KiB granularity).
+func (m *Sparse) Footprint() int { return len(m.frames) * frameSize }

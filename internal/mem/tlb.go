@@ -1,0 +1,61 @@
+package mem
+
+const pageBits = 12 // 4 KiB pages
+
+// TLB is a small fully-associative translation lookaside buffer timing
+// model with true-LRU replacement. Translation itself is identity (the
+// workloads run bare-metal, as in the paper's microbenchmark runs); the TLB
+// only contributes hit/miss timing and the ITLB/DTLB/L2-TLB miss events.
+type TLB struct {
+	entries []tlbEntry
+	stamp   uint64
+	// stats
+	Accesses uint64
+	Misses   uint64
+}
+
+type tlbEntry struct {
+	vpn   uint64
+	valid bool
+	lru   uint64
+}
+
+// NewTLB returns a TLB with n entries (minimum 1).
+func NewTLB(n int) *TLB {
+	if n <= 0 {
+		n = 1
+	}
+	return &TLB{entries: make([]tlbEntry, n)}
+}
+
+// Access translates addr, returning true on hit. On miss the mapping is
+// installed (replacing the LRU entry).
+func (t *TLB) Access(addr uint64) bool {
+	t.stamp++
+	t.Accesses++
+	vpn := addr >> pageBits
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.vpn == vpn {
+			e.lru = t.stamp
+			return true
+		}
+		if !e.valid {
+			victim = i
+		} else if t.entries[victim].valid && e.lru < t.entries[victim].lru {
+			victim = i
+		}
+	}
+	t.Misses++
+	t.entries[victim] = tlbEntry{vpn: vpn, valid: true, lru: t.stamp}
+	return false
+}
+
+// MissRate returns misses/accesses, or 0 if untouched.
+func (t *TLB) MissRate() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Accesses)
+}

@@ -1,0 +1,62 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+
+	"icicle/internal/pmu"
+)
+
+// DumpBase is the default memory address instrumented workloads dump their
+// counters to (one dword per counter, then cycles and instret).
+const DumpBase = 0x70_0000
+
+// Instrument wraps a workload's assembly source with the in-band
+// measurement shims, the way the paper's FireMarshal wrapper bakes the CSR
+// boot sequence into an image (§IV-D): the boot shim programs the counter
+// file before the first workload instruction, and the readout shim dumps
+// every counter to memory right before the final ecall.
+//
+// The workload must end in a single trailing `ecall` (every kernel in
+// internal/kernel does); Instrument splices the readout before it.
+func Instrument(src string, plan Plan, space *pmu.Space, dumpBase uint64) (string, error) {
+	boot, err := plan.BootShim(space)
+	if err != nil {
+		return "", err
+	}
+	idx := strings.LastIndex(src, "ecall")
+	if idx < 0 {
+		return "", fmt.Errorf("perf: workload has no final ecall to instrument")
+	}
+	readout := plan.ReadoutShim(dumpBase)
+	return boot + src[:idx] + readout + "\tecall\n" + src[idx+len("ecall"):], nil
+}
+
+// DumpLayout describes where Instrument's readout lands in memory.
+type DumpLayout struct {
+	Base    uint64
+	Groups  []Group
+	nExtras int
+}
+
+// Layout returns the dump layout for a plan.
+func (p Plan) Layout(base uint64) DumpLayout {
+	return DumpLayout{Base: base, Groups: p.Groups, nExtras: 2}
+}
+
+// Mem is the minimal memory-read interface the decoder needs.
+type Mem interface {
+	Load(addr uint64, size int) uint64
+}
+
+// ReadDump decodes an instrumented run's counter dump from simulated
+// memory, returning group-keyed counts plus "cycles" and "instret".
+func (l DumpLayout) ReadDump(m Mem) map[string]uint64 {
+	out := make(map[string]uint64, len(l.Groups)+l.nExtras)
+	for i, g := range l.Groups {
+		out[groupKey(g)] = m.Load(l.Base+uint64(8*i), 8)
+	}
+	out["cycles"] = m.Load(l.Base+uint64(8*len(l.Groups)), 8)
+	out["instret"] = m.Load(l.Base+uint64(8*(len(l.Groups)+1)), 8)
+	return out
+}

@@ -1,0 +1,110 @@
+package perf
+
+import (
+	"testing"
+
+	"icicle/internal/asm"
+	"icicle/internal/boom"
+	"icicle/internal/kernel"
+	"icicle/internal/rocket"
+)
+
+// TestInstrumentedKernelEndToEnd is the full in-band path: a real kernel
+// wrapped with boot + readout shims, run on the Rocket timing model; the
+// counter values the *workload itself* dumped to memory must match the
+// PMU's final state (modulo the handful of cycles the readout instructions
+// themselves consume).
+func TestInstrumentedKernelEndToEnd(t *testing.T) {
+	k, err := kernel.ByName("rsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := TMAPlan(rocket.EvInstIssued, rocket.EvFetchBubbles, rocket.EvRecovering,
+		rocket.EvICacheBlocked, rocket.EvDCacheBlocked)
+	src, err := Instrument(k.Source, plan, rocket.Events, DumpBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("instrumented source does not assemble: %v", err)
+	}
+	c := rocket.New(rocket.DefaultConfig(), prog)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The workload still computes its checksum (the shims must not
+	// clobber live registers across the final readout — they only use
+	// t0/t1 after the result is in a0).
+	if res.Exit != k.Expected {
+		t.Fatalf("instrumented kernel checksum %#x != %#x", res.Exit, k.Expected)
+	}
+	dump := plan.Layout(DumpBase).ReadDump(c.CPU.Mem)
+	for i, g := range plan.Groups {
+		final := c.PMU.Read(i)
+		got := dump[g[0]]
+		if got > final || final-got > 128 {
+			t.Errorf("%v: dumped %d vs final %d", g, got, final)
+		}
+	}
+	if dump["cycles"] == 0 || dump["cycles"] > res.Cycles {
+		t.Errorf("dumped cycles %d out of range (run: %d)", dump["cycles"], res.Cycles)
+	}
+	if dump["instret"] == 0 {
+		t.Error("dumped instret zero")
+	}
+}
+
+// TestInstrumentedTMAMatchesOutOfBand compares the TMA breakdown computed
+// from the in-band dump against the out-of-band exact tallies.
+func TestInstrumentedTMAMatchesOutOfBand(t *testing.T) {
+	k, err := kernel.ByName("coremark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{boom.EvUopsIssued, boom.EvUopsRetired, boom.EvFetchBubbles,
+		boom.EvRecovering, boom.EvFenceRetired, boom.EvICacheBlocked, boom.EvDCacheBlocked}
+	plan := TMAPlan(names...)
+	cfg := boom.NewConfig(boom.Large)
+	space := boom.NewSpace(cfg.DecodeWidth, cfg.IssueWidth)
+	src, err := Instrument(k.Source, plan, space, DumpBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := boom.New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := plan.Layout(DumpBase).ReadDump(c.CPU.Mem)
+	// In-band counts trail the exact tallies by the pipeline drain window:
+	// the functional model executes the readout CSR reads at fetch time,
+	// while events keep accruing until the backend drains (the same
+	// skid real out-of-order PMUs exhibit). Allow a small proportional
+	// tolerance.
+	for _, n := range names {
+		exact := res.Tally[n]
+		got := dump[n]
+		tol := uint64(256)
+		if p := exact / 10; p > tol {
+			tol = p
+		}
+		if got > exact || exact-got > tol {
+			t.Errorf("%s: in-band %d vs exact %d (tol %d)", n, got, exact, tol)
+		}
+	}
+}
+
+func TestInstrumentRejectsNoEcall(t *testing.T) {
+	if _, err := Instrument("\tnop\n", TMAPlan(rocket.EvCycles), rocket.Events, DumpBase); err == nil {
+		t.Fatal("source without ecall instrumented")
+	}
+}

@@ -1,0 +1,139 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"icicle/internal/boom"
+	"icicle/internal/kernel"
+	"icicle/internal/pmu"
+	"icicle/internal/rocket"
+)
+
+func TestMultiplexerValidation(t *testing.T) {
+	dev := pmu.New(rocket.Events, pmu.AddWires)
+	if _, err := NewMultiplexer(dev, Plan{}, 100); err == nil {
+		t.Fatal("empty plan accepted")
+	}
+	if _, err := NewMultiplexer(dev, TMAPlan(rocket.EvCycles), 0); err == nil {
+		t.Fatal("zero quantum accepted")
+	}
+	if _, err := NewMultiplexer(dev, Plan{Groups: []Group{{"bogus"}}}, 100); err == nil {
+		t.Fatal("unknown event accepted")
+	}
+}
+
+func TestMultiplexerExactWhenPlanFits(t *testing.T) {
+	// With ≤29 groups, no rotation happens and estimates are exact.
+	k, _ := kernel.ByName("vvadd")
+	c := rocket.New(rocket.DefaultConfig(), k.MustProgram())
+	plan := TMAPlan(rocket.EvInstIssued, rocket.EvFetchBubbles)
+	m, err := NewMultiplexer(c.PMU, plan, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCycleHook(m.Tick)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Finish()
+	est := m.Estimates()
+	if est[rocket.EvInstIssued] != res.Tally[rocket.EvInstIssued] {
+		t.Fatalf("issued estimate %d != exact %d",
+			est[rocket.EvInstIssued], res.Tally[rocket.EvInstIssued])
+	}
+	if m.ActiveFraction(0) != 1.0 {
+		t.Fatalf("active fraction %f, want 1", m.ActiveFraction(0))
+	}
+}
+
+// wideMultiplexPlan builds a plan larger than the counter file by
+// replicating steady events across many groups.
+func wideMultiplexPlan(n int) Plan {
+	events := []string{
+		boom.EvUopsIssued, boom.EvUopsRetired, boom.EvFetchBubbles,
+		boom.EvDCacheBlocked, boom.EvRecovering, boom.EvBrMispredict,
+	}
+	var p Plan
+	for i := 0; i < n; i++ {
+		p.Groups = append(p.Groups, Group{events[i%len(events)]})
+	}
+	return p
+}
+
+func TestMultiplexerEstimatesSteadyEvents(t *testing.T) {
+	// 40 groups over 29 counters: each group is live ~72% of the time;
+	// scaled estimates of steady-rate events must land near the exact
+	// totals.
+	k, _ := kernel.ByName("coremark")
+	cfg := boom.NewConfig(boom.Large)
+	c := boom.MustNew(cfg, k.MustProgram())
+	plan := wideMultiplexPlan(40)
+	m, err := NewMultiplexer(c.PMU, plan, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCycleHook(m.Tick)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Finish()
+	est := m.Estimates()
+
+	for i := range plan.Groups {
+		frac := m.ActiveFraction(i)
+		if frac <= 0 || frac > 1 {
+			t.Fatalf("group %d active fraction %f", i, frac)
+		}
+		if frac == 1.0 {
+			t.Fatalf("group %d never rotated out of a 40-group plan", i)
+		}
+	}
+	for _, ev := range []string{boom.EvUopsIssued, boom.EvUopsRetired} {
+		exact := float64(res.Tally[ev])
+		got := float64(est[ev])
+		if relErr := math.Abs(got-exact) / exact; relErr > 0.15 {
+			t.Errorf("%s: estimate %v vs exact %v (%.1f%% error)",
+				ev, got, exact, relErr*100)
+		}
+	}
+}
+
+func TestMultiplexerRareEventsStayBounded(t *testing.T) {
+	// Rare bursty events can be mis-scaled but must never be wildly
+	// overestimated relative to the theoretical maximum (one per cycle).
+	k, _ := kernel.ByName("qsort")
+	cfg := boom.NewConfig(boom.Large)
+	c := boom.MustNew(cfg, k.MustProgram())
+	plan := wideMultiplexPlan(35)
+	m, err := NewMultiplexer(c.PMU, plan, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCycleHook(m.Tick)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Finish()
+	if est := m.Estimates()[boom.EvBrMispredict]; est > res.Cycles {
+		t.Fatalf("mispredict estimate %d exceeds cycle count %d", est, res.Cycles)
+	}
+}
+
+func TestMultiplexerGroupKeying(t *testing.T) {
+	dev := pmu.New(boom.NewSpace(3, 5), pmu.AddWires)
+	plan := Plan{Groups: []Group{{boom.EvUopsIssued, boom.EvFetchBubbles}}}
+	m, err := NewMultiplexer(dev, plan, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Finish()
+	key := fmt.Sprintf("%s+%s", boom.EvUopsIssued, boom.EvFetchBubbles)
+	if _, ok := m.Estimates()[key]; !ok {
+		t.Fatalf("estimates missing combined key %q: %v", key, m.Estimates())
+	}
+}

@@ -1,0 +1,180 @@
+// Package perf is Icicle's software harness (§IV-D): it programs PMU
+// counters through the same CSR interface the hardware exposes (the
+// four-step sequence: enable, write event-set IDs, set event masks, clear
+// the inhibit bit), reads them back, and feeds the TMA model. It supports
+// the out-of-band path (Go calls against the PMU) and the in-band path
+// (CSR instructions assembled into the workload image, as the OpenSBI boot
+// shim would on Linux).
+package perf
+
+import (
+	"fmt"
+	"strings"
+
+	"icicle/internal/core"
+	"icicle/internal/pmu"
+)
+
+// Group is one counter's event selection: a set of same-set event names.
+type Group []string
+
+// Plan assigns groups to the 29 programmable counters.
+type Plan struct {
+	Groups []Group
+}
+
+// Validate checks the plan fits the counter file and the event-set rules.
+func (p Plan) Validate(space *pmu.Space) error {
+	if len(p.Groups) > pmu.NumHPMCounters {
+		return fmt.Errorf("perf: %d groups exceed %d counters (multiplexing is not implemented; split the run)",
+			len(p.Groups), pmu.NumHPMCounters)
+	}
+	for i, g := range p.Groups {
+		var set uint8
+		for j, name := range g {
+			idx, err := space.Index(name)
+			if err != nil {
+				return fmt.Errorf("perf: counter %d: %w", i, err)
+			}
+			e := space.Events[idx]
+			if j == 0 {
+				set = e.Set
+			} else if e.Set != set {
+				return fmt.Errorf("perf: counter %d mixes event sets %d and %d (%q)", i, set, e.Set, name)
+			}
+		}
+	}
+	return nil
+}
+
+// Selectors compiles the plan into mhpmevent register values.
+func (p Plan) Selectors(space *pmu.Space) ([]pmu.Selector, error) {
+	if err := p.Validate(space); err != nil {
+		return nil, err
+	}
+	sels := make([]pmu.Selector, len(p.Groups))
+	for i, g := range p.Groups {
+		for _, name := range g {
+			e := space.Events[space.MustIndex(name)]
+			sels[i].Set = e.Set
+			sels[i].Mask |= 1 << uint(e.Bit)
+		}
+	}
+	return sels, nil
+}
+
+// Apply programs the PMU through its CSR interface, performing the
+// harness's four steps (§IV-D):
+//  1. enable the CSR file (counters writable — implicit in this model),
+//  2. write the 8-bit event-set ID into each control register,
+//  3. set the 56-bit event mask,
+//  4. clear the inhibit bits so counting begins.
+func (p Plan) Apply(dev *pmu.PMU) error {
+	sels, err := p.Selectors(dev.Space)
+	if err != nil {
+		return err
+	}
+	for i, s := range sels {
+		// Steps 2+3 are one CSR write: mhpmevent packs set|mask<<8.
+		dev.WriteCSR(pmu.CSRMHPMEvent3+uint16(i), s.Encode())
+		dev.WriteCSR(pmu.CSRMHPMCounter3+uint16(i), 0)
+	}
+	dev.WriteCSR(pmu.CSRMCountInhibit, 0) // step 4
+	return nil
+}
+
+// BootShim renders the plan as the CSR instruction sequence an OpenSBI
+// boot shim would execute in M-mode before handing control to the
+// workload (the FireMarshal-wrapper path of §IV-D). The output assembles
+// with internal/asm.
+func (p Plan) BootShim(space *pmu.Space) (string, error) {
+	sels, err := p.Selectors(space)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("\t# --- perf boot shim: program PMU counters ---\n")
+	for i, s := range sels {
+		fmt.Fprintf(&sb, "\tli   t0, %d\n", s.Encode())
+		fmt.Fprintf(&sb, "\tcsrw mhpmevent%d, t0\n", i+3)
+		fmt.Fprintf(&sb, "\tcsrw mhpmcounter%d, x0\n", i+3)
+	}
+	sb.WriteString("\tcsrw mcountinhibit, x0\n")
+	sb.WriteString("\t# --- end shim ---\n")
+	return sb.String(), nil
+}
+
+// ReadoutShim renders CSR reads that dump every programmed counter to a
+// memory region (one dword per counter, then cycles and instret) before
+// the workload's final ecall. Out-of-band tooling reads them back from
+// simulated memory.
+func (p Plan) ReadoutShim(base uint64) string {
+	var sb strings.Builder
+	sb.WriteString("\t# --- perf readout shim ---\n")
+	fmt.Fprintf(&sb, "\tli   t0, %d\n", base)
+	for i := range p.Groups {
+		fmt.Fprintf(&sb, "\tcsrr t1, mhpmcounter%d\n", i+3)
+		fmt.Fprintf(&sb, "\tsd   t1, %d(t0)\n", 8*i)
+	}
+	fmt.Fprintf(&sb, "\tcsrr t1, cycle\n\tsd   t1, %d(t0)\n", 8*len(p.Groups))
+	fmt.Fprintf(&sb, "\tcsrr t1, instret\n\tsd   t1, %d(t0)\n", 8*(len(p.Groups)+1))
+	sb.WriteString("\t# --- end shim ---\n")
+	return sb.String()
+}
+
+// Read returns the counter values for the plan's groups.
+func (p Plan) Read(dev *pmu.PMU) map[string]uint64 {
+	out := make(map[string]uint64, len(p.Groups))
+	for i, g := range p.Groups {
+		out[groupKey(g)] = dev.ReadCSR(pmu.CSRMHPMCounter3 + uint16(i))
+	}
+	out["cycles"] = dev.ReadCSR(pmu.CSRCycle)
+	out["instret"] = dev.ReadCSR(pmu.CSRInstret)
+	return out
+}
+
+func groupKey(g Group) string { return strings.Join(g, "+") }
+
+// TMAPlan returns the canonical counter plan for TMA on a BOOM-style event
+// space: one counter per TMA input event.
+func TMAPlan(events ...string) Plan {
+	groups := make([]Group, len(events))
+	for i, e := range events {
+		groups[i] = Group{e}
+	}
+	return Plan{Groups: groups}
+}
+
+// CountsFromPMU assembles TMA inputs from a programmed PMU given the
+// per-event counter order used by TMAPlan.
+func CountsFromPMU(dev *pmu.PMU, names []string) (core.Counts, error) {
+	read := func(name string) (uint64, error) {
+		for i, n := range names {
+			if n == name {
+				return dev.Read(i), nil
+			}
+		}
+		return 0, fmt.Errorf("perf: event %q not in plan", name)
+	}
+	var c core.Counts
+	c.Cycles = dev.Cycles()
+	c.InstRet = dev.Instret()
+	var err error
+	assign := func(dst *uint64, name string) {
+		if err != nil {
+			return
+		}
+		*dst, err = read(name)
+	}
+	assign(&c.UopsIssued, "uops-issued")
+	assign(&c.UopsRetired, "uops-retired")
+	assign(&c.FetchBubbles, "fetch-bubbles")
+	assign(&c.Recovering, "recovering")
+	assign(&c.FenceRetired, "fence-retired")
+	assign(&c.ICacheBlocked, "icache-blocked")
+	assign(&c.DCacheBlocked, "dcache-blocked")
+	if err != nil {
+		return core.Counts{}, err
+	}
+	return c, nil
+}

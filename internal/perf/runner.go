@@ -1,0 +1,90 @@
+package perf
+
+import (
+	"icicle/internal/boom"
+	"icicle/internal/core"
+	"icicle/internal/kernel"
+	"icicle/internal/rocket"
+)
+
+// RocketCounts maps a Rocket run's exact event tallies onto the TMA model
+// inputs. Rocket is single-issue, so µops ≡ instructions; machine-clear
+// flushes are D$-miss replays.
+func RocketCounts(res rocket.Result) core.Counts {
+	return core.Counts{
+		Cycles:        res.Cycles,
+		InstRet:       res.Insts,
+		UopsIssued:    res.Tally[rocket.EvInstIssued],
+		UopsRetired:   res.Tally[rocket.EvInstRet],
+		FetchBubbles:  res.Tally[rocket.EvFetchBubbles],
+		Recovering:    res.Tally[rocket.EvRecovering],
+		Flushes:       res.Tally[rocket.EvReplay],
+		BrMispred:     res.Tally[rocket.EvBrMispredict],
+		FenceRetired:  res.Tally[rocket.EvFence],
+		ICacheBlocked: res.Tally[rocket.EvICacheBlocked],
+		DCacheBlocked: res.Tally[rocket.EvDCacheBlocked],
+		ITLBMisses:    res.Tally[rocket.EvITLBMiss],
+		DTLBMisses:    res.Tally[rocket.EvDTLBMiss],
+		L2TLBMisses:   res.Tally[rocket.EvL2TLBMiss],
+	}
+}
+
+// BoomCounts maps a BOOM run's exact event tallies onto the TMA model
+// inputs. The Flush event counts every pipeline flush; branch mispredicts
+// are recorded separately, so machine clears are the difference.
+func BoomCounts(res boom.Result) core.Counts {
+	flush := res.Tally[boom.EvFlush]
+	bm := res.Tally[boom.EvBrMispredict]
+	var clears uint64
+	if flush > bm {
+		clears = flush - bm
+	}
+	return core.Counts{
+		Cycles:        res.Cycles,
+		InstRet:       res.Insts,
+		UopsIssued:    res.Tally[boom.EvUopsIssued],
+		UopsRetired:   res.Tally[boom.EvUopsRetired],
+		FetchBubbles:  res.Tally[boom.EvFetchBubbles],
+		Recovering:    res.Tally[boom.EvRecovering],
+		Flushes:       clears,
+		BrMispred:     bm,
+		FenceRetired:  res.Tally[boom.EvFenceRetired],
+		ICacheBlocked: res.Tally[boom.EvICacheBlocked],
+		DCacheBlocked: res.Tally[boom.EvDCacheBlocked],
+		ITLBMisses:    res.Tally[boom.EvITLBMiss],
+		DTLBMisses:    res.Tally[boom.EvDTLBMiss],
+		L2TLBMisses:   res.Tally[boom.EvL2TLBMiss],
+	}
+}
+
+// RunRocket simulates the kernel on Rocket and evaluates TMA.
+func RunRocket(cfg rocket.Config, k *kernel.Kernel) (rocket.Result, core.Breakdown, error) {
+	prog, err := k.Program()
+	if err != nil {
+		return rocket.Result{}, core.Breakdown{}, err
+	}
+	res, err := rocket.New(cfg, prog).Run()
+	if err != nil {
+		return rocket.Result{}, core.Breakdown{}, err
+	}
+	b, err := core.Evaluate(core.DefaultConfig(1, 1), RocketCounts(res))
+	return res, b, err
+}
+
+// RunBoom simulates the kernel on BOOM and evaluates TMA.
+func RunBoom(cfg boom.Config, k *kernel.Kernel) (boom.Result, core.Breakdown, error) {
+	prog, err := k.Program()
+	if err != nil {
+		return boom.Result{}, core.Breakdown{}, err
+	}
+	c, err := boom.New(cfg, prog)
+	if err != nil {
+		return boom.Result{}, core.Breakdown{}, err
+	}
+	res, err := c.Run()
+	if err != nil {
+		return boom.Result{}, core.Breakdown{}, err
+	}
+	b, err := core.Evaluate(core.DefaultConfig(cfg.DecodeWidth, cfg.IssueWidth), BoomCounts(res))
+	return res, b, err
+}

@@ -1,0 +1,517 @@
+package rocket
+
+import (
+	"fmt"
+	"math/bits"
+
+	"icicle/internal/asm"
+	"icicle/internal/branch"
+	"icicle/internal/isa"
+	"icicle/internal/mem"
+	"icicle/internal/pmu"
+)
+
+// CycleHook observes every simulated cycle (used by the trace bridge).
+// The sample must not be retained across calls.
+type CycleHook func(cycle uint64, sample pmu.Sample)
+
+// producer kinds drive interlock-event attribution.
+type producerKind uint8
+
+const (
+	prodNone producerKind = iota
+	prodLoad
+	prodLongLatency // load that missed
+	prodMulDiv
+	prodCSR
+)
+
+// fetchEntry is one instruction buffer slot.
+type fetchEntry struct {
+	rec          isa.Retired
+	availableAt  uint64
+	mispredicted bool // direction mispredict, resolves at execute
+}
+
+// Core is the Rocket timing model. Create with New, drive with Run.
+type Core struct {
+	Cfg  Config
+	CPU  *isa.CPU
+	Hier *mem.Hierarchy
+	Pred branch.Predictor
+	PMU  *pmu.PMU
+
+	sample pmu.Sample
+	tally  []uint64 // exact per-event totals (source assertions)
+	hook   CycleHook
+
+	// event indices, resolved once
+	ev map[string]int
+
+	cycle uint64
+
+	// frontend
+	ibuf           []fetchEntry
+	putback        []isa.Retired // squashed records, re-fetched in order
+	fetchBlocked   bool          // wrong-path fetch after an undetected mispredict
+	fetchStall     uint64        // redirect bubbles (BTB/target misses)
+	refillUntil    uint64        // I$ refill completes at this cycle
+	lastFetchBlock uint64
+	haveFetchBlock bool
+
+	// backend
+	recovering     int  // minimum redirect cycles remaining
+	recoveringFlag bool // set at mispredict, cleared when fetch delivers
+	stallUntil     uint64
+	stallEvents    []int // events asserted during the stall
+	replayAt       uint64
+	regReady       [32]uint64
+	regProd        [32]producerKind
+
+	retiredTotal uint64
+	done         bool
+}
+
+// New builds a core executing prog.
+func New(cfg Config, prog *asm.Program) *Core {
+	memory := mem.NewSparse()
+	prog.LoadInto(memory)
+	hier := mem.NewHierarchy(cfg.Hierarchy)
+	p := pmu.New(Events, cfg.PMUArch)
+	cpu := isa.NewCPU(memory, prog.Entry)
+	cpu.CSR = p
+	c := &Core{
+		Cfg:    cfg,
+		CPU:    cpu,
+		Hier:   hier,
+		Pred:   branch.NewRocketPredictor(),
+		PMU:    p,
+		sample: Events.NewSample(),
+		tally:  make([]uint64, len(Events.Events)),
+		ev:     make(map[string]int, len(Events.Events)),
+	}
+	for i, e := range Events.Events {
+		c.ev[e.Name] = i
+	}
+	return c
+}
+
+// SetCycleHook installs a per-cycle observer (the trace bridge).
+func (c *Core) SetCycleHook(h CycleHook) { c.hook = h }
+
+func (c *Core) assert(name string) { c.sample.Assert(c.ev[name], 0) }
+
+// stream: pull the next dynamic instruction, preferring squashed records.
+func (c *Core) next() (isa.Retired, bool, error) {
+	if n := len(c.putback); n > 0 {
+		r := c.putback[n-1]
+		c.putback = c.putback[:n-1]
+		return r, true, nil
+	}
+	if c.CPU.Halted {
+		return isa.Retired{}, false, nil
+	}
+	r, err := c.CPU.Step()
+	if err != nil {
+		return isa.Retired{}, false, err
+	}
+	return r, true, nil
+}
+
+func (c *Core) streamEmpty() bool { return len(c.putback) == 0 && c.CPU.Halted }
+
+// squash returns the not-yet-issued instruction buffer to the stream.
+func (c *Core) squash() {
+	for i := len(c.ibuf) - 1; i >= 0; i-- {
+		c.putback = append(c.putback, c.ibuf[i].rec)
+	}
+	c.ibuf = c.ibuf[:0]
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	Cycles uint64
+	Insts  uint64
+	Tally  map[string]uint64 // exact event totals
+	L1I    mem.CacheStats
+	L1D    mem.CacheStats
+	L2     mem.CacheStats
+	Exit   uint64
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// Run simulates until the workload halts and the pipeline drains.
+func (c *Core) Run() (Result, error) {
+	maxCycles := c.Cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 2_000_000_000
+	}
+	for !c.done {
+		if c.cycle >= maxCycles {
+			return Result{}, fmt.Errorf("rocket: cycle budget %d exhausted (pc 0x%x)", maxCycles, c.CPU.PC)
+		}
+		if err := c.step(); err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{
+		Cycles: c.cycle,
+		Insts:  c.retiredTotal,
+		Tally:  make(map[string]uint64, len(c.tally)),
+		L1I:    c.Hier.L1I.Stats(),
+		L1D:    c.Hier.L1D.Stats(),
+		L2:     c.Hier.L2.Stats(),
+		Exit:   c.CPU.ExitCode,
+	}
+	for i, e := range Events.Events {
+		res.Tally[e.Name] = c.tally[i]
+	}
+	return res, nil
+}
+
+// step advances one cycle.
+func (c *Core) step() error {
+	c.sample.Reset()
+	c.assert(EvCycles)
+	retired := c.issueStage()
+	if err := c.fetchStage(); err != nil {
+		return err
+	}
+
+	// I$-blocked heuristic (§IV-A): refill in progress and no valid
+	// instructions buffered.
+	if c.refillUntil > c.cycle && len(c.ibuf) == 0 {
+		c.assert(EvICacheBlocked)
+	}
+
+	// Exact tallies and PMU.
+	for i, m := range c.sample {
+		c.tally[i] += uint64(bits.OnesCount64(m))
+	}
+	c.PMU.Tick(c.sample, retired)
+	if c.hook != nil {
+		c.hook(c.cycle, c.sample)
+	}
+	c.cycle++
+
+	if c.streamEmpty() && len(c.ibuf) == 0 && c.stallUntil <= c.cycle &&
+		c.recovering == 0 {
+		c.done = true
+	}
+	return nil
+}
+
+// issueStage models decode/issue/execute/retire (single issue). It returns
+// the number of instructions retired this cycle.
+func (c *Core) issueStage() int {
+	// Multi-cycle stall in progress (blocking D$ miss, fence, CSR).
+	if c.stallUntil > c.cycle {
+		for _, ev := range c.stallEvents {
+			c.sample.Assert(ev, 0)
+		}
+		if c.replayAt == c.cycle {
+			c.assert(EvInstIssued)
+			c.assert(EvReplay)
+		}
+		return 0
+	}
+
+	// Frontend recovery after a resolved mispredict.
+	if c.recovering > 0 {
+		c.assert(EvRecovering)
+		c.recovering--
+		return 0
+	}
+
+	// Instruction buffer empty (or entry still in flight): a fetch
+	// bubble — unless the frontend is still recovering from a flush
+	// (e.g. the redirect target missed the I-cache), in which case the
+	// lost cycle belongs to Bad Speculation (§IV-A).
+	if len(c.ibuf) == 0 || c.ibuf[0].availableAt > c.cycle {
+		if c.recoveringFlag {
+			c.assert(EvRecovering)
+		} else if !c.streamEmpty() || len(c.ibuf) > 0 {
+			c.assert(EvFetchBubbles)
+		}
+		return 0
+	}
+
+	c.recoveringFlag = false // a packet is valid again
+	e := c.ibuf[0]
+	in := e.rec.Inst
+
+	// Operand interlocks.
+	rs1, rs2 := in.SrcRegs()
+	blockReg, ready := rs1, c.regReady[rs1]
+	if c.regReady[rs2] > ready {
+		blockReg, ready = rs2, c.regReady[rs2]
+	}
+	if ready > c.cycle {
+		switch c.regProd[blockReg] {
+		case prodLoad:
+			c.assert(EvLoadUseInterlock)
+		case prodLongLatency:
+			c.assert(EvLongLatency)
+		case prodMulDiv:
+			c.assert(EvMulDivInterlock)
+		case prodCSR:
+			c.assert(EvCSRInterlock)
+		}
+		return 0
+	}
+
+	// Issue.
+	c.ibuf = c.ibuf[1:]
+	c.assert(EvInstIssued)
+	c.execute(e)
+
+	// Retire (in-order, same cycle for accounting purposes).
+	c.assert(EvInstRet)
+	c.retiredTotal++
+	return 1
+}
+
+// execute applies per-class timing.
+func (c *Core) execute(e fetchEntry) {
+	in := e.rec.Inst
+	rd := in.DestReg()
+	switch in.Op.Class() {
+	case isa.ClassALU:
+		c.assert(EvArith)
+		c.setDest(rd, c.cycle+1, prodNone)
+
+	case isa.ClassLoad:
+		c.assert(EvLoad)
+		d := c.Hier.AccessD(e.rec.MemAddr, false, c.cycle)
+		c.noteDTLB(d)
+		if d.Miss {
+			c.assert(EvDCacheMiss)
+			if d.Writeback {
+				c.assert(EvDCacheRel)
+			}
+			// Blocking miss: the pipeline stalls and the load replays.
+			c.beginStall(uint64(d.Latency)+1, EvDCacheBlocked)
+			c.replayAt = c.stallUntil - 1
+			c.setDest(rd, c.stallUntil, prodLongLatency)
+		} else {
+			c.setDest(rd, c.cycle+1+uint64(c.Cfg.LoadUseDelay), prodLoad)
+		}
+
+	case isa.ClassStore:
+		c.assert(EvStore)
+		d := c.Hier.AccessD(e.rec.MemAddr, true, c.cycle)
+		c.noteDTLB(d)
+		if d.Miss {
+			c.assert(EvDCacheMiss)
+			if d.Writeback {
+				c.assert(EvDCacheRel)
+			}
+			// Write-buffered: no pipeline stall.
+		}
+
+	case isa.ClassAtomic:
+		// Read-modify-write holds the D$ port: a hit costs an extra
+		// cycle, a miss blocks like a load.
+		c.assert(EvAtomic)
+		d := c.Hier.AccessD(e.rec.MemAddr, true, c.cycle)
+		c.noteDTLB(d)
+		if d.Miss {
+			c.assert(EvDCacheMiss)
+			if d.Writeback {
+				c.assert(EvDCacheRel)
+			}
+			c.beginStall(uint64(d.Latency)+2, EvDCacheBlocked)
+			c.replayAt = c.stallUntil - 1
+			c.setDest(rd, c.stallUntil, prodLongLatency)
+		} else {
+			c.beginStall(1, "")
+			c.setDest(rd, c.cycle+2+uint64(c.Cfg.LoadUseDelay), prodLoad)
+		}
+
+	case isa.ClassMul:
+		c.assert(EvArith)
+		c.setDest(rd, c.cycle+uint64(c.Cfg.MulLatency), prodMulDiv)
+
+	case isa.ClassDiv:
+		c.assert(EvArith)
+		c.setDest(rd, c.cycle+uint64(c.Cfg.DivLatency), prodMulDiv)
+
+	case isa.ClassBranch:
+		c.assert(EvBranch)
+		c.Pred.UpdateBranch(e.rec.PC, e.rec.Taken)
+		if e.mispredicted {
+			c.assert(EvBrMispredict)
+			c.assert(EvFlush)
+			c.recovering = c.Cfg.BrMispredictPenalty
+			c.recoveringFlag = true
+			c.fetchBlocked = false
+			c.squash()
+		}
+
+	case isa.ClassJump:
+		c.assert(EvJump)
+		c.setDest(rd, c.cycle+1, prodNone)
+
+	case isa.ClassFence:
+		c.assert(EvFence)
+		c.assert(EvFlush)
+		if in.Op == isa.FENCEI {
+			c.Hier.L1I.Flush()
+			c.haveFetchBlock = false
+			c.beginStall(uint64(c.Cfg.FenceIPenalty), "")
+		} else {
+			c.beginStall(uint64(c.Cfg.FencePenalty), "")
+		}
+
+	case isa.ClassCSR:
+		c.assert(EvSystem)
+		c.beginStall(uint64(c.Cfg.CSRLatency), "")
+		c.setDest(rd, c.stallUntil, prodCSR)
+
+	case isa.ClassSystem:
+		c.assert(EvSystem)
+		// ecall/ebreak: the functional model has already halted (or
+		// continued); no extra timing beyond a flush-like cost.
+		c.beginStall(uint64(c.Cfg.CSRLatency), "")
+	}
+}
+
+func (c *Core) setDest(rd isa.Reg, readyAt uint64, kind producerKind) {
+	if rd == isa.X0 {
+		return
+	}
+	c.regReady[rd] = readyAt
+	c.regProd[rd] = kind
+}
+
+// beginStall blocks the issue stage until now+n; ev (if nonzero event
+// index semantics: we pass event *names* resolved here) is asserted each
+// stalled cycle.
+func (c *Core) beginStall(n uint64, evName string) {
+	c.stallUntil = c.cycle + 1 + n
+	c.stallEvents = c.stallEvents[:0]
+	if evName != "" {
+		c.stallEvents = append(c.stallEvents, c.ev[evName])
+	}
+	c.replayAt = 0
+}
+
+func (c *Core) noteDTLB(d mem.DResult) {
+	if d.TLBMiss {
+		c.assert(EvDTLBMiss)
+	}
+	if d.L2TLBMiss {
+		c.assert(EvL2TLBMiss)
+	}
+}
+
+// fetchStage refills the instruction buffer.
+func (c *Core) fetchStage() error {
+	if c.recovering > 0 || c.fetchBlocked || c.fetchStall > c.cycle ||
+		c.refillUntil > c.cycle {
+		return nil
+	}
+	// The fetch group is aligned: a redirect into the second slot of a
+	// FetchWidth-instruction window only delivers the window's tail that
+	// cycle — the §III source of warm-cache fetch bubbles.
+	window := c.Cfg.FetchWidth
+	for n := 0; n < window && len(c.ibuf) < c.Cfg.IBufEntries; n++ {
+		rec, ok, err := c.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if n == 0 {
+			off := int(rec.PC/isa.InstBytes) & (c.Cfg.FetchWidth - 1)
+			window = c.Cfg.FetchWidth - off
+			if window < 1 {
+				window = 1
+			}
+		}
+		// I-cache access per fetch packet start or block change.
+		blk := c.Hier.L1I.BlockAddr(rec.PC)
+		if n == 0 && (!c.haveFetchBlock || blk != c.lastFetchBlock) {
+			ir := c.Hier.AccessI(rec.PC, c.cycle)
+			c.lastFetchBlock, c.haveFetchBlock = blk, true
+			if ir.TLBMiss {
+				c.assert(EvITLBMiss)
+			}
+			if ir.L2TLBMiss {
+				c.assert(EvL2TLBMiss)
+			}
+			if ir.Miss {
+				c.assert(EvICacheMiss)
+			}
+			if ir.Latency > 0 {
+				// Demand miss or late prefetch: the refill is still in
+				// flight. The instruction is not delivered; re-fetch it
+				// once the refill lands.
+				c.refillUntil = c.cycle + uint64(ir.Latency)
+				c.putback = append(c.putback, rec)
+				return nil
+			}
+		}
+		entry := fetchEntry{rec: rec, availableAt: c.cycle + 1}
+
+		redirecting := rec.NextPC != rec.PC+isa.InstBytes
+		switch rec.Inst.Op.Class() {
+		case isa.ClassBranch:
+			pred := c.Pred.PredictBranch(rec.PC)
+			entry.mispredicted = pred != rec.Taken
+			c.ibuf = append(c.ibuf, entry)
+			if entry.mispredicted {
+				// Frontend runs down the wrong path until the branch
+				// resolves at execute.
+				c.fetchBlocked = true
+				return nil
+			}
+			if rec.Taken {
+				c.redirect(rec, c.Cfg.BTBMissPenalty)
+				return nil
+			}
+		case isa.ClassJump:
+			c.ibuf = append(c.ibuf, entry)
+			if redirecting {
+				pen := 1 // jal: target known at decode
+				if rec.Inst.Op == isa.JALR {
+					pen = c.Cfg.JALRPenalty
+				}
+				c.redirect(rec, pen)
+				return nil
+			}
+		default:
+			c.ibuf = append(c.ibuf, entry)
+			if redirecting {
+				// ecall or similar: stop the packet.
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// redirect charges the fetch-redirect cost for a taken control-flow
+// instruction: free on a correct BTB target, a short stall otherwise.
+func (c *Core) redirect(rec isa.Retired, missPenalty int) {
+	target, ok := c.Pred.PredictTarget(rec.PC)
+	if ok && target == rec.NextPC {
+		// Predicted redirect: the fetch stream still breaks while the PC
+		// wraps around the frontend — the §III warm-cache bubble source.
+		if c.Cfg.TakenBubble > 0 {
+			c.fetchStall = c.cycle + uint64(c.Cfg.TakenBubble)
+		}
+		return
+	}
+	c.assert(EvCFTargetMiss)
+	c.fetchStall = c.cycle + uint64(missPenalty)
+	c.Pred.UpdateTarget(rec.PC, rec.NextPC)
+}

@@ -1,0 +1,91 @@
+// Package rocket implements a cycle-level timing model of the Rocket core:
+// a 5-stage in-order RV64 pipeline with 2-wide fetch, single issue, a
+// 512-entry BHT + 28-entry BTB, blocking loads, and the full Table I event
+// list including the three events Icicle adds for TMA (Instr-issued,
+// Fetch-bubbles, Recovering).
+package rocket
+
+import "icicle/internal/pmu"
+
+// Event set IDs, following the Chipyard grouping (§II-A, Table I).
+const (
+	SetBasic     = 0
+	SetMicroarch = 1
+	SetMemory    = 2
+	SetTMA       = 3 // events added by this work
+)
+
+// Event names. The names are the stable API between the core, the perf
+// harness, and the TMA model.
+const (
+	EvCycles  = "cycles"
+	EvInstRet = "instructions-retired"
+	EvLoad    = "load"
+	EvStore   = "store"
+	EvSystem  = "system"
+	EvArith   = "arith"
+	EvBranch  = "branch"
+	EvFence   = "fence"
+	EvJump    = "jump"
+	EvAtomic  = "atomic"
+
+	EvLoadUseInterlock = "load-use-interlock"
+	EvLongLatency      = "long-latency-interlock"
+	EvCSRInterlock     = "csr-interlock"
+	EvICacheBlocked    = "icache-blocked"
+	EvDCacheBlocked    = "dcache-blocked"
+	EvBrMispredict     = "cobr-mispredict"
+	EvFlush            = "flush"
+	EvReplay           = "replay"
+	EvCFTargetMiss     = "cf-target-mispredict"
+	EvMulDivInterlock  = "muldiv-interlock"
+
+	EvICacheMiss = "icache-miss"
+	EvDCacheMiss = "dcache-miss"
+	EvDCacheRel  = "dcache-release"
+	EvITLBMiss   = "itlb-miss"
+	EvDTLBMiss   = "dtlb-miss"
+	EvL2TLBMiss  = "l2tlb-miss"
+
+	// TMA events added by Icicle (§IV-A, Table I: 3 new Rocket events).
+	EvInstIssued   = "instructions-issued"
+	EvFetchBubbles = "fetch-bubbles"
+	EvRecovering   = "recovering"
+)
+
+// Events is Rocket's event space. Rocket is single-issue, so every event
+// has one source.
+var Events = pmu.MustSpace([]pmu.Event{
+	{Name: EvCycles, Set: SetBasic, Bit: 0, Sources: 1},
+	{Name: EvInstRet, Set: SetBasic, Bit: 1, Sources: 1},
+	{Name: EvLoad, Set: SetBasic, Bit: 2, Sources: 1},
+	{Name: EvStore, Set: SetBasic, Bit: 3, Sources: 1},
+	{Name: EvSystem, Set: SetBasic, Bit: 4, Sources: 1},
+	{Name: EvArith, Set: SetBasic, Bit: 5, Sources: 1},
+	{Name: EvBranch, Set: SetBasic, Bit: 6, Sources: 1},
+	{Name: EvFence, Set: SetBasic, Bit: 7, Sources: 1},
+	{Name: EvJump, Set: SetBasic, Bit: 8, Sources: 1},
+	{Name: EvAtomic, Set: SetBasic, Bit: 9, Sources: 1},
+
+	{Name: EvLoadUseInterlock, Set: SetMicroarch, Bit: 0, Sources: 1},
+	{Name: EvLongLatency, Set: SetMicroarch, Bit: 1, Sources: 1},
+	{Name: EvCSRInterlock, Set: SetMicroarch, Bit: 2, Sources: 1},
+	{Name: EvICacheBlocked, Set: SetMicroarch, Bit: 3, Sources: 1},
+	{Name: EvDCacheBlocked, Set: SetMicroarch, Bit: 4, Sources: 1},
+	{Name: EvBrMispredict, Set: SetMicroarch, Bit: 5, Sources: 1},
+	{Name: EvFlush, Set: SetMicroarch, Bit: 6, Sources: 1},
+	{Name: EvReplay, Set: SetMicroarch, Bit: 7, Sources: 1},
+	{Name: EvCFTargetMiss, Set: SetMicroarch, Bit: 8, Sources: 1},
+	{Name: EvMulDivInterlock, Set: SetMicroarch, Bit: 9, Sources: 1},
+
+	{Name: EvICacheMiss, Set: SetMemory, Bit: 0, Sources: 1},
+	{Name: EvDCacheMiss, Set: SetMemory, Bit: 1, Sources: 1},
+	{Name: EvDCacheRel, Set: SetMemory, Bit: 2, Sources: 1},
+	{Name: EvITLBMiss, Set: SetMemory, Bit: 3, Sources: 1},
+	{Name: EvDTLBMiss, Set: SetMemory, Bit: 4, Sources: 1},
+	{Name: EvL2TLBMiss, Set: SetMemory, Bit: 5, Sources: 1},
+
+	{Name: EvInstIssued, Set: SetTMA, Bit: 0, Sources: 1},
+	{Name: EvFetchBubbles, Set: SetTMA, Bit: 1, Sources: 1},
+	{Name: EvRecovering, Set: SetTMA, Bit: 2, Sources: 1},
+})

@@ -1,0 +1,149 @@
+// Package stats provides the small statistical helpers the trace analyzer
+// and benchmark harness need: empirical CDFs, histograms, and run-length
+// utilities.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over integer samples.
+type CDF struct {
+	sorted []uint64
+}
+
+// NewCDF builds a CDF from samples (copied and sorted).
+func NewCDF(samples []uint64) *CDF {
+	s := make([]uint64, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return &CDF{sorted: s}
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X ≤ v).
+func (c *CDF) At(v uint64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > v })
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1).
+func (c *CDF) Quantile(q float64) uint64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(q * float64(len(c.sorted)))
+	if i >= len(c.sorted) {
+		i = len(c.sorted) - 1
+	}
+	return c.sorted[i]
+}
+
+// Mode returns the most frequent value.
+func (c *CDF) Mode() uint64 {
+	var mode uint64
+	best, run := 0, 0
+	for i := range c.sorted {
+		if i > 0 && c.sorted[i] == c.sorted[i-1] {
+			run++
+		} else {
+			run = 1
+		}
+		if run > best {
+			best = run
+			mode = c.sorted[i]
+		}
+	}
+	return mode
+}
+
+// Max returns the largest sample.
+func (c *CDF) Max() uint64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range c.sorted {
+		sum += float64(v)
+	}
+	return sum / float64(len(c.sorted))
+}
+
+// Series renders (value, cumulative fraction) points suitable for
+// plotting Fig. 8b-style CDFs.
+func (c *CDF) Series() string {
+	var sb strings.Builder
+	for i, v := range c.sorted {
+		if i+1 == len(c.sorted) || c.sorted[i+1] != v {
+			fmt.Fprintf(&sb, "%d\t%.4f\n", v, float64(i+1)/float64(len(c.sorted)))
+		}
+	}
+	return sb.String()
+}
+
+// RunLengths extracts the lengths of maximal runs of true values.
+func RunLengths(bits []bool) []uint64 {
+	var runs []uint64
+	run := uint64(0)
+	for _, b := range bits {
+		if b {
+			run++
+		} else if run > 0 {
+			runs = append(runs, run)
+			run = 0
+		}
+	}
+	if run > 0 {
+		runs = append(runs, run)
+	}
+	return runs
+}
+
+// PadWindows returns a copy of bits where every true bit is widened by pad
+// positions on each side (the rolling window of §V-B).
+func PadWindows(bits []bool, pad int) []bool {
+	out := make([]bool, len(bits))
+	// Sweep once forward and once backward carrying a countdown.
+	cnt := 0
+	for i, b := range bits {
+		if b {
+			cnt = pad + 1
+		}
+		if cnt > 0 {
+			out[i] = true
+			cnt--
+		}
+	}
+	cnt = 0
+	for i := len(bits) - 1; i >= 0; i-- {
+		if bits[i] {
+			cnt = pad + 1
+		}
+		if cnt > 0 {
+			out[i] = true
+			cnt--
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]uint64{4, 4, 4, 4, 2, 8, 30})
+	if c.N() != 7 {
+		t.Fatalf("n = %d", c.N())
+	}
+	if c.Mode() != 4 {
+		t.Fatalf("mode = %d", c.Mode())
+	}
+	if c.Max() != 30 {
+		t.Fatalf("max = %d", c.Max())
+	}
+	if got := c.At(4); got < 0.7 || got > 0.72 {
+		t.Fatalf("At(4) = %f", got)
+	}
+	if c.At(1) != 0 || c.At(30) != 1 {
+		t.Fatal("tail probabilities wrong")
+	}
+	if c.Quantile(0) != 2 || c.Quantile(1) != 30 {
+		t.Fatal("quantile endpoints wrong")
+	}
+	if m := c.Mean(); m != 8 { // (4*4+2+8+30)/7
+		t.Fatalf("mean = %f", m)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(5) != 0 || c.Quantile(0.5) != 0 || c.Mode() != 0 || c.Mean() != 0 {
+		t.Fatal("empty CDF not all-zero")
+	}
+}
+
+func TestCDFMonotoneQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(n uint8) bool {
+		samples := make([]uint64, int(n)+1)
+		for i := range samples {
+			samples[i] = uint64(r.Intn(100))
+		}
+		c := NewCDF(samples)
+		prev := 0.0
+		for v := uint64(0); v < 100; v++ {
+			p := c.At(v)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return prev == 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunLengths(t *testing.T) {
+	bits := []bool{true, true, false, true, false, false, true, true, true}
+	got := RunLengths(bits)
+	want := []uint64{2, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if RunLengths(nil) != nil {
+		t.Fatal("empty input should give nil")
+	}
+}
+
+func TestPadWindows(t *testing.T) {
+	bits := []bool{false, false, false, true, false, false, false}
+	got := PadWindows(bits, 2)
+	want := []bool{false, true, true, true, true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pad 2: got %v, want %v", got, want)
+		}
+	}
+	// pad 0 is the identity.
+	got = PadWindows(bits, 0)
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatal("pad 0 not identity")
+		}
+	}
+}
+
+func TestPadWindowsNeverShrinks(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		bits := make([]bool, 100)
+		for i := range bits {
+			bits[i] = r.Intn(5) == 0
+		}
+		padded := PadWindows(bits, r.Intn(10))
+		for i := range bits {
+			if bits[i] && !padded[i] {
+				t.Fatal("padding dropped a set bit")
+			}
+		}
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	c := NewCDF([]uint64{1, 2, 2, 3})
+	s := c.Series()
+	if s == "" {
+		t.Fatal("empty series")
+	}
+}

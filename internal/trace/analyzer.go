@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"icicle/internal/stats"
+)
+
+// Analyzer applies the temporal TMA model (§V-B) to a decoded trace: it
+// can reconstruct per-event timelines, extract recovery sequences, and
+// bound the overlap between TMA classes that counter values alone cannot
+// reveal.
+type Analyzer struct {
+	names   []string
+	sources []int
+	frames  []Frame
+}
+
+// NewAnalyzer drains the reader.
+func NewAnalyzer(r *Reader) (*Analyzer, error) {
+	frames, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{names: r.Names(), sources: r.sources, frames: frames}, nil
+}
+
+// Cycles returns the trace length.
+func (a *Analyzer) Cycles() int { return len(a.frames) }
+
+// Names returns the traced event names in bundle order.
+func (a *Analyzer) Names() []string { return a.names }
+
+func (a *Analyzer) index(name string) (int, error) {
+	for i, n := range a.names {
+		if n == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: event %q not in trace", name)
+}
+
+// EventBits returns the per-cycle any-lane assertion of one event.
+func (a *Analyzer) EventBits(name string) ([]bool, error) {
+	idx, err := a.index(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(a.frames))
+	for c, f := range a.frames {
+		out[c] = f.Any(idx)
+	}
+	return out, nil
+}
+
+// Totals returns lane-summed totals per traced event.
+func (a *Analyzer) Totals() map[string]uint64 {
+	out := make(map[string]uint64, len(a.names))
+	for i, n := range a.names {
+		var t uint64
+		for _, f := range a.frames {
+			t += uint64(f.Count(i))
+		}
+		out[n] = t
+	}
+	return out
+}
+
+// RecoveryCDF extracts the lengths of maximal Recovering runs — the
+// Fig. 8b distribution (mode 4 on BOOM; the long tail comes from fences
+// and back-to-back flushes).
+func (a *Analyzer) RecoveryCDF(recovering string) (*stats.CDF, error) {
+	bitsv, err := a.EventBits(recovering)
+	if err != nil {
+		return nil, err
+	}
+	return stats.NewCDF(stats.RunLengths(bitsv)), nil
+}
+
+// OverlapReport is the Table VI artifact: an upper bound on slots that
+// could belong to either Frontend or Bad Speculation.
+type OverlapReport struct {
+	Cycles        int
+	SlotsPerCycle int
+	TotalSlots    uint64
+
+	FrontendSlots uint64 // fetch-bubble slots in the trace
+	OverlapSlots  uint64 // bubble slots inside both padded windows
+
+	OverlapFrac  float64 // of all slots
+	FrontendFrac float64 // of all slots
+	// Perturbation: if every overlapping slot moved into / out of the
+	// Frontend class, by how much (relative %) would it change?
+	FrontendPerturbation float64
+}
+
+func (r OverlapReport) String() string {
+	return fmt.Sprintf(
+		"cycles %d, slots %d: frontend %.2f%%, overlap %.4f%% (frontend perturbation ±%.2f%%)",
+		r.Cycles, r.TotalSlots, r.FrontendFrac*100, r.OverlapFrac*100,
+		r.FrontendPerturbation*100)
+}
+
+// OverlapBound scans for fetch-bubble slots lying within pad cycles of
+// both an I-cache refill and a recovery window (§V-B: rolling window
+// padded by 50 cycles to conservatively bound the overlap). Any such slot
+// could count toward either Frontend or Bad Speculation.
+func (a *Analyzer) OverlapBound(bubble, refill, recovering string, pad int) (OverlapReport, error) {
+	bIdx, err := a.index(bubble)
+	if err != nil {
+		return OverlapReport{}, err
+	}
+	refBits, err := a.EventBits(refill)
+	if err != nil {
+		return OverlapReport{}, err
+	}
+	recBits, err := a.EventBits(recovering)
+	if err != nil {
+		return OverlapReport{}, err
+	}
+	refWin := stats.PadWindows(refBits, pad)
+	recWin := stats.PadWindows(recBits, pad)
+
+	rep := OverlapReport{
+		Cycles:        len(a.frames),
+		SlotsPerCycle: a.sources[bIdx],
+	}
+	rep.TotalSlots = uint64(rep.Cycles) * uint64(rep.SlotsPerCycle)
+	for c, f := range a.frames {
+		n := uint64(f.Count(bIdx))
+		rep.FrontendSlots += n
+		if refWin[c] && recWin[c] {
+			rep.OverlapSlots += n
+		}
+	}
+	if rep.TotalSlots > 0 {
+		rep.OverlapFrac = float64(rep.OverlapSlots) / float64(rep.TotalSlots)
+		rep.FrontendFrac = float64(rep.FrontendSlots) / float64(rep.TotalSlots)
+	}
+	if rep.FrontendSlots > 0 {
+		rep.FrontendPerturbation = float64(rep.OverlapSlots) / float64(rep.FrontendSlots)
+	}
+	return rep, nil
+}
+
+// Timeline renders a Fig. 3-style ASCII view of the trace between cycles
+// [start, end): one row per event, a dot per asserted cycle (any lane).
+func (a *Analyzer) Timeline(start, end int) string {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(a.frames) {
+		end = len(a.frames)
+	}
+	if end <= start {
+		return ""
+	}
+	width := 0
+	for _, n := range a.names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%*s  cycles %d..%d\n", width, "", start, end-1)
+	for i, n := range a.names {
+		fmt.Fprintf(&sb, "%*s  ", width, n)
+		for c := start; c < end; c++ {
+			if a.frames[c].Any(i) {
+				sb.WriteByte('*')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FindWindow locates the first cycle ≥ from where the named event
+// asserts, or -1.
+func (a *Analyzer) FindWindow(name string, from int) int {
+	idx, err := a.index(name)
+	if err != nil {
+		return -1
+	}
+	for c := from; c < len(a.frames); c++ {
+		if a.frames[c].Any(idx) {
+			return c
+		}
+	}
+	return -1
+}

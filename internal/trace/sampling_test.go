@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSamplingWriterGeometryValidation(t *testing.T) {
+	s := testSpace(t)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, MustBundle(s, "recovering"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSamplingWriter(w, 0, 10); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := NewSamplingWriter(w, 20, 10); err == nil {
+		t.Fatal("period < window accepted")
+	}
+}
+
+func TestSamplingCapturesOnlyWindows(t *testing.T) {
+	s := testSpace(t)
+	b := MustBundle(s, "fetch-bubbles", "recovering")
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSamplingWriter(w, 10, 100) // 10 cycles captured per 100
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := s.NewSample()
+	const cycles = 1000
+	for c := uint64(0); c < cycles; c++ {
+		sample.Reset()
+		// recovering asserts on every cycle ≡ 3 mod 10; half land inside
+		// windows.
+		if c%10 == 3 {
+			sample.Assert(1, 0)
+		}
+		sw.WriteCycle(c, sample)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Cycles() != 100 { // 10 windows × 10 cycles
+		t.Fatalf("captured %d cycles, want 100", sw.Cycles())
+	}
+
+	windows, names, err := ReadWindows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 10 {
+		t.Fatalf("%d windows", len(windows))
+	}
+	if names[1] != "recovering" {
+		t.Fatalf("names = %v", names)
+	}
+	for i, win := range windows {
+		if win.Start != uint64(i*100) {
+			t.Fatalf("window %d start %d", i, win.Start)
+		}
+		if len(win.Frames) != 10 {
+			t.Fatalf("window %d has %d frames", i, len(win.Frames))
+		}
+	}
+	a := NewWindowAnalyzer(windows, names)
+	if a.CapturedCycles() != 100 {
+		t.Fatalf("analyzer cycles %d", a.CapturedCycles())
+	}
+	// One recovering assert per window (cycle ≡ 3 within the first 10).
+	if got := a.Totals()["recovering"]; got != 10 {
+		t.Fatalf("recovering total %d, want 10", got)
+	}
+}
+
+func TestSamplingRejectsCorruptMarkers(t *testing.T) {
+	s := testSpace(t)
+	b := MustBundle(s, "recovering")
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Append garbage where a window marker should be.
+	buf.Write(bytes.Repeat([]byte{0xAB}, 10))
+	if _, _, err := ReadWindows(&buf); err == nil {
+		t.Fatal("corrupt marker accepted")
+	}
+}
+
+func TestSamplingEndToEndOnCore(t *testing.T) {
+	// Smoke: a sampled trace over a pmu.Sample stream produced by hand
+	// must round-trip bit-exactly.
+	s := testSpace(t)
+	b := MustBundle(s, "fetch-bubbles")
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSamplingWriter(w, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := s.NewSample()
+	want := map[uint64]uint64{} // captured cycle → lanes
+	for c := uint64(0); c < 70; c++ {
+		sample.Reset()
+		lanes := (c * 3) % 8
+		sample.Set(0, lanes)
+		if c%7 < 5 {
+			want[c] = lanes
+		}
+		sw.WriteCycle(c, sample)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	windows, _, err := ReadWindows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]uint64{}
+	for _, win := range windows {
+		for i, f := range win.Frames {
+			got[win.Start+uint64(i)] = f[0]
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("captured %d cycles, want %d", len(got), len(want))
+	}
+	for c, lanes := range want {
+		if got[c] != lanes {
+			t.Fatalf("cycle %d: %#x != %#x", c, got[c], lanes)
+		}
+	}
+}
+
+func TestSampledOverlapTracksFullTrace(t *testing.T) {
+	// Build one synthetic stream, trace it both fully and sampled at 50%;
+	// the sampled overlap fractions must land near the full-trace ones
+	// (sampling fidelity — how §V-B justifies sampling 1.5M cycles).
+	s := testSpace(t)
+	events := []string{"fetch-bubbles", "recovering", "icache-miss"}
+	bundleA := MustBundle(s, events...)
+	bundleB := MustBundle(s, events...)
+
+	var full, sampled bytes.Buffer
+	wf, err := NewWriter(&full, bundleA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws0, err := NewWriter(&sampled, bundleB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := NewSamplingWriter(ws0, 512, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sample := s.NewSample()
+	gen := uint64(12345)
+	for c := uint64(0); c < 100_000; c++ {
+		sample.Reset()
+		gen = gen*6364136223846793005 + 1442695040888963407
+		if gen%97 == 0 {
+			sample.Assert(2, 0) // icache-miss
+		}
+		if gen%23 < 4 {
+			sample.Assert(1, 0) // recovering
+		}
+		if gen%11 < 2 {
+			sample.AssertN(0, int(gen%4)) // bubbles
+		}
+		wf.WriteCycle(c, sample)
+		ws.WriteCycle(c, sample)
+	}
+	if err := wf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := NewReader(&full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, err := NewAnalyzer(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRep, err := af.OverlapBound("fetch-bubbles", "icache-miss", "recovering", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	windows, names, err := ReadWindows(&sampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw := NewWindowAnalyzer(windows, names)
+	sampRep, err := aw.OverlapBound("fetch-bubbles", "icache-miss", "recovering", 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 97 full periods capture 512 cycles each; the 672-cycle remainder
+	// captures one more full window.
+	if want := 97*512 + 512; aw.CapturedCycles() != want {
+		t.Fatalf("captured %d cycles, want %d", aw.CapturedCycles(), want)
+	}
+	// Fractions agree within 20% relative (window-edge truncation makes
+	// the sampled bound slightly lower).
+	rel := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d / b
+	}
+	if rel(sampRep.FrontendFrac, fullRep.FrontendFrac) > 0.2 {
+		t.Fatalf("frontend frac: sampled %f vs full %f", sampRep.FrontendFrac, fullRep.FrontendFrac)
+	}
+	if rel(sampRep.OverlapFrac, fullRep.OverlapFrac) > 0.35 {
+		t.Fatalf("overlap frac: sampled %f vs full %f", sampRep.OverlapFrac, fullRep.OverlapFrac)
+	}
+	if sampRep.OverlapFrac > fullRep.OverlapFrac*1.05 {
+		t.Fatal("sampled bound should not exceed the full-trace bound (edge truncation)")
+	}
+}

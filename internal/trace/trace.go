@@ -1,0 +1,252 @@
+// Package trace implements Icicle's out-of-band microarchitectural event
+// tracing (§IV-C): a TracerV-style bridge that streams a selected bundle
+// of per-cycle event signals as packed binary frames over an io.Writer
+// (standing in for the FPGA→host PCIe DMA path), a reader/DMA driver that
+// decodes them, and the temporal-TMA analyzer used for trace-based
+// validation (§V-B): recovery-sequence CDFs and class-overlap bounding.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+
+	"icicle/internal/pmu"
+)
+
+// Magic identifies an Icicle trace stream.
+const Magic = "ICTR"
+
+// Version of the binary format.
+const Version = 1
+
+// Bundle selects which events a trace carries. Each traced event
+// contributes Sources bits per cycle, packed LSB-first in bundle order —
+// the "matching type definition for each bit" of §IV-C.
+type Bundle struct {
+	space   *pmu.Space
+	events  []int // indices into space.Events
+	names   []string
+	bitsPer int // total bits per cycle frame
+}
+
+// NewBundle selects the named events from the space.
+func NewBundle(space *pmu.Space, names ...string) (*Bundle, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("trace: empty bundle")
+	}
+	b := &Bundle{space: space, names: names}
+	for _, n := range names {
+		idx, err := space.Index(n)
+		if err != nil {
+			return nil, err
+		}
+		b.events = append(b.events, idx)
+		b.bitsPer += space.Events[idx].Sources
+	}
+	return b, nil
+}
+
+// MustBundle is NewBundle that panics on unknown events.
+func MustBundle(space *pmu.Space, names ...string) *Bundle {
+	b, err := NewBundle(space, names...)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Names returns the traced event names in bundle order.
+func (b *Bundle) Names() []string { return b.names }
+
+// FrameBytes returns the per-cycle frame size.
+func (b *Bundle) FrameBytes() int { return (b.bitsPer + 7) / 8 }
+
+// Writer is the target side of the bridge: it packs each cycle's selected
+// signals and streams them to the host.
+type Writer struct {
+	bundle *Bundle
+	w      *bufio.Writer
+	frame  []byte
+	cycles uint64
+	err    error
+}
+
+// NewWriter writes the self-describing header and returns a Writer.
+func NewWriter(w io.Writer, bundle *Bundle) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, err
+	}
+	var hdr []byte
+	hdr = binary.LittleEndian.AppendUint16(hdr, Version)
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(bundle.events)))
+	for i, idx := range bundle.events {
+		e := bundle.space.Events[idx]
+		hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(bundle.names[i])))
+		hdr = append(hdr, bundle.names[i]...)
+		hdr = binary.LittleEndian.AppendUint16(hdr, uint16(e.Sources))
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, err
+	}
+	return &Writer{bundle: bundle, w: bw, frame: make([]byte, bundle.FrameBytes())}, nil
+}
+
+// WriteCycle packs and emits one cycle. It is shaped to be used directly
+// as a core's CycleHook.
+func (w *Writer) WriteCycle(cycle uint64, sample pmu.Sample) {
+	if w.err != nil {
+		return
+	}
+	for i := range w.frame {
+		w.frame[i] = 0
+	}
+	bit := 0
+	for _, idx := range w.bundle.events {
+		lanes := sample.Lanes(idx)
+		n := w.bundle.space.Events[idx].Sources
+		for l := 0; l < n; l++ {
+			if lanes&(1<<uint(l)) != 0 {
+				w.frame[bit/8] |= 1 << uint(bit%8)
+			}
+			bit++
+		}
+	}
+	_, w.err = w.w.Write(w.frame)
+	w.cycles++
+}
+
+// Flush drains the bridge buffer; call once simulation ends.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Cycles returns the number of frames written.
+func (w *Writer) Cycles() uint64 { return w.cycles }
+
+// Frame is one decoded cycle: a lane mask per traced event, in bundle
+// order.
+type Frame []uint64
+
+// Any reports whether event i has any lane high.
+func (f Frame) Any(i int) bool { return f[i] != 0 }
+
+// Count returns the number of asserted lanes of event i.
+func (f Frame) Count(i int) int { return bits.OnesCount64(f[i]) }
+
+// Reader is the host-side DMA driver: it parses the header and decodes
+// frames.
+type Reader struct {
+	r       *bufio.Reader
+	names   []string
+	sources []int
+	frame   []byte
+	bitsPer int
+}
+
+// NewReader parses the stream header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var u16 [2]byte
+	read16 := func() (uint16, error) {
+		if _, err := io.ReadFull(br, u16[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint16(u16[:]), nil
+	}
+	ver, err := read16()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	n, err := read16()
+	if err != nil {
+		return nil, err
+	}
+	rd := &Reader{r: br}
+	for i := 0; i < int(n); i++ {
+		nl, err := read16()
+		if err != nil {
+			return nil, err
+		}
+		name := make([]byte, nl)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		src, err := read16()
+		if err != nil {
+			return nil, err
+		}
+		rd.names = append(rd.names, string(name))
+		rd.sources = append(rd.sources, int(src))
+		rd.bitsPer += int(src)
+	}
+	rd.frame = make([]byte, (rd.bitsPer+7)/8)
+	return rd, nil
+}
+
+// Names returns the traced event names.
+func (r *Reader) Names() []string { return r.names }
+
+// Index returns the frame index of the named event.
+func (r *Reader) Index(name string) (int, error) {
+	for i, n := range r.names {
+		if n == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: event %q not in trace", name)
+}
+
+// Next decodes one cycle; io.EOF signals a clean end of trace.
+func (r *Reader) Next() (Frame, error) {
+	if _, err := io.ReadFull(r.r, r.frame); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	f := make(Frame, len(r.names))
+	bit := 0
+	for i, src := range r.sources {
+		var m uint64
+		for l := 0; l < src; l++ {
+			if r.frame[bit/8]&(1<<uint(bit%8)) != 0 {
+				m |= 1 << uint(l)
+			}
+			bit++
+		}
+		f[i] = m
+	}
+	return f, nil
+}
+
+// ReadAll decodes the remaining frames.
+func (r *Reader) ReadAll() ([]Frame, error) {
+	var out []Frame
+	for {
+		f, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+}

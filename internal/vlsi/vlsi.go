@@ -1,0 +1,281 @@
+// Package vlsi is the physical-design cost model standing in for the
+// paper's Cadence/ASAP7 flow (§V-C): it estimates post-placement power,
+// area, and wirelength overheads of the PMU counter architectures and the
+// longest combinational path crossing the CSR file, for each BOOM size.
+//
+// The model is structural: event sources sit at fixed floorplan blocks, the
+// counter file sits at the die centre (where the placer puts it — it
+// monitors the whole design), and each counter architecture implies a
+// wiring topology, extra gates, and a combinational path:
+//
+//   - Scalar routes every source's 1-bit wire to the centre.
+//   - AddWires sums sources through a *sequential* adder chain placed
+//     along the sources (the paper notes their Chisel compiled to a chain,
+//     not a tree), then routes one multi-bit bus to the centre.
+//   - Distributed places a small counter at each source and routes 1-bit
+//     overflow wires to a rotating arbiter at the centre.
+//
+// Dynamic power uses measured per-event activity from actual simulation
+// when available. Absolute numbers are synthetic; the claims reproduced
+// are the paper's relative ones (overhead bounds, and the adders vs
+// distributed delay crossover as core size grows).
+package vlsi
+
+import (
+	"fmt"
+	"math"
+
+	"icicle/internal/boom"
+	"icicle/internal/pmu"
+)
+
+// Block identifies a floorplan region that can source events.
+type Block int
+
+const (
+	BlkFetch Block = iota
+	BlkDecode
+	BlkIssueInt
+	BlkIssueMem
+	BlkIssueLong
+	BlkROB
+	BlkLSU
+	BlkCSR // die centre
+	numBlocks
+)
+
+var blockNames = [...]string{
+	"fetch", "decode", "issue-int", "issue-mem", "issue-long", "rob", "lsu", "csr",
+}
+
+func (b Block) String() string {
+	if int(b) < len(blockNames) {
+		return blockNames[b]
+	}
+	return fmt.Sprintf("block(%d)", int(b))
+}
+
+// point is a floorplan coordinate in gate-pitch units.
+type point struct{ x, y float64 }
+
+func dist(a, b point) float64 { return math.Abs(a.x-b.x) + math.Abs(a.y-b.y) }
+
+// Floorplan places the blocks on a square die sized from the gate count.
+type Floorplan struct {
+	Side float64
+	pos  [numBlocks]point
+}
+
+// relative block placements (fractions of the die side).
+var blockAt = [numBlocks]point{
+	BlkFetch:     {0.15, 0.85},
+	BlkDecode:    {0.35, 0.75},
+	BlkIssueInt:  {0.55, 0.55},
+	BlkIssueMem:  {0.75, 0.55},
+	BlkIssueLong: {0.60, 0.35},
+	BlkROB:       {0.35, 0.25},
+	BlkLSU:       {0.85, 0.25},
+	BlkCSR:       {0.50, 0.50},
+}
+
+// NewFloorplan derives a die from a gate count (area ∝ gates).
+func NewFloorplan(gates float64) *Floorplan {
+	f := &Floorplan{Side: math.Sqrt(gates)}
+	for b := range f.pos {
+		f.pos[b] = point{blockAt[b].x * f.Side, blockAt[b].y * f.Side}
+	}
+	return f
+}
+
+// Dist returns the Manhattan routing distance between two blocks.
+func (f *Floorplan) Dist(a, b Block) float64 { return dist(f.pos[a], f.pos[b]) }
+
+// CoreGates estimates the gate count of a BOOM configuration from its
+// structural parameters (Table IV). Memory macros are excluded, as in the
+// paper's flow (no ASAP7 memory compiler).
+func CoreGates(cfg boom.Config) float64 {
+	return 60_000 +
+		4_000*float64(cfg.FetchWidth) +
+		9_000*float64(cfg.DecodeWidth) +
+		6_000*float64(cfg.IssueWidth) +
+		450*float64(cfg.ROBEntries) +
+		700*float64(cfg.IQInt+cfg.IQMem+cfg.IQLong) +
+		350*float64(cfg.LQEntries+cfg.STQEntries)
+}
+
+// EventWire describes one event's physical wiring need.
+type EventWire struct {
+	Name     string
+	Sources  int
+	Block    Block
+	Activity float64 // mean asserted sources per cycle (measured)
+}
+
+// EventPlacement maps the TMA event list of a BOOM config onto floorplan
+// blocks. activity carries measured per-event totals-per-cycle (nil → a
+// default 0.05 each).
+func EventPlacement(cfg boom.Config, activity map[string]float64) []EventWire {
+	act := func(name string, def float64) float64 {
+		if activity != nil {
+			if a, ok := activity[name]; ok {
+				return a
+			}
+		}
+		return def
+	}
+	return []EventWire{
+		{boom.EvUopsIssued, cfg.IssueWidth, BlkIssueInt, act(boom.EvUopsIssued, 1.0)},
+		{boom.EvFetchBubbles, cfg.DecodeWidth, BlkDecode, act(boom.EvFetchBubbles, 0.3)},
+		{boom.EvRecovering, 1, BlkFetch, act(boom.EvRecovering, 0.05)},
+		{boom.EvUopsRetired, cfg.DecodeWidth, BlkROB, act(boom.EvUopsRetired, 1.0)},
+		{boom.EvFenceRetired, 1, BlkROB, act(boom.EvFenceRetired, 0.001)},
+		{boom.EvICacheBlocked, 1, BlkFetch, act(boom.EvICacheBlocked, 0.02)},
+		{boom.EvDCacheBlocked, cfg.DecodeWidth, BlkLSU, act(boom.EvDCacheBlocked, 0.2)},
+	}
+}
+
+// Technology constants (gate-pitch units / arbitrary-but-consistent).
+const (
+	gateDelay     = 1.0   // one FO4-ish gate
+	wireDelayPer  = 0.012 // delay per unit wirelength
+	adderDelay    = 1.8   // one chained adder stage
+	muxDelayPer   = 2.6   // one arbiter mux level
+	counterBits   = 64    // principal counter width
+	gatesPerFF    = 3.0   // flop cost
+	gatesPerAdder = 14.0  // per-bit adder cost
+	capPerUnit    = 1.0   // wire capacitance per unit length
+	wireFanout    = 13.0  // event buses fan out to every selectable counter
+	actFactor     = 0.10  // baseline core switching activity
+)
+
+// Report is the per-configuration physical analysis.
+type Report struct {
+	Config string
+	Arch   pmu.Architecture
+
+	CoreGates   float64
+	AddedGates  float64
+	AreaPct     float64 // added gates / core gates
+	WirelenBase float64 // baseline estimated total wirelength
+	WirelenAdd  float64
+	WirelenPct  float64
+	LongestWire float64
+
+	PowerPct float64 // added (static+dynamic) / baseline power
+
+	// Longest combinational path (delay units) through the CSR-crossing
+	// PMU logic, and the same normalized to the scalar implementation of
+	// the same core size (Fig. 9b).
+	CSRPathDelay float64
+}
+
+// Analyze evaluates one (size, architecture) point. activity may be nil.
+func Analyze(cfg boom.Config, arch pmu.Architecture, activity map[string]float64) Report {
+	gates := CoreGates(cfg)
+	fp := NewFloorplan(gates)
+	events := EventPlacement(cfg, activity)
+
+	r := Report{Config: cfg.Name, Arch: arch, CoreGates: gates}
+	// Baseline wirelength: empirical ~2.2 units of wire per gate.
+	r.WirelenBase = 2.2 * gates
+
+	var dynCap float64 // activity-weighted switched capacitance
+	var worstDelay float64
+
+	for _, e := range events {
+		d := fp.Dist(e.Block, BlkCSR)
+		// Source lanes are spread ~2 gate pitches apart within the block.
+		spread := 2.0 * float64(e.Sources-1)
+
+		var wires, longest, delay, addGates float64
+		switch arch {
+		case pmu.Scalar:
+			// One 1-bit wire per source lane to the centre; each lane
+			// needs its own counter to avoid the §II-A undercount.
+			wires = float64(e.Sources) * (d + spread/2)
+			longest = d + spread
+			delay = wireDelayPer*longest + gateDelay // increment mux
+			addGates = float64(e.Sources) * counterBits * gatesPerFF
+		case pmu.AddWires:
+			// Local sequential adder chain along the lanes, then one
+			// log2(S)+1-bit bus to the centre.
+			busBits := math.Floor(math.Log2(float64(e.Sources))) + 1
+			wires = spread + busBits*d
+			longest = d + spread
+			delay = wireDelayPer*(d+spread) +
+				adderDelay*float64(e.Sources-1) + gateDelay
+			addGates = counterBits*gatesPerFF +
+				float64(e.Sources-1)*busBits*gatesPerAdder
+		case pmu.Distributed:
+			// Local counter at each lane (short wires) + 1-bit overflow
+			// per lane to the arbiter at the centre; the CSR-crossing
+			// combinational path is the arbiter mux tree plus one
+			// increment, not the full chain.
+			localW := math.Max(math.Ceil(math.Log2(float64(e.Sources))), 1)
+			wires = float64(e.Sources)*2 + float64(e.Sources)*d
+			longest = d + spread
+			muxLevels := math.Ceil(math.Log2(float64(e.Sources) + 1))
+			delay = wireDelayPer*d + muxDelayPer*muxLevels +
+				gateDelay*localW // local ripple increment
+			addGates = counterBits*gatesPerFF +
+				float64(e.Sources)*(localW*gatesPerFF+localW*gatesPerAdder+gatesPerFF)
+		}
+		r.WirelenAdd += wires * wireFanout
+		if longest > r.LongestWire {
+			r.LongestWire = longest
+		}
+		if delay > worstDelay {
+			worstDelay = delay
+		}
+		r.AddedGates += addGates
+		dynCap += e.Activity * (wires*wireFanout*capPerUnit + addGates*0.5)
+	}
+
+	r.AreaPct = 100 * r.AddedGates / gates
+	r.WirelenPct = 100 * r.WirelenAdd / r.WirelenBase
+	r.CSRPathDelay = worstDelay
+
+	// Power: baseline dynamic ∝ gates × activity factor (+ wire cap);
+	// added = static (gates) + dynamic (activity-weighted cap).
+	basePower := gates*actFactor + r.WirelenBase*capPerUnit*actFactor*0.2
+	addPower := r.AddedGates*actFactor*0.33 + dynCap*0.033
+	r.PowerPct = 100 * addPower / basePower
+	return r
+}
+
+// AnalyzeAll evaluates every size × architecture point (Fig. 9's grid).
+func AnalyzeAll(activity map[string]map[string]float64) []Report {
+	var out []Report
+	for _, s := range boom.Sizes {
+		cfg := boom.NewConfig(s)
+		var act map[string]float64
+		if activity != nil {
+			act = activity[cfg.Name]
+		}
+		for _, arch := range []pmu.Architecture{pmu.Scalar, pmu.AddWires, pmu.Distributed} {
+			out = append(out, Analyze(cfg, arch, act))
+		}
+	}
+	return out
+}
+
+// AdderTreeDelay is the ablation the paper conjectures ("adder trees would
+// be more optimal"): the AddWires path with a log-depth tree instead of
+// the sequential chain.
+func AdderTreeDelay(cfg boom.Config) (chain, tree float64) {
+	gates := CoreGates(cfg)
+	fp := NewFloorplan(gates)
+	for _, e := range EventPlacement(cfg, nil) {
+		d := fp.Dist(e.Block, BlkCSR)
+		spread := 2.0 * float64(e.Sources-1)
+		c := wireDelayPer*(d+spread) + adderDelay*float64(e.Sources-1) + gateDelay
+		t := wireDelayPer*(d+spread) + adderDelay*math.Ceil(math.Log2(float64(e.Sources))) + gateDelay
+		if c > chain {
+			chain = c
+		}
+		if t > tree {
+			tree = t
+		}
+	}
+	return chain, tree
+}

@@ -1,0 +1,156 @@
+package vlsi
+
+import (
+	"testing"
+
+	"icicle/internal/boom"
+	"icicle/internal/pmu"
+)
+
+func TestCoreGatesGrowWithSize(t *testing.T) {
+	prev := 0.0
+	for _, s := range boom.Sizes {
+		g := CoreGates(boom.NewConfig(s))
+		if g <= prev {
+			t.Fatalf("%v: gates %f not larger than previous %f", s, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestFloorplanDistances(t *testing.T) {
+	fp := NewFloorplan(100_000)
+	if fp.Side <= 0 {
+		t.Fatal("non-positive die side")
+	}
+	if fp.Dist(BlkCSR, BlkCSR) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+	if fp.Dist(BlkFetch, BlkCSR) <= 0 {
+		t.Fatal("fetch-to-centre distance nonpositive")
+	}
+	// Symmetry.
+	if fp.Dist(BlkFetch, BlkLSU) != fp.Dist(BlkLSU, BlkFetch) {
+		t.Fatal("distance asymmetric")
+	}
+}
+
+func TestEventPlacementCoversAllNewEvents(t *testing.T) {
+	cfg := boom.NewConfig(boom.Large)
+	events := EventPlacement(cfg, nil)
+	if len(events) != 7 {
+		t.Fatalf("%d events placed, want the 7 new TMA events", len(events))
+	}
+	seen := map[string]bool{}
+	for _, e := range events {
+		seen[e.Name] = true
+		if e.Sources < 1 {
+			t.Fatalf("%s: %d sources", e.Name, e.Sources)
+		}
+	}
+	for _, want := range []string{boom.EvUopsIssued, boom.EvFetchBubbles,
+		boom.EvRecovering, boom.EvUopsRetired, boom.EvFenceRetired,
+		boom.EvICacheBlocked, boom.EvDCacheBlocked} {
+		if !seen[want] {
+			t.Errorf("event %s not placed", want)
+		}
+	}
+}
+
+func TestPaperOverheadBounds(t *testing.T) {
+	// §V-C: maximum overheads of 4.15% power, 1.54% area, 9.93%
+	// wirelength (we allow a small modelling margin).
+	for _, r := range AnalyzeAll(nil) {
+		if r.PowerPct > 4.4 {
+			t.Errorf("%s/%v: power %.2f%% exceeds the paper's bound", r.Config, r.Arch, r.PowerPct)
+		}
+		if r.AreaPct > 1.7 {
+			t.Errorf("%s/%v: area %.2f%%", r.Config, r.Arch, r.AreaPct)
+		}
+		if r.WirelenPct > 10.5 {
+			t.Errorf("%s/%v: wirelength %.2f%%", r.Config, r.Arch, r.WirelenPct)
+		}
+		if r.PowerPct <= 0 || r.AreaPct <= 0 || r.WirelenPct <= 0 || r.CSRPathDelay <= 0 {
+			t.Errorf("%s/%v: non-positive metric: %+v", r.Config, r.Arch, r)
+		}
+	}
+}
+
+func TestAddersVsDistributedCrossover(t *testing.T) {
+	// Fig. 9b: adders win at small sizes, the chain delay grows with
+	// width, and distributed wins at the largest sizes.
+	delay := func(s boom.Size, a pmu.Architecture) float64 {
+		return Analyze(boom.NewConfig(s), a, nil).CSRPathDelay
+	}
+	if delay(boom.Small, pmu.AddWires) >= delay(boom.Small, pmu.Distributed) {
+		t.Error("adders should beat distributed at SmallBOOM")
+	}
+	if delay(boom.Medium, pmu.AddWires) >= delay(boom.Medium, pmu.Distributed) {
+		t.Error("adders should beat distributed at MediumBOOM")
+	}
+	if delay(boom.Giga, pmu.AddWires) <= delay(boom.Giga, pmu.Distributed) {
+		t.Error("distributed should beat adders at GigaBOOM")
+	}
+	// The adder chain's delay must grow monotonically with size.
+	prev := 0.0
+	for _, s := range boom.Sizes {
+		d := delay(s, pmu.AddWires)
+		if d <= prev {
+			t.Fatalf("adder chain delay not growing at %v: %f <= %f", s, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestAdderTreeAblation(t *testing.T) {
+	// The paper conjectures adder trees would beat the sequential chain;
+	// the model must agree, and the gap must widen with core size.
+	gaps := make(map[boom.Size]float64)
+	for _, s := range boom.Sizes {
+		cfg := boom.NewConfig(s)
+		chain, tree := AdderTreeDelay(cfg)
+		if tree > chain {
+			t.Fatalf("%v: tree (%f) slower than chain (%f)", s, tree, chain)
+		}
+		if cfg.IssueWidth >= 5 && tree >= chain {
+			t.Fatalf("%v: tree not strictly faster on a wide core", s)
+		}
+		gaps[s] = chain - tree
+	}
+	if gaps[boom.Giga] <= gaps[boom.Small] {
+		t.Fatalf("tree advantage did not grow with width: %v", gaps)
+	}
+}
+
+func TestActivityRaisesPower(t *testing.T) {
+	cfg := boom.NewConfig(boom.Large)
+	idle := Analyze(cfg, pmu.AddWires, map[string]float64{
+		boom.EvUopsIssued: 0.01, boom.EvUopsRetired: 0.01, boom.EvFetchBubbles: 0.01,
+	})
+	busy := Analyze(cfg, pmu.AddWires, map[string]float64{
+		boom.EvUopsIssued: 4, boom.EvUopsRetired: 3, boom.EvFetchBubbles: 2,
+	})
+	if busy.PowerPct <= idle.PowerPct {
+		t.Fatalf("measured activity did not raise power: %.3f vs %.3f",
+			busy.PowerPct, idle.PowerPct)
+	}
+}
+
+func TestScalarCostliestInArea(t *testing.T) {
+	// Per-lane scalar counters replicate 64-bit registers per source —
+	// the area motivation for the new architectures.
+	cfg := boom.NewConfig(boom.Giga)
+	sc := Analyze(cfg, pmu.Scalar, nil)
+	aw := Analyze(cfg, pmu.AddWires, nil)
+	di := Analyze(cfg, pmu.Distributed, nil)
+	if sc.AreaPct <= aw.AreaPct || sc.AreaPct <= di.AreaPct {
+		t.Fatalf("scalar area %.2f not the largest (aw %.2f, dist %.2f)",
+			sc.AreaPct, aw.AreaPct, di.AreaPct)
+	}
+}
+
+func TestBlockString(t *testing.T) {
+	if BlkFetch.String() != "fetch" || Block(99).String() == "" {
+		t.Fatal("block names broken")
+	}
+}
