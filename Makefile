@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race bench-smoke fmt vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the sweep benchmark: exercises the serial and parallel
+# runner paths end to end without benchmarking-grade runtimes.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=Sweep -benchtime=1x .
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build race bench-smoke

@@ -10,6 +10,7 @@ package icicle_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"icicle/internal/boom"
@@ -18,6 +19,7 @@ import (
 	"icicle/internal/perf"
 	"icicle/internal/pmu"
 	"icicle/internal/rocket"
+	"icicle/internal/sim"
 )
 
 // BenchmarkFig3FrontendTrace reproduces the motivating example (Fig. 3):
@@ -502,4 +504,66 @@ func BenchmarkRASAblation(b *testing.B) {
 		}
 		b.ReportMetric((float64(r.BaseCycles)/float64(r.RASCycles)-1)*100, "ras-speedup%")
 	}
+}
+
+// sweepJobs is the BenchmarkSweepSerialVsParallel workload: the Rocket
+// microbenchmark grid plus the same suite on SmallBOOM — a realistic
+// evaluation-suite slice with enough independent jobs to saturate a
+// multi-core host.
+func sweepJobs(b *testing.B) []sim.Job {
+	b.Helper()
+	micro := kernel.ByCategory(kernel.CatMicro)
+	if len(micro) == 0 {
+		b.Fatal("no micro kernels registered")
+	}
+	rcfg := rocket.DefaultConfig()
+	bcfg := boom.NewConfig(boom.Small)
+	var jobs []sim.Job
+	for _, k := range micro {
+		jobs = append(jobs, sim.RocketJob(rcfg, k))
+		jobs = append(jobs, sim.BoomJob(bcfg, k))
+	}
+	return jobs
+}
+
+func runSweep(b *testing.B, r *sim.Runner, jobs []sim.Job) {
+	b.Helper()
+	for _, res := range r.Run(jobs) {
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkSweepSerialVsParallel measures the job runner's scaling: the
+// same sweep executed by one worker, by GOMAXPROCS workers, and by
+// GOMAXPROCS workers with memoization. The serial/parallel pair (both
+// uncached, so every job truly simulates) is the speedup claim — on a
+// >= 4-core host parallel should finish the sweep >= 2x faster; on a
+// single-core host the two are equivalent by construction (the pool
+// falls back to the serial path).
+func BenchmarkSweepSerialVsParallel(b *testing.B) {
+	jobs := sweepJobs(b)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runSweep(b, sim.New(sim.WithWorkers(1), sim.WithoutCache()), jobs)
+		}
+		b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "jobs/s")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runSweep(b, sim.New(sim.WithoutCache()), jobs)
+		}
+		b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	})
+	b.Run("parallel-cached", func(b *testing.B) {
+		r := sim.New()
+		for i := 0; i < b.N; i++ {
+			runSweep(b, r, jobs)
+		}
+		s := r.Stats()
+		b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		b.ReportMetric(float64(s.Hits), "cache-hits")
+	})
 }

@@ -6,6 +6,7 @@
 //
 //	icicle-bench                # everything
 //	icicle-bench -only fig7a,table5
+//	icicle-bench -j 8 -v        # 8 simulation workers, print runner stats
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"icicle/internal/experiments"
+	"icicle/internal/sim"
 )
 
 type artifact struct {
@@ -28,7 +30,14 @@ type artifact struct {
 func main() {
 	only := flag.String("only", "", "comma-separated artifact list (fig3,fig7a,fig7c,fig7d,fig7ef,fig7g,fig7k,fig7m,fig7n,table5,table6,fig8,fig9,undercount,archcmp,widthsweep,ras)")
 	outDir := flag.String("out", "", "also write each artifact to <dir>/<name>.txt (the artifact's iiswc-2025-ae-out equivalent)")
+	jobs := flag.Int("j", 0, "simulation worker goroutines (0 = GOMAXPROCS); alias -parallel")
+	flag.IntVar(jobs, "parallel", 0, "alias for -j")
+	verbose := flag.Bool("v", false, "print simulation-runner statistics (jobs, cache hits, wall time) at exit")
 	flag.Parse()
+
+	if *jobs > 0 {
+		sim.SetDefaultWorkers(*jobs)
+	}
 
 	var w io.Writer = os.Stdout
 	artifacts := []artifact{
@@ -212,5 +221,8 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "\nicicle-bench: %s\n", sim.Default().Stats())
 	}
 }

@@ -70,8 +70,12 @@ type Core struct {
 
 	sample pmu.Sample
 	tally  []uint64
-	hook   CycleHook
-	ev     map[string]int
+	// lanes holds per-lane totals for multi-source events, indexed by
+	// event id (nil for single-source events) — the dense form of
+	// Result.LaneTally, updated in the per-cycle loop without map lookups.
+	lanes [][]uint64
+	hook  CycleHook
+	ids   eventIDs
 
 	cycle uint64
 	seq   uint64
@@ -124,14 +128,17 @@ func New(cfg Config, prog *asm.Program) (*Core, error) {
 		Space:  space,
 		sample: space.NewSample(),
 		tally:  make([]uint64, len(space.Events)),
-		ev:     make(map[string]int, len(space.Events)),
+		lanes:  make([][]uint64, len(space.Events)),
+		ids:    resolveEventIDs(space),
 		rob:    make([]*uop, cfg.ROBEntries),
 	}
 	if cfg.UseRAS {
 		c.RAS = branch.NewRAS(cfg.RASEntries)
 	}
 	for i, e := range space.Events {
-		c.ev[e.Name] = i
+		if e.Sources > 1 {
+			c.lanes[i] = make([]uint64, e.Sources)
+		}
 	}
 	return c, nil
 }
@@ -148,8 +155,11 @@ func MustNew(cfg Config, prog *asm.Program) *Core {
 // SetCycleHook installs a per-cycle observer.
 func (c *Core) SetCycleHook(h CycleHook) { c.hook = h }
 
-func (c *Core) assert(name string)            { c.sample.Assert(c.ev[name], 0) }
-func (c *Core) assertLane(name string, l int) { c.sample.Assert(c.ev[name], l) }
+// assert/assertLane raise an event by its interned sample index (see
+// eventIDs); the per-cycle loop asserts dozens of events, so no map
+// lookups here.
+func (c *Core) assert(ev int)           { c.sample.Assert(ev, 0) }
+func (c *Core) assertLane(ev, lane int) { c.sample.Assert(ev, lane) }
 
 // --- instruction stream ---
 
@@ -214,12 +224,6 @@ func (r Result) IPC() float64 {
 
 // Run simulates until the workload halts and the pipeline drains.
 func (c *Core) Run() (Result, error) {
-	laneTally := make(map[string][]uint64)
-	for _, e := range c.Space.Events {
-		if e.Sources > 1 {
-			laneTally[e.Name] = make([]uint64, e.Sources)
-		}
-	}
 	maxCycles := c.Cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 2_000_000_000
@@ -228,15 +232,17 @@ func (c *Core) Run() (Result, error) {
 		if c.cycle >= maxCycles {
 			return Result{}, fmt.Errorf("boom: cycle budget %d exhausted (pc 0x%x)", maxCycles, c.CPU.PC)
 		}
-		if err := c.step(laneTally); err != nil {
+		if err := c.step(); err != nil {
 			return Result{}, err
 		}
 	}
+	// The dense tallies convert to the map-shaped result only here, once
+	// the run is over; the step loop never touches a map.
 	res := Result{
 		Cycles:    c.cycle,
 		Insts:     c.retiredTotal,
 		Tally:     make(map[string]uint64, len(c.tally)),
-		LaneTally: laneTally,
+		LaneTally: make(map[string][]uint64),
 		L1I:       c.Hier.L1I.Stats(),
 		L1D:       c.Hier.L1D.Stats(),
 		L2:        c.Hier.L2.Stats(),
@@ -244,13 +250,16 @@ func (c *Core) Run() (Result, error) {
 	}
 	for i, e := range c.Space.Events {
 		res.Tally[e.Name] = c.tally[i]
+		if c.lanes[i] != nil {
+			res.LaneTally[e.Name] = c.lanes[i]
+		}
 	}
 	return res, nil
 }
 
-func (c *Core) step(laneTally map[string][]uint64) error {
+func (c *Core) step() error {
 	c.sample.Reset()
-	c.assert(EvCycles)
+	c.assert(c.ids.cycles)
 	c.issuedThisCycle = 0
 
 	c.completeStage()
@@ -263,21 +272,21 @@ func (c *Core) step(laneTally map[string][]uint64) error {
 
 	// I$-blocked heuristic (§IV-A): refill in flight and fetch buffer empty.
 	if c.refillUntil > c.cycle && len(c.fb) == 0 {
-		c.assert(EvICacheBlocked)
+		c.assert(c.ids.icacheBlocked)
 	}
 	// D$-blocked heuristic (§IV-A): issue starved, queues non-empty, and at
 	// least one MSHR handling a miss — one event per missing commit slot.
 	if c.issuedThisCycle < c.Cfg.DecodeWidth && c.anyIQNonEmpty() &&
 		c.Hier.MSHRs.AnyBusy(c.cycle) {
 		for l := c.issuedThisCycle; l < c.Cfg.DecodeWidth; l++ {
-			c.assertLane(EvDCacheBlocked, l)
+			c.assertLane(c.ids.dcacheBlocked, l)
 		}
 	}
 
 	for i, m := range c.sample {
 		n := bits.OnesCount64(m)
 		c.tally[i] += uint64(n)
-		if lt, ok := laneTally[c.Space.Events[i].Name]; ok {
+		if lt := c.lanes[i]; lt != nil {
 			mm := m
 			for mm != 0 {
 				l := bits.TrailingZeros64(mm)
@@ -325,7 +334,7 @@ func (c *Core) completeStage() {
 		}
 		u.done = true
 		if u.inst.Op.IsBranch() && !u.poison {
-			c.assert(EvBranchResolved)
+			c.assert(c.ids.branchResolved)
 		}
 		if u.isMispredBr && (flushAt == nil || u.seq < flushAt.seq) {
 			flushAt = u
@@ -342,12 +351,12 @@ func (c *Core) completeStage() {
 	// A branch mispredict flush beats a (younger) ordering violation.
 	switch {
 	case flushAt != nil && (violator == nil || flushAt.seq < violator.seq):
-		c.assert(EvBrMispredict)
-		c.assert(EvFlush)
+		c.assert(c.ids.brMispredict)
+		c.assert(c.ids.flush)
 		c.flushAfter(flushAt.seq)
 	case violator != nil:
 		// Machine clear: the load and everything younger replays.
-		c.assert(EvFlush)
+		c.assert(c.ids.flush)
 		c.flushAfter(violator.seq - 1)
 	}
 }
@@ -454,21 +463,21 @@ func (c *Core) commitStage() int {
 			break
 		}
 		c.robPop()
-		c.assertLane(EvUopsRetired, retired)
-		c.assertLane(EvInstRet, retired)
+		c.assertLane(c.ids.uopsRetired, retired)
+		c.assertLane(c.ids.instRet, retired)
 		if c.renameLast[u.inst.DestReg()] == u {
 			c.renameLast[u.inst.DestReg()] = nil // value now architectural
 		}
 		switch {
 		case u.isFenceI:
-			c.assert(EvFenceRetired)
-			c.assert(EvFlush)
+			c.assert(c.ids.fenceRetired)
+			c.assert(c.ids.flush)
 			c.Hier.L1I.Flush()
 			c.flushAfter(u.seq)
 		case u.isFence:
-			c.assert(EvFenceRetired)
+			c.assert(c.ids.fenceRetired)
 		case u.isHalt:
-			c.assert(EvException)
+			c.assert(c.ids.exception)
 		}
 		retired++
 		c.retiredTotal++
@@ -494,7 +503,7 @@ func (c *Core) issueQueue(q queueKind, ports, laneBase int) int {
 			continue
 		}
 		c.executeUop(u)
-		c.assertLane(EvUopsIssued, laneBase+used)
+		c.assertLane(c.ids.uopsIssued, laneBase+used)
 		used++
 		c.issuedThisCycle++
 	}
@@ -568,15 +577,15 @@ func (c *Core) executeUop(u *uop) {
 
 func (c *Core) noteDAccess(d mem.DResult) {
 	if d.TLBMiss {
-		c.assert(EvDTLBMiss)
+		c.assert(c.ids.dtlbMiss)
 	}
 	if d.L2TLBMiss {
-		c.assert(EvL2TLBMiss)
+		c.assert(c.ids.l2tlbMiss)
 	}
 	if d.Miss {
-		c.assert(EvDCacheMiss)
+		c.assert(c.ids.dcacheMiss)
 		if d.Writeback {
-			c.assert(EvDCacheRel)
+			c.assert(c.ids.dcacheRel)
 		}
 	}
 }
@@ -606,7 +615,7 @@ func (c *Core) dispatchStage() {
 			if c.streamEmpty() && len(c.fb) == 0 && !c.wrongPath {
 				break // drain: the program is over, not a stall
 			}
-			c.assertLane(EvFetchBubbles, l)
+			c.assertLane(c.ids.fetchBubbles, l)
 		}
 	}
 }
@@ -693,13 +702,13 @@ func (c *Core) fetchStage() error {
 	// misses the I-cache, through the refill as well (those lost slots
 	// are attributed to Bad Speculation, as the paper specifies).
 	if c.recovering > 0 {
-		c.assert(EvRecovering)
+		c.assert(c.ids.recovering)
 		c.recovering--
 		return nil
 	}
 	if c.refillUntil > c.cycle || c.fetchStall > c.cycle {
 		if c.recoveringFlag {
-			c.assert(EvRecovering)
+			c.assert(c.ids.recovering)
 		}
 		return nil
 	}
@@ -714,7 +723,7 @@ func (c *Core) fetchStage() error {
 	if len(c.fb) > before {
 		c.recoveringFlag = false // a fetch packet is valid again
 	} else if c.recoveringFlag && !c.streamEmpty() {
-		c.assert(EvRecovering)
+		c.assert(c.ids.recovering)
 	}
 	return nil
 }
@@ -764,13 +773,13 @@ func (c *Core) fetchRealPath() error {
 			ir := c.Hier.AccessI(rec.PC, c.cycle)
 			c.lastFetchBlock, c.haveFetchBlock = blk, true
 			if ir.TLBMiss {
-				c.assert(EvITLBMiss)
+				c.assert(c.ids.itlbMiss)
 			}
 			if ir.L2TLBMiss {
-				c.assert(EvL2TLBMiss)
+				c.assert(c.ids.l2tlbMiss)
 			}
 			if ir.Miss {
-				c.assert(EvICacheMiss)
+				c.assert(c.ids.icacheMiss)
 				c.refillUntil = c.cycle + uint64(ir.Latency)
 				c.putback = append(c.putback, rec)
 				return nil
@@ -853,7 +862,7 @@ func (c *Core) redirect(rec isa.Retired, missPenalty int) {
 		}
 		return
 	}
-	c.assert(EvCFTargetMiss)
+	c.assert(c.ids.cfTargetMiss)
 	c.fetchStall = c.cycle + uint64(missPenalty)
 	c.Pred.UpdateTarget(rec.PC, rec.NextPC)
 }

@@ -74,3 +74,41 @@ func NewSpace(commitWidth, issueWidth int) *pmu.Space {
 		{Name: EvDCacheBlocked, Set: SetTMA, Bit: 6, Sources: commitWidth},
 	})
 }
+
+// eventIDs interns the sample index of every event the pipeline asserts.
+// Resolved once at core construction so the per-cycle hot path never does
+// a map lookup (the event *list* is width-independent, but the space is
+// built per-core because lane counts vary with the configuration).
+type eventIDs struct {
+	cycles, instRet, exception                        int
+	brMispredict, cfTargetMiss, flush, branchResolved int
+	icacheMiss, dcacheMiss, dcacheRel                 int
+	itlbMiss, dtlbMiss, l2tlbMiss                     int
+	uopsIssued, fetchBubbles, recovering, uopsRetired int
+	fenceRetired, icacheBlocked, dcacheBlocked        int
+}
+
+func resolveEventIDs(s *pmu.Space) eventIDs {
+	return eventIDs{
+		cycles:         s.MustIndex(EvCycles),
+		instRet:        s.MustIndex(EvInstRet),
+		exception:      s.MustIndex(EvException),
+		brMispredict:   s.MustIndex(EvBrMispredict),
+		cfTargetMiss:   s.MustIndex(EvCFTargetMiss),
+		flush:          s.MustIndex(EvFlush),
+		branchResolved: s.MustIndex(EvBranchResolved),
+		icacheMiss:     s.MustIndex(EvICacheMiss),
+		dcacheMiss:     s.MustIndex(EvDCacheMiss),
+		dcacheRel:      s.MustIndex(EvDCacheRel),
+		itlbMiss:       s.MustIndex(EvITLBMiss),
+		dtlbMiss:       s.MustIndex(EvDTLBMiss),
+		l2tlbMiss:      s.MustIndex(EvL2TLBMiss),
+		uopsIssued:     s.MustIndex(EvUopsIssued),
+		fetchBubbles:   s.MustIndex(EvFetchBubbles),
+		recovering:     s.MustIndex(EvRecovering),
+		uopsRetired:    s.MustIndex(EvUopsRetired),
+		fenceRetired:   s.MustIndex(EvFenceRetired),
+		icacheBlocked:  s.MustIndex(EvICacheBlocked),
+		dcacheBlocked:  s.MustIndex(EvDCacheBlocked),
+	}
+}

@@ -6,8 +6,8 @@ import (
 
 	"icicle/internal/boom"
 	"icicle/internal/kernel"
-	"icicle/internal/perf"
 	"icicle/internal/pmu"
+	"icicle/internal/sim"
 )
 
 // WidthPoint is one point of the distributed-counter width sweep.
@@ -29,40 +29,55 @@ type WidthSweepResult struct {
 	Points    []WidthPoint
 }
 
-// WidthSweep runs the same workload with forced local-counter widths 1..6.
+// WidthSweep runs the same workload with forced local-counter widths 1..6
+// (width 0 selects the automatic width and supplies the exact count). The
+// forced widths require touching the PMU before Run, so the sweep fans
+// out via sim.Map rather than the memoizing runner.
 func WidthSweep(kernelName, event string) (WidthSweepResult, error) {
 	k, err := kernel.ByName(kernelName)
 	if err != nil {
 		return WidthSweepResult{}, err
 	}
 	out := WidthSweepResult{Kernel: kernelName, Event: event}
-	for width := uint(0); width <= 6; width++ {
+	widths := []uint{0, 1, 2, 3, 4, 5, 6}
+	type widthOut struct {
+		exact uint64
+		auto  uint
+		point WidthPoint
+	}
+	points, err := sim.Map(0, widths, func(_ int, width uint) (widthOut, error) {
 		cfg := boom.NewConfig(boom.Large)
 		cfg.PMUArch = pmu.Distributed
 		c, err := boom.New(cfg, k.MustProgram())
 		if err != nil {
-			return out, err
+			return widthOut{}, err
 		}
 		c.PMU.DistWidth = width
 		if err := c.PMU.ConfigureEvents(0, event); err != nil {
-			return out, err
+			return widthOut{}, err
 		}
 		c.PMU.EnableAll()
 		res, err := c.Run()
 		if err != nil {
-			return out, err
+			return widthOut{}, err
 		}
 		if width == 0 {
-			out.Exact = res.Tally[event]
-			out.AutoWidth = c.PMU.LocalWidth(0)
-			continue
+			return widthOut{exact: res.Tally[event], auto: c.PMU.LocalWidth(0)}, nil
 		}
-		out.Points = append(out.Points, WidthPoint{
+		return widthOut{point: WidthPoint{
 			Width:   width,
 			Read:    c.PMU.Read(0),
 			Residue: c.PMU.Residue(0),
 			Lost:    c.PMU.Lost(0),
-		})
+		}}, nil
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Exact = points[0].exact
+	out.AutoWidth = points[0].auto
+	for _, p := range points[1:] {
+		out.Points = append(out.Points, p.point)
 	}
 	return out, nil
 }
@@ -91,28 +106,30 @@ type RASResult struct {
 }
 
 // RASAblation compares LargeBOOM with and without the return-address
-// stack.
+// stack (a two-job batch through the shared runner).
 func RASAblation(kernelName string) (RASResult, error) {
 	k, err := kernel.ByName(kernelName)
 	if err != nil {
 		return RASResult{}, err
 	}
+	base := boom.NewConfig(boom.Large)
+	base.UseRAS = false
+	ras := boom.NewConfig(boom.Large)
+	ras.UseRAS = true
+	results := sim.Default().Run([]sim.Job{sim.BoomJob(base, k), sim.BoomJob(ras, k)})
 	out := RASResult{Kernel: kernelName}
-	for _, useRAS := range []bool{false, true} {
-		cfg := boom.NewConfig(boom.Large)
-		cfg.UseRAS = useRAS
-		res, b, err := perf.RunBoom(cfg, k)
-		if err != nil {
-			return out, err
+	for i, res := range results {
+		if res.Err != nil {
+			return out, res.Err
 		}
-		if useRAS {
-			out.RASCycles = res.Cycles
-			out.RASPCResteer = b.PCResteer
-			out.RASCFTargetMisses = res.Tally[boom.EvCFTargetMiss]
+		if i == 1 {
+			out.RASCycles = res.Boom.Cycles
+			out.RASPCResteer = res.Breakdown.PCResteer
+			out.RASCFTargetMisses = res.Boom.Tally[boom.EvCFTargetMiss]
 		} else {
-			out.BaseCycles = res.Cycles
-			out.BasePCResteer = b.PCResteer
-			out.BaseCFTargetMisses = res.Tally[boom.EvCFTargetMiss]
+			out.BaseCycles = res.Boom.Cycles
+			out.BasePCResteer = res.Breakdown.PCResteer
+			out.BaseCFTargetMisses = res.Boom.Tally[boom.EvCFTargetMiss]
 		}
 	}
 	return out, nil

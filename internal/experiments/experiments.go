@@ -4,6 +4,11 @@
 // recovery-length CDF, and Fig. 9's physical-design overheads. Each
 // experiment returns a structured result (asserted on by the benchmark
 // harness and tests) and renders the same rows/series the paper reports.
+//
+// Sweeps are submitted as job batches to the shared sim.Default runner, so
+// they fan out across cores and overlapping experiments (the grids, Table
+// V, and the ablations re-run many of the same (config, kernel) pairs)
+// hit its memoization cache instead of re-simulating.
 package experiments
 
 import (
@@ -14,8 +19,8 @@ import (
 	"icicle/internal/boom"
 	"icicle/internal/core"
 	"icicle/internal/kernel"
-	"icicle/internal/perf"
 	"icicle/internal/rocket"
+	"icicle/internal/sim"
 )
 
 // Row is one benchmark's TMA evaluation.
@@ -58,26 +63,33 @@ func (g TMAGrid) Find(name string) (Row, bool) {
 	return Row{}, false
 }
 
-func rocketRow(cfg rocket.Config, k *kernel.Kernel) (Row, error) {
-	res, b, err := perf.RunRocket(cfg, k)
-	if err != nil {
-		return Row{}, fmt.Errorf("%s on rocket: %w", k.Name, err)
+// rowFromResult converts a runner result into a grid row, checking the
+// kernel's self-checksum.
+func rowFromResult(res sim.Result) (Row, error) {
+	k := res.Job.Kernel
+	if res.Err != nil {
+		return Row{}, fmt.Errorf("%s on %s: %w", k.Name, res.Job.CoreName(), res.Err)
 	}
-	if k.Expected != 0 && res.Exit != k.Expected {
-		return Row{}, fmt.Errorf("%s on rocket: checksum %#x != %#x", k.Name, res.Exit, k.Expected)
+	if k.Expected != 0 && res.Exit() != k.Expected {
+		return Row{}, fmt.Errorf("%s on %s: checksum %#x != %#x",
+			k.Name, res.Job.CoreName(), res.Exit(), k.Expected)
 	}
-	return Row{Name: k.Name, Cycles: res.Cycles, Insts: res.Insts, B: b}, nil
+	return Row{Name: k.Name, Cycles: res.Cycles(), Insts: res.Insts(), B: res.Breakdown}, nil
 }
 
-func boomRow(cfg boom.Config, k *kernel.Kernel) (Row, error) {
-	res, b, err := perf.RunBoom(cfg, k)
-	if err != nil {
-		return Row{}, fmt.Errorf("%s on %s: %w", k.Name, cfg.Name, err)
+// runRows fans the jobs out through the shared runner and converts every
+// result, failing on the first (lowest-index) error.
+func runRows(jobs []sim.Job) ([]Row, error) {
+	results := sim.Default().Run(jobs)
+	rows := make([]Row, 0, len(results))
+	for _, res := range results {
+		row, err := rowFromResult(res)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
 	}
-	if k.Expected != 0 && res.Exit != k.Expected {
-		return Row{}, fmt.Errorf("%s on %s: checksum %#x != %#x", k.Name, cfg.Name, res.Exit, k.Expected)
-	}
-	return Row{Name: k.Name, Cycles: res.Cycles, Insts: res.Insts, B: b}, nil
+	return rows, nil
 }
 
 func grid(title string, rows []Row, err error) (TMAGrid, error) {
@@ -91,44 +103,35 @@ func grid(title string, rows []Row, err error) (TMAGrid, error) {
 // Fig7aRocketMicro: Rocket top-level TMA over the microbenchmark suite
 // (Fig. 7a; the backend drill-down of the same rows is Fig. 7b).
 func Fig7aRocketMicro() (TMAGrid, error) {
-	var rows []Row
+	var jobs []sim.Job
 	for _, k := range kernel.ByCategory(kernel.CatMicro) {
-		r, err := rocketRow(rocket.DefaultConfig(), k)
-		if err != nil {
-			return TMAGrid{}, err
-		}
-		rows = append(rows, r)
+		jobs = append(jobs, sim.RocketJob(rocket.DefaultConfig(), k))
 	}
-	return grid("Fig 7(a,b): Rocket microbenchmarks", rows, nil)
+	rows, err := runRows(jobs)
+	return grid("Fig 7(a,b): Rocket microbenchmarks", rows, err)
 }
 
 // Fig7gBoomSPEC: BOOM (Large) top-level TMA over the SPEC CPU2017 intrate
 // proxies (Fig. 7g; second-level drill-downs are Fig. 7h-j).
 func Fig7gBoomSPEC() (TMAGrid, error) {
 	cfg := boom.NewConfig(boom.Large)
-	var rows []Row
+	var jobs []sim.Job
 	for _, k := range kernel.ByCategory(kernel.CatSPEC) {
-		r, err := boomRow(cfg, k)
-		if err != nil {
-			return TMAGrid{}, err
-		}
-		rows = append(rows, r)
+		jobs = append(jobs, sim.BoomJob(cfg, k))
 	}
-	return grid("Fig 7(g-j): LargeBOOM SPEC CPU2017 intrate proxies", rows, nil)
+	rows, err := runRows(jobs)
+	return grid("Fig 7(g-j): LargeBOOM SPEC CPU2017 intrate proxies", rows, err)
 }
 
 // Fig7kBoomMicro: BOOM microbenchmark TMA (Fig. 7k; backend zoom is 7l).
 func Fig7kBoomMicro() (TMAGrid, error) {
 	cfg := boom.NewConfig(boom.Large)
-	var rows []Row
+	var jobs []sim.Job
 	for _, k := range kernel.ByCategory(kernel.CatMicro) {
-		r, err := boomRow(cfg, k)
-		if err != nil {
-			return TMAGrid{}, err
-		}
-		rows = append(rows, r)
+		jobs = append(jobs, sim.BoomJob(cfg, k))
 	}
-	return grid("Fig 7(k,l): LargeBOOM microbenchmarks", rows, nil)
+	rows, err := runRows(jobs)
+	return grid("Fig 7(k,l): LargeBOOM microbenchmarks", rows, err)
 }
 
 // CaseStudy compares a pair of runs (baseline vs variant).
@@ -153,6 +156,18 @@ func (cs CaseStudy) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "variant speedup: %.2f%%\n", (cs.Speedup()-1)*100)
 }
 
+// caseStudy runs a base/variant job pair through the runner.
+func caseStudy(title, baseName, varName string, base, variant sim.Job) (CaseStudy, error) {
+	rows, err := runRows([]sim.Job{base, variant})
+	if err != nil {
+		return CaseStudy{}, err
+	}
+	return CaseStudy{
+		Title: title, Base: rows[0], Variant: rows[1],
+		BaseName: baseName, VarName: varName,
+	}, nil
+}
+
 // Fig7cCacheStudy: Rocket CS1 — 531.deepsjeng_r with 32 KiB vs 16 KiB L1D.
 func Fig7cCacheStudy() (CaseStudy, error) {
 	k, err := kernel.ByName("531.deepsjeng_r")
@@ -162,86 +177,51 @@ func Fig7cCacheStudy() (CaseStudy, error) {
 	big := rocket.DefaultConfig()
 	small := rocket.DefaultConfig()
 	small.Hierarchy.L1D.SizeBytes = 16 << 10
-	b, err := rocketRow(big, k)
-	if err != nil {
-		return CaseStudy{}, err
-	}
-	s, err := rocketRow(small, k)
-	if err != nil {
-		return CaseStudy{}, err
-	}
-	return CaseStudy{
-		Title: "Fig 7(c): Rocket CS1 — L1D cache size on deepsjeng",
-		Base:  b, Variant: s,
-		BaseName: "L1D=32KiB", VarName: "L1D=16KiB",
-	}, nil
+	return caseStudy("Fig 7(c): Rocket CS1 — L1D cache size on deepsjeng",
+		"L1D=32KiB", "L1D=16KiB",
+		sim.RocketJob(big, k), sim.RocketJob(small, k))
 }
 
-func branchInvStudy(title string, run func(*kernel.Kernel) (Row, error)) (CaseStudy, error) {
-	km, err := kernel.ByName("brmiss")
+// kernelPairStudy compares the same core configuration across two kernels.
+func kernelPairStudy(title, baseKernel, varKernel string, mk func(*kernel.Kernel) sim.Job) (CaseStudy, error) {
+	kb, err := kernel.ByName(baseKernel)
 	if err != nil {
 		return CaseStudy{}, err
 	}
-	ki, err := kernel.ByName("brmiss_inv")
+	kv, err := kernel.ByName(varKernel)
 	if err != nil {
 		return CaseStudy{}, err
 	}
-	b, err := run(km)
-	if err != nil {
-		return CaseStudy{}, err
-	}
-	v, err := run(ki)
-	if err != nil {
-		return CaseStudy{}, err
-	}
-	return CaseStudy{Title: title, Base: b, Variant: v,
-		BaseName: "brmiss", VarName: "brmiss_inv"}, nil
+	return caseStudy(title, baseKernel, varKernel, mk(kb), mk(kv))
 }
 
 // Fig7dBranchInversion: Rocket CS2 — brmiss vs brmiss_inv.
 func Fig7dBranchInversion() (CaseStudy, error) {
-	return branchInvStudy("Fig 7(d): Rocket CS2 — branch inversion",
-		func(k *kernel.Kernel) (Row, error) { return rocketRow(rocket.DefaultConfig(), k) })
+	return kernelPairStudy("Fig 7(d): Rocket CS2 — branch inversion",
+		"brmiss", "brmiss_inv",
+		func(k *kernel.Kernel) sim.Job { return sim.RocketJob(rocket.DefaultConfig(), k) })
 }
 
 // Fig7nBoomBranchInversion: the same study on BOOM shows the opposite
 // effect (the predictors cold-predict opposite directions).
 func Fig7nBoomBranchInversion() (CaseStudy, error) {
-	return branchInvStudy("Fig 7(n): BOOM CS — branch inversion",
-		func(k *kernel.Kernel) (Row, error) { return boomRow(boom.NewConfig(boom.Large), k) })
-}
-
-func schedStudy(title string, run func(*kernel.Kernel) (Row, error)) (CaseStudy, error) {
-	kb, err := kernel.ByName("coremark")
-	if err != nil {
-		return CaseStudy{}, err
-	}
-	ks, err := kernel.ByName("coremark-sched")
-	if err != nil {
-		return CaseStudy{}, err
-	}
-	b, err := run(kb)
-	if err != nil {
-		return CaseStudy{}, err
-	}
-	v, err := run(ks)
-	if err != nil {
-		return CaseStudy{}, err
-	}
-	return CaseStudy{Title: title, Base: b, Variant: v,
-		BaseName: "coremark", VarName: "coremark-sched"}, nil
+	return kernelPairStudy("Fig 7(n): BOOM CS — branch inversion",
+		"brmiss", "brmiss_inv",
+		func(k *kernel.Kernel) sim.Job { return sim.BoomJob(boom.NewConfig(boom.Large), k) })
 }
 
 // Fig7efCoreMarkSched: Rocket CS3 — CoreMark with and without the
 // instruction-scheduling pass (identical instruction counts).
 func Fig7efCoreMarkSched() (CaseStudy, error) {
-	return schedStudy("Fig 7(e,f): Rocket CS3 — CoreMark instruction scheduling",
-		func(k *kernel.Kernel) (Row, error) { return rocketRow(rocket.DefaultConfig(), k) })
+	return kernelPairStudy("Fig 7(e,f): Rocket CS3 — CoreMark instruction scheduling",
+		"coremark", "coremark-sched",
+		func(k *kernel.Kernel) sim.Job { return sim.RocketJob(rocket.DefaultConfig(), k) })
 }
 
 // Fig7mBoomCoreMarkSched: the same study on BOOM (the OoO core hides the
 // scheduling difference almost entirely).
 func Fig7mBoomCoreMarkSched() (CaseStudy, error) {
-	return schedStudy("Fig 7(m): BOOM CS — CoreMark instruction scheduling",
-		func(k *kernel.Kernel) (Row, error) { return boomRow(boom.NewConfig(boom.Large), k) })
+	return kernelPairStudy("Fig 7(m): BOOM CS — CoreMark instruction scheduling",
+		"coremark", "coremark-sched",
+		func(k *kernel.Kernel) sim.Job { return sim.BoomJob(boom.NewConfig(boom.Large), k) })
 }

@@ -8,6 +8,7 @@ import (
 	"icicle/internal/boom"
 	"icicle/internal/kernel"
 	"icicle/internal/rocket"
+	"icicle/internal/sim"
 	"icicle/internal/stats"
 	"icicle/internal/trace"
 	"icicle/internal/vlsi"
@@ -110,45 +111,54 @@ type Fig8Result struct {
 }
 
 // Fig8RecoveryCDF traces Recovering on LargeBOOM across branchy workloads
-// and builds the distribution of recovery-sequence lengths.
+// and builds the distribution of recovery-sequence lengths. The traced
+// runs need a cycle hook, so they fan out via sim.Map; per-benchmark run
+// lengths are concatenated in benchmark order before building the CDF.
 func Fig8RecoveryCDF() (Fig8Result, error) {
 	cfg := boom.NewConfig(boom.Large)
-	var all []uint64
-	for _, name := range []string{"qsort", "multiply", "531.deepsjeng_r", "525.x264_r", "fencemix"} {
+	benchmarks := []string{"qsort", "multiply", "531.deepsjeng_r", "525.x264_r", "fencemix"}
+	lengths, err := sim.Map(0, benchmarks, func(_ int, name string) ([]uint64, error) {
 		k, err := kernel.ByName(name)
 		if err != nil {
-			return Fig8Result{}, err
+			return nil, err
 		}
 		c, err := boom.New(cfg, k.MustProgram())
 		if err != nil {
-			return Fig8Result{}, err
+			return nil, err
 		}
 		bundle := trace.MustBundle(c.Space, boom.EvRecovering)
 		var buf bytes.Buffer
 		w, err := trace.NewWriter(&buf, bundle)
 		if err != nil {
-			return Fig8Result{}, err
+			return nil, err
 		}
 		c.SetCycleHook(w.WriteCycle)
 		if _, err := c.Run(); err != nil {
-			return Fig8Result{}, err
+			return nil, err
 		}
 		if err := w.Flush(); err != nil {
-			return Fig8Result{}, err
+			return nil, err
 		}
 		rd, err := trace.NewReader(&buf)
 		if err != nil {
-			return Fig8Result{}, err
+			return nil, err
 		}
 		a, err := trace.NewAnalyzer(rd)
 		if err != nil {
-			return Fig8Result{}, err
+			return nil, err
 		}
 		bits, err := a.EventBits(boom.EvRecovering)
 		if err != nil {
-			return Fig8Result{}, err
+			return nil, err
 		}
-		all = append(all, stats.RunLengths(bits)...)
+		return stats.RunLengths(bits), nil
+	})
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	var all []uint64
+	for _, l := range lengths {
+		all = append(all, l...)
 	}
 	cdf := stats.NewCDF(all)
 	mode := cdf.Mode()
@@ -183,26 +193,24 @@ type Fig9Result struct {
 func Fig9Physical(withActivity bool) (Fig9Result, error) {
 	var activity map[string]map[string]float64
 	if withActivity {
-		activity = map[string]map[string]float64{}
 		k, err := kernel.ByName("coremark")
 		if err != nil {
 			return Fig9Result{}, err
 		}
+		jobs := make([]sim.Job, 0, len(boom.Sizes))
 		for _, s := range boom.Sizes {
-			cfg := boom.NewConfig(s)
-			c, err := boom.New(cfg, k.MustProgram())
-			if err != nil {
-				return Fig9Result{}, err
-			}
-			res, err := c.Run()
-			if err != nil {
-				return Fig9Result{}, err
+			jobs = append(jobs, sim.BoomJob(boom.NewConfig(s), k))
+		}
+		activity = map[string]map[string]float64{}
+		for _, res := range sim.Default().Run(jobs) {
+			if res.Err != nil {
+				return Fig9Result{}, res.Err
 			}
 			act := map[string]float64{}
-			for name, total := range res.Tally {
-				act[name] = float64(total) / float64(res.Cycles)
+			for name, total := range res.Boom.Tally {
+				act[name] = float64(total) / float64(res.Boom.Cycles)
 			}
-			activity[cfg.Name] = act
+			activity[res.Job.Boom.Name] = act
 		}
 	}
 	reports := vlsi.AnalyzeAll(activity)

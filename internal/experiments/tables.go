@@ -9,6 +9,7 @@ import (
 	"icicle/internal/boom"
 	"icicle/internal/kernel"
 	"icicle/internal/pmu"
+	"icicle/internal/sim"
 	"icicle/internal/trace"
 )
 
@@ -38,39 +39,40 @@ type Table5Result struct {
 	Rows   []LaneRates
 }
 
-// Table5PerLane measures per-lane event rates on LargeBOOM.
+// Table5PerLane measures per-lane event rates on LargeBOOM. The eight
+// benchmarks run as one batch through the shared runner.
 func Table5PerLane() (Table5Result, error) {
 	cfg := boom.NewConfig(boom.Large)
 	out := Table5Result{Config: cfg.Name}
+	jobs := make([]sim.Job, 0, len(Table5Benchmarks))
 	for _, name := range Table5Benchmarks {
 		k, err := kernel.ByName(name)
 		if err != nil {
 			return out, err
 		}
-		c, err := boom.New(cfg, k.MustProgram())
-		if err != nil {
-			return out, err
+		jobs = append(jobs, sim.BoomJob(cfg, k))
+	}
+	for _, res := range sim.Default().Run(jobs) {
+		if res.Err != nil {
+			return out, fmt.Errorf("%s: %w", res.Job.Kernel.Name, res.Err)
 		}
-		res, err := c.Run()
-		if err != nil {
-			return out, err
-		}
+		br := res.Boom
 		rates := func(ev string) []float64 {
-			lanes := res.LaneTally[ev]
+			lanes := br.LaneTally[ev]
 			r := make([]float64, len(lanes))
 			for i, v := range lanes {
-				r[i] = float64(v) / float64(res.Cycles)
+				r[i] = float64(v) / float64(br.Cycles)
 			}
 			return r
 		}
 		lr := LaneRates{
-			Name:        name,
+			Name:        res.Job.Kernel.Name,
 			FetchBubble: rates(boom.EvFetchBubbles),
 			DBlocked:    rates(boom.EvDCacheBlocked),
 			UopsIssued:  rates(boom.EvUopsIssued),
 		}
-		total := res.Tally[boom.EvFetchBubbles]
-		mid := res.LaneTally[boom.EvFetchBubbles][cfg.DecodeWidth/2]
+		total := br.Tally[boom.EvFetchBubbles]
+		mid := br.LaneTally[boom.EvFetchBubbles][cfg.DecodeWidth/2]
 		approx := float64(cfg.DecodeWidth) * float64(mid)
 		if total > 0 {
 			lr.ApproxError = approx/float64(total) - 1
@@ -130,53 +132,72 @@ func (t Table6Result) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "Bad Speculation %8.2f%%  ± %.2f%%\n", t.BadSpecFrac*100, t.BadSpecPerturbation*100)
 }
 
+// overlapPart is one benchmark's contribution to Table VI.
+type overlapPart struct {
+	cycles, total, overlap, frontend, badSpec uint64
+}
+
 // Table6Overlap traces the Table VI benchmarks on LargeBOOM and bounds
 // Frontend / Bad Speculation overlap with a ±pad-cycle rolling window
-// (§V-B uses 50).
+// (§V-B uses 50). Traced runs need a cycle hook, so they bypass the memo
+// cache and fan out via sim.Map instead; partial sums are accumulated in
+// benchmark order.
 func Table6Overlap(pad int) (Table6Result, error) {
 	cfg := boom.NewConfig(boom.Large)
 	var out Table6Result
-	for _, name := range Table6Benchmarks {
+	parts, err := sim.Map(0, Table6Benchmarks, func(_ int, name string) (overlapPart, error) {
 		k, err := kernel.ByName(name)
 		if err != nil {
-			return out, err
+			return overlapPart{}, err
 		}
 		c, err := boom.New(cfg, k.MustProgram())
 		if err != nil {
-			return out, err
+			return overlapPart{}, err
 		}
 		bundle := trace.MustBundle(c.Space,
 			boom.EvFetchBubbles, boom.EvICacheBlocked, boom.EvRecovering)
 		var buf bytes.Buffer
 		w, err := trace.NewWriter(&buf, bundle)
 		if err != nil {
-			return out, err
+			return overlapPart{}, err
 		}
 		c.SetCycleHook(w.WriteCycle)
 		if _, err := c.Run(); err != nil {
-			return out, err
+			return overlapPart{}, err
 		}
 		if err := w.Flush(); err != nil {
-			return out, err
+			return overlapPart{}, err
 		}
 		rd, err := trace.NewReader(&buf)
 		if err != nil {
-			return out, err
+			return overlapPart{}, err
 		}
 		a, err := trace.NewAnalyzer(rd)
 		if err != nil {
-			return out, err
+			return overlapPart{}, err
 		}
 		rep, err := a.OverlapBound(boom.EvFetchBubbles, boom.EvICacheBlocked,
 			boom.EvRecovering, pad)
 		if err != nil {
-			return out, err
+			return overlapPart{}, err
 		}
-		out.Cycles += uint64(rep.Cycles)
-		out.TotalSlots += rep.TotalSlots
-		out.OverlapSlots += rep.OverlapSlots
-		out.FrontendSlots += rep.FrontendSlots
-		out.BadSpecSlots += a.Totals()[boom.EvRecovering] * uint64(cfg.DecodeWidth)
+		return overlapPart{
+			cycles:   uint64(rep.Cycles),
+			total:    rep.TotalSlots,
+			overlap:  rep.OverlapSlots,
+			frontend: rep.FrontendSlots,
+			badSpec:  a.Totals()[boom.EvRecovering] * uint64(cfg.DecodeWidth),
+		}, nil
+	})
+	if err != nil {
+		return out, err
+	}
+	for _, p := range parts {
+		out.Cycles += p.cycles
+		out.TotalSlots += p.total
+		out.OverlapSlots += p.overlap
+		out.FrontendSlots += p.frontend
+		out.BadSpecSlots += p.badSpec
 	}
 	if out.TotalSlots > 0 {
 		out.OverlapFrac = float64(out.OverlapSlots) / float64(out.TotalSlots)
@@ -262,7 +283,9 @@ type ArchComparison struct {
 }
 
 // CounterArchComparison runs the same kernel under all three counter
-// architectures and compares the counter values.
+// architectures (in parallel — each needs its own PMU configuration, so
+// the runs go through sim.Map rather than the memoizing runner) and
+// compares the counter values.
 func CounterArchComparison(kernelName, event string) (ArchComparison, error) {
 	k, err := kernel.ByName(kernelName)
 	if err != nil {
@@ -273,22 +296,30 @@ func CounterArchComparison(kernelName, event string) (ArchComparison, error) {
 		Exact: map[pmu.Architecture]uint64{},
 		Read:  map[pmu.Architecture]uint64{},
 	}
-	for _, arch := range []pmu.Architecture{pmu.Scalar, pmu.AddWires, pmu.Distributed} {
+	archs := []pmu.Architecture{pmu.Scalar, pmu.AddWires, pmu.Distributed}
+	type archCounts struct{ read, exact uint64 }
+	counts, err := sim.Map(0, archs, func(_ int, arch pmu.Architecture) (archCounts, error) {
 		cfg := boom.NewConfig(boom.Large)
 		cfg.PMUArch = arch
 		c, err := boom.New(cfg, k.MustProgram())
 		if err != nil {
-			return out, err
+			return archCounts{}, err
 		}
 		if err := c.PMU.ConfigureEvents(0, event); err != nil {
-			return out, err
+			return archCounts{}, err
 		}
 		c.PMU.EnableAll()
 		if _, err := c.Run(); err != nil {
-			return out, err
+			return archCounts{}, err
 		}
-		out.Read[arch] = c.PMU.Read(0)
-		out.Exact[arch] = c.PMU.Read(0) + c.PMU.Residue(0)
+		return archCounts{read: c.PMU.Read(0), exact: c.PMU.Read(0) + c.PMU.Residue(0)}, nil
+	})
+	if err != nil {
+		return out, err
+	}
+	for i, arch := range archs {
+		out.Read[arch] = counts[i].read
+		out.Exact[arch] = counts[i].exact
 	}
 	return out, nil
 }

@@ -45,9 +45,6 @@ type Core struct {
 	tally  []uint64 // exact per-event totals (source assertions)
 	hook   CycleHook
 
-	// event indices, resolved once
-	ev map[string]int
-
 	cycle uint64
 
 	// frontend
@@ -80,7 +77,7 @@ func New(cfg Config, prog *asm.Program) *Core {
 	p := pmu.New(Events, cfg.PMUArch)
 	cpu := isa.NewCPU(memory, prog.Entry)
 	cpu.CSR = p
-	c := &Core{
+	return &Core{
 		Cfg:    cfg,
 		CPU:    cpu,
 		Hier:   hier,
@@ -88,18 +85,15 @@ func New(cfg Config, prog *asm.Program) *Core {
 		PMU:    p,
 		sample: Events.NewSample(),
 		tally:  make([]uint64, len(Events.Events)),
-		ev:     make(map[string]int, len(Events.Events)),
 	}
-	for i, e := range Events.Events {
-		c.ev[e.Name] = i
-	}
-	return c
 }
 
 // SetCycleHook installs a per-cycle observer (the trace bridge).
 func (c *Core) SetCycleHook(h CycleHook) { c.hook = h }
 
-func (c *Core) assert(name string) { c.sample.Assert(c.ev[name], 0) }
+// assert raises an event by its interned sample index (see events.go); the
+// per-cycle loop asserts dozens of events, so no map lookups here.
+func (c *Core) assert(ev int) { c.sample.Assert(ev, 0) }
 
 // stream: pull the next dynamic instruction, preferring squashed records.
 func (c *Core) next() (isa.Retired, bool, error) {
@@ -179,7 +173,7 @@ func (c *Core) Run() (Result, error) {
 // step advances one cycle.
 func (c *Core) step() error {
 	c.sample.Reset()
-	c.assert(EvCycles)
+	c.assert(idCycles)
 	retired := c.issueStage()
 	if err := c.fetchStage(); err != nil {
 		return err
@@ -188,7 +182,7 @@ func (c *Core) step() error {
 	// I$-blocked heuristic (§IV-A): refill in progress and no valid
 	// instructions buffered.
 	if c.refillUntil > c.cycle && len(c.ibuf) == 0 {
-		c.assert(EvICacheBlocked)
+		c.assert(idICacheBlocked)
 	}
 
 	// Exact tallies and PMU.
@@ -217,15 +211,15 @@ func (c *Core) issueStage() int {
 			c.sample.Assert(ev, 0)
 		}
 		if c.replayAt == c.cycle {
-			c.assert(EvInstIssued)
-			c.assert(EvReplay)
+			c.assert(idInstIssued)
+			c.assert(idReplay)
 		}
 		return 0
 	}
 
 	// Frontend recovery after a resolved mispredict.
 	if c.recovering > 0 {
-		c.assert(EvRecovering)
+		c.assert(idRecovering)
 		c.recovering--
 		return 0
 	}
@@ -236,9 +230,9 @@ func (c *Core) issueStage() int {
 	// lost cycle belongs to Bad Speculation (§IV-A).
 	if len(c.ibuf) == 0 || c.ibuf[0].availableAt > c.cycle {
 		if c.recoveringFlag {
-			c.assert(EvRecovering)
+			c.assert(idRecovering)
 		} else if !c.streamEmpty() || len(c.ibuf) > 0 {
-			c.assert(EvFetchBubbles)
+			c.assert(idFetchBubbles)
 		}
 		return 0
 	}
@@ -256,24 +250,24 @@ func (c *Core) issueStage() int {
 	if ready > c.cycle {
 		switch c.regProd[blockReg] {
 		case prodLoad:
-			c.assert(EvLoadUseInterlock)
+			c.assert(idLoadUseInterlock)
 		case prodLongLatency:
-			c.assert(EvLongLatency)
+			c.assert(idLongLatency)
 		case prodMulDiv:
-			c.assert(EvMulDivInterlock)
+			c.assert(idMulDivInterlock)
 		case prodCSR:
-			c.assert(EvCSRInterlock)
+			c.assert(idCSRInterlock)
 		}
 		return 0
 	}
 
 	// Issue.
 	c.ibuf = c.ibuf[1:]
-	c.assert(EvInstIssued)
+	c.assert(idInstIssued)
 	c.execute(e)
 
 	// Retire (in-order, same cycle for accounting purposes).
-	c.assert(EvInstRet)
+	c.assert(idInstRet)
 	c.retiredTotal++
 	return 1
 }
@@ -284,20 +278,20 @@ func (c *Core) execute(e fetchEntry) {
 	rd := in.DestReg()
 	switch in.Op.Class() {
 	case isa.ClassALU:
-		c.assert(EvArith)
+		c.assert(idArith)
 		c.setDest(rd, c.cycle+1, prodNone)
 
 	case isa.ClassLoad:
-		c.assert(EvLoad)
+		c.assert(idLoad)
 		d := c.Hier.AccessD(e.rec.MemAddr, false, c.cycle)
 		c.noteDTLB(d)
 		if d.Miss {
-			c.assert(EvDCacheMiss)
+			c.assert(idDCacheMiss)
 			if d.Writeback {
-				c.assert(EvDCacheRel)
+				c.assert(idDCacheRel)
 			}
 			// Blocking miss: the pipeline stalls and the load replays.
-			c.beginStall(uint64(d.Latency)+1, EvDCacheBlocked)
+			c.beginStall(uint64(d.Latency)+1, idDCacheBlocked)
 			c.replayAt = c.stallUntil - 1
 			c.setDest(rd, c.stallUntil, prodLongLatency)
 		} else {
@@ -305,13 +299,13 @@ func (c *Core) execute(e fetchEntry) {
 		}
 
 	case isa.ClassStore:
-		c.assert(EvStore)
+		c.assert(idStore)
 		d := c.Hier.AccessD(e.rec.MemAddr, true, c.cycle)
 		c.noteDTLB(d)
 		if d.Miss {
-			c.assert(EvDCacheMiss)
+			c.assert(idDCacheMiss)
 			if d.Writeback {
-				c.assert(EvDCacheRel)
+				c.assert(idDCacheRel)
 			}
 			// Write-buffered: no pipeline stall.
 		}
@@ -319,36 +313,36 @@ func (c *Core) execute(e fetchEntry) {
 	case isa.ClassAtomic:
 		// Read-modify-write holds the D$ port: a hit costs an extra
 		// cycle, a miss blocks like a load.
-		c.assert(EvAtomic)
+		c.assert(idAtomic)
 		d := c.Hier.AccessD(e.rec.MemAddr, true, c.cycle)
 		c.noteDTLB(d)
 		if d.Miss {
-			c.assert(EvDCacheMiss)
+			c.assert(idDCacheMiss)
 			if d.Writeback {
-				c.assert(EvDCacheRel)
+				c.assert(idDCacheRel)
 			}
-			c.beginStall(uint64(d.Latency)+2, EvDCacheBlocked)
+			c.beginStall(uint64(d.Latency)+2, idDCacheBlocked)
 			c.replayAt = c.stallUntil - 1
 			c.setDest(rd, c.stallUntil, prodLongLatency)
 		} else {
-			c.beginStall(1, "")
+			c.beginStall(1, noEvent)
 			c.setDest(rd, c.cycle+2+uint64(c.Cfg.LoadUseDelay), prodLoad)
 		}
 
 	case isa.ClassMul:
-		c.assert(EvArith)
+		c.assert(idArith)
 		c.setDest(rd, c.cycle+uint64(c.Cfg.MulLatency), prodMulDiv)
 
 	case isa.ClassDiv:
-		c.assert(EvArith)
+		c.assert(idArith)
 		c.setDest(rd, c.cycle+uint64(c.Cfg.DivLatency), prodMulDiv)
 
 	case isa.ClassBranch:
-		c.assert(EvBranch)
+		c.assert(idBranch)
 		c.Pred.UpdateBranch(e.rec.PC, e.rec.Taken)
 		if e.mispredicted {
-			c.assert(EvBrMispredict)
-			c.assert(EvFlush)
+			c.assert(idBrMispredict)
+			c.assert(idFlush)
 			c.recovering = c.Cfg.BrMispredictPenalty
 			c.recoveringFlag = true
 			c.fetchBlocked = false
@@ -356,30 +350,30 @@ func (c *Core) execute(e fetchEntry) {
 		}
 
 	case isa.ClassJump:
-		c.assert(EvJump)
+		c.assert(idJump)
 		c.setDest(rd, c.cycle+1, prodNone)
 
 	case isa.ClassFence:
-		c.assert(EvFence)
-		c.assert(EvFlush)
+		c.assert(idFence)
+		c.assert(idFlush)
 		if in.Op == isa.FENCEI {
 			c.Hier.L1I.Flush()
 			c.haveFetchBlock = false
-			c.beginStall(uint64(c.Cfg.FenceIPenalty), "")
+			c.beginStall(uint64(c.Cfg.FenceIPenalty), noEvent)
 		} else {
-			c.beginStall(uint64(c.Cfg.FencePenalty), "")
+			c.beginStall(uint64(c.Cfg.FencePenalty), noEvent)
 		}
 
 	case isa.ClassCSR:
-		c.assert(EvSystem)
-		c.beginStall(uint64(c.Cfg.CSRLatency), "")
+		c.assert(idSystem)
+		c.beginStall(uint64(c.Cfg.CSRLatency), noEvent)
 		c.setDest(rd, c.stallUntil, prodCSR)
 
 	case isa.ClassSystem:
-		c.assert(EvSystem)
+		c.assert(idSystem)
 		// ecall/ebreak: the functional model has already halted (or
 		// continued); no extra timing beyond a flush-like cost.
-		c.beginStall(uint64(c.Cfg.CSRLatency), "")
+		c.beginStall(uint64(c.Cfg.CSRLatency), noEvent)
 	}
 }
 
@@ -391,24 +385,23 @@ func (c *Core) setDest(rd isa.Reg, readyAt uint64, kind producerKind) {
 	c.regProd[rd] = kind
 }
 
-// beginStall blocks the issue stage until now+n; ev (if nonzero event
-// index semantics: we pass event *names* resolved here) is asserted each
-// stalled cycle.
-func (c *Core) beginStall(n uint64, evName string) {
+// beginStall blocks the issue stage until now+n; ev (an interned sample
+// index, or noEvent) is asserted each stalled cycle.
+func (c *Core) beginStall(n uint64, ev int) {
 	c.stallUntil = c.cycle + 1 + n
 	c.stallEvents = c.stallEvents[:0]
-	if evName != "" {
-		c.stallEvents = append(c.stallEvents, c.ev[evName])
+	if ev != noEvent {
+		c.stallEvents = append(c.stallEvents, ev)
 	}
 	c.replayAt = 0
 }
 
 func (c *Core) noteDTLB(d mem.DResult) {
 	if d.TLBMiss {
-		c.assert(EvDTLBMiss)
+		c.assert(idDTLBMiss)
 	}
 	if d.L2TLBMiss {
-		c.assert(EvL2TLBMiss)
+		c.assert(idL2TLBMiss)
 	}
 }
 
@@ -443,13 +436,13 @@ func (c *Core) fetchStage() error {
 			ir := c.Hier.AccessI(rec.PC, c.cycle)
 			c.lastFetchBlock, c.haveFetchBlock = blk, true
 			if ir.TLBMiss {
-				c.assert(EvITLBMiss)
+				c.assert(idITLBMiss)
 			}
 			if ir.L2TLBMiss {
-				c.assert(EvL2TLBMiss)
+				c.assert(idL2TLBMiss)
 			}
 			if ir.Miss {
-				c.assert(EvICacheMiss)
+				c.assert(idICacheMiss)
 			}
 			if ir.Latency > 0 {
 				// Demand miss or late prefetch: the refill is still in
@@ -511,7 +504,7 @@ func (c *Core) redirect(rec isa.Retired, missPenalty int) {
 		}
 		return
 	}
-	c.assert(EvCFTargetMiss)
+	c.assert(idCFTargetMiss)
 	c.fetchStall = c.cycle + uint64(missPenalty)
 	c.Pred.UpdateTarget(rec.PC, rec.NextPC)
 }

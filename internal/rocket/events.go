@@ -89,3 +89,40 @@ var Events = pmu.MustSpace([]pmu.Event{
 	{Name: EvFetchBubbles, Set: SetTMA, Bit: 1, Sources: 1},
 	{Name: EvRecovering, Set: SetTMA, Bit: 2, Sources: 1},
 })
+
+// Interned sample indices, resolved once at package init so the per-cycle
+// hot path asserts events by integer instead of a map lookup per call.
+// noEvent marks "no event" in APIs that take an optional index.
+const noEvent = -1
+
+var (
+	idCycles           = Events.MustIndex(EvCycles)
+	idInstRet          = Events.MustIndex(EvInstRet)
+	idLoad             = Events.MustIndex(EvLoad)
+	idStore            = Events.MustIndex(EvStore)
+	idSystem           = Events.MustIndex(EvSystem)
+	idArith            = Events.MustIndex(EvArith)
+	idBranch           = Events.MustIndex(EvBranch)
+	idFence            = Events.MustIndex(EvFence)
+	idJump             = Events.MustIndex(EvJump)
+	idAtomic           = Events.MustIndex(EvAtomic)
+	idLoadUseInterlock = Events.MustIndex(EvLoadUseInterlock)
+	idLongLatency      = Events.MustIndex(EvLongLatency)
+	idCSRInterlock     = Events.MustIndex(EvCSRInterlock)
+	idICacheBlocked    = Events.MustIndex(EvICacheBlocked)
+	idDCacheBlocked    = Events.MustIndex(EvDCacheBlocked)
+	idBrMispredict     = Events.MustIndex(EvBrMispredict)
+	idFlush            = Events.MustIndex(EvFlush)
+	idReplay           = Events.MustIndex(EvReplay)
+	idCFTargetMiss     = Events.MustIndex(EvCFTargetMiss)
+	idMulDivInterlock  = Events.MustIndex(EvMulDivInterlock)
+	idICacheMiss       = Events.MustIndex(EvICacheMiss)
+	idDCacheMiss       = Events.MustIndex(EvDCacheMiss)
+	idDCacheRel        = Events.MustIndex(EvDCacheRel)
+	idITLBMiss         = Events.MustIndex(EvITLBMiss)
+	idDTLBMiss         = Events.MustIndex(EvDTLBMiss)
+	idL2TLBMiss        = Events.MustIndex(EvL2TLBMiss)
+	idInstIssued       = Events.MustIndex(EvInstIssued)
+	idFetchBubbles     = Events.MustIndex(EvFetchBubbles)
+	idRecovering       = Events.MustIndex(EvRecovering)
+)

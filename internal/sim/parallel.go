@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map applies f to every item on a pool of workers and returns the results
+// in input order. It is the runner's discipline for sweeps the Job cache
+// cannot cover — traced runs with cycle hooks, forced PMU widths — where
+// each point needs a bespoke harness.
+//
+// workers <= 0 means GOMAXPROCS. All items execute even if one fails; the
+// returned error is the lowest-index failure, so error reporting is
+// deterministic regardless of scheduling.
+func Map[T, R any](workers int, items []T, f func(int, T) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	if workers <= 1 {
+		for i, it := range items {
+			out[i], errs[i] = f(i, it)
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(items) {
+						return
+					}
+					out[i], errs[i] = f(i, items[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Runner executes simulation jobs on a worker pool with a content-keyed
+// memoization cache. The zero value is not usable; construct with New.
+//
+// A Runner is safe for concurrent use. The cache has no eviction: the
+// evaluation suite's working set is a few hundred (config, kernel) pairs,
+// each a few maps of counters, which is negligible next to one simulation.
+type Runner struct {
+	workers int
+	memoize bool
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+
+	jobs    atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	simWall atomic.Int64 // summed nanoseconds spent inside simulations
+
+	slowMu  sync.Mutex
+	slowKey string
+	slow    time.Duration
+}
+
+// cacheEntry is a singleflight slot: the first arrival runs the job, later
+// arrivals (including concurrent ones) block on done and share the result.
+type cacheEntry struct {
+	done chan struct{}
+	res  Result
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithWorkers sets the worker-pool size (default GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(r *Runner) {
+		if n > 0 {
+			r.workers = n
+		}
+	}
+}
+
+// WithoutCache disables memoization: every job simulates, even repeats.
+// Benchmarks use this to measure true simulation throughput.
+func WithoutCache() Option {
+	return func(r *Runner) { r.memoize = false }
+}
+
+// New builds a runner. Defaults: GOMAXPROCS workers, memoization on.
+func New(opts ...Option) *Runner {
+	r := &Runner{
+		workers: runtime.GOMAXPROCS(0),
+		memoize: true,
+		cache:   map[string]*cacheEntry{},
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Workers returns the pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Run executes the batch and returns results in submission order: out[i]
+// always corresponds to jobs[i], regardless of completion order. Errors are
+// carried per-result (Result.Err), never lost to a worker.
+func (r *Runner) Run(jobs []Job) []Result {
+	out := make([]Result, len(jobs))
+	n := r.workers
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	if n <= 1 {
+		for i, j := range jobs {
+			out[i] = r.RunOne(j)
+		}
+		return out
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(jobs) {
+					return
+				}
+				out[i] = r.RunOne(jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunOne executes a single job through the cache.
+func (r *Runner) RunOne(j Job) Result {
+	r.jobs.Add(1)
+	if !r.memoize {
+		return r.simulate(j)
+	}
+	key := j.Key()
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		<-e.done // another goroutine may still be simulating this key
+		r.hits.Add(1)
+		res := e.res
+		res.Job = j // report the caller's own descriptor back
+		res.Cached = true
+		return res
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+	e.res = r.simulate(j)
+	close(e.done)
+	return e.res
+}
+
+func (r *Runner) simulate(j Job) Result {
+	r.misses.Add(1)
+	start := time.Now()
+	res := execute(j)
+	wall := time.Since(start)
+	r.simWall.Add(int64(wall))
+	r.slowMu.Lock()
+	if wall > r.slow {
+		r.slow, r.slowKey = wall, j.Key()
+	}
+	r.slowMu.Unlock()
+	return res
+}
+
+// Stats is a snapshot of the runner's counters — the baseline future perf
+// work measures against.
+type Stats struct {
+	Workers int
+	Jobs    uint64        // jobs submitted
+	Hits    uint64        // served from cache
+	Misses  uint64        // actually simulated
+	SimWall time.Duration // summed wall time inside simulations (across workers)
+	Slowest time.Duration // longest single simulation
+	SlowKey string        // its cache key
+}
+
+// Stats returns the current counters.
+func (r *Runner) Stats() Stats {
+	r.slowMu.Lock()
+	slow, slowKey := r.slow, r.slowKey
+	r.slowMu.Unlock()
+	return Stats{
+		Workers: r.workers,
+		Jobs:    r.jobs.Load(),
+		Hits:    r.hits.Load(),
+		Misses:  r.misses.Load(),
+		SimWall: time.Duration(r.simWall.Load()),
+		Slowest: slow,
+		SlowKey: slowKey,
+	}
+}
+
+func (s Stats) String() string {
+	out := fmt.Sprintf("sim runner: %d workers, %d jobs (%d simulated, %d cache hits), %s total sim wall",
+		s.Workers, s.Jobs, s.Misses, s.Hits, s.SimWall.Round(time.Millisecond))
+	if s.SlowKey != "" {
+		out += fmt.Sprintf("; slowest %s (%s)", s.Slowest.Round(time.Millisecond), shortKey(s.SlowKey))
+	}
+	return out
+}
+
+// shortKey trims a cache key to its core|kernel prefix for display.
+func shortKey(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '{' {
+			for i > 0 && key[i-1] == '|' {
+				i--
+			}
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// The process-wide default runner, shared by the experiments package so
+// overlapping sweeps (the Fig. 7 grids, Table V, the ablations all re-run
+// the same (core, kernel) pairs) hit one cache.
+var (
+	defaultMu     sync.Mutex
+	defaultRunner *Runner
+)
+
+// Default returns the shared runner, creating it on first use.
+func Default() *Runner {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultRunner == nil {
+		defaultRunner = New()
+	}
+	return defaultRunner
+}
+
+// SetDefaultWorkers replaces the shared runner with one using n workers
+// (the CLI's -j flag). n <= 0 resets to GOMAXPROCS. The old cache is
+// dropped.
+func SetDefaultWorkers(n int) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if n <= 0 {
+		defaultRunner = New()
+		return
+	}
+	defaultRunner = New(WithWorkers(n))
+}

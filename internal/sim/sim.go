@@ -1,0 +1,131 @@
+// Package sim is the simulation job runner: the evaluation suite's sweeps
+// (Fig. 7 grids, Table V/VI, the ablations) are embarrassingly parallel —
+// dozens of independent (core, config, kernel) simulations — so the runner
+// fans them out across a worker pool and memoizes results by content key,
+// the software analogue of FireSim farming FPGA simulations out in bulk.
+//
+// Two entry points:
+//
+//   - Runner.Run executes batches of Job descriptors (a core kind, its
+//     config, and a kernel) through perf.RunRocket / perf.RunBoom, returning
+//     results in submission order regardless of completion order, with a
+//     config-fingerprint + kernel-name memoization cache on top.
+//   - Map fans an arbitrary per-item function out over the same worker
+//     discipline, for sweeps that need a custom harness (cycle hooks,
+//     forced PMU widths) and therefore cannot be memoized.
+package sim
+
+import (
+	"fmt"
+
+	"icicle/internal/boom"
+	"icicle/internal/core"
+	"icicle/internal/kernel"
+	"icicle/internal/perf"
+	"icicle/internal/rocket"
+)
+
+// CoreKind selects the timing model a Job runs on.
+type CoreKind uint8
+
+const (
+	// Rocket runs the job on the in-order Rocket model.
+	Rocket CoreKind = iota
+	// Boom runs the job on the out-of-order BOOM model.
+	Boom
+)
+
+// Job is one simulation: a kernel on a configured core.
+type Job struct {
+	Core   CoreKind
+	Rocket rocket.Config // used when Core == Rocket
+	Boom   boom.Config   // used when Core == Boom
+	Kernel *kernel.Kernel
+}
+
+// RocketJob describes a Rocket simulation.
+func RocketJob(cfg rocket.Config, k *kernel.Kernel) Job {
+	return Job{Core: Rocket, Rocket: cfg, Kernel: k}
+}
+
+// BoomJob describes a BOOM simulation.
+func BoomJob(cfg boom.Config, k *kernel.Kernel) Job {
+	return Job{Core: Boom, Boom: cfg, Kernel: k}
+}
+
+// CoreName names the configured core ("rocket" or the BOOM size name).
+func (j Job) CoreName() string {
+	if j.Core == Boom {
+		return j.Boom.Name
+	}
+	return "rocket"
+}
+
+// Key is the memoization key: the core kind, every config field (the
+// configs are pure value types, so the rendered form is a complete
+// fingerprint — lane counts, cache geometry, PMU architecture and all),
+// and the kernel name. Two jobs with equal keys simulate identically.
+func (j Job) Key() string {
+	switch j.Core {
+	case Boom:
+		return fmt.Sprintf("boom|%s|%+v", j.Kernel.Name, j.Boom)
+	default:
+		return fmt.Sprintf("rocket|%s|%+v", j.Kernel.Name, j.Rocket)
+	}
+}
+
+// Result is one job's outcome. Exactly one of Rocket/Boom is populated,
+// per Job.Core. Cached results share Tally/LaneTally maps with every other
+// holder of the same key: treat them as read-only.
+type Result struct {
+	Job       Job
+	Rocket    rocket.Result // valid when Job.Core == Rocket
+	Boom      boom.Result   // valid when Job.Core == Boom
+	Breakdown core.Breakdown
+	Err       error
+	Cached    bool // served from the memoization cache
+}
+
+// Cycles returns the simulated cycle count of whichever core ran.
+func (r Result) Cycles() uint64 {
+	if r.Job.Core == Boom {
+		return r.Boom.Cycles
+	}
+	return r.Rocket.Cycles
+}
+
+// Insts returns the retired instruction count.
+func (r Result) Insts() uint64 {
+	if r.Job.Core == Boom {
+		return r.Boom.Insts
+	}
+	return r.Rocket.Insts
+}
+
+// Exit returns the workload's exit checksum.
+func (r Result) Exit() uint64 {
+	if r.Job.Core == Boom {
+		return r.Boom.Exit
+	}
+	return r.Rocket.Exit
+}
+
+// Tally returns the exact total of the named event.
+func (r Result) Tally(event string) uint64 {
+	if r.Job.Core == Boom {
+		return r.Boom.Tally[event]
+	}
+	return r.Rocket.Tally[event]
+}
+
+// execute runs the simulation described by j (no caching, no pooling).
+func execute(j Job) Result {
+	res := Result{Job: j}
+	switch j.Core {
+	case Boom:
+		res.Boom, res.Breakdown, res.Err = perf.RunBoom(j.Boom, j.Kernel)
+	default:
+		res.Rocket, res.Breakdown, res.Err = perf.RunRocket(j.Rocket, j.Kernel)
+	}
+	return res
+}
