@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-smoke fmt vet ci
+.PHONY: all build test race bench bench-smoke alloc-smoke fmt vet ci
 
 all: build
 
@@ -13,10 +13,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Steady-state cycle-loop benchmarks with allocation reporting: both
+# cores should show 0 allocs/op (the arena/reset invariant).
+bench:
+	$(GO) test -run='^$$' -bench=CycleLoop -benchmem .
+
 # One iteration of the sweep benchmark: exercises the serial and parallel
 # runner paths end to end without benchmarking-grade runtimes.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Sweep -benchtime=1x .
+
+# Allocation-regression smoke: fails if a warmed core's Reset+RunCycles
+# exceeds the checked-in allocs-per-run budget (see alloc_test.go).
+alloc-smoke:
+	$(GO) test -run=SteadyStateAllocs -count=1 .
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -27,4 +37,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench-smoke
+ci: fmt vet build race bench-smoke alloc-smoke

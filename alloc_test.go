@@ -1,0 +1,73 @@
+// Allocation-regression smoke tests: the arena/reset work makes a warmed
+// core's cycle loop allocation-free, and these tests pin that as a
+// checked-in budget so a regression (a stray append past capacity, a
+// map rebuilt per run, a uop escaping to the heap) fails `make ci`
+// rather than silently eroding sweep throughput.
+package icicle_test
+
+import (
+	"testing"
+
+	"icicle/internal/boom"
+	"icicle/internal/kernel"
+	"icicle/internal/rocket"
+)
+
+// Steady-state allocation budgets, in allocs per full simulated run
+// (Reset + RunCycles) on an already-warmed core. Zero is the invariant
+// documented in DESIGN.md; raise these only with a written justification.
+const (
+	rocketRunAllocBudget = 0
+	boomRunAllocBudget   = 0
+)
+
+func TestRocketSteadyStateAllocs(t *testing.T) {
+	k, err := kernel.ByName("towers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := k.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rocket.New(rocket.DefaultConfig(), prog)
+	// AllocsPerRun performs its own warm-up call before measuring, which
+	// doubles as the capacity-growing first run.
+	allocs := testing.AllocsPerRun(3, func() {
+		c.Reset(prog)
+		if err := c.RunCycles(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > rocketRunAllocBudget {
+		t.Errorf("rocket steady-state run allocates %.1f objects, budget %d",
+			allocs, rocketRunAllocBudget)
+	}
+}
+
+func TestBoomSteadyStateAllocs(t *testing.T) {
+	k, err := kernel.ByName("towers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := k.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []boom.Size{boom.Small, boom.Large, boom.Mega} {
+		c, err := boom.New(boom.NewConfig(size), prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(3, func() {
+			c.Reset(prog)
+			if err := c.RunCycles(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > boomRunAllocBudget {
+			t.Errorf("%v boom steady-state run allocates %.1f objects, budget %d",
+				size, allocs, boomRunAllocBudget)
+		}
+	}
+}

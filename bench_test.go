@@ -437,6 +437,73 @@ func BenchmarkBoomSimSpeed(b *testing.B) {
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 }
 
+// BenchmarkRocketCycleLoop measures the steady-state cycle loop on a
+// reused core: Reset restores the program image and every bit of
+// microarchitectural state in place, so each iteration should run the
+// whole simulation with zero heap allocations (the arena/reset
+// invariant; TestRocketSteadyStateAllocs pins the exact budget).
+func BenchmarkRocketCycleLoop(b *testing.B) {
+	k, err := kernel.ByName("towers")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := k.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := rocket.New(rocket.DefaultConfig(), prog)
+	// Warm once outside the timed region so lazily-grown slices (putback,
+	// issue buffers) reach their steady-state capacity.
+	c.Reset(prog)
+	if err := c.RunCycles(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		c.Reset(prog)
+		if err := c.RunCycles(); err != nil {
+			b.Fatal(err)
+		}
+		cycles += c.Cycles()
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkBoomCycleLoop is the BOOM counterpart: the uop slab arena
+// recycles every in-flight instruction slot, so the out-of-order cycle
+// loop is allocation-free after warm-up too.
+func BenchmarkBoomCycleLoop(b *testing.B) {
+	k, err := kernel.ByName("towers")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := k.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := boom.New(boom.NewConfig(boom.Large), prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Reset(prog)
+	if err := c.RunCycles(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		c.Reset(prog)
+		if err := c.RunCycles(); err != nil {
+			b.Fatal(err)
+		}
+		cycles += c.Cycles()
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
 // BenchmarkTraceBridgeThroughput measures the tracing bridge's encode
 // path, the analogue of the TracerV PCIe bottleneck discussion (§IV-C).
 func BenchmarkTraceBridgeThroughput(b *testing.B) {
@@ -565,5 +632,14 @@ func BenchmarkSweepSerialVsParallel(b *testing.B) {
 		s := r.Stats()
 		b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "jobs/s")
 		b.ReportMetric(float64(s.Hits), "cache-hits")
+	})
+	// Ablation: same uncached sweep with core pooling off, so every job
+	// rebuilds its caches, predictor tables, and memory image from
+	// scratch. The gap to "parallel" is what Reset+pooling buys.
+	b.Run("parallel-unpooled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runSweep(b, sim.New(sim.WithoutCache(), sim.WithoutCorePool()), jobs)
+		}
+		b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "jobs/s")
 	})
 }

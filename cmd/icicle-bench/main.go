@@ -15,6 +15,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 
 	"icicle/internal/experiments"
@@ -28,15 +31,65 @@ type artifact struct {
 }
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "icicle-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the whole program so the profiling defers fire on every exit
+// path (os.Exit would skip them).
+func run() error {
 	only := flag.String("only", "", "comma-separated artifact list (fig3,fig7a,fig7c,fig7d,fig7ef,fig7g,fig7k,fig7m,fig7n,table5,table6,fig8,fig9,undercount,archcmp,widthsweep,ras)")
 	outDir := flag.String("out", "", "also write each artifact to <dir>/<name>.txt (the artifact's iiswc-2025-ae-out equivalent)")
 	jobs := flag.Int("j", 0, "simulation worker goroutines (0 = GOMAXPROCS); alias -parallel")
 	flag.IntVar(jobs, "parallel", 0, "alias for -j")
 	verbose := flag.Bool("v", false, "print simulation-runner statistics (jobs, cache hits, wall time) at exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+	tracefile := flag.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
 	flag.Parse()
 
 	if *jobs > 0 {
 		sim.SetDefaultWorkers(*jobs)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			return err
+		}
+		defer rtrace.Stop()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "icicle-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "icicle-bench:", err)
+			}
+		}()
 	}
 
 	var w io.Writer = os.Stdout
@@ -192,8 +245,7 @@ func main() {
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "icicle-bench:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	for _, a := range artifacts {
@@ -205,24 +257,23 @@ func main() {
 			var err error
 			file, err = os.Create(filepath.Join(*outDir, a.name+".txt"))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "icicle-bench:", err)
-				os.Exit(1)
+				return err
 			}
 			w = io.MultiWriter(os.Stdout, file)
 		}
 		fmt.Fprintf(w, "\n==== %s: %s ====\n", a.name, a.desc)
 		if err := a.run(); err != nil {
-			fmt.Fprintln(os.Stderr, "icicle-bench:", a.name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", a.name, err)
 		}
 		if file != nil {
 			if err := file.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "icicle-bench:", err)
-				os.Exit(1)
+				return err
 			}
 		}
 	}
 	if *verbose {
+		// Stats go to stderr so artifact output on stdout stays diffable.
 		fmt.Fprintf(os.Stderr, "\nicicle-bench: %s\n", sim.Default().Stats())
 	}
+	return nil
 }

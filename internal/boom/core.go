@@ -23,16 +23,18 @@ const (
 	numQueues
 )
 
-// uop is one micro-op in flight: a ROB entry.
+// uop is one micro-op in flight: a ROB entry, stored in the core's slab
+// arena and addressed by index (see arena.go).
 type uop struct {
 	seq    uint64
+	gen    uint32      // slot generation, bumped on release
 	rec    isa.Retired // zero for poison uops
 	inst   isa.Inst
 	pc     uint64
 	poison bool // wrong-path: will be flushed, never retires
 
 	queue      queueKind
-	src1, src2 *uop // producers captured at rename (nil = ready)
+	src1, src2 uref // producers captured at rename (nilRef = ready)
 
 	issued   bool
 	issuedAt uint64
@@ -68,6 +70,8 @@ type Core struct {
 	PMU   *pmu.PMU
 	Space *pmu.Space
 
+	memory *mem.Sparse
+
 	sample pmu.Sample
 	tally  []uint64
 	// lanes holds per-lane totals for multi-source events, indexed by
@@ -80,9 +84,11 @@ type Core struct {
 	cycle uint64
 	seq   uint64
 
-	// frontend
+	// frontend; fb is a ring: live entries are fb[fbHead:], compacted on
+	// push so the backing array never creeps past FBEntries.
 	putback        []isa.Retired
 	fb             []fbEntry
+	fbHead         int
 	wrongPath      bool
 	wrongPC        uint64
 	recovering     int  // minimum redirect cycles remaining
@@ -92,13 +98,14 @@ type Core struct {
 	lastFetchBlock uint64
 	haveFetchBlock bool
 
-	// backend
-	rob        []*uop // ring buffer
+	// backend: all uops live in the arena; these hold indices.
+	uops       arena
+	rob        []int32 // ring buffer
 	robHead    int
 	robCount   int
-	iq         [numQueues][]*uop
-	renameLast [32]*uop
-	inflight   []*uop
+	iq         [numQueues][]int32
+	renameLast [32]int32 // last uop writing each register, nilIdx if none
+	inflight   []int32
 	longBusy   uint64 // unpipelined divider busy until
 
 	retiredTotal uint64
@@ -120,17 +127,28 @@ func New(cfg Config, prog *asm.Program) (*Core, error) {
 	cpu := isa.NewCPU(memory, prog.Entry)
 	cpu.CSR = p
 	c := &Core{
-		Cfg:    cfg,
-		CPU:    cpu,
-		Hier:   mem.NewHierarchy(cfg.Hierarchy),
-		Pred:   branch.NewBoomPredictor(),
-		PMU:    p,
-		Space:  space,
-		sample: space.NewSample(),
-		tally:  make([]uint64, len(space.Events)),
-		lanes:  make([][]uint64, len(space.Events)),
-		ids:    resolveEventIDs(space),
-		rob:    make([]*uop, cfg.ROBEntries),
+		Cfg:      cfg,
+		CPU:      cpu,
+		Hier:     mem.NewHierarchy(cfg.Hierarchy),
+		Pred:     branch.NewBoomPredictor(),
+		PMU:      p,
+		Space:    space,
+		memory:   memory,
+		sample:   space.NewSample(),
+		tally:    make([]uint64, len(space.Events)),
+		lanes:    make([][]uint64, len(space.Events)),
+		ids:      resolveEventIDs(space),
+		uops:     newArena(cfg.ROBEntries),
+		rob:      make([]int32, cfg.ROBEntries),
+		fb:       make([]fbEntry, 0, cfg.FBEntries),
+		inflight: make([]int32, 0, cfg.ROBEntries),
+		putback:  make([]isa.Retired, 0, cfg.ROBEntries+cfg.FBEntries),
+	}
+	c.iq[qInt] = make([]int32, 0, cfg.IQInt)
+	c.iq[qMem] = make([]int32, 0, cfg.IQMem)
+	c.iq[qLong] = make([]int32, 0, cfg.IQLong)
+	for i := range c.renameLast {
+		c.renameLast[i] = nilIdx
 	}
 	if cfg.UseRAS {
 		c.RAS = branch.NewRAS(cfg.RASEntries)
@@ -152,8 +170,72 @@ func MustNew(cfg Config, prog *asm.Program) *Core {
 	return c
 }
 
+// Reset returns the core to power-on state with prog loaded, reusing
+// every internal buffer: the uop arena, ROB ring, issue queues, cache and
+// predictor arrays, and the sparse-memory frames (zeroed in place, then
+// the program image is copied back in). A Reset core behaves
+// byte-identically to a freshly built one — sim's core pool depends on
+// that — and a warmed core resets without allocating.
+func (c *Core) Reset(prog *asm.Program) {
+	c.memory.Reset()
+	prog.LoadInto(c.memory)
+	c.CPU.Reset(prog.Entry)
+	c.Hier.Reset()
+	branch.Reset(c.Pred)
+	if c.RAS != nil {
+		c.RAS.Reset()
+	}
+	c.PMU.Reset()
+	c.sample.Reset()
+	for i := range c.tally {
+		c.tally[i] = 0
+	}
+	for _, lt := range c.lanes {
+		for j := range lt {
+			lt[j] = 0
+		}
+	}
+	c.hook = nil
+	c.cycle = 0
+	c.seq = 0
+
+	c.putback = c.putback[:0]
+	c.fb = c.fb[:0]
+	c.fbHead = 0
+	c.wrongPath = false
+	c.wrongPC = 0
+	c.recovering = 0
+	c.recoveringFlag = false
+	c.fetchStall = 0
+	c.refillUntil = 0
+	c.lastFetchBlock = 0
+	c.haveFetchBlock = false
+
+	c.uops.reset()
+	c.robHead = 0
+	c.robCount = 0
+	for q := range c.iq {
+		c.iq[q] = c.iq[q][:0]
+	}
+	for i := range c.renameLast {
+		c.renameLast[i] = nilIdx
+	}
+	c.inflight = c.inflight[:0]
+	c.longBusy = 0
+
+	c.retiredTotal = 0
+	c.done = false
+	c.issuedThisCycle = 0
+}
+
 // SetCycleHook installs a per-cycle observer.
 func (c *Core) SetCycleHook(h CycleHook) { c.hook = h }
+
+// Cycles returns the cycles simulated so far (the final count after Run).
+func (c *Core) Cycles() uint64 { return c.cycle }
+
+// Insts returns the instructions retired so far.
+func (c *Core) Insts() uint64 { return c.retiredTotal }
 
 // assert/assertLane raise an event by its interned sample index (see
 // eventIDs); the per-cycle loop asserts dozens of events, so no map
@@ -181,23 +263,45 @@ func (c *Core) next() (isa.Retired, bool, error) {
 
 func (c *Core) streamEmpty() bool { return len(c.putback) == 0 && c.CPU.Halted }
 
+// --- fetch buffer ring ---
+
+func (c *Core) fbLen() int { return len(c.fb) - c.fbHead }
+
+// fbPush appends an entry, compacting the consumed head first when the
+// backing array (capacity FBEntries) is full — so pushes never grow it.
+func (c *Core) fbPush(e fbEntry) {
+	if len(c.fb) == cap(c.fb) && c.fbHead > 0 {
+		n := copy(c.fb, c.fb[c.fbHead:])
+		c.fb = c.fb[:n]
+		c.fbHead = 0
+	}
+	c.fb = append(c.fb, e)
+}
+
+func (c *Core) fbPop() {
+	c.fbHead++
+	if c.fbHead == len(c.fb) {
+		c.fb = c.fb[:0]
+		c.fbHead = 0
+	}
+}
+
 // --- ROB ring ---
 
 func (c *Core) robFull() bool { return c.robCount == len(c.rob) }
 
-func (c *Core) robPush(u *uop) {
-	c.rob[(c.robHead+c.robCount)%len(c.rob)] = u
+func (c *Core) robPush(ui int32) {
+	c.rob[(c.robHead+c.robCount)%len(c.rob)] = ui
 	c.robCount++
 }
 
-func (c *Core) robAt(i int) *uop { return c.rob[(c.robHead+i)%len(c.rob)] }
+func (c *Core) robAt(i int) *uop { return c.uops.at(c.rob[(c.robHead+i)%len(c.rob)]) }
 
-func (c *Core) robPop() *uop {
-	u := c.rob[c.robHead]
-	c.rob[c.robHead] = nil
+func (c *Core) robPop() int32 {
+	ui := c.rob[c.robHead]
 	c.robHead = (c.robHead + 1) % len(c.rob)
 	c.robCount--
-	return u
+	return ui
 }
 
 // Result is the outcome of a simulation.
@@ -224,20 +328,35 @@ func (r Result) IPC() float64 {
 
 // Run simulates until the workload halts and the pipeline drains.
 func (c *Core) Run() (Result, error) {
+	if err := c.RunCycles(); err != nil {
+		return Result{}, err
+	}
+	return c.Result(), nil
+}
+
+// RunCycles simulates until the workload halts and the pipeline drains,
+// without materializing the map-shaped Result: on a warmed (Reset) core
+// the whole loop performs no heap allocation. Call Result afterwards.
+func (c *Core) RunCycles() error {
 	maxCycles := c.Cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 2_000_000_000
 	}
 	for !c.done {
 		if c.cycle >= maxCycles {
-			return Result{}, fmt.Errorf("boom: cycle budget %d exhausted (pc 0x%x)", maxCycles, c.CPU.PC)
+			return fmt.Errorf("boom: cycle budget %d exhausted (pc 0x%x)", maxCycles, c.CPU.PC)
 		}
 		if err := c.step(); err != nil {
-			return Result{}, err
+			return err
 		}
 	}
-	// The dense tallies convert to the map-shaped result only here, once
-	// the run is over; the step loop never touches a map.
+	return nil
+}
+
+// Result converts the dense tallies into the map-shaped result. The maps
+// and lane slices are freshly allocated — they stay valid after the core
+// is Reset and reused.
+func (c *Core) Result() Result {
 	res := Result{
 		Cycles:    c.cycle,
 		Insts:     c.retiredTotal,
@@ -251,10 +370,12 @@ func (c *Core) Run() (Result, error) {
 	for i, e := range c.Space.Events {
 		res.Tally[e.Name] = c.tally[i]
 		if c.lanes[i] != nil {
-			res.LaneTally[e.Name] = c.lanes[i]
+			lt := make([]uint64, len(c.lanes[i]))
+			copy(lt, c.lanes[i])
+			res.LaneTally[e.Name] = lt
 		}
 	}
-	return res, nil
+	return res
 }
 
 func (c *Core) step() error {
@@ -271,7 +392,7 @@ func (c *Core) step() error {
 	}
 
 	// I$-blocked heuristic (§IV-A): refill in flight and fetch buffer empty.
-	if c.refillUntil > c.cycle && len(c.fb) == 0 {
+	if c.refillUntil > c.cycle && c.fbLen() == 0 {
 		c.assert(c.ids.icacheBlocked)
 	}
 	// D$-blocked heuristic (§IV-A): issue starved, queues non-empty, and at
@@ -303,7 +424,7 @@ func (c *Core) step() error {
 	}
 	c.cycle++
 
-	if c.streamEmpty() && len(c.fb) == 0 && c.robCount == 0 &&
+	if c.streamEmpty() && c.fbLen() == 0 && c.robCount == 0 &&
 		!c.wrongPath && c.recovering == 0 && len(c.inflight) == 0 {
 		c.done = true
 	}
@@ -327,9 +448,10 @@ func (c *Core) completeStage() {
 	var flushAt *uop  // mispredicted branch resolving now
 	var violator *uop // oldest load hit by a store-ordering violation
 	keep := c.inflight[:0]
-	for _, u := range c.inflight {
+	for _, ui := range c.inflight {
+		u := c.uops.at(ui)
 		if u.doneAt > c.cycle {
-			keep = append(keep, u)
+			keep = append(keep, ui)
 			continue
 		}
 		u.done = true
@@ -396,17 +518,42 @@ func (c *Core) findOrderingViolation(st *uop) *uop {
 // flushAfter squashes every µop with seq > bound: ROB tail, issue queues,
 // in-flight ops, and the fetch buffer. Real (non-poison) records are
 // returned to the stream for refetch; the frontend then recovers.
+//
+// Arena discipline: uop slots are released only here (the ROB-tail walk)
+// and at commit — every live uop sits in the ROB exactly once, so those
+// are the only release points and no slot is freed twice. The issue-queue
+// and inflight filters run before the ROB walk so they never read a
+// released slot.
 func (c *Core) flushAfter(bound uint64) {
 	// Fetch buffer first (youngest instructions): push youngest-first so
 	// the oldest pops first.
-	for i := len(c.fb) - 1; i >= 0; i-- {
+	for i := len(c.fb) - 1; i >= c.fbHead; i-- {
 		if !c.fb[i].poison {
 			c.putback = append(c.putback, c.fb[i].rec)
 		}
 	}
 	c.fb = c.fb[:0]
+	c.fbHead = 0
 
-	// ROB tail.
+	// Issue queues and inflight (before the ROB walk releases slots).
+	for q := range c.iq {
+		kept := c.iq[q][:0]
+		for _, ui := range c.iq[q] {
+			if c.uops.at(ui).seq <= bound {
+				kept = append(kept, ui)
+			}
+		}
+		c.iq[q] = kept
+	}
+	kept := c.inflight[:0]
+	for _, ui := range c.inflight {
+		if c.uops.at(ui).seq <= bound {
+			kept = append(kept, ui)
+		}
+	}
+	c.inflight = kept
+
+	// ROB tail: squash, putback, and release.
 	for c.robCount > 0 {
 		u := c.robAt(c.robCount - 1)
 		if u.seq <= bound {
@@ -415,34 +562,18 @@ func (c *Core) flushAfter(bound uint64) {
 		if !u.poison {
 			c.putback = append(c.putback, u.rec)
 		}
-		c.rob[(c.robHead+c.robCount-1)%len(c.rob)] = nil
 		c.robCount--
+		c.uops.release(c.rob[(c.robHead+c.robCount)%len(c.rob)])
 	}
-
-	// Issue queues and inflight.
-	for q := range c.iq {
-		kept := c.iq[q][:0]
-		for _, u := range c.iq[q] {
-			if u.seq <= bound {
-				kept = append(kept, u)
-			}
-		}
-		c.iq[q] = kept
-	}
-	kept := c.inflight[:0]
-	for _, u := range c.inflight {
-		if u.seq <= bound {
-			kept = append(kept, u)
-		}
-	}
-	c.inflight = kept
 
 	// Rebuild the rename table from the surviving ROB entries.
-	c.renameLast = [32]*uop{}
+	for i := range c.renameLast {
+		c.renameLast[i] = nilIdx
+	}
 	for i := 0; i < c.robCount; i++ {
-		u := c.robAt(i)
-		if rd := u.inst.DestReg(); rd != isa.X0 {
-			c.renameLast[rd] = u
+		ui := c.rob[(c.robHead+i)%len(c.rob)]
+		if rd := c.uops.at(ui).inst.DestReg(); rd != isa.X0 {
+			c.renameLast[rd] = ui
 		}
 	}
 
@@ -458,15 +589,16 @@ func (c *Core) flushAfter(bound uint64) {
 func (c *Core) commitStage() int {
 	retired := 0
 	for retired < c.Cfg.DecodeWidth && c.robCount > 0 {
-		u := c.rob[c.robHead]
+		ui := c.rob[c.robHead]
+		u := c.uops.at(ui)
 		if u.poison || !u.done || u.doneAt > c.cycle {
 			break
 		}
 		c.robPop()
 		c.assertLane(c.ids.uopsRetired, retired)
 		c.assertLane(c.ids.instRet, retired)
-		if c.renameLast[u.inst.DestReg()] == u {
-			c.renameLast[u.inst.DestReg()] = nil // value now architectural
+		if c.renameLast[u.inst.DestReg()] == ui {
+			c.renameLast[u.inst.DestReg()] = nilIdx // value now architectural
 		}
 		switch {
 		case u.isFenceI:
@@ -481,6 +613,7 @@ func (c *Core) commitStage() int {
 		}
 		retired++
 		c.retiredTotal++
+		c.uops.release(ui)
 	}
 	return retired
 }
@@ -497,12 +630,12 @@ func (c *Core) issueStage() {
 func (c *Core) issueQueue(q queueKind, ports, laneBase int) int {
 	used := 0
 	kept := c.iq[q][:0]
-	for _, u := range c.iq[q] {
-		if used >= ports || !c.ready(u) || (q == qLong && c.longBusy > c.cycle) {
-			kept = append(kept, u)
+	for _, ui := range c.iq[q] {
+		if used >= ports || !c.ready(c.uops.at(ui)) || (q == qLong && c.longBusy > c.cycle) {
+			kept = append(kept, ui)
 			continue
 		}
-		c.executeUop(u)
+		c.executeUop(ui)
 		c.assertLane(c.ids.uopsIssued, laneBase+used)
 		used++
 		c.issuedThisCycle++
@@ -511,11 +644,23 @@ func (c *Core) issueQueue(q queueKind, ports, laneBase int) int {
 	return laneBase + ports
 }
 
-func (c *Core) ready(u *uop) bool {
-	if u.src1 != nil && (!u.src1.done || u.src1.doneAt > c.cycle) {
+// srcPending reports whether a producer captured in r has not yet written
+// back. A generation mismatch means the producer retired (or was
+// squashed) since rename — its value is architectural, so the operand is
+// ready, matching the old committed-*uop pointer semantics.
+func (c *Core) srcPending(r uref) bool {
+	if r.idx < 0 {
 		return false
 	}
-	if u.src2 != nil && (!u.src2.done || u.src2.doneAt > c.cycle) {
+	u := c.uops.at(r.idx)
+	if u.gen != r.gen {
+		return false
+	}
+	return !u.done || u.doneAt > c.cycle
+}
+
+func (c *Core) ready(u *uop) bool {
+	if c.srcPending(u.src1) || c.srcPending(u.src2) {
 		return false
 	}
 	// With store forwarding enabled the LSU also disambiguates: a load
@@ -537,12 +682,13 @@ func (c *Core) ready(u *uop) bool {
 	return true
 }
 
-func (c *Core) executeUop(u *uop) {
+func (c *Core) executeUop(ui int32) {
+	u := c.uops.at(ui)
 	u.issued = true
 	u.issuedAt = c.cycle
 	if u.poison {
 		u.doneAt = c.cycle + 1
-		c.inflight = append(c.inflight, u)
+		c.inflight = append(c.inflight, ui)
 		return
 	}
 	switch u.inst.Op.Class() {
@@ -572,7 +718,7 @@ func (c *Core) executeUop(u *uop) {
 	default:
 		u.doneAt = c.cycle + 1
 	}
-	c.inflight = append(c.inflight, u)
+	c.inflight = append(c.inflight, ui)
 }
 
 func (c *Core) noteDAccess(d mem.DResult) {
@@ -595,8 +741,8 @@ func (c *Core) noteDAccess(d mem.DResult) {
 func (c *Core) dispatchStage() {
 	dispatched := 0
 	backpressured := false
-	for dispatched < c.Cfg.DecodeWidth && len(c.fb) > 0 {
-		e := c.fb[0]
+	for dispatched < c.Cfg.DecodeWidth && c.fbLen() > 0 {
+		e := c.fb[c.fbHead]
 		if e.availableAt > c.cycle {
 			break
 		}
@@ -604,7 +750,7 @@ func (c *Core) dispatchStage() {
 			backpressured = true
 			break
 		}
-		c.fb = c.fb[1:]
+		c.fbPop()
 		dispatched++
 	}
 	// Fetch-bubble events (§III, §IV-A): decode lane ready but no valid
@@ -612,7 +758,7 @@ func (c *Core) dispatchStage() {
 	// backpressure.
 	if !backpressured && !c.recoveringFlag {
 		for l := dispatched; l < c.Cfg.DecodeWidth; l++ {
-			if c.streamEmpty() && len(c.fb) == 0 && !c.wrongPath {
+			if c.streamEmpty() && c.fbLen() == 0 && !c.wrongPath {
 				break // drain: the program is over, not a stall
 			}
 			c.assertLane(c.ids.fetchBubbles, l)
@@ -651,36 +797,44 @@ func (c *Core) tryDispatch(e fbEntry) bool {
 	}
 
 	c.seq++
-	u := &uop{
-		seq:         c.seq,
-		rec:         e.rec,
-		inst:        e.inst,
-		pc:          e.pc,
-		poison:      e.poison,
-		queue:       q,
-		isMispredBr: e.mispredBr,
-		isLoad:      cls == isa.ClassLoad || cls == isa.ClassAtomic,
-		isStore:     cls == isa.ClassStore || cls == isa.ClassAtomic,
-		isFence:     isFence,
-		isFenceI:    e.inst.Op == isa.FENCEI,
-		isHalt:      e.rec.Halt,
-		memAddr:     e.rec.MemAddr,
-	}
+	ui := c.uops.alloc()
+	u := c.uops.at(ui)
+	u.seq = c.seq
+	u.rec = e.rec
+	u.inst = e.inst
+	u.pc = e.pc
+	u.poison = e.poison
+	u.queue = q
+	u.isMispredBr = e.mispredBr
+	u.isLoad = cls == isa.ClassLoad || cls == isa.ClassAtomic
+	u.isStore = cls == isa.ClassStore || cls == isa.ClassAtomic
+	u.isFence = isFence
+	u.isFenceI = e.inst.Op == isa.FENCEI
+	u.isHalt = e.rec.Halt
+	u.memAddr = e.rec.MemAddr
 	if !u.poison {
 		rs1, rs2 := e.inst.SrcRegs()
 		if rs1 != isa.X0 {
-			u.src1 = c.renameLast[rs1]
+			u.src1 = c.refTo(c.renameLast[rs1])
 		}
 		if rs2 != isa.X0 {
-			u.src2 = c.renameLast[rs2]
+			u.src2 = c.refTo(c.renameLast[rs2])
 		}
 	}
 	if rd := e.inst.DestReg(); rd != isa.X0 {
-		c.renameLast[rd] = u
+		c.renameLast[rd] = ui
 	}
-	c.robPush(u)
-	c.iq[q] = append(c.iq[q], u)
+	c.robPush(ui)
+	c.iq[q] = append(c.iq[q], ui)
 	return true
+}
+
+// refTo captures a producer link against idx's current generation.
+func (c *Core) refTo(idx int32) uref {
+	if idx < 0 {
+		return nilRef
+	}
+	return uref{idx: idx, gen: c.uops.at(idx).gen}
 }
 
 func (c *Core) countMem(loads bool) int {
@@ -716,11 +870,11 @@ func (c *Core) fetchStage() error {
 		c.fetchWrongPath()
 		return nil
 	}
-	before := len(c.fb)
+	before := c.fbLen()
 	if err := c.fetchRealPath(); err != nil {
 		return err
 	}
-	if len(c.fb) > before {
+	if c.fbLen() > before {
 		c.recoveringFlag = false // a fetch packet is valid again
 	} else if c.recoveringFlag && !c.streamEmpty() {
 		c.assert(c.ids.recovering)
@@ -731,13 +885,13 @@ func (c *Core) fetchStage() error {
 // fetchWrongPath streams poison µops decoded from memory at the
 // mispredicted PC until the branch resolves and flushes them.
 func (c *Core) fetchWrongPath() {
-	for n := 0; n < c.Cfg.FetchWidth && len(c.fb) < c.Cfg.FBEntries; n++ {
+	for n := 0; n < c.Cfg.FetchWidth && c.fbLen() < c.Cfg.FBEntries; n++ {
 		word := uint32(c.CPU.Mem.Load(c.wrongPC, isa.InstBytes))
 		in := isa.Decode(word)
 		if in.Op == isa.ILLEGAL {
 			in = isa.NOP // wrong-path garbage still occupies a slot
 		}
-		c.fb = append(c.fb, fbEntry{
+		c.fbPush(fbEntry{
 			inst:        in,
 			pc:          c.wrongPC,
 			poison:      true,
@@ -753,7 +907,7 @@ func (c *Core) fetchRealPath() error {
 	// the window's tail, which is where most per-lane fetch bubbles come
 	// from on real hardware.
 	window := c.Cfg.FetchWidth
-	for n := 0; n < window && len(c.fb) < c.Cfg.FBEntries; n++ {
+	for n := 0; n < window && c.fbLen() < c.Cfg.FBEntries; n++ {
 		rec, ok, err := c.next()
 		if err != nil {
 			return err
@@ -794,17 +948,17 @@ func (c *Core) fetchRealPath() error {
 			c.Pred.UpdateBranch(rec.PC, rec.Taken)
 			if pred != rec.Taken {
 				e.mispredBr = true
-				c.fb = append(c.fb, e)
+				c.fbPush(e)
 				c.enterWrongPath(rec, pred)
 				return nil
 			}
-			c.fb = append(c.fb, e)
+			c.fbPush(e)
 			if rec.Taken {
 				c.redirect(rec, c.Cfg.BTBMissPenalty)
 				return nil
 			}
 		case isa.ClassJump:
-			c.fb = append(c.fb, e)
+			c.fbPush(e)
 			// RAS maintenance: calls push the return address, returns pop
 			// a prediction that beats the BTB.
 			if c.RAS != nil && rec.Inst.Rd == isa.RA {
@@ -828,7 +982,7 @@ func (c *Core) fetchRealPath() error {
 				return nil
 			}
 		default:
-			c.fb = append(c.fb, e)
+			c.fbPush(e)
 			if redirecting {
 				return nil
 			}

@@ -25,6 +25,15 @@ func NewBHT(tableEntries, btbEntries int) *BHT {
 	return &BHT{counters: c, btb: NewBTB(btbEntries)}
 }
 
+// Reset returns the predictor to its constructor state: counters back to
+// weakly not-taken, BTB emptied.
+func (b *BHT) Reset() {
+	for i := range b.counters {
+		b.counters[i] = 1
+	}
+	b.btb.Reset()
+}
+
 func (b *BHT) index(pc uint64) uint64 {
 	return (pc >> 2) & uint64(len(b.counters)-1)
 }

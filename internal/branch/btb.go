@@ -30,6 +30,16 @@ func NewBTB(n int) *BTB {
 	return &BTB{entries: make([]btbEntry, n)}
 }
 
+// Reset returns the BTB to its just-constructed state.
+func (b *BTB) Reset() {
+	for i := range b.entries {
+		b.entries[i] = btbEntry{}
+	}
+	b.stamp = 0
+	b.Lookups = 0
+	b.Hits = 0
+}
+
 // Lookup returns the predicted target for the control-flow instruction at
 // pc, if present.
 func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
@@ -77,4 +87,16 @@ type Predictor interface {
 	PredictTarget(pc uint64) (target uint64, ok bool)
 	// UpdateTarget trains the BTB.
 	UpdateTarget(pc, target uint64)
+}
+
+// Resettable is implemented by predictors whose state can return to its
+// power-on contents in place (all predictors in this package qualify).
+// Core reuse across sweep jobs depends on it.
+type Resettable interface{ Reset() }
+
+// Reset restores a predictor to its constructor state. It panics if the
+// predictor does not implement Resettable: a pooled core must never carry
+// trained state into the next job.
+func Reset(p Predictor) {
+	p.(Resettable).Reset()
 }

@@ -25,6 +25,19 @@ func NewRAS(n int) *RAS {
 	return &RAS{entries: make([]uint64, n)}
 }
 
+// Reset returns the stack to its just-constructed state.
+func (r *RAS) Reset() {
+	for i := range r.entries {
+		r.entries[i] = 0
+	}
+	r.top = 0
+	r.depth = 0
+	r.Pushes = 0
+	r.Pops = 0
+	r.Underflows = 0
+	r.Overwrites = 0
+}
+
 // Push records a return address at a call.
 func (r *RAS) Push(addr uint64) {
 	r.Pushes++

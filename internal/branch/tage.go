@@ -70,6 +70,28 @@ func NewTAGE(baseEntries, taggedEntries, btbEntries int) *TAGE {
 	return t
 }
 
+// Reset returns the predictor to its constructor state: the bimodal base
+// back to weakly-taken (the initialization asymmetry against Rocket's BHT
+// that drives the branch-inversion case study), tagged components and
+// history cleared, BTB emptied, statistics zeroed.
+func (t *TAGE) Reset() {
+	for i := range t.base {
+		t.base[i] = 2
+	}
+	for j := range t.tables {
+		entries := t.tables[j].entries
+		for i := range entries {
+			entries[i] = tageEntry{}
+		}
+	}
+	t.btb.Reset()
+	t.history = 0
+	t.Predictions = 0
+	t.ProviderHits = [5]uint64{}
+	t.Allocations = 0
+	t.allocFailures = 0
+}
+
 func foldHistory(hist uint64, histLen, bits uint) uint32 {
 	h := hist & (1<<histLen - 1)
 	var f uint32

@@ -63,6 +63,18 @@ func NewCPU(mem Memory, entry uint64) *CPU {
 	return &CPU{PC: entry, Mem: mem, reservation: -1}
 }
 
+// Reset returns the CPU to power-on state at entry, keeping the memory,
+// CSR file, and Ecall hook wiring. Callers are responsible for resetting
+// the memory contents themselves.
+func (c *CPU) Reset(entry uint64) {
+	c.PC = entry
+	c.X = [32]uint64{}
+	c.reservation = -1
+	c.Halted = false
+	c.ExitCode = 0
+	c.InstRet = 0
+}
+
 // Reg reads register r (x0 reads as zero).
 func (c *CPU) Reg(r Reg) uint64 {
 	if r == X0 {

@@ -198,3 +198,11 @@ func (c *Cache) Flush() {
 		}
 	}
 }
+
+// Reset returns the cache to its just-constructed state: all lines
+// invalid, the LRU stamp rewound, statistics cleared.
+func (c *Cache) Reset() {
+	c.Flush()
+	c.stamp = 0
+	c.stats = CacheStats{}
+}

@@ -76,6 +76,22 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	}
 }
 
+// Reset returns every level — caches, TLBs, MSHRs, and the prefetch
+// stream state — to its just-constructed state, in place and without
+// allocating. Used by the cores' Reset for pooled reuse.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.ITLB.Reset()
+	h.DTLB.Reset()
+	h.L2TLB.Reset()
+	h.MSHRs.Reset()
+	h.pfBlock = 0
+	h.pfReadyAt = 0
+	h.pfValid = false
+}
+
 // IResult describes one instruction-fetch access.
 type IResult struct {
 	Latency   int // total extra cycles beyond the L1 hit pipeline

@@ -28,6 +28,16 @@ func NewMSHRFile(n int) *MSHRFile {
 // Size returns the number of MSHR entries.
 func (f *MSHRFile) Size() int { return len(f.entries) }
 
+// Reset returns the file to its just-constructed state.
+func (f *MSHRFile) Reset() {
+	for i := range f.entries {
+		f.entries[i] = mshr{}
+	}
+	f.Allocations = 0
+	f.MergedHits = 0
+	f.FullStalls = 0
+}
+
 // Lookup returns the ready cycle of an in-flight refill for block, if any.
 func (f *MSHRFile) Lookup(block uint64, now uint64) (readyAt uint64, ok bool) {
 	for i := range f.entries {

@@ -73,3 +73,13 @@ func (m *Sparse) ReadBytes(addr uint64, n int) []byte {
 // Footprint returns the number of bytes of allocated frames (an upper bound
 // on the touched working set, at 4 KiB granularity).
 func (m *Sparse) Footprint() int { return len(m.frames) * frameSize }
+
+// Reset zeroes every allocated frame in place, keeping the frames
+// themselves: a reloaded program with the same (or smaller) footprint
+// reuses them without allocating. Reads behave exactly as on a fresh
+// memory — unwritten bytes are zero either way.
+func (m *Sparse) Reset() {
+	for _, f := range m.frames {
+		*f = [frameSize]byte{}
+	}
+}

@@ -52,6 +52,16 @@ func (t *TLB) Access(addr uint64) bool {
 	return false
 }
 
+// Reset returns the TLB to its just-constructed state.
+func (t *TLB) Reset() {
+	for i := range t.entries {
+		t.entries[i] = tlbEntry{}
+	}
+	t.stamp = 0
+	t.Accesses = 0
+	t.Misses = 0
+}
+
 // MissRate returns misses/accesses, or 0 if untouched.
 func (t *TLB) MissRate() float64 {
 	if t.Accesses == 0 {

@@ -63,7 +63,19 @@ func RunRocket(cfg rocket.Config, k *kernel.Kernel) (rocket.Result, core.Breakdo
 	if err != nil {
 		return rocket.Result{}, core.Breakdown{}, err
 	}
-	res, err := rocket.New(cfg, prog).Run()
+	return RunRocketOn(rocket.New(cfg, prog), k)
+}
+
+// RunRocketOn resets an existing core, simulates the kernel on it, and
+// evaluates TMA. This is the pooled-core path of internal/sim: results
+// are byte-identical to RunRocket with a fresh core.
+func RunRocketOn(c *rocket.Core, k *kernel.Kernel) (rocket.Result, core.Breakdown, error) {
+	prog, err := k.Program()
+	if err != nil {
+		return rocket.Result{}, core.Breakdown{}, err
+	}
+	c.Reset(prog)
+	res, err := c.Run()
 	if err != nil {
 		return rocket.Result{}, core.Breakdown{}, err
 	}
@@ -81,10 +93,22 @@ func RunBoom(cfg boom.Config, k *kernel.Kernel) (boom.Result, core.Breakdown, er
 	if err != nil {
 		return boom.Result{}, core.Breakdown{}, err
 	}
+	return RunBoomOn(c, k)
+}
+
+// RunBoomOn resets an existing core, simulates the kernel on it, and
+// evaluates TMA. This is the pooled-core path of internal/sim: results
+// are byte-identical to RunBoom with a fresh core.
+func RunBoomOn(c *boom.Core, k *kernel.Kernel) (boom.Result, core.Breakdown, error) {
+	prog, err := k.Program()
+	if err != nil {
+		return boom.Result{}, core.Breakdown{}, err
+	}
+	c.Reset(prog)
 	res, err := c.Run()
 	if err != nil {
 		return boom.Result{}, core.Breakdown{}, err
 	}
-	b, err := core.Evaluate(core.DefaultConfig(cfg.DecodeWidth, cfg.IssueWidth), BoomCounts(res))
+	b, err := core.Evaluate(core.DefaultConfig(c.Cfg.DecodeWidth, c.Cfg.IssueWidth), BoomCounts(res))
 	return res, b, err
 }

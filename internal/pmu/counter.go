@@ -54,6 +54,11 @@ type counter interface {
 	read() uint64
 	// write sets the architectural count (software CSR write).
 	write(v uint64)
+	// reset clears all counting state in place (PMU.Reset, so pooled
+	// cores reset without allocating). An unconfigured reset counter
+	// reads zero regardless of its previous shape; Configure rebuilds
+	// the hardware anyway.
+	reset()
 }
 
 // --- Scalar ---
@@ -71,6 +76,7 @@ func (c *scalarCounter) tick(asserted []uint64) {
 
 func (c *scalarCounter) read() uint64   { return c.v }
 func (c *scalarCounter) write(v uint64) { c.v = v }
+func (c *scalarCounter) reset()         { c.v = 0 }
 
 // --- AddWires ---
 
@@ -94,6 +100,11 @@ func (c *addWiresCounter) tick(asserted []uint64) {
 
 func (c *addWiresCounter) read() uint64   { return c.v }
 func (c *addWiresCounter) write(v uint64) { c.v = v }
+
+func (c *addWiresCounter) reset() {
+	c.v = 0
+	c.chainLen = 0
+}
 
 // --- Distributed ---
 
@@ -180,6 +191,16 @@ func (c *distributedCounter) read() uint64 {
 
 func (c *distributedCounter) write(v uint64) {
 	c.global = v >> c.width
+	for i := range c.locals {
+		c.locals[i] = 0
+		c.overflow[i] = false
+	}
+}
+
+func (c *distributedCounter) reset() {
+	c.global = 0
+	c.lost = 0
+	c.next = 0
 	for i := range c.locals {
 		c.locals[i] = 0
 		c.overflow[i] = false

@@ -70,6 +70,21 @@ func New(space *Space, arch Architecture) *PMU {
 	return p
 }
 
+// Reset returns the PMU to its power-on state — all counters
+// unconfigured, cleared, and inhibited — without allocating: counter
+// hardware resets in place (an unconfigured counter reads zero whatever
+// shape its last configuration left it; Configure rebuilds it anyway).
+func (p *PMU) Reset() {
+	p.inhibit = ^uint64(0)
+	p.mcycle = 0
+	p.minstret = 0
+	for i := range p.counters {
+		p.selectors[i] = Selector{}
+		p.selected[i] = p.selected[i][:0]
+		p.counters[i].reset()
+	}
+}
+
 func (p *PMU) newCounter(sourceCounts []int) counter {
 	switch p.Arch {
 	case AddWires:

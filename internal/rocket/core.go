@@ -41,14 +41,19 @@ type Core struct {
 	Pred branch.Predictor
 	PMU  *pmu.PMU
 
+	memory *mem.Sparse
+
 	sample pmu.Sample
 	tally  []uint64 // exact per-event totals (source assertions)
 	hook   CycleHook
 
 	cycle uint64
 
-	// frontend
+	// frontend; ibuf is a ring: live entries are ibuf[ibufHead:],
+	// compacted on push so the backing array never creeps past
+	// IBufEntries.
 	ibuf           []fetchEntry
+	ibufHead       int
 	putback        []isa.Retired // squashed records, re-fetched in order
 	fetchBlocked   bool          // wrong-path fetch after an undetected mispredict
 	fetchStall     uint64        // redirect bubbles (BTB/target misses)
@@ -78,18 +83,69 @@ func New(cfg Config, prog *asm.Program) *Core {
 	cpu := isa.NewCPU(memory, prog.Entry)
 	cpu.CSR = p
 	return &Core{
-		Cfg:    cfg,
-		CPU:    cpu,
-		Hier:   hier,
-		Pred:   branch.NewRocketPredictor(),
-		PMU:    p,
-		sample: Events.NewSample(),
-		tally:  make([]uint64, len(Events.Events)),
+		Cfg:         cfg,
+		CPU:         cpu,
+		Hier:        hier,
+		Pred:        branch.NewRocketPredictor(),
+		PMU:         p,
+		memory:      memory,
+		sample:      Events.NewSample(),
+		tally:       make([]uint64, len(Events.Events)),
+		ibuf:        make([]fetchEntry, 0, cfg.IBufEntries),
+		putback:     make([]isa.Retired, 0, cfg.IBufEntries),
+		stallEvents: make([]int, 0, 1),
 	}
+}
+
+// Reset returns the core to power-on state with prog loaded, reusing
+// every internal buffer (the instruction buffer, cache and predictor
+// arrays, the sparse-memory frames — zeroed in place, then the program
+// image is copied back in). A Reset core behaves byte-identically to a
+// freshly built one — sim's core pool depends on that — and a warmed
+// core resets without allocating.
+func (c *Core) Reset(prog *asm.Program) {
+	c.memory.Reset()
+	prog.LoadInto(c.memory)
+	c.CPU.Reset(prog.Entry)
+	c.Hier.Reset()
+	branch.Reset(c.Pred)
+	c.PMU.Reset()
+	c.sample.Reset()
+	for i := range c.tally {
+		c.tally[i] = 0
+	}
+	c.hook = nil
+	c.cycle = 0
+
+	c.ibuf = c.ibuf[:0]
+	c.ibufHead = 0
+	c.putback = c.putback[:0]
+	c.fetchBlocked = false
+	c.fetchStall = 0
+	c.refillUntil = 0
+	c.lastFetchBlock = 0
+	c.haveFetchBlock = false
+
+	c.recovering = 0
+	c.recoveringFlag = false
+	c.stallUntil = 0
+	c.stallEvents = c.stallEvents[:0]
+	c.replayAt = 0
+	c.regReady = [32]uint64{}
+	c.regProd = [32]producerKind{}
+
+	c.retiredTotal = 0
+	c.done = false
 }
 
 // SetCycleHook installs a per-cycle observer (the trace bridge).
 func (c *Core) SetCycleHook(h CycleHook) { c.hook = h }
+
+// Cycles returns the cycles simulated so far (the final count after Run).
+func (c *Core) Cycles() uint64 { return c.cycle }
+
+// Insts returns the instructions retired so far.
+func (c *Core) Insts() uint64 { return c.retiredTotal }
 
 // assert raises an event by its interned sample index (see events.go); the
 // per-cycle loop asserts dozens of events, so no map lookups here.
@@ -114,12 +170,36 @@ func (c *Core) next() (isa.Retired, bool, error) {
 
 func (c *Core) streamEmpty() bool { return len(c.putback) == 0 && c.CPU.Halted }
 
+// --- instruction buffer ring ---
+
+func (c *Core) ibufLen() int { return len(c.ibuf) - c.ibufHead }
+
+// ibufPush appends an entry, compacting the consumed head first when the
+// backing array (capacity IBufEntries) is full — so pushes never grow it.
+func (c *Core) ibufPush(e fetchEntry) {
+	if len(c.ibuf) == cap(c.ibuf) && c.ibufHead > 0 {
+		n := copy(c.ibuf, c.ibuf[c.ibufHead:])
+		c.ibuf = c.ibuf[:n]
+		c.ibufHead = 0
+	}
+	c.ibuf = append(c.ibuf, e)
+}
+
+func (c *Core) ibufPop() {
+	c.ibufHead++
+	if c.ibufHead == len(c.ibuf) {
+		c.ibuf = c.ibuf[:0]
+		c.ibufHead = 0
+	}
+}
+
 // squash returns the not-yet-issued instruction buffer to the stream.
 func (c *Core) squash() {
-	for i := len(c.ibuf) - 1; i >= 0; i-- {
+	for i := len(c.ibuf) - 1; i >= c.ibufHead; i-- {
 		c.putback = append(c.putback, c.ibuf[i].rec)
 	}
 	c.ibuf = c.ibuf[:0]
+	c.ibufHead = 0
 }
 
 // Result is the outcome of a simulation.
@@ -143,18 +223,35 @@ func (r Result) IPC() float64 {
 
 // Run simulates until the workload halts and the pipeline drains.
 func (c *Core) Run() (Result, error) {
+	if err := c.RunCycles(); err != nil {
+		return Result{}, err
+	}
+	return c.Result(), nil
+}
+
+// RunCycles simulates until the workload halts and the pipeline drains,
+// without materializing the map-shaped Result: on a warmed (Reset) core
+// the whole loop performs no heap allocation. Call Result afterwards.
+func (c *Core) RunCycles() error {
 	maxCycles := c.Cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 2_000_000_000
 	}
 	for !c.done {
 		if c.cycle >= maxCycles {
-			return Result{}, fmt.Errorf("rocket: cycle budget %d exhausted (pc 0x%x)", maxCycles, c.CPU.PC)
+			return fmt.Errorf("rocket: cycle budget %d exhausted (pc 0x%x)", maxCycles, c.CPU.PC)
 		}
 		if err := c.step(); err != nil {
-			return Result{}, err
+			return err
 		}
 	}
+	return nil
+}
+
+// Result converts the dense tallies into the map-shaped result. The map
+// is freshly allocated — it stays valid after the core is Reset and
+// reused.
+func (c *Core) Result() Result {
 	res := Result{
 		Cycles: c.cycle,
 		Insts:  c.retiredTotal,
@@ -167,7 +264,7 @@ func (c *Core) Run() (Result, error) {
 	for i, e := range Events.Events {
 		res.Tally[e.Name] = c.tally[i]
 	}
-	return res, nil
+	return res
 }
 
 // step advances one cycle.
@@ -181,7 +278,7 @@ func (c *Core) step() error {
 
 	// I$-blocked heuristic (§IV-A): refill in progress and no valid
 	// instructions buffered.
-	if c.refillUntil > c.cycle && len(c.ibuf) == 0 {
+	if c.refillUntil > c.cycle && c.ibufLen() == 0 {
 		c.assert(idICacheBlocked)
 	}
 
@@ -195,7 +292,7 @@ func (c *Core) step() error {
 	}
 	c.cycle++
 
-	if c.streamEmpty() && len(c.ibuf) == 0 && c.stallUntil <= c.cycle &&
+	if c.streamEmpty() && c.ibufLen() == 0 && c.stallUntil <= c.cycle &&
 		c.recovering == 0 {
 		c.done = true
 	}
@@ -228,17 +325,17 @@ func (c *Core) issueStage() int {
 	// bubble — unless the frontend is still recovering from a flush
 	// (e.g. the redirect target missed the I-cache), in which case the
 	// lost cycle belongs to Bad Speculation (§IV-A).
-	if len(c.ibuf) == 0 || c.ibuf[0].availableAt > c.cycle {
+	if c.ibufLen() == 0 || c.ibuf[c.ibufHead].availableAt > c.cycle {
 		if c.recoveringFlag {
 			c.assert(idRecovering)
-		} else if !c.streamEmpty() || len(c.ibuf) > 0 {
+		} else if !c.streamEmpty() || c.ibufLen() > 0 {
 			c.assert(idFetchBubbles)
 		}
 		return 0
 	}
 
 	c.recoveringFlag = false // a packet is valid again
-	e := c.ibuf[0]
+	e := c.ibuf[c.ibufHead]
 	in := e.rec.Inst
 
 	// Operand interlocks.
@@ -262,7 +359,7 @@ func (c *Core) issueStage() int {
 	}
 
 	// Issue.
-	c.ibuf = c.ibuf[1:]
+	c.ibufPop()
 	c.assert(idInstIssued)
 	c.execute(e)
 
@@ -415,7 +512,7 @@ func (c *Core) fetchStage() error {
 	// FetchWidth-instruction window only delivers the window's tail that
 	// cycle — the §III source of warm-cache fetch bubbles.
 	window := c.Cfg.FetchWidth
-	for n := 0; n < window && len(c.ibuf) < c.Cfg.IBufEntries; n++ {
+	for n := 0; n < window && c.ibufLen() < c.Cfg.IBufEntries; n++ {
 		rec, ok, err := c.next()
 		if err != nil {
 			return err
@@ -460,7 +557,7 @@ func (c *Core) fetchStage() error {
 		case isa.ClassBranch:
 			pred := c.Pred.PredictBranch(rec.PC)
 			entry.mispredicted = pred != rec.Taken
-			c.ibuf = append(c.ibuf, entry)
+			c.ibufPush(entry)
 			if entry.mispredicted {
 				// Frontend runs down the wrong path until the branch
 				// resolves at execute.
@@ -472,7 +569,7 @@ func (c *Core) fetchStage() error {
 				return nil
 			}
 		case isa.ClassJump:
-			c.ibuf = append(c.ibuf, entry)
+			c.ibufPush(entry)
 			if redirecting {
 				pen := 1 // jal: target known at decode
 				if rec.Inst.Op == isa.JALR {
@@ -482,7 +579,7 @@ func (c *Core) fetchStage() error {
 				return nil
 			}
 		default:
-			c.ibuf = append(c.ibuf, entry)
+			c.ibufPush(entry)
 			if redirecting {
 				// ecall or similar: stop the packet.
 				return nil

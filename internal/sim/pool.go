@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"icicle/internal/boom"
+	"icicle/internal/perf"
+	"icicle/internal/rocket"
+)
+
+// Core pools: Reset-able cores recycled across jobs instead of rebuilt
+// per job. Building a core allocates its caches, predictor tables,
+// sparse-memory frames, and uop arena; Reset restores all of that in
+// place (the program image is zeroed and copied back), so a pooled job's
+// steady-state cost is the cycle loop alone. One sync.Pool per config
+// fingerprint — a pooled core is only ever handed to a job with the
+// exact same configuration, and idle cores stay reclaimable by the GC.
+//
+// The pools are process-wide (like the kernel program cache): every
+// Runner shares them, so replacing the default runner keeps warm cores.
+type corePools struct {
+	mu    sync.Mutex
+	pools map[string]*sync.Pool
+}
+
+func (cp *corePools) get(key string) *sync.Pool {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.pools == nil {
+		cp.pools = map[string]*sync.Pool{}
+	}
+	p := cp.pools[key]
+	if p == nil {
+		p = &sync.Pool{}
+		cp.pools[key] = p
+	}
+	return p
+}
+
+var (
+	rocketCores corePools
+	boomCores   corePools
+)
+
+// executeJob runs one job. With pooling enabled (the default) it drives a
+// recycled core through perf.RunRocketOn/RunBoomOn; Reset guarantees the
+// result is byte-identical to a fresh-core run (the determinism and
+// golden-reset tests enforce this), so pooling is invisible outside the
+// allocation profile. The core goes back to the pool even after an error:
+// Reset reinitializes every field.
+func (r *Runner) executeJob(j Job) Result {
+	if !r.corePool {
+		return execute(j)
+	}
+	res := Result{Job: j}
+	switch j.Core {
+	case Boom:
+		pool := boomCores.get(fmt.Sprintf("%+v", j.Boom))
+		c, _ := pool.Get().(*boom.Core)
+		if c == nil {
+			prog, err := j.Kernel.Program()
+			if err != nil {
+				res.Err = err
+				return res
+			}
+			if c, err = boom.New(j.Boom, prog); err != nil {
+				res.Err = err
+				return res
+			}
+			r.coreBuilds.Add(1)
+		} else {
+			r.coreReuses.Add(1)
+		}
+		res.Boom, res.Breakdown, res.Err = perf.RunBoomOn(c, j.Kernel)
+		pool.Put(c)
+	default:
+		pool := rocketCores.get(fmt.Sprintf("%+v", j.Rocket))
+		c, _ := pool.Get().(*rocket.Core)
+		if c == nil {
+			prog, err := j.Kernel.Program()
+			if err != nil {
+				res.Err = err
+				return res
+			}
+			c = rocket.New(j.Rocket, prog)
+			r.coreBuilds.Add(1)
+		} else {
+			r.coreReuses.Add(1)
+		}
+		res.Rocket, res.Breakdown, res.Err = perf.RunRocketOn(c, j.Kernel)
+		pool.Put(c)
+	}
+	return res
+}

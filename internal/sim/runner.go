@@ -15,8 +15,9 @@ import (
 // evaluation suite's working set is a few hundred (config, kernel) pairs,
 // each a few maps of counters, which is negligible next to one simulation.
 type Runner struct {
-	workers int
-	memoize bool
+	workers  int
+	memoize  bool
+	corePool bool
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -25,6 +26,16 @@ type Runner struct {
 	hits    atomic.Uint64
 	misses  atomic.Uint64
 	simWall atomic.Int64 // summed nanoseconds spent inside simulations
+
+	coreBuilds atomic.Uint64 // cores constructed for the pool
+	coreReuses atomic.Uint64 // jobs served by a recycled core
+
+	// Allocation/GC accounting, accumulated as runtime.MemStats deltas
+	// around Run batches: process-wide, so approximate when other work
+	// (or a second runner) overlaps a batch.
+	allocBytes atomic.Uint64
+	mallocs    atomic.Uint64
+	numGC      atomic.Uint64
 
 	slowMu  sync.Mutex
 	slowKey string
@@ -56,12 +67,23 @@ func WithoutCache() Option {
 	return func(r *Runner) { r.memoize = false }
 }
 
-// New builds a runner. Defaults: GOMAXPROCS workers, memoization on.
+// WithoutCorePool disables core reuse: every simulated job builds a fresh
+// core instead of resetting a pooled one. Results are identical either
+// way (the determinism tests assert it); the fresh path exists for
+// benchmark ablations and as the oracle the pooled path is checked
+// against.
+func WithoutCorePool() Option {
+	return func(r *Runner) { r.corePool = false }
+}
+
+// New builds a runner. Defaults: GOMAXPROCS workers, memoization on,
+// core pooling on.
 func New(opts ...Option) *Runner {
 	r := &Runner{
-		workers: runtime.GOMAXPROCS(0),
-		memoize: true,
-		cache:   map[string]*cacheEntry{},
+		workers:  runtime.GOMAXPROCS(0),
+		memoize:  true,
+		corePool: true,
+		cache:    map[string]*cacheEntry{},
 	}
 	for _, o := range opts {
 		o(r)
@@ -76,6 +98,15 @@ func (r *Runner) Workers() int { return r.workers }
 // always corresponds to jobs[i], regardless of completion order. Errors are
 // carried per-result (Result.Err), never lost to a worker.
 func (r *Runner) Run(jobs []Job) []Result {
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	defer func() {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		r.allocBytes.Add(after.TotalAlloc - before.TotalAlloc)
+		r.mallocs.Add(after.Mallocs - before.Mallocs)
+		r.numGC.Add(uint64(after.NumGC - before.NumGC))
+	}()
 	out := make([]Result, len(jobs))
 	n := r.workers
 	if n > len(jobs) {
@@ -135,7 +166,7 @@ func (r *Runner) RunOne(j Job) Result {
 func (r *Runner) simulate(j Job) Result {
 	r.misses.Add(1)
 	start := time.Now()
-	res := execute(j)
+	res := r.executeJob(j)
 	wall := time.Since(start)
 	r.simWall.Add(int64(wall))
 	r.slowMu.Lock()
@@ -156,6 +187,14 @@ type Stats struct {
 	SimWall time.Duration // summed wall time inside simulations (across workers)
 	Slowest time.Duration // longest single simulation
 	SlowKey string        // its cache key
+
+	CoreBuilds uint64 // cores constructed (pool misses)
+	CoreReuses uint64 // jobs served by a recycled core
+
+	// MemStats deltas summed over Run batches (process-wide, approximate).
+	AllocBytes uint64 // heap bytes allocated
+	Mallocs    uint64 // heap objects allocated
+	NumGC      uint64 // GC cycles completed
 }
 
 // Stats returns the current counters.
@@ -164,23 +203,49 @@ func (r *Runner) Stats() Stats {
 	slow, slowKey := r.slow, r.slowKey
 	r.slowMu.Unlock()
 	return Stats{
-		Workers: r.workers,
-		Jobs:    r.jobs.Load(),
-		Hits:    r.hits.Load(),
-		Misses:  r.misses.Load(),
-		SimWall: time.Duration(r.simWall.Load()),
-		Slowest: slow,
-		SlowKey: slowKey,
+		Workers:    r.workers,
+		Jobs:       r.jobs.Load(),
+		Hits:       r.hits.Load(),
+		Misses:     r.misses.Load(),
+		SimWall:    time.Duration(r.simWall.Load()),
+		Slowest:    slow,
+		SlowKey:    slowKey,
+		CoreBuilds: r.coreBuilds.Load(),
+		CoreReuses: r.coreReuses.Load(),
+		AllocBytes: r.allocBytes.Load(),
+		Mallocs:    r.mallocs.Load(),
+		NumGC:      r.numGC.Load(),
 	}
 }
 
 func (s Stats) String() string {
 	out := fmt.Sprintf("sim runner: %d workers, %d jobs (%d simulated, %d cache hits), %s total sim wall",
 		s.Workers, s.Jobs, s.Misses, s.Hits, s.SimWall.Round(time.Millisecond))
+	if s.CoreBuilds > 0 || s.CoreReuses > 0 {
+		out += fmt.Sprintf("; %d cores built, %d reused", s.CoreBuilds, s.CoreReuses)
+	}
+	if s.Misses > 0 && (s.AllocBytes > 0 || s.Mallocs > 0) {
+		out += fmt.Sprintf("; %s allocated (%s/job, %d objects/job), %d GC cycles",
+			byteCount(s.AllocBytes), byteCount(s.AllocBytes/s.Misses), s.Mallocs/s.Misses, s.NumGC)
+	}
 	if s.SlowKey != "" {
 		out += fmt.Sprintf("; slowest %s (%s)", s.Slowest.Round(time.Millisecond), shortKey(s.SlowKey))
 	}
 	return out
+}
+
+// byteCount renders a byte total in a human scale (binary units).
+func byteCount(b uint64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%d B", b)
+	}
+	div, exp := uint64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
 }
 
 // shortKey trims a cache key to its core|kernel prefix for display.
