@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-smoke alloc-smoke fmt vet ci
+.PHONY: all build test race bench bench-smoke alloc-smoke check fuzz-smoke fmt vet ci
 
 all: build
 
@@ -28,6 +29,19 @@ bench-smoke:
 alloc-smoke:
 	$(GO) test -run=SteadyStateAllocs -count=1 .
 
+# Differential oracle + metamorphic invariants + corpus replay
+# (internal/check; see DESIGN.md "Verification").
+check:
+	$(GO) test ./internal/check/ -count=1
+
+# Run every native fuzz target for $(FUZZTIME) each. Go allows one -fuzz
+# target per invocation, hence the loop. A crasher is written to
+# internal/check/testdata/fuzz/<Target>/ and replays in plain `go test`.
+fuzz-smoke:
+	for target in FuzzAssemble FuzzDecodeEncodeRoundtrip FuzzDifferential; do \
+		$(GO) test ./internal/check/ -run='^$$' -fuzz=$$target -fuzztime=$(FUZZTIME) || exit 1; \
+	done
+
 fmt:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then \
@@ -37,4 +51,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench-smoke alloc-smoke
+ci: fmt vet build race bench-smoke alloc-smoke check fuzz-smoke

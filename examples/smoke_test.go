@@ -1,0 +1,59 @@
+package examples
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesBuildAndRun builds every example binary and runs it: each
+// must exit 0 and print something. The examples double as end-to-end
+// tests of the public simulation surface — a silent or crashing example
+// means a README walkthrough is broken.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building and running example binaries is not short")
+	}
+	examples := []string{
+		"branchinversion",
+		"cachestudy",
+		"multiplexing",
+		"quickstart",
+		"temporaltma",
+	}
+	bindir := t.TempDir()
+	for _, name := range examples {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(bindir, name)
+			build := exec.Command("go", "build", "-o", bin, "./"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build: %v\n%s", err, out)
+			}
+			cmd := exec.Command(bin)
+			cmd.Dir = t.TempDir() // examples must not depend on the CWD
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+	// Sanity: the list above must stay in sync with the directories.
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := 0
+	for _, e := range entries {
+		if e.IsDir() && e.Name() != "testdata" {
+			dirs++
+		}
+	}
+	if dirs != len(examples) {
+		t.Fatalf("examples/ has %d directories but the smoke list has %d", dirs, len(examples))
+	}
+}

@@ -1,0 +1,177 @@
+package check_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"icicle/internal/asm"
+	"icicle/internal/boom"
+	"icicle/internal/check"
+	"icicle/internal/kernel"
+)
+
+// TestDifferentialStrategies runs every generation profile through the
+// full oracle: functional reference, Rocket, and all five BOOM sizes per
+// seed, with the determinism and counter-vs-trace harnesses attached. On
+// a failure the program is shrunk and the repro persisted under
+// testdata/corpus so the exact failing sequence survives the test run.
+func TestDifferentialStrategies(t *testing.T) {
+	seedsPer := 3
+	if testing.Short() {
+		seedsPer = 1
+	}
+	eng := check.New()
+	for _, strat := range kernel.Strategies {
+		strat := strat
+		t.Run(strat.Name, func(t *testing.T) {
+			for seed := int64(0); seed < int64(seedsPer); seed++ {
+				src := strat.Program(seed)
+				rep, err := eng.CheckSource(src)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if rep.Failed() {
+					fatalWithRepro(t, eng, src, rep)
+				}
+			}
+		})
+	}
+}
+
+// fatalWithRepro shrinks a failing program, writes the repro to
+// testdata/corpus, and fails the test pointing at it.
+func fatalWithRepro(t *testing.T, eng *check.Engine, src string, rep *check.Report) {
+	t.Helper()
+	shrunk, f, err := eng.ShrinkFailure(src)
+	if err != nil {
+		t.Fatalf("%s\n(shrink did not converge: %v)", rep, err)
+	}
+	path, err := check.WriteCorpus(filepath.Join("testdata", "corpus"), shrunk, f)
+	if err != nil {
+		t.Fatalf("%s\n(could not write repro: %v)", rep, err)
+	}
+	n, _ := check.InstructionCount(shrunk)
+	t.Fatalf("%s\nshrunk to %d instructions; repro written to %s", rep, n, path)
+}
+
+// TestCorpus replays every corpus program — hand-written seeds plus any
+// shrunk repro a previous failure persisted — through the full oracle.
+// These are regression tests: a corpus file that fails again means a
+// previously-fixed bug is back.
+func TestCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus files under testdata/corpus")
+	}
+	eng := check.New()
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := eng.CheckSource(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Failed() {
+				t.Fatalf("corpus regression:\n%s", rep)
+			}
+		})
+	}
+}
+
+// faultyModel wraps a real model and corrupts one architectural register
+// in its reported outcome — a stand-in for a timing-model bookkeeping bug
+// (e.g. a squashed instruction whose writeback is not undone).
+func faultyModel() check.Model {
+	inner := check.BoomModel(boom.Small)
+	return check.Model{
+		Name: "boom-small-faulty",
+		Run: func(prog *asm.Program, opt check.RunOptions) (check.Outcome, error) {
+			out, err := inner.Run(prog, opt)
+			out.Regs[10] ^= 1 // flip a0 bit 0
+			return out, err
+		},
+	}
+}
+
+// TestInjectedFaultCaughtAndShrunk proves the oracle end to end: a model
+// with a planted architectural-state bug is caught by the differential
+// oracle, the failing program shrinks to a tiny repro, and the repro is
+// persisted in corpus format.
+func TestInjectedFaultCaughtAndShrunk(t *testing.T) {
+	eng := check.New(
+		check.WithModels(check.RocketModel(), faultyModel()),
+		check.WithoutDeterminism(),
+		check.WithoutTrace(),
+	)
+	src := kernel.Mixed.Program(7)
+	rep, err := eng.CheckSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("planted bug not caught by the oracle")
+	}
+	f := rep.FirstFailure()
+	if f.Invariant != check.InvArchState && f.Invariant != check.InvExit {
+		t.Fatalf("planted bug classified as %q, want arch-state or exit", f.Invariant)
+	}
+
+	shrunk, sf, err := eng.ShrinkFailure(src)
+	if err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if sf.Model != "boom-small-faulty" {
+		t.Fatalf("shrunk failure blames %q, want the faulty model", sf.Model)
+	}
+	n, err := check.InstructionCount(shrunk)
+	if err != nil {
+		t.Fatalf("shrunk program does not assemble: %v", err)
+	}
+	if n > 16 {
+		t.Fatalf("shrunk repro has %d instructions, want <= 16:\n%s", n, shrunk)
+	}
+
+	dir := t.TempDir()
+	path, err := check.WriteCorpus(dir, shrunk, sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# shrunk repro: boom-small-faulty/") {
+		t.Fatalf("corpus file missing failure header:\n%s", data)
+	}
+	if !strings.HasSuffix(string(data), shrunk) {
+		t.Fatal("corpus file does not end with the shrunk program")
+	}
+}
+
+// TestReportString pins the two Report renderings the test-failure UX
+// depends on.
+func TestReportString(t *testing.T) {
+	eng := check.New(check.WithBoomSizes(boom.Small), check.WithoutTrace(), check.WithoutDeterminism())
+	rep, err := eng.CheckSource("\tli a0, 42\n\tecall\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("trivial program failed:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "check: ok") {
+		t.Fatalf("passing report renders as %q", rep.String())
+	}
+	if rep.Ref.Exit != 42 {
+		t.Fatalf("ref exit = %d, want 42", rep.Ref.Exit)
+	}
+}

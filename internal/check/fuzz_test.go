@@ -1,0 +1,93 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"icicle/internal/asm"
+	"icicle/internal/boom"
+	"icicle/internal/check"
+	"icicle/internal/isa"
+	"icicle/internal/kernel"
+)
+
+// FuzzAssemble throws arbitrary source at the assembler: it must either
+// reject the input or produce a program whose text disassembles slot for
+// slot — never panic.
+func FuzzAssemble(f *testing.F) {
+	f.Add("\tli   a0, 42\n\tecall\n")
+	f.Add("loop:\n\taddi a1, a1, -1\n\tbnez a1, loop\n\tecall\n")
+	f.Add("\tamoadd.d a0, a1, (s0)\n\tfence.i\n")
+	f.Add(kernel.Mixed.Program(1))
+	f.Add(kernel.MemoryAliasing.Program(1))
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			return
+		}
+		insts := prog.Disassemble()
+		if len(insts)*isa.InstBytes != prog.TextSize {
+			t.Fatalf("disassembled %d insts from %d text bytes", len(insts), prog.TextSize)
+		}
+	})
+}
+
+// FuzzDecodeEncodeRoundtrip checks the decoder/encoder fixpoint: any word
+// that decodes to a legal instruction must re-encode successfully, and the
+// canonical encoding must decode back to the identical Inst. (Decode is
+// deliberately lenient about don't-care bits, so Encode(Decode(w)) == w
+// does not hold; the fixpoint does.)
+func FuzzDecodeEncodeRoundtrip(f *testing.F) {
+	f.Add(uint32(0x00000013)) // addi x0, x0, 0
+	f.Add(uint32(0x00000073)) // ecall
+	f.Add(uint32(0x40b50533)) // sub a0, a0, a1
+	f.Add(uint32(0xfe0718e3)) // bnez a4, -16
+	f.Add(uint32(0x0605b52f)) // amoadd.d a0, zero-ish AMO pattern
+	f.Fuzz(func(t *testing.T, word uint32) {
+		in := isa.Decode(word)
+		if in.Op == isa.ILLEGAL {
+			return
+		}
+		canon, err := isa.Encode(in)
+		if err != nil {
+			t.Fatalf("%08x decodes to %v but does not encode: %v", word, in, err)
+		}
+		if got := isa.Decode(canon); got != in {
+			t.Fatalf("%08x: decode %v, re-encode %08x, re-decode %v", word, in, canon, got)
+		}
+	})
+}
+
+// FuzzDifferential feeds mutated programs through a reduced oracle (Rocket
+// plus the smallest and largest BOOM) with all metamorphic harnesses on.
+// Inputs that do not assemble or do not terminate within the budget are
+// uninteresting; anything that runs must satisfy every invariant.
+func FuzzDifferential(f *testing.F) {
+	f.Add("\tli   a0, 7\n\tecall\n")
+	f.Add("\tli   s11, 9\nr:\n\taddi a1, a1, 5\n\tmul  a2, a1, s11\n\taddi s11, s11, -1\n\tbnez s11, r\n\txor  a0, a1, a2\n\tecall\n")
+	f.Add("\tli   s0, 4194304\n\tli   t0, 77\n\tsd   t0, 0(s0)\n\tlbu  a1, 1(s0)\n\tamoxor.d a0, a1, (s0)\n\tecall\n")
+	f.Add(kernel.BranchDense.Program(2))
+	f.Add(kernel.LoopCarried.Program(2))
+	eng := check.New(
+		check.WithBoomSizes(boom.Small, boom.Giga),
+		check.WithWorkers(1),
+		check.WithMaxInsts(300_000),
+	)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		// Programs that read PMU CSRs legitimately diverge across timing
+		// models (cycle counts differ per model) — out of oracle scope.
+		if strings.Contains(src, "csr") {
+			return
+		}
+		rep, err := eng.CheckSource(src)
+		if err != nil {
+			return
+		}
+		if rep.Failed() {
+			t.Fatalf("invariant failure on fuzzed program:\n%s\nprogram:\n%s", rep, src)
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package check
+
+import (
+	"fmt"
+	"math"
+)
+
+// Invariant names, used to classify failures and to keep the shrinker
+// anchored to the original failure class.
+const (
+	// InvRun: the timing model failed to run a program the functional
+	// reference completed (cycle-budget livelock, internal error).
+	InvRun = "run"
+	// InvExit: exit checksum differs from the functional reference.
+	InvExit = "exit"
+	// InvInstRet: retired-instruction count differs from the reference.
+	InvInstRet = "instret"
+	// InvArchState: final integer register file differs from the reference.
+	InvArchState = "arch-state"
+	// InvTally: a model's event tallies disagree with its own
+	// architectural result (instructions-retired vs Insts, cycles vs
+	// Cycles).
+	InvTally = "tally"
+	// InvTMASum: top-level TMA classes do not sum to 1.
+	InvTMASum = "tma-sum"
+	// InvTMARange: a top-level TMA class left [0, 1].
+	InvTMARange = "tma-range"
+	// InvDeterminism: a Reset-reused core diverged from the fresh run.
+	InvDeterminism = "determinism"
+	// InvTrace: decoded trace totals disagree with the dense tallies.
+	InvTrace = "trace"
+	// InvPMU: CSR counter reads disagree with the dense tallies.
+	InvPMU = "pmu"
+)
+
+// tmaTol absorbs float summation noise in slot fractions.
+const tmaTol = 1e-9
+
+// Failure is one tripped invariant.
+type Failure struct {
+	Model     string
+	Invariant string
+	Detail    string
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("%s/%s: %s", f.Model, f.Invariant, f.Detail)
+}
+
+// ModelRun pairs a model with its outcome (or run error).
+type ModelRun struct {
+	Name string
+	Outcome
+	Err error
+}
+
+// evaluate applies every invariant to every model run.
+func evaluate(ref Ref, runs []ModelRun) []Failure {
+	var fails []Failure
+	add := func(model, inv, format string, args ...any) {
+		fails = append(fails, Failure{Model: model, Invariant: inv,
+			Detail: fmt.Sprintf(format, args...)})
+	}
+
+	for i := range runs {
+		r := &runs[i]
+		if r.Err != nil {
+			add(r.Name, InvRun, "%v", r.Err)
+			continue
+		}
+
+		// Differential oracle vs the functional reference.
+		if r.Exit != ref.Exit {
+			add(r.Name, InvExit, "exit %#x != functional %#x", r.Exit, ref.Exit)
+		}
+		if r.Insts != ref.Insts {
+			add(r.Name, InvInstRet, "retired %d != functional %d", r.Insts, ref.Insts)
+		}
+		if r.Regs != ref.Regs {
+			for x := range r.Regs {
+				if r.Regs[x] != ref.Regs[x] {
+					add(r.Name, InvArchState, "x%d = %#x != functional %#x",
+						x, r.Regs[x], ref.Regs[x])
+					break
+				}
+			}
+		}
+
+		// Tally self-consistency: the dense event totals must agree with
+		// the run's own architectural counts.
+		if got := r.Tally["instructions-retired"]; got != r.Insts {
+			add(r.Name, InvTally, "instructions-retired tally %d != retired %d", got, r.Insts)
+		}
+		if got := r.Tally["cycles"]; got != r.Cycles {
+			add(r.Name, InvTally, "cycles tally %d != cycles %d", got, r.Cycles)
+		}
+
+		// Metamorphic: TMA slot conservation.
+		if r.HasBreakdown {
+			b := r.Breakdown
+			if s := b.TopLevelSum(); math.Abs(s-1) > tmaTol {
+				add(r.Name, InvTMASum, "top-level sum %.12f != 1", s)
+			}
+			for _, c := range []struct {
+				n string
+				v float64
+			}{
+				{"retiring", b.Retiring}, {"bad-speculation", b.BadSpec},
+				{"frontend", b.Frontend}, {"backend", b.Backend},
+			} {
+				if c.v < -tmaTol || c.v > 1+tmaTol {
+					add(r.Name, InvTMARange, "%s = %.12f outside [0,1]", c.n, c.v)
+				}
+			}
+		}
+
+		// Metamorphic: Reset-reuse determinism.
+		if r.Replay != nil {
+			checkReplay(add, r.Name, &r.Outcome, r.Replay)
+		}
+
+		// Metamorphic: counter-vs-trace consistency. Both observation
+		// paths watch the same per-cycle source assertions the dense
+		// tallies sum, so all three totals must be equal.
+		for _, ev := range r.TracedEvents {
+			want := r.Tally[ev]
+			if got := r.TraceTotals[ev]; got != want {
+				add(r.Name, InvTrace, "%s: trace total %d != tally %d", ev, got, want)
+			}
+			if got := r.PMUReads[ev]; got != want {
+				add(r.Name, InvPMU, "%s: counter read %d != tally %d", ev, got, want)
+			}
+		}
+	}
+	return fails
+}
+
+// checkReplay compares a Reset-reused core's re-run against the fresh run.
+func checkReplay(add func(model, inv, format string, args ...any),
+	name string, fresh, replay *Outcome) {
+	if replay.Cycles != fresh.Cycles {
+		add(name, InvDeterminism, "replay cycles %d != fresh %d", replay.Cycles, fresh.Cycles)
+	}
+	if replay.Insts != fresh.Insts {
+		add(name, InvDeterminism, "replay retired %d != fresh %d", replay.Insts, fresh.Insts)
+	}
+	if replay.Exit != fresh.Exit {
+		add(name, InvDeterminism, "replay exit %#x != fresh %#x", replay.Exit, fresh.Exit)
+	}
+	if replay.Regs != fresh.Regs {
+		add(name, InvDeterminism, "replay register file differs from fresh run")
+	}
+	for ev, want := range fresh.Tally {
+		if got := replay.Tally[ev]; got != want {
+			add(name, InvDeterminism, "replay tally %s = %d != fresh %d", ev, got, want)
+		}
+	}
+}

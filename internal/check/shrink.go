@@ -1,0 +1,167 @@
+package check
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"icicle/internal/asm"
+	"icicle/internal/isa"
+	"icicle/internal/sim"
+)
+
+// Shrink minimizes a failing program with delta debugging (ddmin) over
+// source lines: it repeatedly deletes line chunks, keeping any candidate
+// for which keep still returns true, until no single line can be removed.
+// Candidates at each granularity are evaluated in parallel through the
+// internal/sim worker discipline; the lowest-index interesting candidate
+// wins, so the result is deterministic regardless of scheduling.
+//
+// keep must be deterministic and must return true for src itself.
+// Candidates that no longer assemble or no longer terminate simply make
+// keep return false — the shrinker treats them as uninteresting, so
+// labels, loop counters, and addressing scaffolding stay exactly as
+// coherent as the predicate demands.
+func Shrink(src string, workers int, keep func(string) bool) string {
+	lines := strings.Split(strings.TrimRight(src, "\n"), "\n")
+
+	n := 2 // granularity: number of chunks the program is split into
+	for len(lines) >= 2 {
+		chunk := (len(lines) + n - 1) / n
+		starts := make([]int, 0, n)
+		for s := 0; s < len(lines); s += chunk {
+			starts = append(starts, s)
+		}
+		// Try deleting each chunk, all candidates in parallel.
+		kept, _ := sim.Map(workers, starts, func(_ int, s int) (bool, error) {
+			return keep(joinWithout(lines, s, chunk)), nil
+		})
+		progressed := false
+		for i, ok := range kept {
+			if ok {
+				lines = cutLines(lines, starts[i], chunk)
+				n = max(n-1, 2)
+				progressed = true
+				break
+			}
+		}
+		if progressed {
+			continue
+		}
+		if n >= len(lines) {
+			break // single-line granularity exhausted: 1-minimal
+		}
+		n = min(len(lines), 2*n)
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// joinWithout renders lines with [s, s+chunk) removed.
+func joinWithout(lines []string, s, chunk int) string {
+	e := min(s+chunk, len(lines))
+	var sb strings.Builder
+	for i, l := range lines {
+		if i >= s && i < e {
+			continue
+		}
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// cutLines removes [s, s+chunk) into a fresh slice.
+func cutLines(lines []string, s, chunk int) []string {
+	e := min(s+chunk, len(lines))
+	out := make([]string, 0, len(lines)-(e-s))
+	out = append(out, lines[:s]...)
+	return append(out, lines[e:]...)
+}
+
+// ShrinkFailure minimizes a program that trips the engine's oracle. The
+// predicate demands the same invariant class as the original report's
+// first failure, so shrinking cannot drift onto an unrelated (weaker)
+// property. Candidate evaluation runs the oracle serially per candidate
+// while the ddmin loop fans candidates out across the engine's workers.
+//
+// It returns the minimized source and the surviving failure. An error
+// means src does not actually fail the oracle (or is invalid).
+func (e *Engine) ShrinkFailure(src string) (string, Failure, error) {
+	rep, err := e.CheckSource(src)
+	if err != nil {
+		return "", Failure{}, err
+	}
+	if !rep.Failed() {
+		return "", Failure{}, errors.New("check: program does not fail the oracle")
+	}
+	target := rep.FirstFailure().Invariant
+
+	// The predicate engine runs each candidate serially (the ddmin loop
+	// provides the parallelism) and only pays for the metamorphic
+	// harnesses the target failure needs.
+	popts := []Option{WithWorkers(1), WithMaxInsts(e.maxInsts), WithModels(e.models...)}
+	if target != InvDeterminism {
+		popts = append(popts, WithoutDeterminism())
+	}
+	if target != InvTrace && target != InvPMU {
+		popts = append(popts, WithoutTrace())
+	}
+	pe := New(popts...)
+
+	keep := func(s string) bool {
+		r, err := pe.CheckSource(s)
+		if err != nil {
+			return false
+		}
+		for _, f := range r.Failures {
+			if f.Invariant == target {
+				return true
+			}
+		}
+		return false
+	}
+
+	shrunk := Shrink(src, e.workers, keep)
+	final, err := pe.CheckSource(shrunk)
+	if err != nil {
+		return "", Failure{}, fmt.Errorf("check: shrunk program became invalid: %w", err)
+	}
+	for _, f := range final.Failures {
+		if f.Invariant == target {
+			return shrunk, f, nil
+		}
+	}
+	return "", Failure{}, errors.New("check: shrunk program lost the failure (non-deterministic predicate?)")
+}
+
+// InstructionCount returns the number of assembled instructions in src
+// (tests use it to assert shrunk repros are small).
+func InstructionCount(src string) (int, error) {
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return 0, err
+	}
+	return prog.TextSize / isa.InstBytes, nil
+}
+
+// WriteCorpus persists a shrunk failing program under dir (conventionally
+// testdata/corpus), named by failure class and content hash so repeated
+// shrinks of the same bug collapse onto one file. The header records the
+// failure; corpus files are replayed by the corpus regression test, so the
+// repro keeps guarding the code after the bug is fixed.
+func WriteCorpus(dir, src string, f Failure) (string, error) {
+	sum := sha256.Sum256([]byte(src))
+	name := fmt.Sprintf("shrunk-%s-%x.s", f.Invariant, sum[:6])
+	header := fmt.Sprintf("# shrunk repro: %s\n# replayed by: go test ./internal/check -run Corpus\n", f)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(header+src), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

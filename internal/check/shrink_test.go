@@ -1,0 +1,70 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"icicle/internal/check"
+)
+
+func src(lines ...string) string { return strings.Join(lines, "\n") + "\n" }
+
+// TestShrinkSynthetic drives ddmin with a pure-text predicate: only the
+// two load-bearing lines must survive.
+func TestShrinkSynthetic(t *testing.T) {
+	in := src("a", "b", "c", "d", "e", "f", "g", "h", "i")
+	keep := func(s string) bool {
+		return strings.Contains(s, "c\n") && strings.Contains(s, "g\n")
+	}
+	got := check.Shrink(in, 4, keep)
+	if got != src("c", "g") {
+		t.Fatalf("shrunk to %q, want %q", got, src("c", "g"))
+	}
+}
+
+// TestShrinkIrreducible keeps everything when no line can be deleted.
+func TestShrinkIrreducible(t *testing.T) {
+	in := src("a", "b", "c")
+	keep := func(s string) bool { return s == in }
+	if got := check.Shrink(in, 2, keep); got != in {
+		t.Fatalf("shrunk to %q, want unchanged input", got)
+	}
+}
+
+// TestShrinkDeterministic: the result must not depend on worker count,
+// because the lowest-index interesting candidate always wins.
+func TestShrinkDeterministic(t *testing.T) {
+	in := src("x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11")
+	// Any candidate containing x3 and at least 3 lines is interesting —
+	// plenty of ties for the workers to race on.
+	keep := func(s string) bool {
+		return strings.Contains(s, "x3\n") && strings.Count(s, "\n") >= 3
+	}
+	want := check.Shrink(in, 1, keep)
+	for _, workers := range []int{2, 4, 8} {
+		if got := check.Shrink(in, workers, keep); got != want {
+			t.Fatalf("workers=%d shrunk to %q, workers=1 gave %q", workers, got, want)
+		}
+	}
+}
+
+// TestShrinkOneMinimal: the result of a successful shrink is 1-minimal —
+// deleting any single remaining line makes the predicate fail.
+func TestShrinkOneMinimal(t *testing.T) {
+	in := src("a", "k1", "b", "c", "k2", "d", "k3", "e", "f")
+	keep := func(s string) bool {
+		return strings.Contains(s, "k1\n") && strings.Contains(s, "k2\n") &&
+			strings.Contains(s, "k3\n")
+	}
+	got := check.Shrink(in, 3, keep)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("shrunk to %d lines, want 3: %q", len(lines), got)
+	}
+	for i := range lines {
+		cand := strings.Join(append(append([]string{}, lines[:i]...), lines[i+1:]...), "\n") + "\n"
+		if keep(cand) {
+			t.Fatalf("not 1-minimal: line %q is deletable", lines[i])
+		}
+	}
+}

@@ -1,0 +1,20 @@
+# Hand-written seed: mixed-width store-to-load aliasing on one dword,
+# with an atomic read-modify-write in the middle — exercises forwarding,
+# ordering checks, and replay in the timing models.
+	li   s0, 4194304
+	li   t0, 81985529216486895
+	sd   t0, 0(s0)
+	lbu  a1, 3(s0)
+	lhu  a2, 2(s0)
+	lw   a3, 4(s0)
+	sh   a2, 6(s0)
+	amoadd.d a4, a1, (s0)
+	ld   a5, 0(s0)
+	sb   a1, 1(s0)
+	lwu  t1, 0(s0)
+	add  a0, a1, a2
+	add  a0, a0, a3
+	add  a0, a0, a4
+	xor  a0, a0, a5
+	xor  a0, a0, t1
+	ecall

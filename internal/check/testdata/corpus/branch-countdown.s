@@ -1,0 +1,19 @@
+# Hand-written seed: a countdown loop whose body takes a data-dependent
+# forward skip on the counter's parity — a stream of alternating branch
+# outcomes for the predictors to mangle.
+	li   s11, 100
+	li   a1, 0
+	li   a2, 0
+loop:
+	andi t0, s11, 1
+	beqz t0, even
+	addi a1, a1, 3
+	xor  a1, a1, s11
+even:
+	addi a2, a2, 1
+	mul  a3, a1, a2
+	addi s11, s11, -1
+	bnez s11, loop
+	xor  a0, a1, a2
+	xor  a0, a0, a3
+	ecall

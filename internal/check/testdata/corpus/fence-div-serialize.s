@@ -1,0 +1,20 @@
+# Hand-written seed: fences and long-latency division interleaved with
+# stores — exercises the intended-flush path and writeback contention.
+	li   s0, 4194304
+	li   t0, 987654321
+	li   t1, 7
+	li   a1, 0
+	li   s11, 12
+serial:
+	divu a2, t0, t1
+	rem  a3, t0, t1
+	sd   a2, 8(s0)
+	fence
+	ld   a4, 8(s0)
+	fence.i
+	add  a1, a1, a4
+	addi t1, t1, 2
+	addi s11, s11, -1
+	bnez s11, serial
+	xor  a0, a1, a3
+	ecall

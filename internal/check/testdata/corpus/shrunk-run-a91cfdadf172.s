@@ -1,0 +1,10 @@
+# shrunk repro: GigaBOOM/run: boom: cycle budget 225056 exhausted (pc 0x10018)
+# replayed by: go test ./internal/check -run Corpus
+	li   s11, 195
+router:
+	add  t4, t4, s0
+	sd a3, 0(t4)
+	ld a1, 0(t4)
+	addi s11, s11, -1
+	bnez s11, router
+	ecall

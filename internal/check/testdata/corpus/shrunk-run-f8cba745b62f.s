@@ -1,0 +1,9 @@
+# shrunk repro: LargeBOOM/run: boom: cycle budget 212384 exhausted (pc 0x10014)
+# replayed by: go test ./internal/check -run Corpus
+	li   s11, 219
+router:
+	lhu a4, 2(t4)
+	sh a4, 4(t4)
+	addi s11, s11, -1
+	bnez s11, router
+	ecall

@@ -1,0 +1,129 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"icicle/internal/core"
+)
+
+// plausibleCounts generates a random Counts that a real core could have
+// produced: the total slot budget (Cycles x W_C) is partitioned into
+// retired slots, fetch bubbles, a bad-speculation budget (flushed slots
+// plus recovery bubbles), and a backend residual. Arbitrary unconstrained
+// counts can violate the slot identity (Backend is a residual), so the
+// property is stated over physically realizable inputs.
+func plausibleCounts(r *rand.Rand, wc int) core.Counts {
+	cycles := uint64(r.Intn(1_000_000) + 1)
+	total := cycles * uint64(wc)
+
+	// Partition total slots into four buckets.
+	cut := func(budget uint64) uint64 {
+		if budget == 0 {
+			return 0
+		}
+		return uint64(r.Int63n(int64(budget) + 1))
+	}
+	retired := cut(total)
+	bubbles := cut(total - retired)
+	badSpec := cut(total - retired - bubbles)
+
+	// Within the bad-speculation budget: recovery cycles first (they cost
+	// W_C slots each), flushed slots from what remains. The non-fence
+	// flush ratio is <= 1, so flushedSlots <= remaining keeps the
+	// bad-speculation share within budget.
+	recCycles := cut(badSpec / uint64(wc))
+	flushedSlots := cut(badSpec - recCycles*uint64(wc))
+
+	c := core.Counts{
+		Cycles:       cycles,
+		InstRet:      cut(retired),
+		UopsRetired:  retired,
+		UopsIssued:   retired + flushedSlots,
+		FetchBubbles: bubbles,
+		Recovering:   recCycles,
+
+		Flushes:      uint64(r.Intn(1000)),
+		BrMispred:    uint64(r.Intn(1000)),
+		FenceRetired: uint64(r.Intn(1000)),
+
+		// Clamped by Evaluate against their parent classes.
+		ICacheBlocked: uint64(r.Int63n(int64(cycles) + 1)),
+		DCacheBlocked: cut(total),
+	}
+	return c
+}
+
+// TestEvaluateProperties: for any physically plausible Counts, Evaluate
+// must conserve slots (top level sums to 1), keep every class inside
+// [0, 1], keep drill-downs inside their parents, and name a maximal class
+// as Dominant.
+func TestEvaluateProperties(t *testing.T) {
+	const tol = 1e-9
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5000; trial++ {
+		wc := r.Intn(8) + 1
+		cfg := core.DefaultConfig(wc, wc+r.Intn(4))
+		if r.Intn(4) == 0 {
+			cfg.ApproxRecovery = true
+		}
+		c := plausibleCounts(r, wc)
+		if cfg.ApproxRecovery {
+			// The constant approximation replaces measured recovery with
+			// RecoverLength x BrMispred; keep it inside the slot budget.
+			c.BrMispred = uint64(float64(c.Recovering) / cfg.RecoverLength)
+			c.Flushes = uint64(r.Intn(1000))
+			c.FenceRetired = uint64(r.Intn(1000))
+		}
+
+		b, err := core.Evaluate(cfg, c)
+		if err != nil {
+			t.Fatalf("trial %d: %v (counts %+v)", trial, err, c)
+		}
+
+		if s := b.TopLevelSum(); math.Abs(s-1) > tol {
+			t.Fatalf("trial %d: top-level sum %.12f != 1 (counts %+v)", trial, s, c)
+		}
+		classes := map[string]float64{
+			"retiring": b.Retiring, "bad-speculation": b.BadSpec,
+			"frontend": b.Frontend, "backend": b.Backend,
+			"machine-clears": b.MachineClears, "resteers": b.Resteers,
+			"recovery-bubbles": b.RecoveryBubbles, "branch-mispred": b.BranchMispred,
+			"fetch-latency": b.FetchLatency, "pc-resteer": b.PCResteer,
+			"core-bound": b.CoreBound, "mem-bound": b.MemBound,
+		}
+		for name, v := range classes {
+			if v < -tol || v > 1+tol {
+				t.Fatalf("trial %d: %s = %.12f outside [0,1] (counts %+v)", trial, name, v, c)
+			}
+		}
+		// Drill-downs stay inside their parents.
+		if b.FetchLatency > b.Frontend+tol {
+			t.Fatalf("trial %d: fetch-latency %.12f > frontend %.12f", trial, b.FetchLatency, b.Frontend)
+		}
+		if b.MemBound > b.Backend+tol {
+			t.Fatalf("trial %d: mem-bound %.12f > backend %.12f", trial, b.MemBound, b.Backend)
+		}
+		if got := b.MachineClears + b.Resteers + b.RecoveryBubbles; math.Abs(got-b.BadSpec) > tol {
+			t.Fatalf("trial %d: bad-spec drill-down %.12f != %.12f", trial, got, b.BadSpec)
+		}
+
+		// Dominant names a maximal top-level class.
+		top := map[string]float64{
+			"retiring": b.Retiring, "bad-speculation": b.BadSpec,
+			"frontend": b.Frontend, "backend": b.Backend,
+		}
+		dom := b.Dominant()
+		best, ok := top[dom]
+		if !ok {
+			t.Fatalf("trial %d: Dominant() = %q, not a top-level class", trial, dom)
+		}
+		for name, v := range top {
+			if v > best+tol {
+				t.Fatalf("trial %d: Dominant() = %q (%.12f) but %s = %.12f is larger",
+					trial, dom, best, name, v)
+			}
+		}
+	}
+}

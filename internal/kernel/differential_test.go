@@ -1,66 +1,66 @@
 package kernel_test
 
 import (
+	"fmt"
 	"testing"
 
 	"icicle/internal/asm"
 	"icicle/internal/boom"
-	"icicle/internal/isa"
+	"icicle/internal/check"
 	"icicle/internal/kernel"
-	"icicle/internal/mem"
 	"icicle/internal/rocket"
+	"icicle/internal/sim"
 )
 
 // TestDifferentialRandomPrograms is the strongest correctness check in the
-// repository: for randomly generated (terminating) programs, the
-// functional model, the Rocket timing model, and two BOOM sizes must all
-// produce the same architectural result and instruction count, no matter
-// how the timing models squash, replay, poison, and refetch.
+// repository, now run through the internal/check engine: for randomly
+// generated (terminating) programs from every generation strategy, the
+// functional model, the Rocket timing model, and all five BOOM sizes must
+// produce the same architectural result and instruction count — and every
+// metamorphic invariant (TMA slot conservation, Reset-reuse determinism,
+// counter-vs-trace consistency) must hold. Seeds fan out across workers
+// while each seed's oracle runs its models serially.
 func TestDifferentialRandomPrograms(t *testing.T) {
-	seeds := 20
-	if testing.Short() {
-		seeds = 5
+	seeds := 100
+	if raceDetector {
+		seeds = 20
 	}
-	for seed := int64(0); seed < int64(seeds); seed++ {
-		src := kernel.RandomProgram(seed)
-		prog, err := asm.Assemble(src)
+	if testing.Short() {
+		seeds = 10
+	}
+	eng := check.New(check.WithWorkers(1))
+	type job struct {
+		strat kernel.Strategy
+		seed  int64
+	}
+	jobs := make([]job, seeds)
+	for i := range jobs {
+		jobs[i] = job{kernel.Strategies[i%len(kernel.Strategies)], int64(i)}
+	}
+	verdicts, err := sim.Map(0, jobs, func(_ int, j job) (string, error) {
+		rep, err := eng.CheckSource(j.strat.Program(j.seed))
 		if err != nil {
-			t.Fatalf("seed %d: assemble: %v\n%s", seed, err, src)
+			return "", fmt.Errorf("%s seed %d: %w", j.strat.Name, j.seed, err)
 		}
-
-		// Functional reference.
-		m := mem.NewSparse()
-		prog.LoadInto(m)
-		ref := isa.NewCPU(m, prog.Entry)
-		if _, err := ref.Run(50_000_000); err != nil {
-			t.Fatalf("seed %d: functional: %v", seed, err)
+		if rep.Failed() {
+			return fmt.Sprintf("%s seed %d:\n%s", j.strat.Name, j.seed, rep), nil
 		}
-
-		// Rocket.
-		rres, err := rocket.New(rocket.DefaultConfig(), prog).Run()
-		if err != nil {
-			t.Fatalf("seed %d: rocket: %v", seed, err)
+		return "", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, v := range verdicts {
+		if v == "" {
+			continue
 		}
-		if rres.Exit != ref.ExitCode {
-			t.Fatalf("seed %d: rocket exit %#x != functional %#x", seed, rres.Exit, ref.ExitCode)
+		if failed++; failed <= 3 {
+			t.Errorf("%s", v)
 		}
-		if rres.Insts != ref.InstRet {
-			t.Fatalf("seed %d: rocket retired %d != functional %d", seed, rres.Insts, ref.InstRet)
-		}
-
-		// BOOM at two sizes (different flush/replay behaviour).
-		for _, size := range []boom.Size{boom.Small, boom.Large} {
-			bres, err := boom.MustNew(boom.NewConfig(size), prog).Run()
-			if err != nil {
-				t.Fatalf("seed %d: %v: %v", seed, size, err)
-			}
-			if bres.Exit != ref.ExitCode {
-				t.Fatalf("seed %d: %v exit %#x != functional %#x", seed, size, bres.Exit, ref.ExitCode)
-			}
-			if bres.Insts != ref.InstRet {
-				t.Fatalf("seed %d: %v retired %d != functional %d", seed, size, bres.Insts, ref.InstRet)
-			}
-		}
+	}
+	if failed > 3 {
+		t.Errorf("... and %d more failing seeds", failed-3)
 	}
 }
 

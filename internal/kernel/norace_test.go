@@ -1,0 +1,5 @@
+//go:build !race
+
+package kernel_test
+
+const raceDetector = false

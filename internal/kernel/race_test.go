@@ -1,0 +1,8 @@
+//go:build race
+
+package kernel_test
+
+// raceDetector trims the differential seed sweep: the race detector costs
+// ~10x per simulated cycle, and 20 seeds already cover every strategy
+// four times over.
+const raceDetector = true

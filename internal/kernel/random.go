@@ -6,87 +6,304 @@ import (
 	"strings"
 )
 
-// RandomProgram generates a random but guaranteed-terminating RV64IM
-// program for differential testing: the same program must produce the same
-// architectural result on the functional model and on both timing
-// simulators, no matter how they squash, replay, and refetch.
-//
-// Structure: a register pool seeded with random constants, an outer
-// countdown loop containing random straight-line ALU work, data-dependent
-// (but skip-forward-only) branches, and loads/stores confined to a 16 KiB
-// arena. The result is a fold of every live register.
+// Strategy is a random-program generation profile for differential
+// testing. Each profile biases the generated RV64IMA instruction mix
+// toward a different corner of the timing models — dense ALU dependency
+// chains, aliasing memory traffic, misprediction-heavy control flow,
+// loop-carried serial chains — so the internal/check oracle and the fuzz
+// targets stress different squash/replay/forwarding paths. Every profile
+// produces guaranteed-terminating programs: control flow is an outer
+// countdown loop, optional bounded inner countdown loops, and
+// skip-forward-only data-dependent branches.
+type Strategy struct {
+	Name string
+
+	// Relative instruction-mix weights; a zero weight drops the class.
+	ALU    int // add/sub/logic/addi
+	Shift  int // slli/srli/srai
+	Mul    int
+	Div    int // divu/remu/div/rem
+	Load   int
+	Store  int
+	Amo    int // read-modify-write atomics
+	Branch int // data-dependent forward skips
+
+	// AddrMask confines data addresses within the 16 KiB arena (masked
+	// onto an 8-byte-aligned offset). Small masks concentrate traffic on
+	// a few cache lines, maximizing aliasing, forwarding, and ordering-
+	// violation opportunities.
+	AddrMask int64
+
+	// MixedWidths mixes byte/half/word accesses in with dwords, so
+	// stores and loads partially overlap.
+	MixedWidths bool
+
+	// InnerLoops nests bounded (2..9 trip) countdown loops inside
+	// blocks; with Chained these become loop-carried dependency chains.
+	InnerLoops bool
+
+	// Chained biases each op's first source toward its destination,
+	// building long serial dependency chains.
+	Chained bool
+
+	// FencePct is the per-block percentage chance of a trailing fence.
+	FencePct int
+
+	// Shape: the outer loop runs [MinIters,MaxIters) trips over
+	// [MinBlocks,MaxBlocks) blocks of [MinLen,MaxLen) operations.
+	MinIters, MaxIters   int
+	MinBlocks, MaxBlocks int
+	MinLen, MaxLen       int
+}
+
+// The exported generation profiles. Mixed reproduces the historical
+// RandomProgram distribution; the others are the corner-case profiles
+// used by internal/check.
+var (
+	// Mixed is the balanced historical profile.
+	Mixed = Strategy{
+		Name: "mixed",
+		ALU:  5, Shift: 2, Mul: 1, Div: 2, Load: 1, Store: 1, Amo: 1, Branch: 1,
+		AddrMask: 0x3f8, FencePct: 33,
+		MinIters: 50, MaxIters: 450, MinBlocks: 2, MaxBlocks: 8, MinLen: 3, MaxLen: 13,
+	}
+
+	// ALUHeavy is almost pure integer work: dense dependency chains
+	// through the issue queues with no memory pressure.
+	ALUHeavy = Strategy{
+		Name: "alu-heavy",
+		ALU:  8, Shift: 4, Mul: 2, Div: 1, Branch: 1,
+		Chained:  true,
+		MinIters: 100, MaxIters: 600, MinBlocks: 2, MaxBlocks: 6, MinLen: 6, MaxLen: 20,
+	}
+
+	// MemoryAliasing hammers a 16-dword window with mixed-width loads,
+	// stores, and atomics — store-to-load aliasing, ordering violations,
+	// and MSHR pressure.
+	MemoryAliasing = Strategy{
+		Name: "memory-aliasing",
+		ALU:  2, Load: 4, Store: 4, Amo: 2, Branch: 1,
+		AddrMask: 0x78, MixedWidths: true, FencePct: 20,
+		MinIters: 40, MaxIters: 250, MinBlocks: 2, MaxBlocks: 6, MinLen: 4, MaxLen: 14,
+	}
+
+	// BranchDense is misprediction-heavy: short blocks dominated by
+	// data-dependent forward skips.
+	BranchDense = Strategy{
+		Name: "branch-dense",
+		ALU:  2, Shift: 1, Branch: 5, Load: 1,
+		AddrMask: 0x3f8,
+		MinIters: 60, MaxIters: 400, MinBlocks: 3, MaxBlocks: 10, MinLen: 2, MaxLen: 7,
+	}
+
+	// LoopCarried nests bounded inner loops whose bodies chain through
+	// an accumulator — serial latency the out-of-order cores cannot hide.
+	LoopCarried = Strategy{
+		Name: "loop-carried",
+		ALU:  4, Shift: 1, Mul: 2, Div: 1, Load: 1, Store: 1, Branch: 1,
+		AddrMask: 0x1f8, InnerLoops: true, Chained: true,
+		MinIters: 20, MaxIters: 120, MinBlocks: 2, MaxBlocks: 5, MinLen: 3, MaxLen: 9,
+	}
+)
+
+// Strategies lists every generation profile, Mixed first.
+var Strategies = []Strategy{Mixed, ALUHeavy, MemoryAliasing, BranchDense, LoopCarried}
+
+// StrategyByName looks a profile up by its Name.
+func StrategyByName(name string) (Strategy, error) {
+	for _, s := range Strategies {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Strategy{}, fmt.Errorf("kernel: unknown strategy %q", name)
+}
+
+// RandomProgram generates a random but guaranteed-terminating RV64IMA
+// program for differential testing using the balanced Mixed profile: the
+// same program must produce the same architectural result on the
+// functional model and on every timing simulator, no matter how they
+// squash, replay, and refetch.
 func RandomProgram(seed int64) string {
+	return Mixed.Program(seed)
+}
+
+// Register conventions shared by every generated program: the pool is
+// freely clobbered by random ops; s0 holds the arena base, s11 the outer
+// loop counter, t4 the current effective address, t5 inner loop counters,
+// and a0 the final fold.
+var genPool = []string{"a1", "a2", "a3", "a4", "a5", "t0", "t1", "t2", "t3", "s2", "s3", "s4"}
+
+// Program renders one random program from the profile. The output is a
+// deterministic function of (profile, seed).
+func (s Strategy) Program(seed int64) string {
 	r := rand.New(rand.NewSource(seed))
-	var sb strings.Builder
+	g := &progGen{r: r, s: s}
+	return g.run()
+}
 
-	// Register pool the generator may freely clobber.
-	pool := []string{"a1", "a2", "a3", "a4", "a5", "t0", "t1", "t2", "t3", "s2", "s3", "s4"}
-	reg := func() string { return pool[r.Intn(len(pool))] }
+type progGen struct {
+	r     *rand.Rand
+	s     Strategy
+	sb    strings.Builder
+	label int
+}
 
-	fmt.Fprintf(&sb, "\tli   s0, %d\n", heapA)
-	for _, p := range pool {
-		fmt.Fprintf(&sb, "\tli   %s, %d\n", p, r.Int63())
+func (g *progGen) reg() string { return genPool[g.r.Intn(len(genPool))] }
+
+func (g *progGen) span(lo, hi int) int {
+	if hi <= lo {
+		return lo
 	}
-	iters := r.Intn(400) + 50
-	fmt.Fprintf(&sb, "\tli   s11, %d\nrouter:\n", iters)
+	return lo + g.r.Intn(hi-lo)
+}
 
-	blocks := r.Intn(6) + 2
-	label := 0
+func (g *progGen) run() string {
+	fmt.Fprintf(&g.sb, "\tli   s0, %d\n", heapA)
+	for _, p := range genPool {
+		fmt.Fprintf(&g.sb, "\tli   %s, %d\n", p, g.r.Int63())
+	}
+	fmt.Fprintf(&g.sb, "\tli   s11, %d\nrouter:\n", g.span(g.s.MinIters, g.s.MaxIters))
+
+	blocks := g.span(g.s.MinBlocks, g.s.MaxBlocks)
 	for b := 0; b < blocks; b++ {
-		n := r.Intn(10) + 3
-		for i := 0; i < n; i++ {
-			d, s1, s2 := reg(), reg(), reg()
-			switch r.Intn(13) {
-			case 0:
-				fmt.Fprintf(&sb, "\tadd  %s, %s, %s\n", d, s1, s2)
-			case 1:
-				fmt.Fprintf(&sb, "\tsub  %s, %s, %s\n", d, s1, s2)
-			case 2:
-				fmt.Fprintf(&sb, "\txor  %s, %s, %s\n", d, s1, s2)
-			case 3:
-				fmt.Fprintf(&sb, "\tmul  %s, %s, %s\n", d, s1, s2)
-			case 4:
-				fmt.Fprintf(&sb, "\tslli %s, %s, %d\n", d, s1, r.Intn(63)+1)
-			case 5:
-				fmt.Fprintf(&sb, "\tsrli %s, %s, %d\n", d, s1, r.Intn(63)+1)
-			case 6:
-				fmt.Fprintf(&sb, "\tdivu %s, %s, %s\n", d, s1, s2)
-			case 7:
-				fmt.Fprintf(&sb, "\tremu %s, %s, %s\n", d, s1, s2)
-			case 8:
-				fmt.Fprintf(&sb, "\taddi %s, %s, %d\n", d, s1, r.Intn(4095)-2048)
-			case 9: // store: confine the address to the arena, 8-aligned
-				fmt.Fprintf(&sb, "\tandi t4, %s, 0x3f8\n", s1)
-				sb.WriteString("\tadd  t4, t4, s0\n")
-				fmt.Fprintf(&sb, "\tsd   %s, 0(t4)\n", s2)
-			case 10: // load
-				fmt.Fprintf(&sb, "\tandi t4, %s, 0x3f8\n", s1)
-				sb.WriteString("\tadd  t4, t4, s0\n")
-				fmt.Fprintf(&sb, "\tld   %s, 0(t4)\n", d)
-			case 12: // atomic read-modify-write in the arena
-				fmt.Fprintf(&sb, "\tandi t4, %s, 0x3f8\n", s1)
-				sb.WriteString("\tadd  t4, t4, s0\n")
-				fmt.Fprintf(&sb, "\tamoadd.d %s, %s, (t4)\n", d, s2)
-			case 11: // data-dependent forward skip
-				fmt.Fprintf(&sb, "\tandi t4, %s, 1\n", s1)
-				fmt.Fprintf(&sb, "\tbeqz t4, rskip%d\n", label)
-				fmt.Fprintf(&sb, "\taddi %s, %s, 1\n", d, d)
-				fmt.Fprintf(&sb, "\txor  %s, %s, %s\n", d, d, s1)
-				fmt.Fprintf(&sb, "rskip%d:\n", label)
-				label++
-			}
+		n := g.span(g.s.MinLen, g.s.MaxLen)
+		inner := -1
+		if g.s.InnerLoops && g.r.Intn(2) == 0 {
+			inner = g.label
+			g.label++
+			// Data-dependent but bounded trip count: 2..9.
+			fmt.Fprintf(&g.sb, "\tandi t5, %s, 7\n", g.reg())
+			g.sb.WriteString("\taddi t5, t5, 2\n")
+			fmt.Fprintf(&g.sb, "inner%d:\n", inner)
 		}
-		if r.Intn(3) == 0 {
-			sb.WriteString("\tfence\n")
+		for i := 0; i < n; i++ {
+			g.op()
+		}
+		if inner >= 0 {
+			g.sb.WriteString("\taddi t5, t5, -1\n")
+			fmt.Fprintf(&g.sb, "\tbnez t5, inner%d\n", inner)
+		}
+		if g.s.FencePct > 0 && g.r.Intn(100) < g.s.FencePct {
+			g.sb.WriteString("\tfence\n")
 		}
 	}
-	sb.WriteString("\taddi s11, s11, -1\n\tbnez s11, router\n")
+	g.sb.WriteString("\taddi s11, s11, -1\n\tbnez s11, router\n")
 
 	// Fold everything into a0.
-	sb.WriteString("\tli   a0, 0\n")
-	for _, p := range pool {
-		fmt.Fprintf(&sb, "\txor  a0, a0, %s\n", p)
+	g.sb.WriteString("\tli   a0, 0\n")
+	for _, p := range genPool {
+		fmt.Fprintf(&g.sb, "\txor  a0, a0, %s\n", p)
 	}
-	sb.WriteString("\tecall\n")
-	return sb.String()
+	g.sb.WriteString("\tecall\n")
+	return g.sb.String()
+}
+
+// op emits one weighted random operation.
+func (g *progGen) op() {
+	s := g.s
+	d, s1, s2 := g.reg(), g.reg(), g.reg()
+	if s.Chained && g.r.Intn(2) == 0 {
+		s1 = d
+	}
+	k := g.r.Intn(s.ALU + s.Shift + s.Mul + s.Div + s.Load + s.Store + s.Amo + s.Branch)
+	switch {
+	case k < s.ALU:
+		switch g.r.Intn(6) {
+		case 0:
+			fmt.Fprintf(&g.sb, "\tadd  %s, %s, %s\n", d, s1, s2)
+		case 1:
+			fmt.Fprintf(&g.sb, "\tsub  %s, %s, %s\n", d, s1, s2)
+		case 2:
+			fmt.Fprintf(&g.sb, "\txor  %s, %s, %s\n", d, s1, s2)
+		case 3:
+			fmt.Fprintf(&g.sb, "\tor   %s, %s, %s\n", d, s1, s2)
+		case 4:
+			fmt.Fprintf(&g.sb, "\tand  %s, %s, %s\n", d, s1, s2)
+		default:
+			fmt.Fprintf(&g.sb, "\taddi %s, %s, %d\n", d, s1, g.r.Intn(4095)-2048)
+		}
+	case k < s.ALU+s.Shift:
+		switch g.r.Intn(3) {
+		case 0:
+			fmt.Fprintf(&g.sb, "\tslli %s, %s, %d\n", d, s1, g.r.Intn(63)+1)
+		case 1:
+			fmt.Fprintf(&g.sb, "\tsrli %s, %s, %d\n", d, s1, g.r.Intn(63)+1)
+		default:
+			fmt.Fprintf(&g.sb, "\tsrai %s, %s, %d\n", d, s1, g.r.Intn(63)+1)
+		}
+	case k < s.ALU+s.Shift+s.Mul:
+		fmt.Fprintf(&g.sb, "\tmul  %s, %s, %s\n", d, s1, s2)
+	case k < s.ALU+s.Shift+s.Mul+s.Div:
+		switch g.r.Intn(4) {
+		case 0:
+			fmt.Fprintf(&g.sb, "\tdivu %s, %s, %s\n", d, s1, s2)
+		case 1:
+			fmt.Fprintf(&g.sb, "\tremu %s, %s, %s\n", d, s1, s2)
+		case 2:
+			fmt.Fprintf(&g.sb, "\tdiv  %s, %s, %s\n", d, s1, s2)
+		default:
+			fmt.Fprintf(&g.sb, "\trem  %s, %s, %s\n", d, s1, s2)
+		}
+	case k < s.ALU+s.Shift+s.Mul+s.Div+s.Load:
+		g.memAddr(s1)
+		op, off := g.access("ld", "lw", "lhu", "lbu")
+		fmt.Fprintf(&g.sb, "\t%s %s, %d(t4)\n", op, d, off)
+	case k < s.ALU+s.Shift+s.Mul+s.Div+s.Load+s.Store:
+		g.memAddr(s1)
+		op, off := g.access("sd", "sw", "sh", "sb")
+		fmt.Fprintf(&g.sb, "\t%s %s, %d(t4)\n", op, s2, off)
+	case k < s.ALU+s.Shift+s.Mul+s.Div+s.Load+s.Store+s.Amo:
+		g.memAddr(s1)
+		amo := [...]string{"amoadd.d", "amoxor.d", "amoand.d", "amoor.d", "amoswap.d"}[g.r.Intn(5)]
+		fmt.Fprintf(&g.sb, "\t%s %s, %s, (t4)\n", amo, d, s2)
+	default:
+		g.branch(d, s1, s2)
+	}
+}
+
+// memAddr computes t4 = arena base + (s1 & AddrMask), 8-byte aligned.
+func (g *progGen) memAddr(s1 string) {
+	mask := g.s.AddrMask
+	if mask == 0 {
+		mask = 0x3f8
+	}
+	fmt.Fprintf(&g.sb, "\tandi t4, %s, %d\n", s1, mask&^7)
+	g.sb.WriteString("\tadd  t4, t4, s0\n")
+}
+
+// access picks an access width (dword unless MixedWidths) and a matching
+// aligned displacement within the dword at t4.
+func (g *progGen) access(d, w, h, b string) (op string, off int) {
+	if !g.s.MixedWidths {
+		return d, 0
+	}
+	switch g.r.Intn(4) {
+	case 0:
+		return d, 0
+	case 1:
+		return w, 4 * g.r.Intn(2)
+	case 2:
+		return h, 2 * g.r.Intn(4)
+	default:
+		return b, g.r.Intn(8)
+	}
+}
+
+// branch emits a data-dependent skip-forward branch over a short body.
+func (g *progGen) branch(d, s1, s2 string) {
+	l := g.label
+	g.label++
+	switch g.r.Intn(3) {
+	case 0: // parity skip (the historical form)
+		fmt.Fprintf(&g.sb, "\tandi t4, %s, 1\n", s1)
+		fmt.Fprintf(&g.sb, "\tbeqz t4, rskip%d\n", l)
+	case 1: // signed compare
+		fmt.Fprintf(&g.sb, "\tblt  %s, %s, rskip%d\n", s1, s2, l)
+	default: // unsigned compare
+		fmt.Fprintf(&g.sb, "\tbgeu %s, %s, rskip%d\n", s1, s2, l)
+	}
+	fmt.Fprintf(&g.sb, "\taddi %s, %s, 1\n", d, d)
+	fmt.Fprintf(&g.sb, "\txor  %s, %s, %s\n", d, d, s1)
+	fmt.Fprintf(&g.sb, "rskip%d:\n", l)
 }
