@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-smoke alloc-smoke check fuzz-smoke fmt vet ci
+.PHONY: all build test race bench bench-smoke alloc-smoke obs-smoke check fuzz-smoke fmt vet ci
 
 all: build
 
@@ -29,6 +29,12 @@ bench-smoke:
 alloc-smoke:
 	$(GO) test -run=SteadyStateAllocs -count=1 .
 
+# Observability smoke: runs a traced sweep plus a sampled temporal-TMA
+# capture and validates the Chrome trace-event JSON shape and the
+# Prometheus text exposition (see obs_smoke_test.go).
+obs-smoke:
+	$(GO) test -run=ObsSmoke -count=1 .
+
 # Differential oracle + metamorphic invariants + corpus replay
 # (internal/check; see DESIGN.md "Verification").
 check:
@@ -51,4 +57,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench-smoke alloc-smoke check fuzz-smoke
+ci: fmt vet build race bench-smoke alloc-smoke obs-smoke check fuzz-smoke

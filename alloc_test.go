@@ -10,6 +10,7 @@ import (
 
 	"icicle/internal/boom"
 	"icicle/internal/kernel"
+	"icicle/internal/obs"
 	"icicle/internal/rocket"
 )
 
@@ -43,6 +44,62 @@ func TestRocketSteadyStateAllocs(t *testing.T) {
 		t.Errorf("rocket steady-state run allocates %.1f objects, budget %d",
 			allocs, rocketRunAllocBudget)
 	}
+}
+
+// TestTelemetryKeepsCycleLoopAllocFree pins the obs invariant: the cores'
+// periodic telemetry flush must cost zero allocations per run both when a
+// registry-backed handle is installed and when telemetry is disabled (nil
+// handle — a single pointer test per flush check).
+func TestTelemetryKeepsCycleLoopAllocFree(t *testing.T) {
+	k, err := kernel.ByName("towers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := k.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(t *testing.T, rc *rocket.Core, bc *boom.Core) {
+		t.Helper()
+		if allocs := testing.AllocsPerRun(3, func() {
+			rc.Reset(prog)
+			if err := rc.RunCycles(); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs > rocketRunAllocBudget {
+			t.Errorf("rocket run allocates %.1f objects, budget %d", allocs, rocketRunAllocBudget)
+		}
+		if allocs := testing.AllocsPerRun(3, func() {
+			bc.Reset(prog)
+			if err := bc.RunCycles(); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs > boomRunAllocBudget {
+			t.Errorf("boom run allocates %.1f objects, budget %d", allocs, boomRunAllocBudget)
+		}
+	}
+	rc := rocket.New(rocket.DefaultConfig(), prog)
+	bc, err := boom.New(boom.NewConfig(boom.Large), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("metrics-enabled", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		rc.SetTelemetry(obs.CoreTelemetryIn(reg, "rocket"))
+		bc.SetTelemetry(obs.CoreTelemetryIn(reg, "boom"))
+		run(t, rc, bc)
+		if reg.Counter("icicle_rocket_cycles_simulated_total", "").Value() == 0 {
+			t.Error("registry-backed telemetry saw no rocket cycles")
+		}
+		if reg.Counter("icicle_boom_cycles_simulated_total", "").Value() == 0 {
+			t.Error("registry-backed telemetry saw no boom cycles")
+		}
+	})
+	t.Run("handle-nil", func(t *testing.T) {
+		rc.SetTelemetry(nil)
+		bc.SetTelemetry(nil)
+		run(t, rc, bc)
+	})
 }
 
 func TestBoomSteadyStateAllocs(t *testing.T) {

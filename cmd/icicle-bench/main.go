@@ -19,8 +19,10 @@ import (
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"strings"
+	"time"
 
 	"icicle/internal/experiments"
+	"icicle/internal/obs"
 	"icicle/internal/sim"
 )
 
@@ -37,22 +39,51 @@ func main() {
 	}
 }
 
-// run holds the whole program so the profiling defers fire on every exit
-// path (os.Exit would skip them).
-func run() error {
+// run holds the whole program so the profiling and telemetry defers fire
+// on every exit path (os.Exit would skip them).
+func run() (err error) {
 	only := flag.String("only", "", "comma-separated artifact list (fig3,fig7a,fig7c,fig7d,fig7ef,fig7g,fig7k,fig7m,fig7n,table5,table6,fig8,fig9,undercount,archcmp,widthsweep,ras)")
 	outDir := flag.String("out", "", "also write each artifact to <dir>/<name>.txt (the artifact's iiswc-2025-ae-out equivalent)")
 	jobs := flag.Int("j", 0, "simulation worker goroutines (0 = GOMAXPROCS); alias -parallel")
 	flag.IntVar(jobs, "parallel", 0, "alias for -j")
-	verbose := flag.Bool("v", false, "print simulation-runner statistics (jobs, cache hits, wall time) at exit")
+	verbose := flag.Bool("v", false, "print one line per simulation job and runner statistics at exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	tracefile := flag.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
+	var o obs.CLI
+	o.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *jobs > 0 {
-		sim.SetDefaultWorkers(*jobs)
+	// Telemetry first: Start enables span tracing before the shared runner
+	// is (re)built, so the runner construction below picks the tracer up.
+	o.ProgressSource = func() obs.Progress { return sim.Default().Progress() }
+	if err := o.Start("icicle-bench"); err != nil {
+		return err
 	}
+	defer func() {
+		if serr := o.Stop(); serr != nil && err == nil {
+			err = serr
+		}
+	}()
+
+	var runnerOpts []sim.Option
+	if *jobs > 0 {
+		runnerOpts = append(runnerOpts, sim.WithWorkers(*jobs))
+	}
+	if *verbose {
+		// Per-job lines go through the obs-owned writer goroutine so
+		// concurrent workers never tear each other's output.
+		lines := o.Lines()
+		runnerOpts = append(runnerOpts, sim.WithJobCallback(func(res sim.Result, wall time.Duration) {
+			status := "sim"
+			if res.Cached {
+				status = "hit"
+			}
+			lines.Printf("icicle-bench: %s %-10s %-24s %10s",
+				status, res.Job.CoreName(), res.Job.Kernel.Name, wall.Round(time.Microsecond))
+		}))
+	}
+	sim.ConfigureDefault(runnerOpts...)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -272,8 +303,9 @@ func run() error {
 		}
 	}
 	if *verbose {
-		// Stats go to stderr so artifact output on stdout stays diffable.
-		fmt.Fprintf(os.Stderr, "\nicicle-bench: %s\n", sim.Default().Stats())
+		// Stats go to stderr so artifact output on stdout stays diffable;
+		// the line writer keeps them ordered after the per-job lines.
+		o.Lines().Printf("\nicicle-bench: %s", sim.Default().Snapshot())
 	}
 	return nil
 }

@@ -18,10 +18,15 @@ import (
 	"icicle/internal/boom"
 	"icicle/internal/core"
 	"icicle/internal/kernel"
+	"icicle/internal/obs"
 	"icicle/internal/perf"
 	"icicle/internal/pmu"
 	"icicle/internal/rocket"
 )
+
+// tele is the shared telemetry wiring; package-level so fatal can flush
+// the -metrics-out/-trace-span-out files before exiting.
+var tele obs.CLI
 
 func main() {
 	var (
@@ -34,7 +39,12 @@ func main() {
 		tlb      = flag.Bool("tlb", false, "enable the third-level TLB extension")
 		ras      = flag.Bool("ras", false, "enable BOOM's return-address stack")
 	)
+	tele.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := tele.Start("icicle-perf"); err != nil {
+		fatal(err)
+	}
+	defer stopTele()
 
 	if *list {
 		for _, k := range kernel.All() {
@@ -56,7 +66,13 @@ func main() {
 	case "rocket":
 		cfg := rocket.DefaultConfig()
 		cfg.PMUArch = arch
-		res, b, err := perf.RunRocket(cfg, k)
+		prog, err := k.Program()
+		if err != nil {
+			fatal(err)
+		}
+		c := rocket.New(cfg, prog)
+		c.SetTelemetry(obs.CoreTelemetryIn(obs.Default(), "rocket"))
+		res, b, err := perf.RunRocketOn(c, k)
 		if err != nil {
 			fatal(err)
 		}
@@ -76,7 +92,16 @@ func main() {
 		cfg := boom.NewConfig(s)
 		cfg.PMUArch = arch
 		cfg.UseRAS = *ras
-		res, b, err := perf.RunBoom(cfg, k)
+		prog, err := k.Program()
+		if err != nil {
+			fatal(err)
+		}
+		c, err := boom.New(cfg, prog)
+		if err != nil {
+			fatal(err)
+		}
+		c.SetTelemetry(obs.CoreTelemetryIn(obs.Default(), "boom"))
+		res, b, err := perf.RunBoomOn(c, k)
 		if err != nil {
 			fatal(err)
 		}
@@ -121,7 +146,16 @@ func sortedKeys(m map[string]uint64) []string {
 	return keys
 }
 
+// stopTele flushes the telemetry outputs, reporting (but not failing on)
+// write errors.
+func stopTele() {
+	if err := tele.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "icicle-perf:", err)
+	}
+}
+
 func fatal(err error) {
+	tele.Stop() // os.Exit skips defers; flush telemetry outputs first
 	fmt.Fprintln(os.Stderr, "icicle-perf:", err)
 	os.Exit(1)
 }

@@ -18,22 +18,44 @@ import (
 	"icicle/internal/boom"
 	"icicle/internal/experiments"
 	"icicle/internal/kernel"
+	"icicle/internal/obs"
+	"icicle/internal/pmu"
 	"icicle/internal/rocket"
 	"icicle/internal/trace"
 )
 
+// cycleSink is what a core's cycle hook feeds: the full-trace Writer or
+// the SamplingWriter, selected by -sample-window.
+type cycleSink interface {
+	WriteCycle(cycle uint64, sample pmu.Sample)
+	Flush() error
+	Cycles() uint64
+}
+
+// tele is the shared telemetry wiring; package-level so fatal can flush
+// the -metrics-out/-trace-span-out files before exiting.
+var tele obs.CLI
+
 func main() {
 	var (
-		coreKind = flag.String("core", "boom", "core to simulate: rocket or boom")
-		size     = flag.String("size", "large", "BOOM size")
-		kname    = flag.String("kernel", "qsort", "workload kernel")
-		out      = flag.String("out", "", "write the binary trace to this file")
-		analyze  = flag.String("analyze", "", "analyze an existing trace file instead of simulating")
-		pad      = flag.Int("pad", 50, "overlap window padding in cycles (§V-B)")
-		fig3     = flag.Bool("fig3", false, "reproduce the Fig. 3 frontend trace study")
-		window   = flag.Int("window", 80, "timeline window length in cycles")
+		coreKind   = flag.String("core", "boom", "core to simulate: rocket or boom")
+		size       = flag.String("size", "large", "BOOM size")
+		kname      = flag.String("kernel", "qsort", "workload kernel")
+		out        = flag.String("out", "", "write the binary trace to this file")
+		analyze    = flag.String("analyze", "", "analyze an existing trace file instead of simulating")
+		pad        = flag.Int("pad", 50, "overlap window padding in cycles (§V-B)")
+		fig3       = flag.Bool("fig3", false, "reproduce the Fig. 3 frontend trace study")
+		window     = flag.Int("window", 80, "timeline window length in cycles")
+		sampleWin  = flag.Uint64("sample-window", 0, "capture sampled windows of this many cycles instead of the full trace (0 = full)")
+		samplePer  = flag.Uint64("sample-period", 0, "cycles between sampled window starts (default 10× -sample-window)")
+		usPerCycle = flag.Float64("us-per-cycle", 0.001, "trace microseconds per simulated cycle for the Perfetto TMA counter tracks")
 	)
+	tele.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := tele.Start("icicle-trace"); err != nil {
+		fatal(err)
+	}
+	defer stopTele()
 
 	if *fig3 {
 		r, err := experiments.Fig3FrontendTrace()
@@ -76,6 +98,23 @@ func main() {
 	}
 	defer f.Close()
 
+	// sink wraps a full-trace writer in the sampling writer when
+	// -sample-window is set.
+	sink := func(w *trace.Writer) cycleSink {
+		if *sampleWin == 0 {
+			return w
+		}
+		period := *samplePer
+		if period == 0 {
+			period = *sampleWin * 10
+		}
+		sw, err := trace.NewSamplingWriter(w, *sampleWin, period)
+		if err != nil {
+			fatal(err)
+		}
+		return sw
+	}
+
 	switch *coreKind {
 	case "rocket":
 		c := rocket.New(rocket.DefaultConfig(), k.MustProgram())
@@ -85,14 +124,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		c.SetCycleHook(w.WriteCycle)
+		s := sink(w)
+		c.SetCycleHook(s.WriteCycle)
 		if _, err := c.Run(); err != nil {
 			fatal(err)
 		}
-		if err := w.Flush(); err != nil {
+		if err := s.Flush(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %d cycles to %s\n", w.Cycles(), path)
+		fmt.Printf("wrote %d cycles to %s\n", s.Cycles(), path)
 	case "boom":
 		s, err := boom.ParseSize(*size)
 		if err != nil {
@@ -108,14 +148,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		c.SetCycleHook(w.WriteCycle)
+		sk := sink(w)
+		c.SetCycleHook(sk.WriteCycle)
 		if _, err := c.Run(); err != nil {
 			fatal(err)
 		}
-		if err := w.Flush(); err != nil {
+		if err := sk.Flush(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %d cycles to %s\n", w.Cycles(), path)
+		fmt.Printf("wrote %d cycles to %s\n", sk.Cycles(), path)
 	default:
 		fatal(fmt.Errorf("unknown core %q", *coreKind))
 	}
@@ -126,6 +167,26 @@ func main() {
 		fatal(err)
 	}
 	defer rf.Close()
+	if *sampleWin > 0 {
+		// Sampled stream: window-aware analysis, plus TMA counter tracks
+		// on the Perfetto timeline when -trace-span-out is set.
+		windows, names, err := trace.ReadWindows(rf)
+		if err != nil {
+			fatal(err)
+		}
+		a := trace.NewWindowAnalyzer(windows, names)
+		fmt.Printf("sampled: %d windows, %d captured cycles, events %v\n",
+			len(windows), a.CapturedCycles(), names)
+		tot := a.Totals()
+		for _, n := range names {
+			fmt.Printf("  %-24s %d\n", n, tot[n])
+		}
+		if tr := obs.Tracing(); tr != nil {
+			n := trace.CounterTracks(tr, windows, names, 0, *usPerCycle)
+			fmt.Printf("rendered %d TMA counter-track samples\n", n)
+		}
+		return
+	}
 	rd, err := trace.NewReader(rf)
 	if err != nil {
 		fatal(err)
@@ -156,7 +217,16 @@ func report(a *trace.Analyzer, pad, window int) {
 	}
 }
 
+// stopTele flushes the telemetry outputs, reporting (but not failing on)
+// write errors.
+func stopTele() {
+	if err := tele.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "icicle-trace:", err)
+	}
+}
+
 func fatal(err error) {
+	tele.Stop() // os.Exit skips defers; flush telemetry outputs first
 	fmt.Fprintln(os.Stderr, "icicle-trace:", err)
 	os.Exit(1)
 }

@@ -18,20 +18,43 @@ import (
 
 	"icicle/internal/boom"
 	"icicle/internal/experiments"
+	"icicle/internal/obs"
+	"icicle/internal/sim"
 	"icicle/internal/vlsi"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "icicle-vlsi:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	var (
 		withActivity = flag.Bool("activity", false, "drive dynamic power from a measured CoreMark run per size")
 		ablation     = flag.Bool("ablation", false, "also print the adder chain vs adder tree ablation")
 	)
+	var tele obs.CLI
+	tele.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	// -activity runs CoreMark per size through the shared sim runner, so
+	// the progress endpoint and span tracing see real work.
+	tele.ProgressSource = func() obs.Progress { return sim.Default().Progress() }
+	if err := tele.Start("icicle-vlsi"); err != nil {
+		return err
+	}
+	defer func() {
+		if serr := tele.Stop(); serr != nil && err == nil {
+			err = serr
+		}
+	}()
+	sim.ConfigureDefault()
 
 	r, err := experiments.Fig9Physical(*withActivity)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "icicle-vlsi:", err)
-		os.Exit(1)
+		return err
 	}
 	r.Fprint(os.Stdout)
 
@@ -44,4 +67,5 @@ func main() {
 			fmt.Printf("%-12s %8.2f %8.2f\n", cfg.Name, chain, tree)
 		}
 	}
+	return nil
 }

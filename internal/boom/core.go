@@ -8,6 +8,7 @@ import (
 	"icicle/internal/branch"
 	"icicle/internal/isa"
 	"icicle/internal/mem"
+	"icicle/internal/obs"
 	"icicle/internal/pmu"
 )
 
@@ -110,6 +111,13 @@ type Core struct {
 
 	retiredTotal uint64
 	done         bool
+
+	// Host-side throughput telemetry (nil = disabled). Survives Reset so
+	// a pooled core keeps publishing; baselines re-zero with the cycle
+	// counter.
+	tel       *obs.CoreTelemetry
+	telCycles uint64
+	telInsts  uint64
 
 	// per-cycle scratch
 	issuedThisCycle int
@@ -226,10 +234,26 @@ func (c *Core) Reset(prog *asm.Program) {
 	c.retiredTotal = 0
 	c.done = false
 	c.issuedThisCycle = 0
+	c.telCycles = 0
+	c.telInsts = 0
 }
 
 // SetCycleHook installs a per-cycle observer.
 func (c *Core) SetCycleHook(h CycleHook) { c.hook = h }
+
+// SetTelemetry installs the host-side throughput handle (nil disables).
+// Unlike the cycle hook it survives Reset, so the sim core pool installs
+// it once per acquisition.
+func (c *Core) SetTelemetry(t *obs.CoreTelemetry) { c.tel = t }
+
+// flushTelemetry publishes the (cycles, insts) delta since the last flush.
+func (c *Core) flushTelemetry() {
+	if c.tel == nil {
+		return
+	}
+	c.tel.Add(c.cycle-c.telCycles, c.retiredTotal-c.telInsts)
+	c.telCycles, c.telInsts = c.cycle, c.retiredTotal
+}
 
 // Cycles returns the cycles simulated so far (the final count after Run).
 func (c *Core) Cycles() uint64 { return c.cycle }
@@ -344,12 +368,15 @@ func (c *Core) RunCycles() error {
 	}
 	for !c.done {
 		if c.cycle >= maxCycles {
+			c.flushTelemetry()
 			return fmt.Errorf("boom: cycle budget %d exhausted (pc 0x%x)", maxCycles, c.CPU.PC)
 		}
 		if err := c.step(); err != nil {
+			c.flushTelemetry()
 			return err
 		}
 	}
+	c.flushTelemetry()
 	return nil
 }
 
@@ -423,6 +450,9 @@ func (c *Core) step() error {
 		c.hook(c.cycle, c.sample)
 	}
 	c.cycle++
+	if c.tel != nil && c.cycle&(obs.TelemetryFlushInterval-1) == 0 {
+		c.flushTelemetry()
+	}
 
 	if c.streamEmpty() && c.fbLen() == 0 && c.robCount == 0 &&
 		!c.wrongPath && c.recovering == 0 && len(c.inflight) == 0 {

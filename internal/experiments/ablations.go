@@ -34,6 +34,7 @@ type WidthSweepResult struct {
 // forced widths require touching the PMU before Run, so the sweep fans
 // out via sim.Map rather than the memoizing runner.
 func WidthSweep(kernelName, event string) (WidthSweepResult, error) {
+	defer phase("WidthSweep")()
 	k, err := kernel.ByName(kernelName)
 	if err != nil {
 		return WidthSweepResult{}, err
@@ -108,6 +109,7 @@ type RASResult struct {
 // RASAblation compares LargeBOOM with and without the return-address
 // stack (a two-job batch through the shared runner).
 func RASAblation(kernelName string) (RASResult, error) {
+	defer phase("RASAblation")()
 	k, err := kernel.ByName(kernelName)
 	if err != nil {
 		return RASResult{}, err

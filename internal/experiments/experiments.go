@@ -19,9 +19,27 @@ import (
 	"icicle/internal/boom"
 	"icicle/internal/core"
 	"icicle/internal/kernel"
+	"icicle/internal/obs"
 	"icicle/internal/rocket"
 	"icicle/internal/sim"
 )
+
+// expTid is the trace track experiment-phase spans render on, kept clear
+// of the sim runner's worker tracks.
+const expTid = 99
+
+// phase opens a span covering one figure/table reproduction on the
+// process tracer; a no-op closure while tracing is disabled. Use as
+// `defer phase("Fig7a")()`.
+func phase(name string) func() {
+	tr := obs.Tracing()
+	if tr == nil {
+		return func() {}
+	}
+	tr.NameThread(expTid, "experiments")
+	sp := tr.Begin(name, "experiment", expTid)
+	return func() { sp.End() }
+}
 
 // Row is one benchmark's TMA evaluation.
 type Row struct {
@@ -103,6 +121,7 @@ func grid(title string, rows []Row, err error) (TMAGrid, error) {
 // Fig7aRocketMicro: Rocket top-level TMA over the microbenchmark suite
 // (Fig. 7a; the backend drill-down of the same rows is Fig. 7b).
 func Fig7aRocketMicro() (TMAGrid, error) {
+	defer phase("Fig7aRocketMicro")()
 	var jobs []sim.Job
 	for _, k := range kernel.ByCategory(kernel.CatMicro) {
 		jobs = append(jobs, sim.RocketJob(rocket.DefaultConfig(), k))
@@ -114,6 +133,7 @@ func Fig7aRocketMicro() (TMAGrid, error) {
 // Fig7gBoomSPEC: BOOM (Large) top-level TMA over the SPEC CPU2017 intrate
 // proxies (Fig. 7g; second-level drill-downs are Fig. 7h-j).
 func Fig7gBoomSPEC() (TMAGrid, error) {
+	defer phase("Fig7gBoomSPEC")()
 	cfg := boom.NewConfig(boom.Large)
 	var jobs []sim.Job
 	for _, k := range kernel.ByCategory(kernel.CatSPEC) {
@@ -125,6 +145,7 @@ func Fig7gBoomSPEC() (TMAGrid, error) {
 
 // Fig7kBoomMicro: BOOM microbenchmark TMA (Fig. 7k; backend zoom is 7l).
 func Fig7kBoomMicro() (TMAGrid, error) {
+	defer phase("Fig7kBoomMicro")()
 	cfg := boom.NewConfig(boom.Large)
 	var jobs []sim.Job
 	for _, k := range kernel.ByCategory(kernel.CatMicro) {
@@ -170,6 +191,7 @@ func caseStudy(title, baseName, varName string, base, variant sim.Job) (CaseStud
 
 // Fig7cCacheStudy: Rocket CS1 — 531.deepsjeng_r with 32 KiB vs 16 KiB L1D.
 func Fig7cCacheStudy() (CaseStudy, error) {
+	defer phase("Fig7cCacheStudy")()
 	k, err := kernel.ByName("531.deepsjeng_r")
 	if err != nil {
 		return CaseStudy{}, err
@@ -197,6 +219,7 @@ func kernelPairStudy(title, baseKernel, varKernel string, mk func(*kernel.Kernel
 
 // Fig7dBranchInversion: Rocket CS2 — brmiss vs brmiss_inv.
 func Fig7dBranchInversion() (CaseStudy, error) {
+	defer phase("Fig7dBranchInversion")()
 	return kernelPairStudy("Fig 7(d): Rocket CS2 — branch inversion",
 		"brmiss", "brmiss_inv",
 		func(k *kernel.Kernel) sim.Job { return sim.RocketJob(rocket.DefaultConfig(), k) })
@@ -205,6 +228,7 @@ func Fig7dBranchInversion() (CaseStudy, error) {
 // Fig7nBoomBranchInversion: the same study on BOOM shows the opposite
 // effect (the predictors cold-predict opposite directions).
 func Fig7nBoomBranchInversion() (CaseStudy, error) {
+	defer phase("Fig7nBoomBranchInversion")()
 	return kernelPairStudy("Fig 7(n): BOOM CS — branch inversion",
 		"brmiss", "brmiss_inv",
 		func(k *kernel.Kernel) sim.Job { return sim.BoomJob(boom.NewConfig(boom.Large), k) })
@@ -213,6 +237,7 @@ func Fig7nBoomBranchInversion() (CaseStudy, error) {
 // Fig7efCoreMarkSched: Rocket CS3 — CoreMark with and without the
 // instruction-scheduling pass (identical instruction counts).
 func Fig7efCoreMarkSched() (CaseStudy, error) {
+	defer phase("Fig7efCoreMarkSched")()
 	return kernelPairStudy("Fig 7(e,f): Rocket CS3 — CoreMark instruction scheduling",
 		"coremark", "coremark-sched",
 		func(k *kernel.Kernel) sim.Job { return sim.RocketJob(rocket.DefaultConfig(), k) })
@@ -221,6 +246,7 @@ func Fig7efCoreMarkSched() (CaseStudy, error) {
 // Fig7mBoomCoreMarkSched: the same study on BOOM (the OoO core hides the
 // scheduling difference almost entirely).
 func Fig7mBoomCoreMarkSched() (CaseStudy, error) {
+	defer phase("Fig7mBoomCoreMarkSched")()
 	return kernelPairStudy("Fig 7(m): BOOM CS — CoreMark instruction scheduling",
 		"coremark", "coremark-sched",
 		func(k *kernel.Kernel) sim.Job { return sim.BoomJob(boom.NewConfig(boom.Large), k) })

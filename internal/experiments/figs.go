@@ -35,6 +35,7 @@ var Fig3Events = []string{
 // Fig3FrontendTrace reproduces the motivating example: most mergesort
 // frontend stalls are NOT attributable to the I-cache.
 func Fig3FrontendTrace() (Fig3Result, error) {
+	defer phase("Fig3FrontendTrace")()
 	k, err := kernel.ByName("mergesort")
 	if err != nil {
 		return Fig3Result{}, err
@@ -115,6 +116,7 @@ type Fig8Result struct {
 // runs need a cycle hook, so they fan out via sim.Map; per-benchmark run
 // lengths are concatenated in benchmark order before building the CDF.
 func Fig8RecoveryCDF() (Fig8Result, error) {
+	defer phase("Fig8RecoveryCDF")()
 	cfg := boom.NewConfig(boom.Large)
 	benchmarks := []string{"qsort", "multiply", "531.deepsjeng_r", "525.x264_r", "fencemix"}
 	lengths, err := sim.Map(0, benchmarks, func(_ int, name string) ([]uint64, error) {
@@ -191,6 +193,7 @@ type Fig9Result struct {
 // withActivity is true, dynamic power uses event activity measured from a
 // CoreMark run at each size.
 func Fig9Physical(withActivity bool) (Fig9Result, error) {
+	defer phase("Fig9Physical")()
 	var activity map[string]map[string]float64
 	if withActivity {
 		k, err := kernel.ByName("coremark")

@@ -42,6 +42,7 @@ type Table5Result struct {
 // Table5PerLane measures per-lane event rates on LargeBOOM. The eight
 // benchmarks run as one batch through the shared runner.
 func Table5PerLane() (Table5Result, error) {
+	defer phase("Table5PerLane")()
 	cfg := boom.NewConfig(boom.Large)
 	out := Table5Result{Config: cfg.Name}
 	jobs := make([]sim.Job, 0, len(Table5Benchmarks))
@@ -143,6 +144,7 @@ type overlapPart struct {
 // cache and fan out via sim.Map instead; partial sums are accumulated in
 // benchmark order.
 func Table6Overlap(pad int) (Table6Result, error) {
+	defer phase("Table6Overlap")()
 	cfg := boom.NewConfig(boom.Large)
 	var out Table6Result
 	parts, err := sim.Map(0, Table6Benchmarks, func(_ int, name string) (overlapPart, error) {
@@ -239,6 +241,7 @@ func (u UndercountResult) Fprint(w io.Writer) {
 // UndercountBound measures the distributed architecture's undercount on a
 // real workload and checks it against the closed-form bound.
 func UndercountBound(kernelName string) (UndercountResult, error) {
+	defer phase("UndercountBound")()
 	k, err := kernel.ByName(kernelName)
 	if err != nil {
 		return UndercountResult{}, err
@@ -287,6 +290,7 @@ type ArchComparison struct {
 // the runs go through sim.Map rather than the memoizing runner) and
 // compares the counter values.
 func CounterArchComparison(kernelName, event string) (ArchComparison, error) {
+	defer phase("CounterArchComparison")()
 	k, err := kernel.ByName(kernelName)
 	if err != nil {
 		return ArchComparison{}, err

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// CLI is the shared telemetry flag wiring for the icicle-* binaries: every
+// tool grows the same four flags (-metrics-out, -trace-span-out, -listen,
+// -progress) by embedding one CLI, calling AddFlags before flag.Parse,
+// Start after it, and Stop on the way out.
+type CLI struct {
+	MetricsOut string // write Prometheus text exposition here at exit
+	SpanOut    string // write Chrome trace-event JSON here at exit
+	Listen     string // serve live introspection on this address
+	Progress   bool   // print a progress line to stderr every interval
+
+	// ProgressSource feeds the /progress endpoint and the -progress
+	// ticker; set it before Start (nil disables both with zeros).
+	ProgressSource func() Progress
+
+	// ProgressInterval defaults to 2s.
+	ProgressInterval time.Duration
+
+	program string
+	server  *Server
+	ticker  *time.Ticker
+	stop    chan struct{}
+	lines   *LineWriter
+}
+
+// AddFlags registers the telemetry flags on fs (flag.CommandLine in the
+// binaries).
+func (c *CLI) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write Prometheus text metrics to this file at exit")
+	fs.StringVar(&c.SpanOut, "trace-span-out", "", "write a Chrome/Perfetto trace of the host-side pipeline to this file at exit")
+	fs.StringVar(&c.Listen, "listen", "", "serve live introspection (expvar, /metrics, pprof, /progress) on this address, e.g. :6060")
+	fs.BoolVar(&c.Progress, "progress", false, "print sweep progress to stderr while running")
+}
+
+// Start applies the parsed flags: enables span tracing, starts the
+// introspection server, and starts the progress printer. Call after
+// flag.Parse and before any simulation work (so the shared sim runner
+// picks up the tracer).
+func (c *CLI) Start(program string) error {
+	c.program = program
+	if c.SpanOut != "" {
+		EnableTracing()
+	}
+	if c.Listen != "" {
+		c.server = NewServer(Default(), c.ProgressSource)
+		addr, err := c.server.Start(c.Listen)
+		if err != nil {
+			return fmt.Errorf("%s: -listen: %w", program, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: introspection server on http://%s (/metrics /progress /debug/pprof)\n", program, addr)
+	}
+	if c.Progress && c.ProgressSource != nil {
+		iv := c.ProgressInterval
+		if iv <= 0 {
+			iv = 2 * time.Second
+		}
+		// The goroutine works on local copies: Stop nils the struct
+		// fields, and the ticker may fire concurrently with it.
+		lines := c.Lines()
+		source := c.ProgressSource
+		program := c.program
+		ticker := time.NewTicker(iv)
+		stop := make(chan struct{})
+		c.ticker = ticker
+		c.stop = stop
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					lines.Printf("%s: %s", program, source())
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+// Lines returns the CLI's serialized stderr writer, creating it on first
+// use — the single ordered sink for workers' verbose output.
+func (c *CLI) Lines() *LineWriter {
+	if c.lines == nil {
+		c.lines = NewLineWriter(os.Stderr)
+	}
+	return c.lines
+}
+
+// Stop shuts the server and progress printer down and writes the
+// -metrics-out / -trace-span-out files. Safe to call once at exit on
+// every path.
+func (c *CLI) Stop() error {
+	if c.ticker != nil {
+		c.ticker.Stop()
+		close(c.stop)
+		c.ticker = nil
+	}
+	if c.server != nil {
+		c.server.Close()
+		c.server = nil
+	}
+	var firstErr error
+	if c.MetricsOut != "" {
+		if err := writeFileWith(c.MetricsOut, Default().WritePrometheus); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("-metrics-out: %w", err)
+		}
+	}
+	if c.SpanOut != "" {
+		if err := writeFileWith(c.SpanOut, Tracing().WriteJSON); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("-trace-span-out: %w", err)
+		}
+	}
+	if c.lines != nil {
+		c.lines.Close()
+		c.lines = nil
+	}
+	return firstErr
+}
+
+func writeFileWith(path string, render func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,48 @@
+package obs
+
+// CoreTelemetry is the nil-safe handle a simulated core's cycle loop
+// publishes throughput through: cycles simulated and instructions retired,
+// as process-wide counters a scraper turns into rates (host-side
+// cycles/sec and retired-insts/sec). Cores accumulate locally in fields
+// they already maintain and flush deltas periodically, so the enabled cost
+// is two atomic adds every flush interval, and the disabled cost (nil
+// handle) is one pointer test per flush check — zero allocations either
+// way, which alloc_test.go pins.
+type CoreTelemetry struct {
+	Cycles *Counter // cycles simulated
+	Insts  *Counter // instructions retired
+}
+
+// NewCoreTelemetry returns a standalone (unregistered) handle.
+func NewCoreTelemetry() *CoreTelemetry {
+	return &CoreTelemetry{Cycles: NewCounter(), Insts: NewCounter()}
+}
+
+// CoreTelemetryIn registers the handle's counters in reg under
+// icicle_<core>_cycles_simulated_total / icicle_<core>_insts_retired_total.
+// A nil registry yields a handle with nil counters (updates discarded) —
+// callers that want true disabled mode should pass a nil *CoreTelemetry
+// instead.
+func CoreTelemetryIn(reg *Registry, core string) *CoreTelemetry {
+	return &CoreTelemetry{
+		Cycles: reg.Counter("icicle_"+core+"_cycles_simulated_total",
+			"cycles simulated on the "+core+" timing model"),
+		Insts: reg.Counter("icicle_"+core+"_insts_retired_total",
+			"instructions retired on the "+core+" timing model"),
+	}
+}
+
+// TelemetryFlushInterval is how often (in cycles) an instrumented core
+// flushes its local throughput deltas to the shared counters: frequent
+// enough that a multi-minute sweep's live rates track reality, rare
+// enough that the two atomic adds never show up in a profile.
+const TelemetryFlushInterval = 1 << 14
+
+// Add publishes a (cycles, insts) delta. Nil-safe, alloc-free.
+func (t *CoreTelemetry) Add(cycles, insts uint64) {
+	if t == nil {
+		return
+	}
+	t.Cycles.Add(cycles)
+	t.Insts.Add(insts)
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The process-wide default registry and tracer. The registry is always-on
+// (counters are a few atomic words; the shared sim runner registers into
+// it so /metrics works without setup). The tracer is opt-in: it buffers
+// every span in memory, so it only exists once EnableTracing is called
+// (the -trace-span-out flag), and Tracing returns nil until then — which
+// every instrumentation point tolerates.
+var (
+	defaultMu  sync.Mutex
+	defaultReg *Registry
+	defaultTr  atomic.Pointer[Tracer]
+)
+
+// Default returns the process-wide registry, creating it on first use.
+func Default() *Registry {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultReg == nil {
+		defaultReg = NewRegistry()
+	}
+	return defaultReg
+}
+
+// Tracing returns the process-wide tracer, or nil when tracing is
+// disabled. Nil flows safely into every Tracer method.
+func Tracing() *Tracer { return defaultTr.Load() }
+
+// EnableTracing creates the process-wide tracer (idempotent) and returns
+// it. The trace timeline starts at the first call.
+func EnableTracing() *Tracer {
+	if t := defaultTr.Load(); t != nil {
+		return t
+	}
+	t := NewTracer()
+	if !defaultTr.CompareAndSwap(nil, t) {
+		return defaultTr.Load()
+	}
+	return t
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// LineWriter serializes whole lines from many goroutines through one
+// writer goroutine, so concurrent workers' progress output is never torn
+// mid-line (interleaved fragments were exactly what icicle-bench -v used
+// to print). A nil *LineWriter discards output.
+type LineWriter struct {
+	mu     sync.Mutex
+	ch     chan string
+	closed bool
+	done   chan struct{}
+}
+
+// NewLineWriter starts the writer goroutine. Close flushes and stops it.
+func NewLineWriter(w io.Writer) *LineWriter {
+	l := &LineWriter{ch: make(chan string, 256), done: make(chan struct{})}
+	go func() {
+		defer close(l.done)
+		for s := range l.ch {
+			io.WriteString(w, s)
+		}
+	}()
+	return l
+}
+
+// Printf formats one line (a trailing newline is added if missing) and
+// queues it for the writer goroutine. Nil-safe; a closed writer discards.
+func (l *LineWriter) Printf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	s := fmt.Sprintf(format, args...)
+	if !strings.HasSuffix(s, "\n") {
+		s += "\n"
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.ch <- s
+}
+
+// Close drains pending lines and stops the goroutine. Safe to call more
+// than once; nil-safe.
+func (l *LineWriter) Close() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		close(l.ch)
+	}
+	l.mu.Unlock()
+	<-l.done
+}

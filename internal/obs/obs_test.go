@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every disabled-mode handle must absorb its full API without
+	// panicking — the cycle loops rely on this.
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(9)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram recorded")
+	}
+	var reg *Registry
+	if reg.Counter("x", "") != nil || reg.Gauge("x", "") != nil || reg.Histogram("x", "", 1) != nil {
+		t.Error("nil registry returned non-nil metric")
+	}
+	if err := reg.WritePrometheus(io.Discard); err != nil {
+		t.Error(err)
+	}
+	var tr *Tracer
+	sp := tr.Begin("x", "y", 0)
+	sp.End()
+	tr.Complete("x", "y", 0, time.Now(), time.Second)
+	tr.Async("x", "y", 1, time.Now(), time.Now())
+	tr.Counter("x", "v", time.Now(), 1)
+	tr.CounterUS("x", "v", 10, 1)
+	tr.Instant("x", "y", 0)
+	tr.NameThread(1, "w")
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "displayTimeUnit") {
+		t.Errorf("nil tracer wrote invalid trace: %s", buf.String())
+	}
+	var ct *CoreTelemetry
+	ct.Add(100, 50)
+	var lw *LineWriter
+	lw.Printf("dropped")
+	lw.Close()
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("icicle_test_total", "help")
+	b := reg.Counter("icicle_test_total", "help")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Add(2)
+	if b.Value() != 2 {
+		t.Fatal("counters not shared")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	reg.Gauge("icicle_test_total", "help")
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("value = %d, want 8000", c.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewHistogram(1e-9)
+	for _, v := range []uint64{0, 1, 2, 3, 100, 1000, 1 << 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 0+1+2+3+100+1000+1<<20 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	// p50 of {0,1,2,3,100,1000,2^20}: the 4th value (3) → bucket bound 3.
+	if q := h.Quantile(0.5); q != 3 {
+		t.Fatalf("p50 bound = %d, want 3", q)
+	}
+	if q := h.Quantile(1); q < 1<<20 {
+		t.Fatalf("p100 bound = %d, want >= 2^20", q)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("icicle_jobs_total", "jobs run").Add(7)
+	reg.Gauge("icicle_inflight", "in-flight jobs").Set(3)
+	h := reg.Histogram("icicle_latency_seconds", "job latency", 1e-9)
+	h.Observe(1500)        // ~1.5µs
+	h.Observe(3_000_000)   // 3ms
+	h.Observe(250_000_000) // 250ms
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE icicle_jobs_total counter",
+		"icicle_jobs_total 7",
+		"# TYPE icicle_inflight gauge",
+		"icicle_inflight 3",
+		"# TYPE icicle_latency_seconds histogram",
+		`icicle_latency_seconds_bucket{le="+Inf"} 3`,
+		"icicle_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be non-decreasing and end at count.
+	if !strings.Contains(out, "_bucket{le=") {
+		t.Fatalf("no le buckets:\n%s", out)
+	}
+}
+
+func TestTracerJSONShape(t *testing.T) {
+	tr := NewTracer()
+	tr.NameThread(1, "worker-1")
+	sp := tr.Begin("job rocket|vvadd", "job", 1)
+	time.Sleep(time.Millisecond)
+	sp.End(Arg{"cached", false})
+	tr.Async("queued", "queue", 42, tr.start, time.Now(), Arg{"key", "k"})
+	tr.CounterUS("tma:fetch-bubbles", "weight", 100, 0.25)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	var sawX, sawC, sawAsync bool
+	for _, ev := range file.TraceEvents {
+		for _, field := range []string{"ph", "pid", "tid", "ts", "name"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %v missing %q", ev, field)
+			}
+		}
+		switch ev["ph"] {
+		case "X":
+			sawX = true
+			if ev["dur"] == nil {
+				t.Error("X event without dur")
+			}
+		case "C":
+			sawC = true
+		case "b":
+			sawAsync = true
+		}
+	}
+	if !sawX || !sawC || !sawAsync {
+		t.Errorf("missing event kinds: X=%v C=%v async=%v", sawX, sawC, sawAsync)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("icicle_sim_jobs_total", "jobs").Add(10)
+	srv := NewServer(reg, func() Progress {
+		return Progress{Done: 4, Total: 10, CacheHits: 1, HitRate: 0.25, SimsPerSec: 2, ETASec: 3}
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "icicle_sim_jobs_total 10") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	var p Progress
+	if err := json.Unmarshal([]byte(get("/progress")), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Done != 4 || p.Total != 10 {
+		t.Errorf("progress = %+v", p)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, "icicle") {
+		t.Errorf("/debug/vars missing icicle var:\n%s", out)
+	}
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Error("pprof cmdline empty")
+	}
+	if out := get("/"); !strings.Contains(out, "/progress") {
+		t.Errorf("index missing routes:\n%s", out)
+	}
+}
+
+func TestLineWriterSerializesLines(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	lw := NewLineWriter(w)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				lw.Printf("worker %d line %d", i, j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	lw.Close()
+	lw.Close() // idempotent
+	lw.Printf("after close is discarded")
+
+	mu.Lock()
+	defer mu.Unlock()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 8*50 {
+		t.Fatalf("%d lines, want %d", len(lines), 8*50)
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "worker ") || !strings.Contains(ln, " line ") {
+			t.Fatalf("torn line %q", ln)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestProgressString(t *testing.T) {
+	p := Progress{Done: 5, Total: 10, HitRate: 0.5, SimsPerSec: 2.5, ETASec: 2}
+	s := p.String()
+	for _, want := range []string{"5/10", "50%", "2.5 sims/s", "ETA"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("progress %q missing %q", s, want)
+		}
+	}
+}
+
+func TestDefaultTracing(t *testing.T) {
+	// Tracing may already be enabled by another test; EnableTracing must
+	// be idempotent either way.
+	a := EnableTracing()
+	b := EnableTracing()
+	if a == nil || a != b {
+		t.Fatal("EnableTracing not idempotent")
+	}
+	if Tracing() != a {
+		t.Fatal("Tracing returned a different tracer")
+	}
+	if Default() == nil || Default() != Default() {
+		t.Fatal("Default registry not a singleton")
+	}
+}

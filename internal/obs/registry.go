@@ -1,0 +1,383 @@
+// Package obs is the host-side telemetry subsystem: the same observability
+// discipline Icicle applies to the simulated machine (per-cycle event
+// signals, PMU counters, temporal TMA), applied to the Go evaluation stack
+// itself. It provides
+//
+//   - a metrics registry (atomic counters, gauges, log-bucketed
+//     histograms) with a lock-free hot path and Prometheus text
+//     exposition,
+//   - a span tracer emitting Chrome trace-event JSON that Perfetto and
+//     about://tracing load directly, including counter tracks for the
+//     temporal-TMA bridge,
+//   - a live introspection HTTP server (expvar, Prometheus, pprof, and a
+//     sweep /progress endpoint), and
+//   - the shared CLI flag wiring used by every icicle-* binary.
+//
+// Everything is nil-safe: a nil *Counter, *Gauge, *Histogram, *Tracer, or
+// *Registry turns every method into a no-op, so instrumented hot paths
+// (the cycle loops, the sim runner) carry a single pointer test and zero
+// allocations when telemetry is disabled — and still zero allocations
+// when it is enabled, because the hot-path methods are plain atomic
+// updates. The package depends only on the standard library.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; a nil *Counter discards updates.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// NewCounter returns a standalone (unregistered) counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Add increments the counter by n. Nil-safe, lock-free, alloc-free.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The zero value is ready to
+// use; a nil *Gauge discards updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// NewGauge returns a standalone (unregistered) gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set replaces the gauge value. Nil-safe.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (negative to decrease). Nil-safe.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets covers bits.Len64's range: bucket i counts observations v
+// with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i), with bucket 0 for
+// v == 0. Log2 bucketing keeps Observe branch-free (no bounds search) and
+// the whole histogram fixed-size.
+const histBuckets = 65
+
+// Histogram is a log2-bucketed distribution of uint64 observations
+// (typically nanoseconds). The zero value is usable but renders raw
+// values; construct with NewHistogram to set the exposition scale. A nil
+// *Histogram discards observations.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+	scale   float64 // multiplier applied at exposition (1e-9: ns → s)
+}
+
+// NewHistogram returns a standalone histogram whose Prometheus exposition
+// multiplies bucket bounds and the sum by scale (pass 1e-9 to observe
+// nanoseconds and expose seconds; 0 means 1).
+func NewHistogram(scale float64) *Histogram { return &Histogram{scale: scale} }
+
+// Observe records one value. Nil-safe, lock-free, alloc-free.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the raw (unscaled) observation total.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+func (h *Histogram) effScale() float64 {
+	if h.scale == 0 {
+		return 1
+	}
+	return h.scale
+}
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) of the
+// raw observed values: the upper edge of the bucket the quantile falls
+// into. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	want := uint64(math.Ceil(q * float64(total)))
+	if want == 0 {
+		want = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= want {
+			if i == 0 {
+				return 0
+			}
+			if i >= 64 {
+				return math.MaxUint64
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return math.MaxUint64
+}
+
+// metric kinds for exposition.
+const (
+	kindCounter = iota
+	kindGauge
+	kindHistogram
+)
+
+type entry struct {
+	name, help string
+	kind       int
+	c          *Counter
+	g          *Gauge
+	h          *Histogram
+}
+
+// Registry is a named collection of metrics. Registration (Counter, Gauge,
+// Histogram) takes a lock; the returned handles are lock-free. Metrics are
+// get-or-create: registering the same name twice returns the same handle,
+// so process-wide totals survive components being rebuilt (the sim runner
+// is recreated by -j, for example). A nil *Registry returns nil handles,
+// which is the disabled mode: every update on them is a no-op.
+type Registry struct {
+	mu      sync.Mutex
+	entries []entry
+	byName  map[string]int // name → index into entries
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]int{}}
+}
+
+func (r *Registry) lookup(name string, kind int) (entry, bool) {
+	if i, ok := r.byName[name]; ok {
+		e := r.entries[i]
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return e, true
+	}
+	return entry{}, false
+}
+
+func (r *Registry) add(e entry) {
+	r.byName[e.name] = len(r.entries)
+	r.entries = append(r.entries, e)
+}
+
+// Counter returns the named counter, creating it on first registration.
+// Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, kindCounter); ok {
+		return e.c
+	}
+	c := NewCounter()
+	r.add(entry{name: name, help: help, kind: kindCounter, c: c})
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first registration.
+// Returns nil on a nil registry.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, kindGauge); ok {
+		return e.g
+	}
+	g := NewGauge()
+	r.add(entry{name: name, help: help, kind: kindGauge, g: g})
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first
+// registration with the given exposition scale. Returns nil on a nil
+// registry.
+func (r *Registry) Histogram(name, help string, scale float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, kindHistogram); ok {
+		return e.h
+	}
+	h := NewHistogram(scale)
+	r.add(entry{name: name, help: help, kind: kindHistogram, h: h})
+	return h
+}
+
+// snapshotEntries copies the entry table under the lock so exposition can
+// iterate without holding it (handle updates are atomic anyway).
+func (r *Registry) snapshotEntries() []entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]entry, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), in registration order. Nil-safe: a nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, e := range r.snapshotEntries() {
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				e.name, e.help, e.name, e.name, e.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+				e.name, e.help, e.name, e.name, e.g.Value())
+		case kindHistogram:
+			err = writePromHistogram(w, e.name, e.help, e.h)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits cumulative le-buckets up to the last non-empty
+// one, then +Inf, sum, and count. Bucket i's upper bound is 2^i in raw
+// units, scaled for exposition.
+func writePromHistogram(w io.Writer, name, help string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	last := -1
+	for i := 0; i < histBuckets; i++ {
+		if h.buckets[i].Load() > 0 {
+			last = i
+		}
+	}
+	scale := h.effScale()
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += h.buckets[i].Load()
+		le := math.Ldexp(1, i) * scale // 2^i, scaled
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(le), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		name, h.count.Load(), name, fmtFloat(float64(h.sum.Load())*scale), name, h.count.Load())
+	return err
+}
+
+// fmtFloat formats without trailing zero noise (Prometheus accepts any
+// float syntax; %g keeps bucket bounds readable).
+func fmtFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// Snapshot returns a JSON-friendly view of every metric: counters and
+// gauges as numbers, histograms as {count, sum, p50, p99} (raw units).
+// Keys are sorted metric names. Used by the expvar endpoint.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	if r == nil {
+		return out
+	}
+	for _, e := range r.snapshotEntries() {
+		switch e.kind {
+		case kindCounter:
+			out[e.name] = e.c.Value()
+		case kindGauge:
+			out[e.name] = e.g.Value()
+		case kindHistogram:
+			out[e.name] = map[string]any{
+				"count": e.h.Count(),
+				"sum":   e.h.Sum(),
+				"p50":   e.h.Quantile(0.5),
+				"p99":   e.h.Quantile(0.99),
+			}
+		}
+	}
+	return out
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	es := r.snapshotEntries()
+	names := make([]string, len(es))
+	for i, e := range es {
+		names[i] = e.name
+	}
+	sort.Strings(names)
+	return names
+}

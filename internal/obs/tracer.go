@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// traceEvent is one Chrome trace-event (the JSON array format Perfetto and
+// about://tracing load). Timestamps and durations are microseconds
+// relative to the tracer's start.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   uint64         `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// tracePid is the single synthetic process all events belong to.
+const tracePid = 1
+
+// Arg is one key/value attached to a span or instant.
+type Arg struct {
+	Key string
+	Val any
+}
+
+func argMap(args []Arg) map[string]any {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(args))
+	for _, a := range args {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// Tracer collects trace events in memory and serializes them as Chrome
+// trace-event JSON. All methods are safe for concurrent use and nil-safe:
+// every call on a nil *Tracer is a no-op, so instrumentation points cost a
+// single pointer test when tracing is off.
+type Tracer struct {
+	start time.Time
+
+	mu     sync.Mutex
+	events []traceEvent
+	named  map[int]bool // tids with thread_name metadata already emitted
+}
+
+// NewTracer returns a tracer whose timeline starts now.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now(), named: map[int]bool{}}
+}
+
+// us converts an absolute time to trace microseconds.
+func (t *Tracer) us(at time.Time) float64 {
+	return float64(at.Sub(t.start)) / float64(time.Microsecond)
+}
+
+func (t *Tracer) append(e traceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// NameThread labels a tid's track ("worker-3", "queue", ...).
+func (t *Tracer) NameThread(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.named[tid] {
+		t.mu.Unlock()
+		return
+	}
+	t.named[tid] = true
+	t.events = append(t.events, traceEvent{
+		Name: "thread_name", Ph: "M", Pid: tracePid, Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+	t.mu.Unlock()
+}
+
+// Span is an open duration event; close it with End. The zero Span (from a
+// nil tracer) is valid and End on it is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	tid   int
+	begin time.Time
+}
+
+// Begin opens a span on the tid's track. Nil-safe.
+func (t *Tracer) Begin(name, cat string, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, cat: cat, tid: tid, begin: time.Now()}
+}
+
+// End closes the span as a complete ("X") event, attaching args.
+func (s Span) End(args ...Arg) {
+	if s.t == nil {
+		return
+	}
+	s.t.Complete(s.name, s.cat, s.tid, s.begin, time.Since(s.begin), args...)
+}
+
+// Complete records a finished duration event with explicit start and
+// duration. Nil-safe.
+func (t *Tracer) Complete(name, cat string, tid int, start time.Time, d time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.append(traceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		Ts: t.us(start), Dur: float64(d) / float64(time.Microsecond),
+		Pid: tracePid, Tid: tid, Args: argMap(args),
+	})
+}
+
+// Async records an async ("b"/"e") interval. Async events render on their
+// own track per (cat, id), which is how overlapping queue waits are shown
+// without fighting the thread tracks' nesting rules. Nil-safe.
+func (t *Tracer) Async(name, cat string, id uint64, start, end time.Time, args ...Arg) {
+	if t == nil {
+		return
+	}
+	if end.Before(start) {
+		end = start
+	}
+	t.append(traceEvent{
+		Name: name, Cat: cat, Ph: "b", Ts: t.us(start),
+		Pid: tracePid, Tid: 0, ID: id, Args: argMap(args),
+	})
+	t.append(traceEvent{
+		Name: name, Cat: cat, Ph: "e", Ts: t.us(end),
+		Pid: tracePid, Tid: 0, ID: id,
+	})
+}
+
+// Instant records a zero-duration marker on the tid's track. Nil-safe.
+func (t *Tracer) Instant(name, cat string, tid int, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.append(traceEvent{
+		Name: name, Cat: cat, Ph: "i", Ts: t.us(time.Now()),
+		Pid: tracePid, Tid: tid, Args: argMap(args),
+	})
+}
+
+// Counter records one sample of a counter track at an absolute host time.
+// Each distinct track name renders as its own counter lane in Perfetto;
+// series is the key within that lane (the temporal-TMA bridge uses one
+// series per track). Nil-safe.
+func (t *Tracer) Counter(track, series string, at time.Time, v float64) {
+	if t == nil {
+		return
+	}
+	t.CounterUS(track, series, t.us(at), v)
+}
+
+// CounterUS is Counter with an explicit trace timestamp in microseconds —
+// for synthetic timelines (simulated cycles mapped onto a host span).
+// Nil-safe.
+func (t *Tracer) CounterUS(track, series string, us float64, v float64) {
+	if t == nil {
+		return
+	}
+	if us < 0 {
+		us = 0
+	}
+	t.append(traceEvent{
+		Name: track, Cat: "counter", Ph: "C", Ts: us,
+		Pid: tracePid, Tid: 0, Args: map[string]any{series: v},
+	})
+}
+
+// US returns the current trace timestamp in microseconds (0 on nil).
+func (t *Tracer) US(at time.Time) float64 {
+	if t == nil {
+		return 0
+	}
+	return t.us(at)
+}
+
+// Events returns the number of recorded events (0 on nil).
+func (t *Tracer) Events() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// traceFile is the on-disk shape: the JSON object format with
+// displayTimeUnit, which both Perfetto and about://tracing accept.
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// WriteJSON serializes the trace as Chrome trace-event JSON. Nil-safe: a
+// nil tracer writes an empty, still-valid trace.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	file := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	if t != nil {
+		t.mu.Lock()
+		file.TraceEvents = make([]traceEvent, len(t.events))
+		copy(file.TraceEvents, t.events)
+		t.mu.Unlock()
+		// Process metadata makes the Perfetto track header readable.
+		file.TraceEvents = append([]traceEvent{{
+			Name: "process_name", Ph: "M", Pid: tracePid, Tid: 0,
+			Args: map[string]any{"name": "icicle"},
+		}}, file.TraceEvents...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}

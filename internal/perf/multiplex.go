@@ -3,8 +3,17 @@ package perf
 import (
 	"fmt"
 
+	"icicle/internal/obs"
 	"icicle/internal/pmu"
 )
+
+// mpxRotations counts counter-window rotations process-wide: the
+// observable cost of multiplexing (each rotation is a reprogram of the
+// counter file and a scaling-error opportunity). Per-run counts are on
+// Multiplexer.Rotations.
+var mpxRotations = obs.Default().Counter(
+	"icicle_perf_mpx_rotations_total",
+	"counter-window rotations performed by the perf multiplexer")
 
 // Multiplexer time-slices more counter groups than the hardware has
 // counters (the classic perf/MPX technique the paper cites as the software
@@ -22,11 +31,12 @@ type Multiplexer struct {
 	quantum uint64
 	slots   int
 
-	accum  []uint64 // harvested counts per group
-	active []uint64 // cycles each group was live
-	cur    int      // rotation position (first active group)
-	last   uint64   // cycle of the last rotation
-	cycles uint64   // total observed cycles
+	accum     []uint64 // harvested counts per group
+	active    []uint64 // cycles each group was live
+	cur       int      // rotation position (first active group)
+	last      uint64   // cycle of the last rotation
+	cycles    uint64   // total observed cycles
+	rotations uint64   // window rotations performed
 }
 
 // NewMultiplexer validates the plan (which may exceed the counter file)
@@ -119,7 +129,12 @@ func (m *Multiplexer) Tick(cycle uint64, _ pmu.Sample) {
 	m.cur = (m.cur + m.slots) % len(m.groups)
 	m.program()
 	m.last = cycle + 1
+	m.rotations++
+	mpxRotations.Inc()
 }
+
+// Rotations reports how many window rotations this multiplexer performed.
+func (m *Multiplexer) Rotations() uint64 { return m.rotations }
 
 // Finish harvests the final window; call once after simulation ends.
 func (m *Multiplexer) Finish() {

@@ -70,15 +70,28 @@ func RunRocket(cfg rocket.Config, k *kernel.Kernel) (rocket.Result, core.Breakdo
 // evaluates TMA. This is the pooled-core path of internal/sim: results
 // are byte-identical to RunRocket with a fresh core.
 func RunRocketOn(c *rocket.Core, k *kernel.Kernel) (rocket.Result, core.Breakdown, error) {
+	if err := SimulateRocketOn(c, k); err != nil {
+		return rocket.Result{}, core.Breakdown{}, err
+	}
+	return TallyRocket(c)
+}
+
+// SimulateRocketOn is the cycle-accurate half of RunRocketOn: program,
+// reset, and run to completion. Split out so callers (the sim pipeline
+// spans) can time simulation and tallying separately.
+func SimulateRocketOn(c *rocket.Core, k *kernel.Kernel) error {
 	prog, err := k.Program()
 	if err != nil {
-		return rocket.Result{}, core.Breakdown{}, err
+		return err
 	}
 	c.Reset(prog)
-	res, err := c.Run()
-	if err != nil {
-		return rocket.Result{}, core.Breakdown{}, err
-	}
+	return c.RunCycles()
+}
+
+// TallyRocket is the evaluation half of RunRocketOn: extract the dense
+// event tallies and evaluate the TMA tree over them.
+func TallyRocket(c *rocket.Core) (rocket.Result, core.Breakdown, error) {
+	res := c.Result()
 	b, err := core.Evaluate(core.DefaultConfig(1, 1), RocketCounts(res))
 	return res, b, err
 }
@@ -100,15 +113,25 @@ func RunBoom(cfg boom.Config, k *kernel.Kernel) (boom.Result, core.Breakdown, er
 // evaluates TMA. This is the pooled-core path of internal/sim: results
 // are byte-identical to RunBoom with a fresh core.
 func RunBoomOn(c *boom.Core, k *kernel.Kernel) (boom.Result, core.Breakdown, error) {
+	if err := SimulateBoomOn(c, k); err != nil {
+		return boom.Result{}, core.Breakdown{}, err
+	}
+	return TallyBoom(c)
+}
+
+// SimulateBoomOn is the cycle-accurate half of RunBoomOn.
+func SimulateBoomOn(c *boom.Core, k *kernel.Kernel) error {
 	prog, err := k.Program()
 	if err != nil {
-		return boom.Result{}, core.Breakdown{}, err
+		return err
 	}
 	c.Reset(prog)
-	res, err := c.Run()
-	if err != nil {
-		return boom.Result{}, core.Breakdown{}, err
-	}
+	return c.RunCycles()
+}
+
+// TallyBoom is the evaluation half of RunBoomOn.
+func TallyBoom(c *boom.Core) (boom.Result, core.Breakdown, error) {
+	res := c.Result()
 	b, err := core.Evaluate(core.DefaultConfig(c.Cfg.DecodeWidth, c.Cfg.IssueWidth), BoomCounts(res))
 	return res, b, err
 }

@@ -8,6 +8,7 @@ import (
 	"icicle/internal/branch"
 	"icicle/internal/isa"
 	"icicle/internal/mem"
+	"icicle/internal/obs"
 	"icicle/internal/pmu"
 )
 
@@ -46,6 +47,14 @@ type Core struct {
 	sample pmu.Sample
 	tally  []uint64 // exact per-event totals (source assertions)
 	hook   CycleHook
+
+	// Host-side throughput telemetry (nil = disabled, zero cost beyond
+	// one pointer test per flush check). The handle survives Reset so a
+	// pooled core keeps publishing; the baselines are re-zeroed with the
+	// cycle counter.
+	tel       *obs.CoreTelemetry
+	telCycles uint64
+	telInsts  uint64
 
 	cycle uint64
 
@@ -116,6 +125,8 @@ func (c *Core) Reset(prog *asm.Program) {
 	}
 	c.hook = nil
 	c.cycle = 0
+	c.telCycles = 0
+	c.telInsts = 0
 
 	c.ibuf = c.ibuf[:0]
 	c.ibufHead = 0
@@ -140,6 +151,20 @@ func (c *Core) Reset(prog *asm.Program) {
 
 // SetCycleHook installs a per-cycle observer (the trace bridge).
 func (c *Core) SetCycleHook(h CycleHook) { c.hook = h }
+
+// SetTelemetry installs the host-side throughput handle (nil disables).
+// Unlike the cycle hook it survives Reset, so the sim core pool installs
+// it once per acquisition.
+func (c *Core) SetTelemetry(t *obs.CoreTelemetry) { c.tel = t }
+
+// flushTelemetry publishes the (cycles, insts) delta since the last flush.
+func (c *Core) flushTelemetry() {
+	if c.tel == nil {
+		return
+	}
+	c.tel.Add(c.cycle-c.telCycles, c.retiredTotal-c.telInsts)
+	c.telCycles, c.telInsts = c.cycle, c.retiredTotal
+}
 
 // Cycles returns the cycles simulated so far (the final count after Run).
 func (c *Core) Cycles() uint64 { return c.cycle }
@@ -239,12 +264,15 @@ func (c *Core) RunCycles() error {
 	}
 	for !c.done {
 		if c.cycle >= maxCycles {
+			c.flushTelemetry()
 			return fmt.Errorf("rocket: cycle budget %d exhausted (pc 0x%x)", maxCycles, c.CPU.PC)
 		}
 		if err := c.step(); err != nil {
+			c.flushTelemetry()
 			return err
 		}
 	}
+	c.flushTelemetry()
 	return nil
 }
 
@@ -291,6 +319,9 @@ func (c *Core) step() error {
 		c.hook(c.cycle, c.sample)
 	}
 	c.cycle++
+	if c.tel != nil && c.cycle&(obs.TelemetryFlushInterval-1) == 0 {
+		c.flushTelemetry()
+	}
 
 	if c.streamEmpty() && c.ibufLen() == 0 && c.stallUntil <= c.cycle &&
 		c.recovering == 0 {

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"icicle/internal/boom"
+	"icicle/internal/obs"
 	"icicle/internal/perf"
 	"icicle/internal/rocket"
 )
@@ -43,22 +44,33 @@ var (
 	boomCores   corePools
 )
 
-// executeJob runs one job. With pooling enabled (the default) it drives a
-// recycled core through perf.RunRocketOn/RunBoomOn; Reset guarantees the
-// result is byte-identical to a fresh-core run (the determinism and
-// golden-reset tests enforce this), so pooling is invisible outside the
-// allocation profile. The core goes back to the pool even after an error:
-// Reset reinitializes every field.
-func (r *Runner) executeJob(j Job) Result {
+// executeJob runs one job on the tid's trace track. With pooling enabled
+// (the default) it drives a recycled core through the split
+// perf.Simulate*/Tally* halves so the acquire-core, simulate, and tally
+// stages each get their own span; Reset guarantees the result is
+// byte-identical to a fresh-core run (the determinism and golden-reset
+// tests enforce this), so pooling is invisible outside the allocation
+// profile. The core goes back to the pool even after an error: Reset
+// reinitializes every field. The runner's throughput telemetry handle is
+// (re-)installed on every acquisition — it survives Reset, so cycle and
+// instruction counts are attributed to the runner currently driving the
+// core.
+func (r *Runner) executeJob(j Job, tid int) Result {
+	tr := r.tracer
 	if !r.corePool {
-		return execute(j)
+		sp := tr.Begin("simulate", "sim", tid)
+		res := execute(j)
+		sp.End()
+		return res
 	}
 	res := Result{Job: j}
 	switch j.Core {
 	case Boom:
+		acq := tr.Begin("acquire-core", "pool", tid)
 		pool := boomCores.get(fmt.Sprintf("%+v", j.Boom))
 		c, _ := pool.Get().(*boom.Core)
-		if c == nil {
+		fresh := c == nil
+		if fresh {
 			prog, err := j.Kernel.Program()
 			if err != nil {
 				res.Err = err
@@ -68,27 +80,55 @@ func (r *Runner) executeJob(j Job) Result {
 				res.Err = err
 				return res
 			}
-			r.coreBuilds.Add(1)
+			r.m.coreBuilds.Inc()
 		} else {
-			r.coreReuses.Add(1)
+			r.m.coreReuses.Inc()
 		}
-		res.Boom, res.Breakdown, res.Err = perf.RunBoomOn(c, j.Kernel)
+		if tr != nil {
+			acq.End(obs.Arg{Key: "fresh", Val: fresh})
+		}
+		c.SetTelemetry(r.m.boom)
+		sp := tr.Begin("simulate", "sim", tid)
+		err := perf.SimulateBoomOn(c, j.Kernel)
+		sp.End()
+		if err != nil {
+			res.Err = err
+		} else {
+			tp := tr.Begin("tally", "sim", tid)
+			res.Boom, res.Breakdown, res.Err = perf.TallyBoom(c)
+			tp.End()
+		}
 		pool.Put(c)
 	default:
+		acq := tr.Begin("acquire-core", "pool", tid)
 		pool := rocketCores.get(fmt.Sprintf("%+v", j.Rocket))
 		c, _ := pool.Get().(*rocket.Core)
-		if c == nil {
+		fresh := c == nil
+		if fresh {
 			prog, err := j.Kernel.Program()
 			if err != nil {
 				res.Err = err
 				return res
 			}
 			c = rocket.New(j.Rocket, prog)
-			r.coreBuilds.Add(1)
+			r.m.coreBuilds.Inc()
 		} else {
-			r.coreReuses.Add(1)
+			r.m.coreReuses.Inc()
 		}
-		res.Rocket, res.Breakdown, res.Err = perf.RunRocketOn(c, j.Kernel)
+		if tr != nil {
+			acq.End(obs.Arg{Key: "fresh", Val: fresh})
+		}
+		c.SetTelemetry(r.m.rocket)
+		sp := tr.Begin("simulate", "sim", tid)
+		err := perf.SimulateRocketOn(c, j.Kernel)
+		sp.End()
+		if err != nil {
+			res.Err = err
+		} else {
+			tp := tr.Begin("tally", "sim", tid)
+			res.Rocket, res.Breakdown, res.Err = perf.TallyRocket(c)
+			tp.End()
+		}
 		pool.Put(c)
 	}
 	return res

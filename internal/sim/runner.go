@@ -3,9 +3,12 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"icicle/internal/obs"
 )
 
 // Runner executes simulation jobs on a worker pool with a content-keyed
@@ -19,16 +22,24 @@ type Runner struct {
 	memoize  bool
 	corePool bool
 
+	// m holds the runner's counters. New() uses standalone (unregistered)
+	// metrics so each runner's counts stay isolated; WithMetricsRegistry
+	// publishes them under icicle_sim_* names instead, where a scraper or
+	// the -listen server can see them live.
+	m       *runnerMetrics
+	tracer  *obs.Tracer
+	jobDone func(Result, time.Duration)
+
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
 
-	jobs    atomic.Uint64
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-	simWall atomic.Int64 // summed nanoseconds spent inside simulations
+	// Progress bookkeeping: done counts completed (not just submitted)
+	// jobs, startNano is the first submission's wall clock (CAS once).
+	done      atomic.Uint64
+	startNano atomic.Int64
+	asyncID   atomic.Uint64 // queue-span ids, unique across batches
 
-	coreBuilds atomic.Uint64 // cores constructed for the pool
-	coreReuses atomic.Uint64 // jobs served by a recycled core
+	slow slowTracker
 
 	// Allocation/GC accounting, accumulated as runtime.MemStats deltas
 	// around Run batches: process-wide, so approximate when other work
@@ -36,10 +47,54 @@ type Runner struct {
 	allocBytes atomic.Uint64
 	mallocs    atomic.Uint64
 	numGC      atomic.Uint64
+}
 
-	slowMu  sync.Mutex
-	slowKey string
-	slow    time.Duration
+// runnerMetrics is the full counter set, either standalone or backed by
+// an obs.Registry. The core telemetry handles are installed into pooled
+// cores on acquisition, so cycle/instruction throughput is attributed to
+// whichever runner is driving the core.
+type runnerMetrics struct {
+	jobs       *obs.Counter   // jobs submitted
+	hits       *obs.Counter   // served from cache
+	misses     *obs.Counter   // actually simulated
+	latency    *obs.Histogram // per-simulation wall time, ns observed / seconds exposed
+	coreBuilds *obs.Counter   // cores constructed (pool misses)
+	coreReuses *obs.Counter   // jobs served by a recycled core
+
+	rocket *obs.CoreTelemetry
+	boom   *obs.CoreTelemetry
+}
+
+func standaloneMetrics() *runnerMetrics {
+	return &runnerMetrics{
+		jobs:       obs.NewCounter(),
+		hits:       obs.NewCounter(),
+		misses:     obs.NewCounter(),
+		latency:    obs.NewHistogram(1e-9),
+		coreBuilds: obs.NewCounter(),
+		coreReuses: obs.NewCounter(),
+		rocket:     obs.NewCoreTelemetry(),
+		boom:       obs.NewCoreTelemetry(),
+	}
+}
+
+func registryMetrics(reg *obs.Registry) *runnerMetrics {
+	return &runnerMetrics{
+		jobs: reg.Counter("icicle_sim_jobs_total",
+			"simulation jobs submitted to the runner"),
+		hits: reg.Counter("icicle_sim_cache_hits_total",
+			"jobs served from the memoization cache"),
+		misses: reg.Counter("icicle_sim_cache_misses_total",
+			"jobs that actually simulated"),
+		latency: reg.Histogram("icicle_sim_job_latency_seconds",
+			"wall time per simulated job", 1e-9),
+		coreBuilds: reg.Counter("icicle_sim_core_builds_total",
+			"cores constructed for the pool"),
+		coreReuses: reg.Counter("icicle_sim_core_reuses_total",
+			"jobs served by a recycled core"),
+		rocket: obs.CoreTelemetryIn(reg, "rocket"),
+		boom:   obs.CoreTelemetryIn(reg, "boom"),
+	}
 }
 
 // cacheEntry is a singleflight slot: the first arrival runs the job, later
@@ -76,13 +131,37 @@ func WithoutCorePool() Option {
 	return func(r *Runner) { r.corePool = false }
 }
 
+// WithMetricsRegistry publishes the runner's counters in reg under
+// icicle_sim_* names (get-or-create, so two runners over one registry
+// share counters). Without this option the runner keeps standalone,
+// unregistered metrics.
+func WithMetricsRegistry(reg *obs.Registry) Option {
+	return func(r *Runner) { r.m = registryMetrics(reg) }
+}
+
+// WithTracer records pipeline spans (queued → job → acquire-core →
+// simulate → tally) into tr for Perfetto export. A nil tracer disables
+// tracing (the default).
+func WithTracer(tr *obs.Tracer) Option {
+	return func(r *Runner) { r.tracer = tr }
+}
+
+// WithJobCallback invokes fn after every completed job with the result
+// and its wall time (cache hits included, with near-zero wall). The CLIs'
+// -v per-job progress lines hang off this. fn must be safe for concurrent
+// use; it runs on the worker goroutine.
+func WithJobCallback(fn func(Result, time.Duration)) Option {
+	return func(r *Runner) { r.jobDone = fn }
+}
+
 // New builds a runner. Defaults: GOMAXPROCS workers, memoization on,
-// core pooling on.
+// core pooling on, standalone metrics, no tracing.
 func New(opts ...Option) *Runner {
 	r := &Runner{
 		workers:  runtime.GOMAXPROCS(0),
 		memoize:  true,
 		corePool: true,
+		m:        standaloneMetrics(),
 		cache:    map[string]*cacheEntry{},
 	}
 	for _, o := range opts {
@@ -107,14 +186,16 @@ func (r *Runner) Run(jobs []Job) []Result {
 		r.mallocs.Add(after.Mallocs - before.Mallocs)
 		r.numGC.Add(uint64(after.NumGC - before.NumGC))
 	}()
+	queuedAt := time.Now()
 	out := make([]Result, len(jobs))
 	n := r.workers
 	if n > len(jobs) {
 		n = len(jobs)
 	}
 	if n <= 1 {
+		r.tracer.NameThread(0, "serial")
 		for i, j := range jobs {
-			out[i] = r.RunOne(j)
+			out[i] = r.runOne(j, 0, queuedAt)
 		}
 		return out
 	}
@@ -123,6 +204,10 @@ func (r *Runner) Run(jobs []Job) []Result {
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
+		tid := w + 1 // tid 0 is the serial/RunOne track
+		if r.tracer != nil {
+			r.tracer.NameThread(tid, fmt.Sprintf("worker-%d", tid))
+		}
 		go func() {
 			defer wg.Done()
 			for {
@@ -130,7 +215,7 @@ func (r *Runner) Run(jobs []Job) []Result {
 				if i >= len(jobs) {
 					return
 				}
-				out[i] = r.RunOne(jobs[i])
+				out[i] = r.runOne(jobs[i], tid, queuedAt)
 			}
 		}()
 	}
@@ -140,16 +225,48 @@ func (r *Runner) Run(jobs []Job) []Result {
 
 // RunOne executes a single job through the cache.
 func (r *Runner) RunOne(j Job) Result {
-	r.jobs.Add(1)
+	return r.runOne(j, 0, time.Now())
+}
+
+// runOne is the per-job pipeline: record submission, close the queue
+// span, run the job span around the cache lookup (and the simulation it
+// may trigger), then fire the completion callback.
+func (r *Runner) runOne(j Job, tid int, queuedAt time.Time) Result {
+	if r.startNano.Load() == 0 {
+		r.startNano.CompareAndSwap(0, time.Now().UnixNano())
+	}
+	r.m.jobs.Inc()
+	tr := r.tracer
+	var sp obs.Span
+	if tr != nil {
+		key := shortKey(j.Key())
+		tr.Async("queued", "queue", r.asyncID.Add(1), queuedAt, time.Now(),
+			obs.Arg{Key: "key", Val: key})
+		sp = tr.Begin("job "+key, "job", tid)
+	}
+	start := time.Now()
+	res := r.lookupOrSimulate(j, tid)
+	wall := time.Since(start)
+	if tr != nil {
+		sp.End(obs.Arg{Key: "cached", Val: res.Cached})
+	}
+	r.done.Add(1)
+	if r.jobDone != nil {
+		r.jobDone(res, wall)
+	}
+	return res
+}
+
+func (r *Runner) lookupOrSimulate(j Job, tid int) Result {
 	if !r.memoize {
-		return r.simulate(j)
+		return r.simulate(j, tid)
 	}
 	key := j.Key()
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
 		r.mu.Unlock()
 		<-e.done // another goroutine may still be simulating this key
-		r.hits.Add(1)
+		r.m.hits.Inc()
 		res := e.res
 		res.Job = j // report the caller's own descriptor back
 		res.Cached = true
@@ -158,23 +275,108 @@ func (r *Runner) RunOne(j Job) Result {
 	e := &cacheEntry{done: make(chan struct{})}
 	r.cache[key] = e
 	r.mu.Unlock()
-	e.res = r.simulate(j)
+	e.res = r.simulate(j, tid)
 	close(e.done)
 	return e.res
 }
 
-func (r *Runner) simulate(j Job) Result {
-	r.misses.Add(1)
+func (r *Runner) simulate(j Job, tid int) Result {
+	r.m.misses.Inc()
 	start := time.Now()
-	res := r.executeJob(j)
+	res := r.executeJob(j, tid)
 	wall := time.Since(start)
-	r.simWall.Add(int64(wall))
-	r.slowMu.Lock()
-	if wall > r.slow {
-		r.slow, r.slowKey = wall, j.Key()
-	}
-	r.slowMu.Unlock()
+	r.m.latency.Observe(uint64(wall))
+	r.slow.observe(j.Key(), wall)
 	return res
+}
+
+// Progress reports live sweep status for the -listen /progress endpoint
+// and the -progress ticker.
+func (r *Runner) Progress() obs.Progress {
+	done := r.done.Load()
+	p := obs.Progress{
+		Done:      done,
+		Total:     r.m.jobs.Value(),
+		CacheHits: r.m.hits.Value(),
+	}
+	if done > 0 {
+		p.HitRate = float64(p.CacheHits) / float64(done)
+	}
+	if s := r.startNano.Load(); s != 0 {
+		p.ElapsedSec = time.Since(time.Unix(0, s)).Seconds()
+		if p.ElapsedSec > 0 {
+			p.SimsPerSec = float64(done) / p.ElapsedSec
+			if p.Total > done && p.SimsPerSec > 0 {
+				p.ETASec = float64(p.Total-done) / p.SimsPerSec
+			}
+		}
+	}
+	return p
+}
+
+// SlowJob is one entry on the slowest-simulations leaderboard.
+type SlowJob struct {
+	Key  string
+	Wall time.Duration
+}
+
+// slowTopK is the leaderboard size.
+const slowTopK = 5
+
+// slowTracker keeps the top-K slowest simulations in a fixed-size
+// min-heap: heap[0] is the K-th slowest, so each new observation is one
+// comparison against it and at most log K swaps — no allocation once the
+// heap is full.
+type slowTracker struct {
+	mu   sync.Mutex
+	heap []SlowJob // min-heap on Wall
+}
+
+func (s *slowTracker) observe(key string, wall time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.heap) < slowTopK {
+		s.heap = append(s.heap, SlowJob{Key: key, Wall: wall})
+		// sift up
+		for i := len(s.heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if s.heap[p].Wall <= s.heap[i].Wall {
+				break
+			}
+			s.heap[p], s.heap[i] = s.heap[i], s.heap[p]
+			i = p
+		}
+		return
+	}
+	if wall <= s.heap[0].Wall {
+		return
+	}
+	s.heap[0] = SlowJob{Key: key, Wall: wall}
+	// sift down
+	for i := 0; ; {
+		l, rt, m := 2*i+1, 2*i+2, i
+		if l < len(s.heap) && s.heap[l].Wall < s.heap[m].Wall {
+			m = l
+		}
+		if rt < len(s.heap) && s.heap[rt].Wall < s.heap[m].Wall {
+			m = rt
+		}
+		if m == i {
+			return
+		}
+		s.heap[i], s.heap[m] = s.heap[m], s.heap[i]
+		i = m
+	}
+}
+
+// top returns the leaderboard, slowest first.
+func (s *slowTracker) top() []SlowJob {
+	s.mu.Lock()
+	out := make([]SlowJob, len(s.heap))
+	copy(out, s.heap)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Wall > out[j].Wall })
+	return out
 }
 
 // Stats is a snapshot of the runner's counters — the baseline future perf
@@ -197,25 +399,35 @@ type Stats struct {
 	NumGC      uint64 // GC cycles completed
 }
 
+// Snapshot is Stats plus the full slowest-jobs leaderboard.
+type Snapshot struct {
+	Stats
+	SlowJobs []SlowJob // top-5 slowest simulations, slowest first
+}
+
 // Stats returns the current counters.
-func (r *Runner) Stats() Stats {
-	r.slowMu.Lock()
-	slow, slowKey := r.slow, r.slowKey
-	r.slowMu.Unlock()
-	return Stats{
+func (r *Runner) Stats() Stats { return r.Snapshot().Stats }
+
+// Snapshot returns the current counters plus the slowest-jobs leaderboard.
+func (r *Runner) Snapshot() Snapshot {
+	top := r.slow.top()
+	st := Stats{
 		Workers:    r.workers,
-		Jobs:       r.jobs.Load(),
-		Hits:       r.hits.Load(),
-		Misses:     r.misses.Load(),
-		SimWall:    time.Duration(r.simWall.Load()),
-		Slowest:    slow,
-		SlowKey:    slowKey,
-		CoreBuilds: r.coreBuilds.Load(),
-		CoreReuses: r.coreReuses.Load(),
+		Jobs:       r.m.jobs.Value(),
+		Hits:       r.m.hits.Value(),
+		Misses:     r.m.misses.Value(),
+		SimWall:    time.Duration(r.m.latency.Sum()),
+		CoreBuilds: r.m.coreBuilds.Value(),
+		CoreReuses: r.m.coreReuses.Value(),
 		AllocBytes: r.allocBytes.Load(),
 		Mallocs:    r.mallocs.Load(),
 		NumGC:      r.numGC.Load(),
 	}
+	if len(top) > 0 {
+		st.Slowest = top[0].Wall
+		st.SlowKey = top[0].Key
+	}
+	return Snapshot{Stats: st, SlowJobs: top}
 }
 
 func (s Stats) String() string {
@@ -230,6 +442,20 @@ func (s Stats) String() string {
 	}
 	if s.SlowKey != "" {
 		out += fmt.Sprintf("; slowest %s (%s)", s.Slowest.Round(time.Millisecond), shortKey(s.SlowKey))
+	}
+	return out
+}
+
+// String renders the stats line plus the slowest-jobs leaderboard when
+// more than one simulation has been timed.
+func (s Snapshot) String() string {
+	out := s.Stats.String()
+	if len(s.SlowJobs) > 1 {
+		out += "\nslowest jobs:"
+		for i, sj := range s.SlowJobs {
+			out += fmt.Sprintf("\n  %d. %-8s %s",
+				i+1, sj.Wall.Round(time.Millisecond), shortKey(sj.Key))
+		}
 	}
 	return out
 }
@@ -263,18 +489,25 @@ func shortKey(key string) string {
 
 // The process-wide default runner, shared by the experiments package so
 // overlapping sweeps (the Fig. 7 grids, Table V, the ablations all re-run
-// the same (core, kernel) pairs) hit one cache.
+// the same (core, kernel) pairs) hit one cache. It always publishes its
+// counters in obs.Default() and picks up the process tracer if tracing
+// was enabled before construction.
 var (
 	defaultMu     sync.Mutex
 	defaultRunner *Runner
 )
+
+func newDefault(opts ...Option) *Runner {
+	base := []Option{WithMetricsRegistry(obs.Default()), WithTracer(obs.Tracing())}
+	return New(append(base, opts...)...)
+}
 
 // Default returns the shared runner, creating it on first use.
 func Default() *Runner {
 	defaultMu.Lock()
 	defer defaultMu.Unlock()
 	if defaultRunner == nil {
-		defaultRunner = New()
+		defaultRunner = newDefault()
 	}
 	return defaultRunner
 }
@@ -283,11 +516,19 @@ func Default() *Runner {
 // (the CLI's -j flag). n <= 0 resets to GOMAXPROCS. The old cache is
 // dropped.
 func SetDefaultWorkers(n int) {
-	defaultMu.Lock()
-	defer defaultMu.Unlock()
 	if n <= 0 {
-		defaultRunner = New()
+		ConfigureDefault()
 		return
 	}
-	defaultRunner = New(WithWorkers(n))
+	ConfigureDefault(WithWorkers(n))
+}
+
+// ConfigureDefault replaces the shared runner with one built from the
+// defaults (obs.Default() metrics, the process tracer if enabled) plus
+// opts. The CLIs call this after flag parsing, once tracing and callbacks
+// are decided. The old cache is dropped.
+func ConfigureDefault(opts ...Option) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	defaultRunner = newDefault(opts...)
 }

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"io"
+
+	"icicle/internal/obs"
+)
+
+// Perfetto bridge: temporal TMA from sampled trace windows rendered as
+// counter tracks on the same timeline as the sweep's pipeline spans. Each
+// traced event becomes one "tma:<event>" track whose value is the mean
+// asserted-lane count per cycle over a captured window — the per-window
+// slot weight the §V-B analysis works in. Simulated cycles are mapped
+// onto trace microseconds with a fixed usPerCycle scale, so a window
+// starting at cycle c lands at baseUS + c*usPerCycle; a zero sample at
+// each window's end keeps sampling gaps visibly flat instead of
+// interpolated.
+
+// CounterTracks emits one counter track per traced event from parsed
+// windows. Returns the number of counter samples emitted; a nil tracer or
+// non-positive scale emits nothing.
+func CounterTracks(tr *obs.Tracer, windows []Window, names []string, baseUS, usPerCycle float64) int {
+	if tr == nil || usPerCycle <= 0 {
+		return 0
+	}
+	emitted := 0
+	for _, w := range windows {
+		if len(w.Frames) == 0 {
+			continue
+		}
+		startUS := baseUS + float64(w.Start)*usPerCycle
+		endUS := baseUS + float64(w.Start+uint64(len(w.Frames)))*usPerCycle
+		for i, name := range names {
+			var total uint64
+			for _, f := range w.Frames {
+				total += uint64(f.Count(i))
+			}
+			tr.CounterUS("tma:"+name, "weight", startUS, float64(total)/float64(len(w.Frames)))
+			tr.CounterUS("tma:"+name, "weight", endUS, 0)
+			emitted += 2
+		}
+	}
+	return emitted
+}
+
+// CounterTracksFromStream parses a sampled stream (SamplingWriter output)
+// and emits its counter tracks. Returns the number of samples emitted.
+func CounterTracksFromStream(tr *obs.Tracer, r io.Reader, baseUS, usPerCycle float64) (int, error) {
+	windows, names, err := ReadWindows(r)
+	if err != nil {
+		return 0, err
+	}
+	return CounterTracks(tr, windows, names, baseUS, usPerCycle), nil
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"icicle/internal/obs"
+)
+
+func TestCounterTracksFromWindows(t *testing.T) {
+	// Two windows, two events; event "recovering" asserts on every frame
+	// of window 0 and never in window 1.
+	w0 := Window{Start: 0, Frames: []Frame{{0b111, 1}, {0b001, 1}}}
+	w1 := Window{Start: 100, Frames: []Frame{{0b000, 0}, {0b010, 0}}}
+	names := []string{"fetch-bubbles", "recovering"}
+
+	if n := CounterTracks(nil, []Window{w0, w1}, names, 0, 1); n != 0 {
+		t.Fatalf("nil tracer emitted %d samples", n)
+	}
+
+	tr := obs.NewTracer()
+	n := CounterTracks(tr, []Window{w0, w1}, names, 50, 0.5)
+	if n != 8 { // 2 windows × 2 events × (value + trailing zero)
+		t.Fatalf("emitted %d samples, want 8", n)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	// window 0 of fetch-bubbles: (3+1)/2 = 2 lanes/cycle at ts 50+0*0.5.
+	found := false
+	for _, ev := range file.TraceEvents {
+		if ev.Ph != "C" {
+			continue
+		}
+		if !strings.HasPrefix(ev.Name, "tma:") {
+			t.Fatalf("counter event on non-TMA track %q", ev.Name)
+		}
+		if ev.Name == "tma:fetch-bubbles" && ev.Ts == 50 {
+			if got, _ := ev.Args["weight"].(float64); got != 2 {
+				t.Fatalf("fetch-bubbles window 0 weight = %v, want 2", got)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fetch-bubbles window-0 sample missing")
+	}
+}
+
+func TestCounterTracksFromStream(t *testing.T) {
+	s := testSpace(t)
+	b := MustBundle(s, "fetch-bubbles", "recovering")
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSamplingWriter(w, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := s.NewSample()
+	for c := uint64(0); c < 64; c++ {
+		sample.Reset()
+		sample.Assert(1, 0)
+		sw.WriteCycle(c, sample)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	n, err := CounterTracksFromStream(tr, &buf, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 { // 4 windows × 2 events × 2 samples
+		t.Fatalf("emitted %d samples, want 16", n)
+	}
+	if tr.Events() != 16 {
+		t.Fatalf("tracer holds %d events, want 16", tr.Events())
+	}
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -238,5 +239,127 @@ func TestSampledOverlapTracksFullTrace(t *testing.T) {
 	}
 	if sampRep.OverlapFrac > fullRep.OverlapFrac*1.05 {
 		t.Fatal("sampled bound should not exceed the full-trace bound (edge truncation)")
+	}
+}
+
+// failSink fails every underlying write: the bufio layer between the
+// SamplingWriter and the sink means the error surfaces either when the
+// buffer overflows mid-window (large pending) or at Flush (small pending).
+type failSink struct {
+	err    error
+	writes int
+}
+
+func (f *failSink) Write(p []byte) (int, error) {
+	f.writes++
+	return 0, f.err
+}
+
+func TestSamplingSinkFailureMidWindow(t *testing.T) {
+	s := testSpace(t)
+	b := MustBundle(s, "recovering") // 1-byte frames
+	sinkErr := errors.New("pcie hiccup")
+	sink := &failSink{err: sinkErr}
+	w, err := NewWriter(sink, b)
+	if err != nil {
+		t.Fatal(err) // NewWriter only buffers the header; no sink I/O yet
+	}
+	// A window larger than bufio's buffer: flushing it writes through to
+	// the sink immediately, so the failure surfaces mid-stream rather
+	// than at Flush.
+	const window, period = 8192, 16384
+	sw, err := NewSamplingWriter(w, window, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := s.NewSample()
+	for c := uint64(0); c <= period; c++ { // cycle `period` triggers flushWindow
+		sw.WriteCycle(c, sample)
+	}
+	if sink.writes == 0 {
+		t.Fatal("window never reached the sink")
+	}
+	captured := sw.Cycles()
+	// The writer must have latched the error: further cycles are dropped
+	// and Flush reports the original failure.
+	sw.WriteCycle(period+1, sample)
+	if sw.Cycles() != captured {
+		t.Error("WriteCycle kept capturing after a sink failure")
+	}
+	if err := sw.Flush(); !errors.Is(err, sinkErr) {
+		t.Fatalf("Flush() = %v, want the sink error", err)
+	}
+}
+
+func TestSamplingFlushFailure(t *testing.T) {
+	s := testSpace(t)
+	b := MustBundle(s, "recovering")
+	sinkErr := errors.New("sink gone")
+	w, err := NewWriter(&failSink{err: sinkErr}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSamplingWriter(w, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := s.NewSample()
+	for c := uint64(0); c < 8; c++ {
+		sw.WriteCycle(c, sample) // 4 captured frames, all inside bufio
+	}
+	if err := sw.Flush(); !errors.Is(err, sinkErr) {
+		t.Fatalf("Flush() = %v, want the sink error", err)
+	}
+}
+
+func TestSamplingRoundTripPeriodEqualsWindow(t *testing.T) {
+	// period == window is the degenerate full-capture geometry: every
+	// cycle is recorded and the stream is a run of back-to-back windows.
+	s := testSpace(t)
+	b := MustBundle(s, "fetch-bubbles", "recovering")
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 16
+	sw, err := NewSamplingWriter(w, window, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := s.NewSample()
+	const cycles = 4 * window
+	for c := uint64(0); c < cycles; c++ {
+		sample.Reset()
+		if c%3 == 0 {
+			sample.Assert(1, 0) // recovering
+		}
+		sw.WriteCycle(c, sample)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Cycles() != cycles {
+		t.Fatalf("captured %d cycles, want all %d", sw.Cycles(), cycles)
+	}
+	windows, names, err := ReadWindows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 4 {
+		t.Fatalf("%d windows, want 4", len(windows))
+	}
+	for i, win := range windows {
+		if win.Start != uint64(i*window) {
+			t.Fatalf("window %d start %d, want %d", i, win.Start, i*window)
+		}
+		if len(win.Frames) != window {
+			t.Fatalf("window %d has %d frames, want %d", i, len(win.Frames), window)
+		}
+	}
+	a := NewWindowAnalyzer(windows, names)
+	// recovering asserts on cycles ≡ 0 mod 3: ⌈64/3⌉ = 22 of them.
+	if got := a.Totals()["recovering"]; got != 22 {
+		t.Fatalf("recovering total %d, want 22", got)
 	}
 }

@@ -1,0 +1,139 @@
+// Observability smoke: runs a small sweep with metrics and span tracing
+// attached plus a sampled temporal-TMA capture, then validates the two
+// export formats against what their consumers require — Perfetto /
+// about://tracing for the Chrome trace-event JSON, and any Prometheus
+// scraper for the text exposition. This is what `make obs-smoke` (part of
+// `make ci`) runs.
+package icicle_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"icicle/internal/kernel"
+	"icicle/internal/obs"
+	"icicle/internal/rocket"
+	"icicle/internal/sim"
+	"icicle/internal/trace"
+)
+
+func TestObsSmokeTraceAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	r := sim.New(sim.WithMetricsRegistry(reg), sim.WithTracer(tr), sim.WithWorkers(2))
+
+	var jobs []sim.Job
+	for _, name := range []string{"towers", "vvadd"} {
+		k, err := kernel.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, sim.RocketJob(rocket.DefaultConfig(), k))
+	}
+	jobs = append(jobs, jobs[0]) // a guaranteed cache hit
+	for i, res := range r.Run(jobs) {
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+	}
+
+	// Temporal TMA: a sampled trace of one kernel bridged onto the same
+	// timeline as counter tracks.
+	k, err := kernel.ByName("towers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rocket.New(rocket.DefaultConfig(), k.MustProgram())
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.MustBundle(rocket.Events,
+		rocket.EvFetchBubbles, rocket.EvRecovering))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := trace.NewSamplingWriter(w, 64, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCycleHook(sw.WriteCycle)
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := trace.CounterTracksFromStream(tr, &buf, 0, 1e-3); err != nil {
+		t.Fatal(err)
+	} else if n == 0 {
+		t.Fatal("sampled capture produced no counter samples")
+	}
+
+	t.Run("chrome-trace-shape", func(t *testing.T) {
+		var out bytes.Buffer
+		if err := tr.WriteJSON(&out); err != nil {
+			t.Fatal(err)
+		}
+		var file struct {
+			DisplayTimeUnit string           `json:"displayTimeUnit"`
+			TraceEvents     []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(out.Bytes(), &file); err != nil {
+			t.Fatalf("trace output is not valid JSON: %v", err)
+		}
+		if file.DisplayTimeUnit == "" {
+			t.Error("missing displayTimeUnit")
+		}
+		jobSpans, tmaTracks := 0, map[string]bool{}
+		for _, ev := range file.TraceEvents {
+			for _, field := range []string{"ph", "pid", "tid", "ts", "name"} {
+				if _, ok := ev[field]; !ok {
+					t.Fatalf("event %v missing required field %q", ev, field)
+				}
+			}
+			name, _ := ev["name"].(string)
+			switch ev["ph"] {
+			case "X":
+				if strings.HasPrefix(name, "job ") {
+					jobSpans++
+				}
+			case "C":
+				if strings.HasPrefix(name, "tma:") {
+					tmaTracks[name] = true
+				}
+			}
+		}
+		if jobSpans < len(jobs) {
+			t.Errorf("%d job spans for %d jobs (want ≥1 per job)", jobSpans, len(jobs))
+		}
+		if len(tmaTracks) == 0 {
+			t.Error("no TMA counter tracks in the trace")
+		}
+	})
+
+	t.Run("prometheus-exposition", func(t *testing.T) {
+		var out bytes.Buffer
+		if err := reg.WritePrometheus(&out); err != nil {
+			t.Fatal(err)
+		}
+		text := out.String()
+		for _, want := range []string{
+			"# TYPE icicle_sim_jobs_total counter",
+			"icicle_sim_jobs_total 3",
+			"icicle_sim_cache_hits_total 1",
+			"# TYPE icicle_sim_job_latency_seconds histogram",
+			`icicle_sim_job_latency_seconds_bucket{le="+Inf"} 2`,
+			"icicle_sim_job_latency_seconds_count 2",
+			"icicle_rocket_cycles_simulated_total",
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("exposition missing %q:\n%s", want, text)
+			}
+		}
+		// Every HELP/TYPE pair must precede its samples and every
+		// histogram must close with +Inf == count (scraper requirements).
+		if strings.Count(text, `le="+Inf"`) == 0 {
+			t.Error("no cumulative +Inf bucket")
+		}
+	})
+}
