@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-smoke alloc-smoke obs-smoke check fuzz-smoke fmt vet ci
+.PHONY: all build test race bench bench-smoke alloc-smoke obs-smoke sample-smoke check fuzz-smoke fmt vet ci
 
 all: build
 
@@ -35,6 +35,13 @@ alloc-smoke:
 obs-smoke:
 	$(GO) test -run=ObsSmoke -count=1 .
 
+# Sampled-simulation smoke: a sampled run per core at the default
+# policy, checking report invariants, determinism, and loose agreement
+# with full detail (see sample_smoke_test.go; tight accuracy bounds are
+# in internal/check, the speedup claim in BenchmarkSampledVsFull).
+sample-smoke:
+	$(GO) test -run=SampleSmoke -count=1 .
+
 # Differential oracle + metamorphic invariants + corpus replay
 # (internal/check; see DESIGN.md "Verification").
 check:
@@ -57,4 +64,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench-smoke alloc-smoke obs-smoke check fuzz-smoke
+ci: fmt vet build race bench-smoke alloc-smoke obs-smoke sample-smoke check fuzz-smoke

@@ -12,13 +12,16 @@ import (
 	"io"
 	"runtime"
 	"testing"
+	"time"
 
 	"icicle/internal/boom"
+	"icicle/internal/core"
 	"icicle/internal/experiments"
 	"icicle/internal/kernel"
 	"icicle/internal/perf"
 	"icicle/internal/pmu"
 	"icicle/internal/rocket"
+	"icicle/internal/sample"
 	"icicle/internal/sim"
 )
 
@@ -570,6 +573,135 @@ func BenchmarkRASAblation(b *testing.B) {
 			b.Fatal("RAS did not cut PC resteers")
 		}
 		b.ReportMetric((float64(r.BaseCycles)/float64(r.RASCycles)-1)*100, "ras-speedup%")
+	}
+}
+
+// minWall returns the fastest of n timed calls — the paired-speedup
+// measurements compare minima so scheduler noise cannot inflate (or
+// deflate) the ratio.
+func minWall(b *testing.B, n int, f func() error) time.Duration {
+	b.Helper()
+	var best time.Duration
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			b.Fatal(err)
+		}
+		if d := time.Since(start); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// maxTopLevelDelta returns the worst absolute top-level category-share
+// difference between two breakdowns.
+func maxTopLevelDelta(a, bd core.Breakdown) float64 {
+	worst := 0.0
+	for _, d := range []float64{
+		a.Retiring - bd.Retiring, a.BadSpec - bd.BadSpec,
+		a.Frontend - bd.Frontend, a.Backend - bd.Backend,
+	} {
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// BenchmarkSampledVsFull regenerates the sampled-simulation headline
+// claim: on a long-running kernel at the default policy, the sampled run
+// is >= 5x faster than full detail with every top-level TMA category
+// within 2 percentage points, on both core models. The sub-benchmarks
+// report the steady-state per-run costs; the parent asserts the paired
+// claim on min-of-3 wall times (both runs reuse one warmed core, so the
+// ratio isolates the sampling machinery).
+func BenchmarkSampledVsFull(b *testing.B) {
+	k, err := kernel.ByName("towers")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := k.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := sample.Default()
+
+	rc := rocket.New(rocket.DefaultConfig(), prog)
+	bc, err := boom.New(boom.NewConfig(boom.Large), prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	type target struct {
+		name    string
+		full    func() (core.Breakdown, error)
+		sampled func() (*sample.Report, core.Breakdown, error)
+	}
+	targets := []target{
+		{"rocket",
+			func() (core.Breakdown, error) {
+				_, bd, err := perf.RunRocketOn(rc, k)
+				return bd, err
+			},
+			func() (*sample.Report, core.Breakdown, error) {
+				_, rep, bd, err := perf.SampleRocketOn(rc, k, p, sample.Options{})
+				return rep, bd, err
+			}},
+		{"LargeBOOM",
+			func() (core.Breakdown, error) {
+				_, bd, err := perf.RunBoomOn(bc, k)
+				return bd, err
+			},
+			func() (*sample.Report, core.Breakdown, error) {
+				_, rep, bd, err := perf.SampleBoomOn(bc, k, p, sample.Options{})
+				return rep, bd, err
+			}},
+	}
+	for _, tg := range targets {
+		tg := tg
+		fb, err := tg.full()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, sb, err := tg.sampled()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Exact {
+			b.Fatalf("%s: towers degenerated to full detail under %s", tg.name, p)
+		}
+		maxCat := maxTopLevelDelta(sb, fb)
+		if maxCat > 0.02 {
+			b.Fatalf("%s: sampled TMA off by %.2fpp (limit 2pp)", tg.name, 100*maxCat)
+		}
+		fullT := minWall(b, 3, func() error { _, err := tg.full(); return err })
+		sampT := minWall(b, 3, func() error { _, _, err := tg.sampled(); return err })
+		speedup := float64(fullT) / float64(sampT)
+		if speedup < 5 {
+			b.Fatalf("%s: sampled only %.2fx faster (%v vs %v), claim needs >= 5x",
+				tg.name, speedup, sampT, fullT)
+		}
+		b.Run(tg.name+"/full", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tg.full(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tg.name+"/sampled", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tg.sampled(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(speedup, "speedup-x")
+			b.ReportMetric(100*maxCat, "max-category-err-pp")
+			b.ReportMetric(100*rep.Coverage, "coverage%")
+		})
 	}
 }
 

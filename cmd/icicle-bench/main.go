@@ -23,6 +23,7 @@ import (
 
 	"icicle/internal/experiments"
 	"icicle/internal/obs"
+	"icicle/internal/sample"
 	"icicle/internal/sim"
 )
 
@@ -42,11 +43,15 @@ func main() {
 // run holds the whole program so the profiling and telemetry defers fire
 // on every exit path (os.Exit would skip them).
 func run() (err error) {
-	only := flag.String("only", "", "comma-separated artifact list (fig3,fig7a,fig7c,fig7d,fig7ef,fig7g,fig7k,fig7m,fig7n,table5,table6,fig8,fig9,undercount,archcmp,widthsweep,ras)")
+	only := flag.String("only", "", "comma-separated artifact list (fig3,fig7a,fig7c,fig7d,fig7ef,fig7g,fig7k,fig7m,fig7n,table5,table6,fig8,fig9,undercount,archcmp,widthsweep,ras,sampled)")
 	outDir := flag.String("out", "", "also write each artifact to <dir>/<name>.txt (the artifact's iiswc-2025-ae-out equivalent)")
 	jobs := flag.Int("j", 0, "simulation worker goroutines (0 = GOMAXPROCS); alias -parallel")
 	flag.IntVar(jobs, "parallel", 0, "alias for -j")
 	verbose := flag.Bool("v", false, "print one line per simulation job and runner statistics at exit")
+	sampleDef := sample.Default()
+	sampleWindow := flag.Uint64("sample-window", sampleDef.Window, "sampled artifact: detailed window length in cycles")
+	samplePeriod := flag.Uint64("sample-period", sampleDef.Period, "sampled artifact: instructions fast-forwarded between windows")
+	sampleWarmup := flag.Int("sample-warmup", sampleDef.Warmup, "sampled artifact: trailing fast-forward instructions that warm caches and predictors")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	tracefile := flag.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
@@ -121,6 +126,11 @@ func run() (err error) {
 				fmt.Fprintln(os.Stderr, "icicle-bench:", err)
 			}
 		}()
+	}
+
+	samplePolicy := sample.Policy{Window: *sampleWindow, Period: *samplePeriod, Warmup: *sampleWarmup}
+	if err := samplePolicy.Validate(); err != nil {
+		return err
 	}
 
 	var w io.Writer = os.Stdout
@@ -264,6 +274,14 @@ func run() (err error) {
 				return err
 			}
 			r.Fprint(w)
+			return nil
+		}},
+		{"sampled", "sampled vs full-detail TMA validation", func() error {
+			sc, err := experiments.SampledVsFullPolicy(samplePolicy)
+			if err != nil {
+				return err
+			}
+			sc.Fprint(w)
 			return nil
 		}},
 	}

@@ -22,6 +22,7 @@ import (
 	"icicle/internal/perf"
 	"icicle/internal/pmu"
 	"icicle/internal/rocket"
+	"icicle/internal/sample"
 )
 
 // tele is the shared telemetry wiring; package-level so fatal can flush
@@ -38,6 +39,11 @@ func main() {
 		events   = flag.Bool("events", false, "also dump raw event totals")
 		tlb      = flag.Bool("tlb", false, "enable the third-level TLB extension")
 		ras      = flag.Bool("ras", false, "enable BOOM's return-address stack")
+
+		sampleDef    = sample.Default()
+		sampleWindow = flag.Uint64("sample-window", 0, "sampled simulation: detailed window length in cycles (0 = full detail)")
+		samplePeriod = flag.Uint64("sample-period", sampleDef.Period, "sampled simulation: instructions fast-forwarded between windows")
+		sampleWarmup = flag.Int("sample-warmup", sampleDef.Warmup, "sampled simulation: trailing fast-forward instructions that warm caches and predictors")
 	)
 	tele.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -61,6 +67,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sp := sample.Policy{Window: *sampleWindow, Period: *samplePeriod, Warmup: *sampleWarmup}
+	if err := sp.Validate(); err != nil {
+		fatal(err)
+	}
 
 	switch *coreKind {
 	case "rocket":
@@ -72,7 +82,20 @@ func main() {
 		}
 		c := rocket.New(cfg, prog)
 		c.SetTelemetry(obs.CoreTelemetryIn(obs.Default(), "rocket"))
-		res, b, err := perf.RunRocketOn(c, k)
+		var (
+			tally map[string]uint64
+			b     core.Breakdown
+			rep   *sample.Report
+		)
+		if sp.Enabled() {
+			var res rocket.Result
+			res, rep, b, err = perf.SampleRocketOn(c, k, sp, sampleOpts())
+			tally = res.Tally
+		} else {
+			var res rocket.Result
+			res, b, err = perf.RunRocketOn(c, k)
+			tally = res.Tally
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -81,8 +104,9 @@ func main() {
 		}
 		fmt.Printf("%s on Rocket (%v counters)\n", k.Name, arch)
 		fmt.Print(b)
+		printSampled(rep)
 		if *events {
-			dump(res.Tally)
+			dump(tally)
 		}
 	case "boom":
 		s, err := boom.ParseSize(*size)
@@ -101,7 +125,20 @@ func main() {
 			fatal(err)
 		}
 		c.SetTelemetry(obs.CoreTelemetryIn(obs.Default(), "boom"))
-		res, b, err := perf.RunBoomOn(c, k)
+		var (
+			tally map[string]uint64
+			b     core.Breakdown
+			rep   *sample.Report
+		)
+		if sp.Enabled() {
+			var res boom.Result
+			res, rep, b, err = perf.SampleBoomOn(c, k, sp, sampleOpts())
+			tally = res.Tally
+		} else {
+			var res boom.Result
+			res, b, err = perf.RunBoomOn(c, k)
+			tally = res.Tally
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -110,11 +147,42 @@ func main() {
 		}
 		fmt.Printf("%s on %s (%v counters)\n", k.Name, cfg.Name, arch)
 		fmt.Print(b)
+		printSampled(rep)
 		if *events {
-			dump(res.Tally)
+			dump(tally)
 		}
 	default:
 		fatal(fmt.Errorf("unknown core %q (want rocket or boom)", *coreKind))
+	}
+}
+
+// sampleOpts wires a sampled run into the process-wide telemetry
+// registry and (when enabled) the span tracer.
+func sampleOpts() sample.Options {
+	return sample.Options{
+		Telemetry: sample.TelemetryIn(obs.Default()),
+		Tracer:    obs.Tracing(),
+		Tid:       1,
+	}
+}
+
+// printSampled appends the estimation summary of a sampled run to the
+// breakdown output; a nil report (full-detail run) prints nothing.
+func printSampled(rep *sample.Report) {
+	if rep == nil {
+		return
+	}
+	if rep.Exact {
+		fmt.Printf("sampled (%s): program shorter than one period; run was exact full detail\n", rep.Policy)
+		return
+	}
+	fmt.Printf("sampled (%s): est cycles %d  insts %d  windows %d  coverage %.2f%%\n",
+		rep.Policy, rep.EstCycles, rep.TotalInsts, len(rep.Windows), 100*rep.Coverage)
+	fmt.Printf("  CPI %.4f  95%% CI [%.4f, %.4f]\n", rep.CPI, rep.CPICI.Lo, rep.CPICI.Hi)
+	for _, name := range []string{"Retiring", "BadSpec", "Frontend", "Backend"} {
+		if iv, ok := rep.CategoryCI[name]; ok {
+			fmt.Printf("  %-8s 95%% CI [%5.1f%%, %5.1f%%]\n", name, 100*iv.Lo, 100*iv.Hi)
+		}
 	}
 }
 

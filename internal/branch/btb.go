@@ -10,10 +10,20 @@ package branch
 type BTB struct {
 	entries []btbEntry
 	stamp   uint64
+	// hint maps a PC hash to the entry that last held that PC, skipping
+	// the associative scan when it still does (the common case: hot
+	// branches re-train every loop iteration). A hint is only ever an
+	// accelerator — on mismatch the full scan runs — so the state
+	// evolution is bit-identical with or without it.
+	hint [btbHintSize]int32
 	// stats
 	Lookups uint64
 	Hits    uint64
 }
+
+const btbHintSize = 64
+
+func btbHint(pc uint64) uint64 { return (pc >> 2) & (btbHintSize - 1) }
 
 type btbEntry struct {
 	pc     uint64
@@ -35,6 +45,7 @@ func (b *BTB) Reset() {
 	for i := range b.entries {
 		b.entries[i] = btbEntry{}
 	}
+	b.hint = [btbHintSize]int32{}
 	b.stamp = 0
 	b.Lookups = 0
 	b.Hits = 0
@@ -44,12 +55,20 @@ func (b *BTB) Reset() {
 // pc, if present.
 func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
 	b.Lookups++
+	h := btbHint(pc)
+	if e := &b.entries[b.hint[h]]; e.valid && e.pc == pc {
+		b.stamp++
+		e.lru = b.stamp
+		b.Hits++
+		return e.target, true
+	}
 	for i := range b.entries {
 		e := &b.entries[i]
 		if e.valid && e.pc == pc {
 			b.stamp++
 			e.lru = b.stamp
 			b.Hits++
+			b.hint[h] = int32(i)
 			return e.target, true
 		}
 	}
@@ -59,12 +78,19 @@ func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
 // Update installs or refreshes the target for pc.
 func (b *BTB) Update(pc, target uint64) {
 	b.stamp++
+	h := btbHint(pc)
+	if e := &b.entries[b.hint[h]]; e.valid && e.pc == pc {
+		e.target = target
+		e.lru = b.stamp
+		return
+	}
 	victim := 0
 	for i := range b.entries {
 		e := &b.entries[i]
 		if e.valid && e.pc == pc {
 			e.target = target
 			e.lru = b.stamp
+			b.hint[h] = int32(i)
 			return
 		}
 		if !e.valid {
@@ -74,6 +100,7 @@ func (b *BTB) Update(pc, target uint64) {
 		}
 	}
 	b.entries[victim] = btbEntry{pc: pc, target: target, valid: true, lru: b.stamp}
+	b.hint[h] = int32(victim)
 }
 
 // Predictor is the direction+target interface used by the cores.

@@ -1,0 +1,48 @@
+package isa
+
+// Checkpoint is a complete snapshot of the CPU's architectural register
+// state: everything Step reads or writes except memory. The memory image
+// is deliberately not captured — it is owned by the caller (a mem.Sparse
+// in every simulator configuration), and the sampled-simulation engine
+// shares one image between the functional and timing executions, so a
+// register-file snapshot is all a handoff needs.
+//
+// Reservation mirrors the CPU's private lr/sc address monitor (valid
+// while ≥ 0), so a checkpoint taken between an lr and its sc restores
+// bit-exactly: the sc succeeds after Restore exactly when it would have
+// succeeded at capture time.
+type Checkpoint struct {
+	PC          uint64
+	X           [32]uint64
+	Reservation int64
+	Halted      bool
+	ExitCode    uint64
+	InstRet     uint64
+}
+
+// Checkpoint captures the CPU's architectural state. The wiring fields
+// (Mem, CSR, Ecall) are not part of the snapshot; Restore leaves them
+// untouched.
+func (c *CPU) Checkpoint() Checkpoint {
+	return Checkpoint{
+		PC:          c.PC,
+		X:           c.X,
+		Reservation: c.reservation,
+		Halted:      c.Halted,
+		ExitCode:    c.ExitCode,
+		InstRet:     c.InstRet,
+	}
+}
+
+// Restore rewinds (or fast-forwards) the CPU to a previously captured
+// checkpoint. Memory is not restored — callers that need the memory image
+// of the capture point must manage it themselves. Restore onto the CPU
+// the checkpoint came from, with memory untouched since, is bit-exact.
+func (c *CPU) Restore(ck Checkpoint) {
+	c.PC = ck.PC
+	c.X = ck.X
+	c.reservation = ck.Reservation
+	c.Halted = ck.Halted
+	c.ExitCode = ck.ExitCode
+	c.InstRet = ck.InstRet
+}

@@ -1,0 +1,168 @@
+package isa
+
+import "testing"
+
+// TestCheckpointRestoreMidReservation pins the bit-exactness contract for
+// the lr/sc monitor: a checkpoint taken between an lr and its sc restores
+// the private reservation, so the sc succeeds after Restore exactly as it
+// did the first time — and a restore to the pre-lr state leaves the sc
+// failing.
+func TestCheckpointRestoreMidReservation(t *testing.T) {
+	c, m := loadProgram(t, []Inst{
+		{Op: ADDI, Rd: T0, Imm: 0x100},      // 0: t0 = &dword
+		{Op: ADDI, Rd: T1, Imm: 7},          // 4: t1 = 7
+		{Op: LRD, Rd: A0, Rs1: T0},          // 8: reserve
+		{Op: SCD, Rd: A1, Rs1: T0, Rs2: T1}, // 12: conditional store
+		{Op: ECALL},                         // 16
+	})
+	m.Store(0x100, 8, 3)
+
+	for i := 0; i < 3; i++ { // addi, addi, lr.d
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.reservation != 0x100 {
+		t.Fatalf("reservation = %#x after lr.d, want 0x100", c.reservation)
+	}
+	mid := c.Checkpoint()
+	if mid.Reservation != 0x100 {
+		t.Fatalf("Checkpoint.Reservation = %#x, want 0x100", mid.Reservation)
+	}
+
+	// First pass: the sc must succeed (rd = 0) and clear the monitor.
+	if _, err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Reg(A1); got != 0 {
+		t.Fatalf("sc.d result = %d, want 0 (success)", got)
+	}
+	if c.reservation != -1 {
+		t.Fatalf("reservation = %d after sc.d, want -1", c.reservation)
+	}
+
+	// Scramble architectural state, then restore to mid-reservation.
+	c.PC = 0xdead
+	c.X[A1] = 99
+	c.X[T1] = 0
+	c.Restore(mid)
+	if c.PC != mid.PC || c.X != mid.X || c.InstRet != mid.InstRet {
+		t.Fatal("Restore did not reproduce the captured register state")
+	}
+	if c.reservation != 0x100 {
+		t.Fatalf("reservation = %#x after Restore, want 0x100", c.reservation)
+	}
+	// Replaying the sc from the restored state must succeed again.
+	if _, err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Reg(A1); got != 0 {
+		t.Fatalf("replayed sc.d result = %d, want 0 (success)", got)
+	}
+	if got := m.Load(0x100, 8); got != 7 {
+		t.Fatalf("memory after replayed sc.d = %d, want 7", got)
+	}
+}
+
+// TestCheckpointRestoreWithoutReservation: restoring a checkpoint captured
+// before the lr must leave the monitor clear, so a bare sc fails.
+func TestCheckpointRestoreWithoutReservation(t *testing.T) {
+	c, m := loadProgram(t, []Inst{
+		{Op: ADDI, Rd: T0, Imm: 0x100},
+		{Op: ADDI, Rd: T1, Imm: 7},
+		{Op: LRD, Rd: A0, Rs1: T0},
+		{Op: SCD, Rd: A1, Rs1: T0, Rs2: T1},
+		{Op: ECALL},
+	})
+	m.Store(0x100, 8, 3)
+	for i := 0; i < 2; i++ { // stop before the lr.d
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := c.Checkpoint()
+	if pre.Reservation != -1 {
+		t.Fatalf("Checkpoint.Reservation = %d before lr.d, want -1", pre.Reservation)
+	}
+	if _, err := c.Step(); err != nil { // lr.d takes the reservation
+		t.Fatal(err)
+	}
+	c.Restore(pre)
+	c.PC = 12 // jump straight to the sc, monitor must be clear
+	if _, err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Reg(A1); got != 1 {
+		t.Fatalf("sc.d without reservation = %d, want 1 (failure)", got)
+	}
+	if got := m.Load(0x100, 8); got != 3 {
+		t.Fatalf("memory after failed sc.d = %d, want 3 (unchanged)", got)
+	}
+}
+
+// TestCheckpointRestoreHaltedState: Halted, ExitCode, and InstRet survive
+// the round trip, and a restored halted CPU refuses to Step just like the
+// original.
+func TestCheckpointRestoreHaltedState(t *testing.T) {
+	c, _ := loadProgram(t, []Inst{
+		{Op: ADDI, Rd: A0, Imm: 42},
+		{Op: ECALL},
+	})
+	if _, err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted || c.ExitCode != 42 {
+		t.Fatalf("halted=%v exit=%d, want halted with exit 42", c.Halted, c.ExitCode)
+	}
+	halted := c.Checkpoint()
+
+	c.Reset(0)
+	if c.Halted || c.ExitCode != 0 || c.InstRet != 0 {
+		t.Fatal("Reset did not clear the halt state")
+	}
+	c.Restore(halted)
+	if !c.Halted {
+		t.Fatal("Restore dropped Halted")
+	}
+	if c.ExitCode != 42 {
+		t.Fatalf("ExitCode = %d after Restore, want 42", c.ExitCode)
+	}
+	if c.InstRet != halted.InstRet {
+		t.Fatalf("InstRet = %d after Restore, want %d", c.InstRet, halted.InstRet)
+	}
+	if _, err := c.Step(); err == nil {
+		t.Fatal("Step on a restored halted CPU should fail")
+	}
+}
+
+// TestCheckpointRoundTripBitExact runs a small loop, checkpoints at every
+// step, perturbs the CPU, restores, and verifies the full architectural
+// state (including the private reservation) matches field for field.
+func TestCheckpointRoundTripBitExact(t *testing.T) {
+	c, m := loadProgram(t, []Inst{
+		{Op: ADDI, Rd: T0, Imm: 5},           // 0
+		{Op: ADDI, Rd: T1, Imm: 0x100},       // 4
+		{Op: LRD, Rd: A0, Rs1: T1},           // 8
+		{Op: ADD, Rd: A0, Rs1: A0, Rs2: T0},  // 12
+		{Op: SCD, Rd: A1, Rs1: T1, Rs2: A0},  // 16
+		{Op: ADDI, Rd: T0, Rs1: T0, Imm: -1}, // 20
+		{Op: BNE, Rs1: T0, Rs2: X0, Imm: -16},
+		{Op: ECALL},
+	})
+	m.Store(0x100, 8, 1)
+	for !c.Halted {
+		ck := c.Checkpoint()
+		savedPC, savedX, savedRes := c.PC, c.X, c.reservation
+		savedHalted, savedExit, savedRet := c.Halted, c.ExitCode, c.InstRet
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		after := c.Checkpoint()
+		c.Restore(ck)
+		if c.PC != savedPC || c.X != savedX || c.reservation != savedRes ||
+			c.Halted != savedHalted || c.ExitCode != savedExit || c.InstRet != savedRet {
+			t.Fatalf("Restore at inst %d is not bit-exact", ck.InstRet)
+		}
+		c.Restore(after) // resume
+	}
+}

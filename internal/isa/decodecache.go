@@ -1,0 +1,41 @@
+package isa
+
+// The decode cache memoizes fetch+decode, the fixed per-Step overhead
+// that dominates functional execution (every instruction pays one memory
+// load and one full decode otherwise). It is pure memoization: entries
+// are tagged with the exact PC, any store that overlaps a cached word
+// invalidates it, fence.i flushes it, and Reset clears it — so cached
+// execution is bit-identical to uncached, including under self-modifying
+// code.
+const (
+	dcBits = 12 // 4096 entries ≈ 16 KiB of code, direct-mapped by word
+	dcSize = 1 << dcBits
+	dcMask = dcSize - 1
+)
+
+type dcEntry struct {
+	pc    uint64
+	inst  Inst
+	valid bool
+}
+
+func newDecodeCache() []dcEntry { return make([]dcEntry, dcSize) }
+
+func (c *CPU) flushDecode() {
+	for i := range c.dcache {
+		c.dcache[i].valid = false
+	}
+}
+
+// storeMem performs a data store and invalidates any cached decode of the
+// overwritten words.
+func (c *CPU) storeMem(addr uint64, size int, val uint64) {
+	c.Mem.Store(addr, size, val)
+	first := addr >> 2
+	last := (addr + uint64(size-1)) >> 2
+	for w := first; w <= last; w++ {
+		if e := &c.dcache[w&dcMask]; e.valid && e.pc>>2 == w {
+			e.valid = false
+		}
+	}
+}

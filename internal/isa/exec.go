@@ -53,6 +53,10 @@ type CPU struct {
 	// reservation is the lr/sc address monitor (valid while reserved ≥ 0).
 	reservation int64
 
+	// dcache memoizes fetch+decode per word-aligned PC (see
+	// decodecache.go for the invalidation contract).
+	dcache []dcEntry
+
 	Halted   bool
 	ExitCode uint64
 	InstRet  uint64
@@ -60,16 +64,18 @@ type CPU struct {
 
 // NewCPU returns a CPU with PC set to entry, executing from mem.
 func NewCPU(mem Memory, entry uint64) *CPU {
-	return &CPU{PC: entry, Mem: mem, reservation: -1}
+	return &CPU{PC: entry, Mem: mem, reservation: -1, dcache: newDecodeCache()}
 }
 
 // Reset returns the CPU to power-on state at entry, keeping the memory,
 // CSR file, and Ecall hook wiring. Callers are responsible for resetting
-// the memory contents themselves.
+// the memory contents themselves; the decode cache is flushed here so a
+// freshly loaded program never sees stale decodes.
 func (c *CPU) Reset(entry uint64) {
 	c.PC = entry
 	c.X = [32]uint64{}
 	c.reservation = -1
+	c.flushDecode()
 	c.Halted = false
 	c.ExitCode = 0
 	c.InstRet = 0
@@ -95,8 +101,18 @@ func (c *CPU) Step() (Retired, error) {
 	if c.Halted {
 		return Retired{}, fmt.Errorf("isa: step on halted CPU (exit code %d)", c.ExitCode)
 	}
-	word := uint32(c.Mem.Load(c.PC, instBytes))
-	in := Decode(word)
+	var in Inst
+	if e := &c.dcache[(c.PC>>2)&dcMask]; e.valid && e.pc == c.PC {
+		in = e.inst
+	} else {
+		word := uint32(c.Mem.Load(c.PC, instBytes))
+		in = Decode(word)
+		if in.Op == ILLEGAL {
+			return Retired{Seq: c.InstRet, PC: c.PC, Inst: in},
+				fmt.Errorf("isa: illegal instruction 0x%08x at pc 0x%x", word, c.PC)
+		}
+		*e = dcEntry{pc: c.PC, inst: in, valid: true}
+	}
 	r := Retired{Seq: c.InstRet, PC: c.PC, Inst: in}
 	next := c.PC + instBytes
 
@@ -104,9 +120,6 @@ func (c *CPU) Step() (Retired, error) {
 	rs2 := c.Reg(in.Rs2)
 
 	switch in.Op {
-	case ILLEGAL:
-		return r, fmt.Errorf("isa: illegal instruction 0x%08x at pc 0x%x", word, c.PC)
-
 	case LUI:
 		c.setReg(in.Rd, uint64(in.Imm<<12))
 	case AUIPC:
@@ -142,7 +155,7 @@ func (c *CPU) Step() (Retired, error) {
 	case SB, SH, SW, SD:
 		addr := rs1 + uint64(in.Imm)
 		r.MemAddr = addr
-		c.Mem.Store(addr, in.Op.MemSize(), rs2)
+		c.storeMem(addr, in.Op.MemSize(), rs2)
 		if c.reservation >= 0 && uint64(c.reservation)>>3 == addr>>3 {
 			c.reservation = -1 // any overlapping store breaks the monitor
 		}
@@ -159,7 +172,7 @@ func (c *CPU) Step() (Retired, error) {
 	case SCW, SCD:
 		r.MemAddr = rs1
 		if c.reservation >= 0 && uint64(c.reservation) == rs1 {
-			c.Mem.Store(rs1, in.Op.MemSize(), rs2)
+			c.storeMem(rs1, in.Op.MemSize(), rs2)
 			c.setReg(in.Rd, 0)
 		} else {
 			c.setReg(in.Rd, 1)
@@ -182,7 +195,7 @@ func (c *CPU) Step() (Retired, error) {
 		case AMOORW:
 			newv = old | uint32(rs2)
 		}
-		c.Mem.Store(rs1, 4, uint64(newv))
+		c.storeMem(rs1, 4, uint64(newv))
 		c.setReg(in.Rd, sext32(old))
 
 	case AMOSWAPD, AMOADDD, AMOXORD, AMOANDD, AMOORD:
@@ -201,7 +214,7 @@ func (c *CPU) Step() (Retired, error) {
 		case AMOORD:
 			newv = old | rs2
 		}
-		c.Mem.Store(rs1, 8, newv)
+		c.storeMem(rs1, 8, newv)
 		c.setReg(in.Rd, old)
 
 	case ADDI:
@@ -290,9 +303,13 @@ func (c *CPU) Step() (Retired, error) {
 	case REMUW:
 		c.setReg(in.Rd, sext32(remU32(uint32(rs1), uint32(rs2))))
 
-	case FENCE, FENCEI:
+	case FENCE:
 		// Architecturally a no-op in this single-hart model; timing
 		// models charge the pipeline-flush cost.
+	case FENCEI:
+		// fence.i makes prior stores visible to fetch: drop every
+		// memoized decode. Timing models charge the flush cost.
+		c.flushDecode()
 
 	case ECALL:
 		if c.Ecall != nil {

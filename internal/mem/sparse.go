@@ -10,8 +10,17 @@ const frameSize = 1 << frameBits
 
 // Sparse is a sparse byte-addressable memory backed by 4 KiB frames. It
 // implements isa.Memory. Reads of unwritten memory return zero bytes.
+//
+// Accesses are overwhelmingly frame-local and sequential (instruction
+// fetch walks one frame for thousands of fetches), so Load/Store take a
+// fast path for accesses that fit in one frame, and frame resolution
+// keeps a one-entry cache of the last frame touched. Frames are never
+// deleted (Reset zeroes them in place), so the cached pointer cannot
+// dangle.
 type Sparse struct {
-	frames map[uint64]*[frameSize]byte
+	frames  map[uint64]*[frameSize]byte
+	lastKey uint64
+	last    *[frameSize]byte
 }
 
 // NewSparse returns an empty memory.
@@ -21,10 +30,16 @@ func NewSparse() *Sparse {
 
 func (m *Sparse) frame(addr uint64, create bool) *[frameSize]byte {
 	key := addr >> frameBits
+	if m.last != nil && key == m.lastKey {
+		return m.last
+	}
 	f := m.frames[key]
 	if f == nil && create {
 		f = new([frameSize]byte)
 		m.frames[key] = f
+	}
+	if f != nil {
+		m.lastKey, m.last = key, f
 	}
 	return f
 }
@@ -32,6 +47,17 @@ func (m *Sparse) frame(addr uint64, create bool) *[frameSize]byte {
 // Load returns size bytes at addr, little-endian, zero-extended.
 // Accesses may straddle frame boundaries.
 func (m *Sparse) Load(addr uint64, size int) uint64 {
+	if off := addr & (frameSize - 1); off+uint64(size) <= frameSize {
+		f := m.frame(addr, false)
+		if f == nil {
+			return 0
+		}
+		var v uint64
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(f[off+uint64(i)])
+		}
+		return v
+	}
 	var v uint64
 	for i := 0; i < size; i++ {
 		f := m.frame(addr+uint64(i), false)
@@ -44,6 +70,13 @@ func (m *Sparse) Load(addr uint64, size int) uint64 {
 
 // Store writes the low size bytes of val at addr, little-endian.
 func (m *Sparse) Store(addr uint64, size int, val uint64) {
+	if off := addr & (frameSize - 1); off+uint64(size) <= frameSize {
+		f := m.frame(addr, true)
+		for i := 0; i < size; i++ {
+			f[off+uint64(i)] = byte(val >> (8 * i))
+		}
+		return
+	}
 	for i := 0; i < size; i++ {
 		f := m.frame(addr+uint64(i), true)
 		f[(addr+uint64(i))&(frameSize-1)] = byte(val >> (8 * i))

@@ -9,6 +9,12 @@ const pageBits = 12 // 4 KiB pages
 type TLB struct {
 	entries []tlbEntry
 	stamp   uint64
+	// lastIdx caches the entry of the most recent hit or install: page
+	// locality makes back-to-back translations of the same page the
+	// common case, and serving them without the associative scan keeps
+	// the state evolution bit-identical (the same lru bump happens, the
+	// scan is merely skipped).
+	lastIdx int
 	// stats
 	Accesses uint64
 	Misses   uint64
@@ -34,11 +40,16 @@ func (t *TLB) Access(addr uint64) bool {
 	t.stamp++
 	t.Accesses++
 	vpn := addr >> pageBits
+	if e := &t.entries[t.lastIdx]; e.valid && e.vpn == vpn {
+		e.lru = t.stamp
+		return true
+	}
 	victim := 0
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.vpn == vpn {
 			e.lru = t.stamp
+			t.lastIdx = i
 			return true
 		}
 		if !e.valid {
@@ -49,6 +60,7 @@ func (t *TLB) Access(addr uint64) bool {
 	}
 	t.Misses++
 	t.entries[victim] = tlbEntry{vpn: vpn, valid: true, lru: t.stamp}
+	t.lastIdx = victim
 	return false
 }
 
@@ -57,6 +69,7 @@ func (t *TLB) Reset() {
 	for i := range t.entries {
 		t.entries[i] = tlbEntry{}
 	}
+	t.lastIdx = 0
 	t.stamp = 0
 	t.Accesses = 0
 	t.Misses = 0

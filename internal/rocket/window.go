@@ -1,0 +1,91 @@
+package rocket
+
+import (
+	"fmt"
+
+	"icicle/internal/isa"
+)
+
+// Sampled-simulation support: the state-handoff contract internal/sample
+// drives (see DESIGN.md "Sampled simulation"). The cycle loop itself is
+// untouched — a detailed window runs the exact same step() as a full run,
+// so the 0 allocs/op invariant holds inside windows too.
+
+// ResetPipeline clears the pipeline and timing bookkeeping only: the
+// instruction buffer, putback list, fetch/stall/recovery state, and the
+// register scoreboard. Everything architectural or cumulative survives —
+// CPU state, memory, caches, TLBs, predictors, PMU, event tallies, and
+// the cycle counter — so a sampling controller can abandon a window's
+// in-flight instructions (their architectural effects already landed in
+// the shared functional CPU) and later attach a fresh window against the
+// still-warm microarchitectural state.
+func (c *Core) ResetPipeline() {
+	c.ibuf = c.ibuf[:0]
+	c.ibufHead = 0
+	c.putback = c.putback[:0]
+	c.fetchBlocked = false
+	c.fetchStall = 0
+	c.refillUntil = 0
+	c.lastFetchBlock = 0
+	c.haveFetchBlock = false
+
+	c.recovering = 0
+	c.recoveringFlag = false
+	c.stallUntil = 0
+	c.stallEvents = c.stallEvents[:0]
+	c.replayAt = 0
+	c.regReady = [32]uint64{}
+	c.regProd = [32]producerKind{}
+
+	c.done = false
+}
+
+// Attach hands the core an architectural state mid-program: the CPU is
+// restored from ck and the pipeline is cleared, while caches, predictors,
+// tallies, and the cycle counter carry over. The core's memory must
+// already hold the image matching ck — the sampling controller guarantees
+// this by fast-forwarding the core's own CPU, so the memory is shared and
+// always current.
+func (c *Core) Attach(ck isa.Checkpoint) {
+	c.CPU.Restore(ck)
+	c.ResetPipeline()
+}
+
+// RunWindow runs the detailed cycle loop for up to maxCycles more cycles,
+// stopping early if the workload halts and the pipeline drains. The
+// config's MaxCycles budget still bounds the cumulative detailed cycle
+// count as a runaway guard.
+func (c *Core) RunWindow(maxCycles uint64) error {
+	budget := c.Cfg.MaxCycles
+	if budget == 0 {
+		budget = 2_000_000_000
+	}
+	end := c.cycle + maxCycles
+	for !c.done && c.cycle < end {
+		if c.cycle >= budget {
+			c.flushTelemetry()
+			return fmt.Errorf("rocket: cycle budget %d exhausted in sampled window (pc 0x%x)", budget, c.CPU.PC)
+		}
+		if err := c.step(); err != nil {
+			c.flushTelemetry()
+			return err
+		}
+	}
+	c.flushTelemetry()
+	return nil
+}
+
+// Done reports whether the workload has halted and the pipeline drained.
+func (c *Core) Done() bool { return c.done }
+
+// CopyTally copies the dense per-event totals into dst (grown if needed)
+// and returns it. The slice is indexed like Events.Events; the sampling
+// controller diffs snapshots taken around each window.
+func (c *Core) CopyTally(dst []uint64) []uint64 {
+	if cap(dst) < len(c.tally) {
+		dst = make([]uint64, len(c.tally))
+	}
+	dst = dst[:len(c.tally)]
+	copy(dst, c.tally)
+	return dst
+}

@@ -1,0 +1,43 @@
+package sample
+
+import "icicle/internal/obs"
+
+// Telemetry publishes the sampling controller's per-phase progress
+// counters. Construct standalone with NewTelemetry or registered with
+// TelemetryIn; a nil *Telemetry disables publication entirely.
+type Telemetry struct {
+	FFInsts        *obs.Counter
+	WarmupReplays  *obs.Counter
+	DetailedCycles *obs.Counter
+	DetailedInsts  *obs.Counter
+	Windows        *obs.Counter
+}
+
+// NewTelemetry builds an unregistered handle (counters still count; they
+// are just not exported anywhere).
+func NewTelemetry() *Telemetry {
+	return &Telemetry{
+		FFInsts:        obs.NewCounter(),
+		WarmupReplays:  obs.NewCounter(),
+		DetailedCycles: obs.NewCounter(),
+		DetailedInsts:  obs.NewCounter(),
+		Windows:        obs.NewCounter(),
+	}
+}
+
+// TelemetryIn registers the counters in reg under the
+// icicle_sample_* names.
+func TelemetryIn(reg *obs.Registry) *Telemetry {
+	return &Telemetry{
+		FFInsts: reg.Counter("icicle_sample_fastforward_insts_total",
+			"Instructions executed functionally between detailed windows."),
+		WarmupReplays: reg.Counter("icicle_sample_warmup_replays_total",
+			"Instructions replayed into caches/predictors before windows."),
+		DetailedCycles: reg.Counter("icicle_sample_detailed_cycles_total",
+			"Cycles simulated inside detailed windows."),
+		DetailedInsts: reg.Counter("icicle_sample_detailed_insts_total",
+			"Instructions committed inside detailed windows."),
+		Windows: reg.Counter("icicle_sample_windows_total",
+			"Detailed windows executed by sampled runs."),
+	}
+}

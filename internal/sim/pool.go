@@ -8,6 +8,7 @@ import (
 	"icicle/internal/obs"
 	"icicle/internal/perf"
 	"icicle/internal/rocket"
+	"icicle/internal/sample"
 )
 
 // Core pools: Reset-able cores recycled across jobs instead of rebuilt
@@ -88,15 +89,23 @@ func (r *Runner) executeJob(j Job, tid int) Result {
 			acq.End(obs.Arg{Key: "fresh", Val: fresh})
 		}
 		c.SetTelemetry(r.m.boom)
-		sp := tr.Begin("simulate", "sim", tid)
-		err := perf.SimulateBoomOn(c, j.Kernel)
-		sp.End()
-		if err != nil {
-			res.Err = err
+		if j.Sample.Enabled() {
+			sp := tr.Begin("simulate-sampled", "sim", tid)
+			res.Boom, res.Sampled, res.Breakdown, res.Err = perf.SampleBoomOn(
+				c, j.Kernel, j.Sample,
+				sample.Options{Telemetry: r.m.sample, Tracer: tr, Tid: tid})
+			sp.End()
 		} else {
-			tp := tr.Begin("tally", "sim", tid)
-			res.Boom, res.Breakdown, res.Err = perf.TallyBoom(c)
-			tp.End()
+			sp := tr.Begin("simulate", "sim", tid)
+			err := perf.SimulateBoomOn(c, j.Kernel)
+			sp.End()
+			if err != nil {
+				res.Err = err
+			} else {
+				tp := tr.Begin("tally", "sim", tid)
+				res.Boom, res.Breakdown, res.Err = perf.TallyBoom(c)
+				tp.End()
+			}
 		}
 		pool.Put(c)
 	default:
@@ -119,15 +128,23 @@ func (r *Runner) executeJob(j Job, tid int) Result {
 			acq.End(obs.Arg{Key: "fresh", Val: fresh})
 		}
 		c.SetTelemetry(r.m.rocket)
-		sp := tr.Begin("simulate", "sim", tid)
-		err := perf.SimulateRocketOn(c, j.Kernel)
-		sp.End()
-		if err != nil {
-			res.Err = err
+		if j.Sample.Enabled() {
+			sp := tr.Begin("simulate-sampled", "sim", tid)
+			res.Rocket, res.Sampled, res.Breakdown, res.Err = perf.SampleRocketOn(
+				c, j.Kernel, j.Sample,
+				sample.Options{Telemetry: r.m.sample, Tracer: tr, Tid: tid})
+			sp.End()
 		} else {
-			tp := tr.Begin("tally", "sim", tid)
-			res.Rocket, res.Breakdown, res.Err = perf.TallyRocket(c)
-			tp.End()
+			sp := tr.Begin("simulate", "sim", tid)
+			err := perf.SimulateRocketOn(c, j.Kernel)
+			sp.End()
+			if err != nil {
+				res.Err = err
+			} else {
+				tp := tr.Begin("tally", "sim", tid)
+				res.Rocket, res.Breakdown, res.Err = perf.TallyRocket(c)
+				tp.End()
+			}
 		}
 		pool.Put(c)
 	}

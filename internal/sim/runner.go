@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"icicle/internal/obs"
+	"icicle/internal/sample"
 )
 
 // Runner executes simulation jobs on a worker pool with a content-keyed
@@ -63,6 +64,10 @@ type runnerMetrics struct {
 
 	rocket *obs.CoreTelemetry
 	boom   *obs.CoreTelemetry
+
+	// sample publishes the sampled-engine phase counters; passed into
+	// the controller on every sampled job.
+	sample *sample.Telemetry
 }
 
 func standaloneMetrics() *runnerMetrics {
@@ -75,6 +80,7 @@ func standaloneMetrics() *runnerMetrics {
 		coreReuses: obs.NewCounter(),
 		rocket:     obs.NewCoreTelemetry(),
 		boom:       obs.NewCoreTelemetry(),
+		sample:     sample.NewTelemetry(),
 	}
 }
 
@@ -94,6 +100,7 @@ func registryMetrics(reg *obs.Registry) *runnerMetrics {
 			"jobs served by a recycled core"),
 		rocket: obs.CoreTelemetryIn(reg, "rocket"),
 		boom:   obs.CoreTelemetryIn(reg, "boom"),
+		sample: sample.TelemetryIn(reg),
 	}
 }
 

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"icicle/internal/rocket"
+	"icicle/internal/sample"
+)
+
+// TestSampledKeyDistinct pins the memo-key contract for detail modes:
+// sampled and full-detail runs of the same (core, kernel, config) must
+// never share a cache slot, distinct policies must not collide with each
+// other, and full-detail jobs keep their historical key shape.
+func TestSampledKeyDistinct(t *testing.T) {
+	k := mustKernel(t, "vvadd")
+	full := RocketJob(rocket.DefaultConfig(), k)
+	p1 := sample.Policy{Window: 512, Period: 4096, Warmup: 512}
+	p2 := sample.Policy{Window: 1024, Period: 4096, Warmup: 512}
+	s1 := full.WithSampling(p1)
+	s2 := full.WithSampling(p2)
+
+	if full.Key() == s1.Key() {
+		t.Fatalf("sampled job shares the full-detail key: %s", full.Key())
+	}
+	if s1.Key() == s2.Key() {
+		t.Fatalf("distinct policies share a key: %s", s1.Key())
+	}
+	if strings.Contains(full.Key(), "sample") {
+		t.Errorf("full-detail key changed shape: %s", full.Key())
+	}
+	if !strings.Contains(s1.Key(), "sample{"+p1.String()+"}") {
+		t.Errorf("sampled key missing policy fingerprint: %s", s1.Key())
+	}
+	// The display-truncated key stays readable for sampled jobs too.
+	if got := shortKey(s1.Key()); !strings.HasPrefix(got, "rocket|vvadd") {
+		t.Errorf("shortKey(%q) = %q", s1.Key(), got)
+	}
+}
+
+// TestSampledJobsThroughRunner runs a full and a sampled job of the same
+// (config, kernel) through one runner and checks they simulate separately
+// (no cache collision) while each still hits its own cache on repeats.
+func TestSampledJobsThroughRunner(t *testing.T) {
+	k := mustKernel(t, "towers")
+	p := sample.Policy{Window: 512, Period: 4096, Warmup: 512}
+	full := RocketJob(rocket.DefaultConfig(), k)
+	sampled := full.WithSampling(p)
+
+	r := New()
+	fr := r.RunOne(full)
+	sr := r.RunOne(sampled)
+	if fr.Err != nil || sr.Err != nil {
+		t.Fatalf("errs: full=%v sampled=%v", fr.Err, sr.Err)
+	}
+	if fr.Cached || sr.Cached {
+		t.Fatal("full and sampled jobs collided in the memo cache")
+	}
+	if fr.Sampled != nil {
+		t.Error("full-detail result carries a sampling report")
+	}
+	if sr.Sampled == nil {
+		t.Fatal("sampled result missing its report")
+	}
+	if sr.Rocket.Cycles != sr.Sampled.EstCycles {
+		t.Errorf("sampled Result.Cycles = %d, report EstCycles = %d",
+			sr.Rocket.Cycles, sr.Sampled.EstCycles)
+	}
+	if sr.Rocket.Insts != fr.Rocket.Insts {
+		t.Errorf("sampled Insts = %d (exact architectural count), full = %d",
+			sr.Rocket.Insts, fr.Rocket.Insts)
+	}
+	if sr.Exit() != fr.Exit() {
+		t.Errorf("sampled exit %#x != full exit %#x", sr.Exit(), fr.Exit())
+	}
+
+	again := r.RunOne(sampled)
+	if !again.Cached {
+		t.Error("repeated sampled job not served from cache")
+	}
+	if again.Sampled == nil || again.Sampled.EstCycles != sr.Sampled.EstCycles {
+		t.Error("cached sampled result lost or changed its report")
+	}
+	st := r.Stats()
+	if st.Misses != 2 || st.Hits != 1 {
+		t.Errorf("stats = %d misses / %d hits, want 2/1", st.Misses, st.Hits)
+	}
+
+	// The phase counters moved: the sampled job fast-forwarded and ran
+	// detailed windows.
+	if r.m.sample.Windows.Value() == 0 || r.m.sample.DetailedCycles.Value() == 0 {
+		t.Error("sampled-phase telemetry did not advance")
+	}
+	if r.m.sample.FFInsts.Value() == 0 {
+		t.Error("fast-forward telemetry did not advance")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"icicle/internal/kernel"
 	"icicle/internal/perf"
 	"icicle/internal/rocket"
+	"icicle/internal/sample"
 )
 
 // CoreKind selects the timing model a Job runs on.
@@ -41,6 +42,18 @@ type Job struct {
 	Rocket rocket.Config // used when Core == Rocket
 	Boom   boom.Config   // used when Core == Boom
 	Kernel *kernel.Kernel
+
+	// Sample selects the detail mode: the zero value (disabled) runs
+	// full-detail; an enabled policy runs the sampled engine and returns
+	// extrapolated results (Result.Sampled carries the report).
+	Sample sample.Policy
+}
+
+// WithSampling returns a copy of the job running under the sampling
+// policy instead of full detail.
+func (j Job) WithSampling(p sample.Policy) Job {
+	j.Sample = p
+	return j
 }
 
 // RocketJob describes a Rocket simulation.
@@ -64,14 +77,22 @@ func (j Job) CoreName() string {
 // Key is the memoization key: the core kind, every config field (the
 // configs are pure value types, so the rendered form is a complete
 // fingerprint — lane counts, cache geometry, PMU architecture and all),
-// and the kernel name. Two jobs with equal keys simulate identically.
+// the kernel name, and the detail mode. Sampled and full-detail runs of
+// the same (core, kernel) produce different results, so an enabled
+// sampling policy is part of the key; full-detail jobs keep their
+// historical key shape.
 func (j Job) Key() string {
+	key := ""
 	switch j.Core {
 	case Boom:
-		return fmt.Sprintf("boom|%s|%+v", j.Kernel.Name, j.Boom)
+		key = fmt.Sprintf("boom|%s|%+v", j.Kernel.Name, j.Boom)
 	default:
-		return fmt.Sprintf("rocket|%s|%+v", j.Kernel.Name, j.Rocket)
+		key = fmt.Sprintf("rocket|%s|%+v", j.Kernel.Name, j.Rocket)
 	}
+	if j.Sample.Enabled() {
+		key += "|sample{" + j.Sample.String() + "}"
+	}
+	return key
 }
 
 // Result is one job's outcome. Exactly one of Rocket/Boom is populated,
@@ -82,8 +103,12 @@ type Result struct {
 	Rocket    rocket.Result // valid when Job.Core == Rocket
 	Boom      boom.Result   // valid when Job.Core == Boom
 	Breakdown core.Breakdown
-	Err       error
-	Cached    bool // served from the memoization cache
+	// Sampled is the sampling report for jobs run under an enabled
+	// policy (nil for full-detail jobs). The Rocket/Boom results then
+	// hold extrapolated cycle and event totals.
+	Sampled *sample.Report
+	Err     error
+	Cached  bool // served from the memoization cache
 }
 
 // Cycles returns the simulated cycle count of whichever core ran.
@@ -121,9 +146,13 @@ func (r Result) Tally(event string) uint64 {
 // execute runs the simulation described by j (no caching, no pooling).
 func execute(j Job) Result {
 	res := Result{Job: j}
-	switch j.Core {
-	case Boom:
+	switch {
+	case j.Core == Boom && j.Sample.Enabled():
+		res.Boom, res.Sampled, res.Breakdown, res.Err = perf.SampleBoom(j.Boom, j.Kernel, j.Sample)
+	case j.Core == Boom:
 		res.Boom, res.Breakdown, res.Err = perf.RunBoom(j.Boom, j.Kernel)
+	case j.Sample.Enabled():
+		res.Rocket, res.Sampled, res.Breakdown, res.Err = perf.SampleRocket(j.Rocket, j.Kernel, j.Sample)
 	default:
 		res.Rocket, res.Breakdown, res.Err = perf.RunRocket(j.Rocket, j.Kernel)
 	}
