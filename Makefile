@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-smoke alloc-smoke obs-smoke sample-smoke check fuzz-smoke fmt vet ci
+.PHONY: all build test race bench bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke check fuzz-smoke fmt vet ci
 
 all: build
 
@@ -42,6 +42,13 @@ obs-smoke:
 sample-smoke:
 	$(GO) test -run=SampleSmoke -count=1 .
 
+# Two-phase sampled engine smoke: the golden serial-vs-parallel
+# bit-identity table plus the pooled-core interleave test
+# (sample_par_smoke_test.go), run under the race detector so the window
+# fan-out is exercised with checking on.
+sample-par-smoke:
+	$(GO) test -race -run=SamplePar -count=1 .
+
 # Differential oracle + metamorphic invariants + corpus replay
 # (internal/check; see DESIGN.md "Verification").
 check:
@@ -64,4 +71,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench-smoke alloc-smoke obs-smoke sample-smoke check fuzz-smoke
+ci: fmt vet build race bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke check fuzz-smoke

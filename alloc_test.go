@@ -11,7 +11,9 @@ import (
 	"icicle/internal/boom"
 	"icicle/internal/kernel"
 	"icicle/internal/obs"
+	"icicle/internal/perf"
 	"icicle/internal/rocket"
+	"icicle/internal/sample"
 )
 
 // Steady-state allocation budgets, in allocs per full simulated run
@@ -20,6 +22,14 @@ import (
 const (
 	rocketRunAllocBudget = 0
 	boomRunAllocBudget   = 0
+
+	// A warmed serial sampled run allocates only for the report it
+	// returns (Report, window stats, CI scratch, tally maps) — the
+	// controller's per-window diff buffers are one pre-sized scratch
+	// slab reused across windows, so the budget is flat in the window
+	// count. Measured 93 on towers/default-policy; the headroom covers
+	// map-growth jitter only, not a per-window regression.
+	sampledRunAllocBudget = 100
 )
 
 func TestRocketSteadyStateAllocs(t *testing.T) {
@@ -100,6 +110,32 @@ func TestTelemetryKeepsCycleLoopAllocFree(t *testing.T) {
 		bc.SetTelemetry(nil)
 		run(t, rc, bc)
 	})
+}
+
+// TestSampledRunAllocs pins the sampling controller's scratch-buffer
+// reuse: tally diffs across windows share one pre-sized slab, so a
+// warmed core's sampled run allocates a fixed number of objects no
+// matter how many windows the policy schedules.
+func TestSampledRunAllocs(t *testing.T) {
+	k, err := kernel.ByName("towers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := k.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rocket.New(rocket.DefaultConfig(), prog)
+	p := sample.Default()
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, _, _, err := perf.SampleRocketOn(c, k, p, sample.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > sampledRunAllocBudget {
+		t.Errorf("sampled run allocates %.1f objects, budget %d",
+			allocs, sampledRunAllocBudget)
+	}
 }
 
 func TestBoomSteadyStateAllocs(t *testing.T) {

@@ -9,6 +9,7 @@
 package icicle_test
 
 import (
+	"fmt"
 	"io"
 	"runtime"
 	"testing"
@@ -702,6 +703,160 @@ func BenchmarkSampledVsFull(b *testing.B) {
 			b.ReportMetric(100*maxCat, "max-category-err-pp")
 			b.ReportMetric(100*rep.Coverage, "coverage%")
 		})
+	}
+}
+
+// listMakespan is the wall time an N-worker consumer phase needs for the
+// given per-window costs under the engine's actual dispatch (windows
+// handed out in schedule order, each to the earliest-free worker).
+func listMakespan(costs []time.Duration, workers int) time.Duration {
+	free := make([]time.Duration, workers)
+	for _, c := range costs {
+		mi := 0
+		for j := 1; j < workers; j++ {
+			if free[j] < free[mi] {
+				mi = j
+			}
+		}
+		free[mi] += c
+	}
+	var m time.Duration
+	for _, f := range free {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// BenchmarkSampledParallel measures the two-phase sampled engine against
+// the serial sampled baseline (towers, default policy, both core
+// models). The wX sub-benchmarks report the measured per-run wall at
+// each worker count on warmed cores with the plan cached. The scaling
+// claim is asserted on the engine's modeled consumer-phase makespan
+// (greedy list scheduling over the measured per-window costs — exactly
+// the dispatch RunPlan performs): real wall-clock scaling needs a
+// multi-core host, and like BenchmarkSweepSerialVsParallel this
+// benchmark must also hold on a single-CPU machine where goroutines
+// timeshare one core. BENCH_6.json records both views.
+func BenchmarkSampledParallel(b *testing.B) {
+	k, err := kernel.ByName("towers")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := k.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := sample.Default()
+	counts := []int{1, 2, 4, 8}
+	const maxWorkers = 8
+
+	// The producer pass, timed cold: this is the one-time per
+	// (program, cadence) cost every consumer amortizes.
+	perf.ResetPlanCache()
+	planStart := time.Now()
+	plan, err := perf.PlanFor(k, p, sample.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(time.Since(planStart).Nanoseconds()), "plan-build-ns")
+
+	type target struct {
+		name    string
+		serial  func() error // classic serial sampled engine
+		par     func(w int) error
+		mkExec  func() (*sample.Exec, error)
+		windows int
+	}
+	rc := rocket.New(rocket.DefaultConfig(), prog)
+	rcs := make([]*rocket.Core, maxWorkers)
+	for i := range rcs {
+		rcs[i] = rocket.New(rocket.DefaultConfig(), prog)
+	}
+	bcfg := boom.NewConfig(boom.Large)
+	bc, err := boom.New(bcfg, prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bcs := make([]*boom.Core, maxWorkers)
+	for i := range bcs {
+		if bcs[i], err = boom.New(bcfg, prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+	targets := []target{
+		{"rocket",
+			func() error {
+				_, _, _, err := perf.SampleRocketOn(rc, k, p, sample.Options{})
+				return err
+			},
+			func(w int) error {
+				_, _, _, err := perf.SampleRocketParOn(rcs[:w], k, p, sample.Options{}, nil)
+				return err
+			},
+			func() (*sample.Exec, error) {
+				c := rcs[0]
+				c.Reset(prog)
+				return sample.NewExec(plan, sample.Target{Core: c, CPU: c.CPU, Hier: c.Hier, Pred: c.Pred, Mem: c.Memory()}, p.Window)
+			},
+			len(plan.Specs)},
+		{"LargeBOOM",
+			func() error {
+				_, _, _, err := perf.SampleBoomOn(bc, k, p, sample.Options{})
+				return err
+			},
+			func(w int) error {
+				_, _, _, err := perf.SampleBoomParOn(bcs[:w], k, p, sample.Options{}, nil)
+				return err
+			},
+			func() (*sample.Exec, error) {
+				c := bcs[0]
+				c.Reset(prog)
+				return sample.NewExec(plan, sample.Target{Core: c, CPU: c.CPU, Hier: c.Hier, Pred: c.Pred, Mem: c.Memory()}, p.Window)
+			},
+			len(plan.Specs)},
+	}
+
+	for _, tg := range targets {
+		tg := tg
+		serialWall := minWall(b, 3, tg.serial)
+
+		// Per-window consumer costs, measured on a dedicated core: the
+		// inputs to the makespan model.
+		ex, err := tg.mkExec()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var o sample.Options
+		costs := make([]time.Duration, tg.windows)
+		for i := 0; i < tg.windows; i++ {
+			start := time.Now()
+			if _, err := ex.Window(i, &o); err != nil {
+				b.Fatal(err)
+			}
+			costs[i] = time.Since(start)
+		}
+
+		modeled := float64(serialWall) / float64(listMakespan(costs, maxWorkers))
+		if modeled < 4 {
+			b.Fatalf("%s: modeled %d-worker speedup over the serial engine is %.2fx, claim needs >= 4x",
+				tg.name, maxWorkers, modeled)
+		}
+		for _, w := range counts {
+			w := w
+			b.Run(fmt.Sprintf("%s/w%d", tg.name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := tg.par(w); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(serialWall)/float64(listMakespan(costs, w)), "modeled-speedup-x")
+				if w == maxWorkers {
+					b.ReportMetric(modeled, "claimed-speedup-x")
+				}
+			})
+		}
 	}
 }
 

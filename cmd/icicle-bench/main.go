@@ -43,7 +43,7 @@ func main() {
 // run holds the whole program so the profiling and telemetry defers fire
 // on every exit path (os.Exit would skip them).
 func run() (err error) {
-	only := flag.String("only", "", "comma-separated artifact list (fig3,fig7a,fig7c,fig7d,fig7ef,fig7g,fig7k,fig7m,fig7n,table5,table6,fig8,fig9,undercount,archcmp,widthsweep,ras,sampled)")
+	only := flag.String("only", "", "comma-separated artifact list (fig3,fig7a,fig7c,fig7d,fig7ef,fig7g,fig7k,fig7m,fig7n,table5,table6,fig8,fig9,undercount,archcmp,widthsweep,ras,sampled,sampledpar)")
 	outDir := flag.String("out", "", "also write each artifact to <dir>/<name>.txt (the artifact's iiswc-2025-ae-out equivalent)")
 	jobs := flag.Int("j", 0, "simulation worker goroutines (0 = GOMAXPROCS); alias -parallel")
 	flag.IntVar(jobs, "parallel", 0, "alias for -j")
@@ -52,6 +52,7 @@ func run() (err error) {
 	sampleWindow := flag.Uint64("sample-window", sampleDef.Window, "sampled artifact: detailed window length in cycles")
 	samplePeriod := flag.Uint64("sample-period", sampleDef.Period, "sampled artifact: instructions fast-forwarded between windows")
 	sampleWarmup := flag.Int("sample-warmup", sampleDef.Warmup, "sampled artifact: trailing fast-forward instructions that warm caches and predictors")
+	samplePar := flag.Int("sample-par", 8, "sampledpar artifact: window workers for the two-phase engine's parallel leg")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	tracefile := flag.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
@@ -282,6 +283,17 @@ func run() (err error) {
 				return err
 			}
 			sc.Fprint(w)
+			return nil
+		}},
+		{"sampledpar", "two-phase sampled engine: parallel vs serial reports", func() error {
+			sc, err := experiments.SampledParVsSerial(samplePolicy, *samplePar)
+			if err != nil {
+				return err
+			}
+			sc.Fprint(w)
+			if !sc.AllIdentical() {
+				return fmt.Errorf("parallel sampled report differs from serial reference")
+			}
 			return nil
 		}},
 	}

@@ -44,6 +44,7 @@ func main() {
 		sampleWindow = flag.Uint64("sample-window", 0, "sampled simulation: detailed window length in cycles (0 = full detail)")
 		samplePeriod = flag.Uint64("sample-period", sampleDef.Period, "sampled simulation: instructions fast-forwarded between windows")
 		sampleWarmup = flag.Int("sample-warmup", sampleDef.Warmup, "sampled simulation: trailing fast-forward instructions that warm caches and predictors")
+		samplePar    = flag.Int("sample-par", 0, "sampled simulation: run the two-phase engine with this many window workers (0 = classic serial engine; report is identical for any worker count)")
 	)
 	tele.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -87,7 +88,17 @@ func main() {
 			b     core.Breakdown
 			rep   *sample.Report
 		)
-		if sp.Enabled() {
+		if sp.Enabled() && *samplePar > 0 {
+			cs := make([]*rocket.Core, *samplePar)
+			cs[0] = c
+			for i := 1; i < len(cs); i++ {
+				cs[i] = rocket.New(cfg, prog)
+				cs[i].SetTelemetry(obs.CoreTelemetryIn(obs.Default(), "rocket"))
+			}
+			var res rocket.Result
+			res, rep, b, err = perf.SampleRocketParOn(cs, k, sp, sampleOpts(), nil)
+			tally = res.Tally
+		} else if sp.Enabled() {
 			var res rocket.Result
 			res, rep, b, err = perf.SampleRocketOn(c, k, sp, sampleOpts())
 			tally = res.Tally
@@ -130,7 +141,19 @@ func main() {
 			b     core.Breakdown
 			rep   *sample.Report
 		)
-		if sp.Enabled() {
+		if sp.Enabled() && *samplePar > 0 {
+			cs := make([]*boom.Core, *samplePar)
+			cs[0] = c
+			for i := 1; i < len(cs); i++ {
+				if cs[i], err = boom.New(cfg, prog); err != nil {
+					fatal(err)
+				}
+				cs[i].SetTelemetry(obs.CoreTelemetryIn(obs.Default(), "boom"))
+			}
+			var res boom.Result
+			res, rep, b, err = perf.SampleBoomParOn(cs, k, sp, sampleOpts(), nil)
+			tally = res.Tally
+		} else if sp.Enabled() {
 			var res boom.Result
 			res, rep, b, err = perf.SampleBoomOn(c, k, sp, sampleOpts())
 			tally = res.Tally

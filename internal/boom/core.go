@@ -110,7 +110,10 @@ type Core struct {
 	longBusy   uint64 // unpipelined divider busy until
 
 	retiredTotal uint64
-	done         bool
+	// retireLimit, when nonzero, caps retiredTotal exactly: commit stops
+	// mid-cycle at the limit (set by RunWindowBounded, cleared after).
+	retireLimit uint64
+	done        bool
 
 	// Host-side throughput telemetry (nil = disabled). Survives Reset so
 	// a pooled core keeps publishing; baselines re-zero with the cycle
@@ -619,6 +622,12 @@ func (c *Core) flushAfter(bound uint64) {
 func (c *Core) commitStage() int {
 	retired := 0
 	for retired < c.Cfg.DecodeWidth && c.robCount > 0 {
+		if c.retireLimit != 0 && c.retiredTotal >= c.retireLimit {
+			// Bounded window: stop commit exactly at the limit even
+			// mid-cycle, so a window never retires (and never stores)
+			// past its memory-delta boundary.
+			break
+		}
 		ui := c.rob[c.robHead]
 		u := c.uops.at(ui)
 		if u.poison || !u.done || u.doneAt > c.cycle {

@@ -3,7 +3,9 @@ package boom
 import (
 	"fmt"
 
+	"icicle/internal/branch"
 	"icicle/internal/isa"
+	"icicle/internal/mem"
 )
 
 // Sampled-simulation support: the state-handoff contract internal/sample
@@ -83,6 +85,62 @@ func (c *Core) RunWindow(maxCycles uint64) error {
 	c.flushTelemetry()
 	return nil
 }
+
+// RunWindowBounded is RunWindow with an additional exact instruction
+// bound: the window stops once maxInsts instructions have retired, even
+// mid-commit-group, so it can never store past the memory-delta boundary
+// the two-phase sampling plan assigned it. A zero maxInsts means
+// unbounded (plain RunWindow).
+func (c *Core) RunWindowBounded(maxCycles, maxInsts uint64) error {
+	if maxInsts == 0 {
+		return c.RunWindow(maxCycles)
+	}
+	budget := c.Cfg.MaxCycles
+	if budget == 0 {
+		budget = 2_000_000_000
+	}
+	end := c.cycle + maxCycles
+	c.retireLimit = c.retiredTotal + maxInsts
+	defer func() { c.retireLimit = 0 }()
+	for !c.done && c.cycle < end && c.retiredTotal < c.retireLimit {
+		if c.cycle >= budget {
+			c.flushTelemetry()
+			return fmt.Errorf("boom: cycle budget %d exhausted in sampled window (pc 0x%x)", budget, c.CPU.PC)
+		}
+		if err := c.step(); err != nil {
+			c.flushTelemetry()
+			return err
+		}
+	}
+	c.flushTelemetry()
+	return nil
+}
+
+// BeginWindow rebases the core for a schedule-independent detailed
+// window: the cycle clock, PMU, uop sequence numbers, cache hierarchy,
+// and predictors (including the RAS) all return to their power-on state
+// while the architectural state — CPU registers, memory, cumulative
+// event tallies, and the retired-instruction total — is untouched. After
+// BeginWindow the core's timing state is a pure function of what runs
+// next, which is what lets the two-phase sampled engine execute windows
+// on any worker in any order and still merge bit-identical results.
+func (c *Core) BeginWindow() {
+	c.flushTelemetry()
+	c.cycle = 0
+	c.telCycles = 0
+	c.seq = 0
+	c.PMU.Reset()
+	c.Hier.Reset()
+	branch.Reset(c.Pred)
+	if c.RAS != nil {
+		c.RAS.Reset()
+	}
+}
+
+// Memory returns the core's backing sparse memory (the image its CPU and
+// caches address). The two-phase sampled engine applies producer frame
+// deltas to it between windows.
+func (c *Core) Memory() *mem.Sparse { return c.memory }
 
 // Done reports whether the workload has halted and the pipeline drained.
 func (c *Core) Done() bool { return c.done }

@@ -166,3 +166,55 @@ func TestCheckpointRoundTripBitExact(t *testing.T) {
 		c.Restore(after) // resume
 	}
 }
+
+// TestCheckpointInto pins the in-place capture against the value form at
+// every step of a small program, including the halted final state.
+func TestCheckpointInto(t *testing.T) {
+	c, m := loadProgram(t, []Inst{
+		{Op: ADDI, Rd: T0, Imm: 9},
+		{Op: ADDI, Rd: T1, Imm: 0x100},
+		{Op: LRD, Rd: A0, Rs1: T1},
+		{Op: SCD, Rd: A1, Rs1: T1, Rs2: T0},
+		{Op: ECALL},
+	})
+	m.Store(0x100, 8, 2)
+	var into Checkpoint
+	for {
+		c.CheckpointInto(&into)
+		if got := c.Checkpoint(); got != into {
+			t.Fatalf("CheckpointInto %+v != Checkpoint %+v", into, got)
+		}
+		if c.Halted {
+			break
+		}
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpoint compares the two capture forms: the producer pass
+// of the two-phase sampled engine captures one checkpoint per window
+// boundary, so the copy cost is on its hot path.
+func BenchmarkCheckpoint(b *testing.B) {
+	c := NewCPU(sparseStub{}, 0)
+	b.Run("value", func(b *testing.B) {
+		var ck Checkpoint
+		for i := 0; i < b.N; i++ {
+			ck = c.Checkpoint()
+		}
+		_ = ck
+	})
+	b.Run("into", func(b *testing.B) {
+		var ck Checkpoint
+		for i := 0; i < b.N; i++ {
+			c.CheckpointInto(&ck)
+		}
+	})
+}
+
+// sparseStub is an empty memory for benchmarks that never load.
+type sparseStub struct{}
+
+func (sparseStub) Load(uint64, int) uint64   { return 0 }
+func (sparseStub) Store(uint64, int, uint64) {}

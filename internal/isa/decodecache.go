@@ -27,6 +27,12 @@ func (c *CPU) flushDecode() {
 	}
 }
 
+// FlushDecode invalidates the decode cache. Callers that mutate memory
+// behind the CPU's back (e.g. applying externally produced frame deltas,
+// which bypass storeMem's per-word invalidation) must flush before the
+// next Step so cached decodes cannot go stale.
+func (c *CPU) FlushDecode() { c.flushDecode() }
+
 // storeMem performs a data store and invalidates any cached decode of the
 // overwritten words.
 func (c *CPU) storeMem(addr uint64, size int, val uint64) {

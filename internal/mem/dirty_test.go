@@ -1,0 +1,79 @@
+package mem
+
+import "testing"
+
+// TestDirtyTracking covers the producer-side contract of the two-phase
+// sampled engine: only frames written while tracking is on are drained,
+// drains are sorted and clear the set, and ApplyFrames reproduces the
+// drained contents on another memory.
+func TestDirtyTracking(t *testing.T) {
+	m := NewSparse()
+	m.Store(0x1800, 8, 0x1111) // before tracking: must not appear
+	m.SetTracking(true)
+
+	if d := m.DrainDirty(); d != nil {
+		t.Fatalf("clean memory drained %d frames", len(d))
+	}
+
+	m.Store(0x3008, 4, 0xdeadbeef)
+	m.Store(0x3010, 8, 42)     // same frame, dedup
+	m.Store(0x0ffe, 4, 0xabcd) // straddles frames 0 and 1
+	m.WriteBytes(0x9000, []byte{1, 2, 3})
+
+	d := m.DrainDirty()
+	want := []uint64{0x0, 0x1, 0x3, 0x9}
+	if len(d) != len(want) {
+		t.Fatalf("drained %d frames, want %d", len(d), len(want))
+	}
+	for i, fc := range d {
+		if fc.Key != want[i] {
+			t.Fatalf("frame %d key = %#x, want %#x (sorted)", i, fc.Key, want[i])
+		}
+	}
+
+	// Drain clears: the same frames don't come back.
+	if d2 := m.DrainDirty(); d2 != nil {
+		t.Fatalf("second drain returned %d frames", len(d2))
+	}
+	// New writes after a drain are tracked again.
+	m.Store(0x3000, 1, 7)
+	if d3 := m.DrainDirty(); len(d3) != 1 || d3[0].Key != 3 {
+		t.Fatalf("post-drain store not tracked: %v", d3)
+	}
+
+	// ApplyFrames reproduces the drained bytes on a fresh memory.
+	other := NewSparse()
+	other.ApplyFrames(d)
+	if got := other.Load(0x3008, 4); got != 0xdeadbeef {
+		t.Fatalf("applied frame load = %#x, want 0xdeadbeef", got)
+	}
+	if got := other.Load(0x0ffe, 4); got != 0xabcd {
+		t.Fatalf("applied straddle load = %#x, want 0xabcd", got)
+	}
+	if got := other.ReadBytes(0x9000, 3); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("applied WriteBytes frame = %v", got)
+	}
+	// Frame 1 was dirtied by the straddle, so it drained as a FULL copy:
+	// the pre-tracking store at 0x1800 rides along in the frame contents.
+	if got := other.Load(0x1800, 8); got != 0x1111 {
+		t.Fatalf("full-frame copy lost pre-tracking bytes: %#x", got)
+	}
+
+	// Full-frame re-application wipes a consumer's stray writes.
+	other.Store(0x3020, 8, 0xffff)
+	other.ApplyFrames(d)
+	if got := other.Load(0x3020, 8); got != 0 {
+		t.Fatalf("re-apply did not clean stray write: %#x", got)
+	}
+
+	// Reset disables tracking and clears the set.
+	m.Store(0x5000, 8, 1)
+	m.Reset()
+	if d := m.DrainDirty(); d != nil {
+		t.Fatalf("drain after Reset returned %d frames", len(d))
+	}
+	m.Store(0x5000, 8, 1)
+	if d := m.DrainDirty(); d != nil {
+		t.Fatalf("tracking survived Reset: %d frames", len(d))
+	}
+}

@@ -5,6 +5,8 @@
 // L2, no LLC — Table III/IV of the paper).
 package mem
 
+import "sort"
+
 const frameBits = 12 // 4 KiB frames
 const frameSize = 1 << frameBits
 
@@ -21,6 +23,16 @@ type Sparse struct {
 	frames  map[uint64]*[frameSize]byte
 	lastKey uint64
 	last    *[frameSize]byte
+
+	// Dirty-frame tracking for the two-phase sampled engine: when
+	// enabled, every frame written since the last DrainDirty is recorded
+	// so the producer pass can emit per-span memory deltas. The one-entry
+	// dirtyLast cache keeps the common sequential-store case to a single
+	// compare instead of a map insert.
+	track      bool
+	dirty      map[uint64]struct{}
+	dirtyLast  uint64
+	dirtyValid bool
 }
 
 // NewSparse returns an empty memory.
@@ -72,6 +84,9 @@ func (m *Sparse) Load(addr uint64, size int) uint64 {
 func (m *Sparse) Store(addr uint64, size int, val uint64) {
 	if off := addr & (frameSize - 1); off+uint64(size) <= frameSize {
 		f := m.frame(addr, true)
+		if m.track {
+			m.markDirty(addr >> frameBits)
+		}
 		for i := 0; i < size; i++ {
 			f[off+uint64(i)] = byte(val >> (8 * i))
 		}
@@ -79,6 +94,9 @@ func (m *Sparse) Store(addr uint64, size int, val uint64) {
 	}
 	for i := 0; i < size; i++ {
 		f := m.frame(addr+uint64(i), true)
+		if m.track {
+			m.markDirty((addr + uint64(i)) >> frameBits)
+		}
 		f[(addr+uint64(i))&(frameSize-1)] = byte(val >> (8 * i))
 	}
 }
@@ -87,6 +105,9 @@ func (m *Sparse) Store(addr uint64, size int, val uint64) {
 func (m *Sparse) WriteBytes(addr uint64, b []byte) {
 	for i, c := range b {
 		f := m.frame(addr+uint64(i), true)
+		if m.track {
+			m.markDirty((addr + uint64(i)) >> frameBits)
+		}
 		f[(addr+uint64(i))&(frameSize-1)] = c
 	}
 }
@@ -110,9 +131,91 @@ func (m *Sparse) Footprint() int { return len(m.frames) * frameSize }
 // Reset zeroes every allocated frame in place, keeping the frames
 // themselves: a reloaded program with the same (or smaller) footprint
 // reuses them without allocating. Reads behave exactly as on a fresh
-// memory — unwritten bytes are zero either way.
+// memory — unwritten bytes are zero either way. Dirty tracking is
+// disabled and its pending set cleared.
 func (m *Sparse) Reset() {
 	for _, f := range m.frames {
 		*f = [frameSize]byte{}
+	}
+	m.track = false
+	m.dirtyValid = false
+	for k := range m.dirty {
+		delete(m.dirty, k)
+	}
+}
+
+// FrameCopy is a verbatim snapshot of one 4 KiB frame, keyed by frame
+// number (address >> 12).
+type FrameCopy struct {
+	Key  uint64
+	Data *[frameSize]byte
+}
+
+// Addr returns the base byte address of the copied frame.
+func (fc FrameCopy) Addr() uint64 { return fc.Key << frameBits }
+
+// FrameBytes is the size in bytes of one frame (and one FrameCopy).
+const FrameBytes = frameSize
+
+// SetTracking enables or disables dirty-frame tracking. Enabling starts
+// from an empty dirty set; the program image loaded beforehand is not
+// considered dirty.
+func (m *Sparse) SetTracking(on bool) {
+	m.track = on
+	m.dirtyValid = false
+	for k := range m.dirty {
+		delete(m.dirty, k)
+	}
+}
+
+func (m *Sparse) markDirty(key uint64) {
+	if m.dirtyValid && key == m.dirtyLast {
+		return
+	}
+	if m.dirty == nil {
+		m.dirty = make(map[uint64]struct{})
+	}
+	m.dirty[key] = struct{}{}
+	m.dirtyLast, m.dirtyValid = key, true
+}
+
+// DrainDirty returns full copies of every frame written since tracking
+// was enabled or last drained, sorted by frame key, and clears the dirty
+// set. Full-frame copies (rather than byte diffs) make re-application
+// idempotent: applying a span's delta restores every byte the span could
+// have touched, wiping any stray writes a consumer made on its own.
+func (m *Sparse) DrainDirty() []FrameCopy {
+	if len(m.dirty) == 0 {
+		m.dirtyValid = false
+		return nil
+	}
+	out := make([]FrameCopy, 0, len(m.dirty))
+	for k := range m.dirty {
+		src := m.frames[k]
+		cp := new([frameSize]byte)
+		if src != nil {
+			*cp = *src
+		}
+		out = append(out, FrameCopy{Key: k, Data: cp})
+		delete(m.dirty, k)
+	}
+	m.dirtyValid = false
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// ApplyFrames copies the given frame snapshots into memory, replacing
+// the frames' entire contents.
+func (m *Sparse) ApplyFrames(fs []FrameCopy) {
+	for _, fc := range fs {
+		dst := m.frames[fc.Key]
+		if dst == nil {
+			dst = new([frameSize]byte)
+			m.frames[fc.Key] = dst
+		}
+		*dst = *fc.Data
+		if m.track {
+			m.markDirty(fc.Key)
+		}
 	}
 }

@@ -19,6 +19,15 @@ type Core interface {
 	Attach(ck isa.Checkpoint)
 	// RunWindow runs the detailed loop for up to maxCycles more cycles.
 	RunWindow(maxCycles uint64) error
+	// RunWindowBounded additionally stops the window exactly at maxInsts
+	// retired instructions (0 = unbounded), so a plan-scheduled window
+	// never stores past its memory-delta boundary.
+	RunWindowBounded(maxCycles, maxInsts uint64) error
+	// BeginWindow rebases the core's timing state — cycle clock, PMU,
+	// caches, predictors — to power-on while leaving architectural state,
+	// memory, and cumulative tallies untouched. The plan engine calls it
+	// before each window so the result is schedule-independent.
+	BeginWindow()
 	// Done reports the workload halted and the pipeline drained.
 	Done() bool
 	Cycles() uint64
@@ -31,12 +40,15 @@ type Core interface {
 // surfaces the controller needs. CPU must be the core's own embedded CPU
 // (so fast-forward mutates the memory image the detailed windows read),
 // and Hier/Pred the core's own hierarchy and predictor (so warm-up
-// accesses train the same state the windows consult).
+// accesses train the same state the windows consult). Mem is the core's
+// backing sparse memory; the serial engine ignores it, but the plan
+// engine (Exec/RunPlan) requires it to apply frame deltas.
 type Target struct {
 	Core Core
 	CPU  *isa.CPU
 	Hier *mem.Hierarchy
 	Pred branch.Predictor
+	Mem  *mem.Sparse
 }
 
 // CountsFn maps a (cycles, insts, dense tally) triple onto the TMA
@@ -79,10 +91,17 @@ func Run(t Target, p Policy, o Options) (*Report, error) {
 		return nil, fmt.Errorf("sample: Options.Counts is required")
 	}
 
-	rep := &Report{Policy: p, EventNames: o.EventNames}
-	var before, after, windowDelta []uint64
-	var cpis []float64
-	var shares [4][]float64 // Retiring, BadSpec, Frontend, Backend
+	b := newReportBuilder(p, &o)
+	// Scratch tally buffers: one backing array pre-sized from the event
+	// space, split into three views, so the per-window snapshot and diff
+	// never reallocate. (CopyTally/diffInto still grow them if the
+	// core's tally is wider than EventNames.)
+	ew := len(o.EventNames)
+	scratch := make([]uint64, 3*ew)
+	before := scratch[0:0:ew]
+	after := scratch[ew : ew : 2*ew]
+	windowDelta := scratch[2*ew : 2*ew : 3*ew]
+	var ffInsts, warmReplays uint64
 
 	// The fast-forward span splits into a plain stretch and a warmed
 	// tail: the last `warm` instructions before each window also train
@@ -111,30 +130,11 @@ func Run(t Target, p Policy, o Options) (*Report, error) {
 		}
 		after = t.Core.CopyTally(after)
 		windowDelta = diffInto(windowDelta, after, before)
-		rep.Tally = addInto(rep.Tally, windowDelta)
-		rep.Windows = append(rep.Windows, WindowStat{
-			StartInst:  startRet,
-			StartCycle: startCycle,
-			Cycles:     wCycles,
-			Insts:      wInsts,
-		})
-		rep.DetailedCycles += wCycles
-		rep.DetailedInsts += wInsts
+		b.addWindow(startRet, startCycle, wCycles, wInsts, windowDelta)
 		if o.Telemetry != nil {
 			o.Telemetry.Windows.Inc()
 			o.Telemetry.DetailedCycles.Add(wCycles)
 			o.Telemetry.DetailedInsts.Add(wInsts)
-		}
-		if wInsts > 0 {
-			cpis = append(cpis, float64(wCycles)/float64(wInsts))
-		}
-		if wCycles > 0 {
-			if bd, err := core.Evaluate(o.TMA, o.Counts(wCycles, wInsts, windowDelta)); err == nil {
-				shares[0] = append(shares[0], bd.Retiring)
-				shares[1] = append(shares[1], bd.BadSpec)
-				shares[2] = append(shares[2], bd.Frontend)
-				shares[3] = append(shares[3], bd.Backend)
-			}
 		}
 
 		if t.CPU.Halted || t.Core.Done() {
@@ -151,7 +151,7 @@ func Run(t Target, p Policy, o Options) (*Report, error) {
 			warmed, err = fastForwardWarming(t, warmTail)
 			sw.End(obs.Arg{Key: "warmed", Val: warmed})
 			ffed += warmed
-			rep.WarmupReplays += warmed
+			warmReplays += warmed
 			if o.Telemetry != nil {
 				o.Telemetry.WarmupReplays.Add(warmed)
 			}
@@ -161,7 +161,7 @@ func Run(t Target, p Policy, o Options) (*Report, error) {
 			t.Hier.MSHRs.Reset()
 		}
 		span.End(obs.Arg{Key: "insts", Val: ffed})
-		rep.FFInsts += ffed
+		ffInsts += ffed
 		if o.Telemetry != nil {
 			o.Telemetry.FFInsts.Add(ffed)
 		}
@@ -173,9 +173,58 @@ func Run(t Target, p Policy, o Options) (*Report, error) {
 		}
 	}
 
-	rep.TotalInsts = t.CPU.InstRet
-	rep.Exit = t.CPU.ExitCode
-	rep.Halted = t.CPU.Halted
+	return b.finalize(t.CPU.InstRet, ffInsts, warmReplays, t.CPU.ExitCode, t.CPU.Halted)
+}
+
+// reportBuilder accumulates per-window results into a Report. Both
+// engines feed it in schedule order — the serial controller as windows
+// complete, RunPlan's reduce step after the join — so every float
+// operation happens in the same order regardless of worker count, which
+// is what makes serial and parallel reports bit-identical.
+type reportBuilder struct {
+	rep    *Report
+	o      *Options
+	cpis   []float64
+	shares [4][]float64 // Retiring, BadSpec, Frontend, Backend
+}
+
+func newReportBuilder(p Policy, o *Options) *reportBuilder {
+	return &reportBuilder{rep: &Report{Policy: p, EventNames: o.EventNames}, o: o}
+}
+
+// addWindow folds in one window's stats and dense tally delta.
+func (b *reportBuilder) addWindow(startInst, startCycle, wCycles, wInsts uint64, delta []uint64) {
+	rep := b.rep
+	rep.Tally = addInto(rep.Tally, delta)
+	rep.Windows = append(rep.Windows, WindowStat{
+		StartInst:  startInst,
+		StartCycle: startCycle,
+		Cycles:     wCycles,
+		Insts:      wInsts,
+	})
+	rep.DetailedCycles += wCycles
+	rep.DetailedInsts += wInsts
+	if wInsts > 0 {
+		b.cpis = append(b.cpis, float64(wCycles)/float64(wInsts))
+	}
+	if wCycles > 0 {
+		if bd, err := core.Evaluate(b.o.TMA, b.o.Counts(wCycles, wInsts, delta)); err == nil {
+			b.shares[0] = append(b.shares[0], bd.Retiring)
+			b.shares[1] = append(b.shares[1], bd.BadSpec)
+			b.shares[2] = append(b.shares[2], bd.Frontend)
+			b.shares[3] = append(b.shares[3], bd.Backend)
+		}
+	}
+}
+
+// finalize runs the extrapolation and returns the completed report.
+func (b *reportBuilder) finalize(totalInsts, ffInsts, warmReplays, exit uint64, halted bool) (*Report, error) {
+	rep, o := b.rep, b.o
+	rep.TotalInsts = totalInsts
+	rep.FFInsts = ffInsts
+	rep.WarmupReplays = warmReplays
+	rep.Exit = exit
+	rep.Halted = halted
 	rep.Exact = rep.FFInsts == 0
 	if rep.TotalInsts > 0 {
 		rep.Coverage = float64(rep.DetailedInsts) / float64(rep.TotalInsts)
@@ -192,7 +241,7 @@ func Run(t Target, p Policy, o Options) (*Report, error) {
 		rep.CPICI = Interval{Lo: rep.CPI, Hi: rep.CPI}
 	} else {
 		rep.EstCycles = uint64(rep.CPI*float64(rep.TotalInsts) + 0.5)
-		_, half := meanCI(cpis)
+		_, half := meanCI(b.cpis)
 		rep.CPICI = Interval{Lo: rep.CPI - half, Hi: rep.CPI + half}
 	}
 
@@ -208,7 +257,7 @@ func Run(t Target, p Policy, o Options) (*Report, error) {
 		names := [4]string{"Retiring", "BadSpec", "Frontend", "Backend"}
 		rep.CategoryCI = make(map[string]Interval, 4)
 		for i, name := range names {
-			_, half := meanCI(shares[i])
+			_, half := meanCI(b.shares[i])
 			rep.CategoryCI[name] = Interval{
 				Lo: clamp01(pooled[i] - half),
 				Hi: clamp01(pooled[i] + half),

@@ -1,0 +1,112 @@
+package sample
+
+import (
+	"fmt"
+
+	"icicle/internal/isa"
+	"icicle/internal/mem"
+)
+
+// Two-phase sampled simulation (see DESIGN.md "Two-phase sampled
+// simulation"): a single functional producer pass over the program emits
+// a Plan — one WindowSpec per detailed window plus the memory deltas
+// needed to materialize each window's image — and any number of
+// consumers then execute the windows independently, in any order, on any
+// core. The serial engine in controller.go threads one warm
+// microarchitectural state through the whole run, which chains every
+// window on all previous windows' timing; the plan engine instead
+// anchors windows to the instruction stream (window k starts at
+// instruction k·Period) and gives every window a self-contained recipe:
+//
+//	memory  = program image + Deltas[0 .. MemVersion-1]
+//	CPU     = Warm checkpoint (captured WarmInsts before the window)
+//	caches/predictors = power-on state + functional replay of the
+//	                    WarmInsts-instruction warm span
+//
+// Window results therefore depend only on the spec, never on which
+// worker ran them or what it ran before — that is the whole bit-identical
+// serial-vs-parallel argument, and the golden equivalence tests pin it.
+type WindowSpec struct {
+	// Index is the window's position in the schedule.
+	Index int
+	// StartInst is the architectural instruction count at window start
+	// (Index · Period).
+	StartInst uint64
+	// Warm is the CPU state WarmInsts instructions before StartInst; the
+	// consumer replays those instructions functionally to train caches,
+	// TLBs, and predictors before attaching the detailed core.
+	Warm isa.Checkpoint
+	// WarmInsts is the warm-span length (0 for window 0).
+	WarmInsts uint64
+	// MaxInsts bounds the window's retired instructions so it can never
+	// store past the next window's memory boundary (Period - WarmTail).
+	MaxInsts uint64
+	// MemVersion is how many of the plan's deltas must be applied to the
+	// program image before replaying this spec.
+	MemVersion int
+}
+
+// Plan is the producer pass's output: the full window schedule for one
+// (program, Period, WarmTail) pair. It is independent of both the core
+// configuration and the policy's Window length, so one plan serves every
+// detailed-core config and every window-length sweep over the same
+// program and sampling cadence.
+type Plan struct {
+	// Period and WarmTail fix the schedule the plan was built for;
+	// RunPlan rejects policies that disagree.
+	Period   uint64
+	WarmTail uint64
+
+	Specs []WindowSpec
+	// Deltas[j] holds full copies of the frames dirtied between boundary
+	// j and boundary j+1 (boundary k = k·Period - WarmTail, boundary 0 =
+	// program entry). Applying Deltas[0..k-1] to a fresh program image
+	// reproduces the memory at boundary k exactly; full-frame copies make
+	// re-application also erase any stray bytes a consumer's own bounded
+	// window wrote into a frame.
+	Deltas [][]mem.FrameCopy
+
+	// TotalInsts, Exit, and Halted describe the complete functional run.
+	TotalInsts uint64
+	Exit       uint64
+	Halted     bool
+}
+
+// planWarmTail is the warm-span length for a policy in the plan engine:
+// Warmup clamped to Period-1, so every window keeps at least one
+// instruction of headroom before the next memory boundary. (The serial
+// engine clamps to Period — full-gap warming — which the plan engine
+// cannot represent: a window bounded to zero instructions would be
+// degenerate.)
+func planWarmTail(p Policy) uint64 {
+	w := uint64(p.Warmup)
+	if p.Period > 0 && w > p.Period-1 {
+		w = p.Period - 1
+	}
+	return w
+}
+
+// ScheduleKey fingerprints the part of a policy a plan depends on — the
+// sampling cadence, not the window length or the core config. Policies
+// with equal ScheduleKeys share plans (perf's plan cache keys on it).
+func (p Policy) ScheduleKey() string {
+	return fmt.Sprintf("p%d/k%d", p.Period, planWarmTail(p))
+}
+
+// Compatible reports whether the plan's schedule matches the policy's.
+func (pl *Plan) Compatible(p Policy) error {
+	if pl.Period != p.Period || pl.WarmTail != planWarmTail(p) {
+		return fmt.Errorf("sample: plan built for period %d / warm tail %d, policy wants %d / %d",
+			pl.Period, pl.WarmTail, p.Period, planWarmTail(p))
+	}
+	return nil
+}
+
+// DeltaBytes is the total size of the plan's frame copies.
+func (pl *Plan) DeltaBytes() int {
+	n := 0
+	for _, d := range pl.Deltas {
+		n += len(d) * mem.FrameBytes
+	}
+	return n
+}

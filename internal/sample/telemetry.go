@@ -11,6 +11,9 @@ type Telemetry struct {
 	DetailedCycles *obs.Counter
 	DetailedInsts  *obs.Counter
 	Windows        *obs.Counter
+	// QueueDepth is the number of plan windows still waiting for a
+	// worker (two-phase engine only; always 0 between runs).
+	QueueDepth *obs.Gauge
 }
 
 // NewTelemetry builds an unregistered handle (counters still count; they
@@ -22,6 +25,7 @@ func NewTelemetry() *Telemetry {
 		DetailedCycles: obs.NewCounter(),
 		DetailedInsts:  obs.NewCounter(),
 		Windows:        obs.NewCounter(),
+		QueueDepth:     obs.NewGauge(),
 	}
 }
 
@@ -39,5 +43,7 @@ func TelemetryIn(reg *obs.Registry) *Telemetry {
 			"Instructions committed inside detailed windows."),
 		Windows: reg.Counter("icicle_sample_windows_total",
 			"Detailed windows executed by sampled runs."),
+		QueueDepth: reg.Gauge("icicle_sample_queue_depth",
+			"Detailed windows awaiting a worker in the two-phase engine."),
 	}
 }

@@ -89,7 +89,40 @@ func (r *Runner) executeJob(j Job, tid int) Result {
 			acq.End(obs.Arg{Key: "fresh", Val: fresh})
 		}
 		c.SetTelemetry(r.m.boom)
-		if j.Sample.Enabled() {
+		if j.Sample.Enabled() && j.SamplePar > 0 {
+			// Two-phase engine: the window workers each need their own
+			// core, so pull SamplePar-1 more from the same pool.
+			cs := []*boom.Core{c}
+			for len(cs) < j.SamplePar {
+				w, _ := pool.Get().(*boom.Core)
+				if w == nil {
+					prog, err := j.Kernel.Program()
+					if err == nil {
+						w, err = boom.New(j.Boom, prog)
+					}
+					if err != nil {
+						res.Err = err
+						break
+					}
+					r.m.coreBuilds.Inc()
+				} else {
+					r.m.coreReuses.Inc()
+				}
+				w.SetTelemetry(r.m.boom)
+				cs = append(cs, w)
+			}
+			if res.Err == nil {
+				sp := tr.Begin("simulate-sampled-par", "sim", tid)
+				res.Boom, res.Sampled, res.Breakdown, res.Err = perf.SampleBoomParOn(
+					cs, j.Kernel, j.Sample,
+					sample.Options{Telemetry: r.m.sample, Tracer: tr, Tid: tid},
+					r.windowMemo())
+				sp.End()
+			}
+			for _, w := range cs[1:] {
+				pool.Put(w)
+			}
+		} else if j.Sample.Enabled() {
 			sp := tr.Begin("simulate-sampled", "sim", tid)
 			res.Boom, res.Sampled, res.Breakdown, res.Err = perf.SampleBoomOn(
 				c, j.Kernel, j.Sample,
@@ -128,7 +161,36 @@ func (r *Runner) executeJob(j Job, tid int) Result {
 			acq.End(obs.Arg{Key: "fresh", Val: fresh})
 		}
 		c.SetTelemetry(r.m.rocket)
-		if j.Sample.Enabled() {
+		if j.Sample.Enabled() && j.SamplePar > 0 {
+			cs := []*rocket.Core{c}
+			for len(cs) < j.SamplePar {
+				w, _ := pool.Get().(*rocket.Core)
+				if w == nil {
+					prog, err := j.Kernel.Program()
+					if err != nil {
+						res.Err = err
+						break
+					}
+					w = rocket.New(j.Rocket, prog)
+					r.m.coreBuilds.Inc()
+				} else {
+					r.m.coreReuses.Inc()
+				}
+				w.SetTelemetry(r.m.rocket)
+				cs = append(cs, w)
+			}
+			if res.Err == nil {
+				sp := tr.Begin("simulate-sampled-par", "sim", tid)
+				res.Rocket, res.Sampled, res.Breakdown, res.Err = perf.SampleRocketParOn(
+					cs, j.Kernel, j.Sample,
+					sample.Options{Telemetry: r.m.sample, Tracer: tr, Tid: tid},
+					r.windowMemo())
+				sp.End()
+			}
+			for _, w := range cs[1:] {
+				pool.Put(w)
+			}
+		} else if j.Sample.Enabled() {
 			sp := tr.Begin("simulate-sampled", "sim", tid)
 			res.Rocket, res.Sampled, res.Breakdown, res.Err = perf.SampleRocketOn(
 				c, j.Kernel, j.Sample,

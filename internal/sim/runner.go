@@ -62,6 +62,9 @@ type runnerMetrics struct {
 	coreBuilds *obs.Counter   // cores constructed (pool misses)
 	coreReuses *obs.Counter   // jobs served by a recycled core
 
+	windowHits   *obs.Counter // sampled windows served from the window memo
+	windowMisses *obs.Counter // sampled windows actually executed
+
 	rocket *obs.CoreTelemetry
 	boom   *obs.CoreTelemetry
 
@@ -72,15 +75,17 @@ type runnerMetrics struct {
 
 func standaloneMetrics() *runnerMetrics {
 	return &runnerMetrics{
-		jobs:       obs.NewCounter(),
-		hits:       obs.NewCounter(),
-		misses:     obs.NewCounter(),
-		latency:    obs.NewHistogram(1e-9),
-		coreBuilds: obs.NewCounter(),
-		coreReuses: obs.NewCounter(),
-		rocket:     obs.NewCoreTelemetry(),
-		boom:       obs.NewCoreTelemetry(),
-		sample:     sample.NewTelemetry(),
+		jobs:         obs.NewCounter(),
+		hits:         obs.NewCounter(),
+		misses:       obs.NewCounter(),
+		latency:      obs.NewHistogram(1e-9),
+		coreBuilds:   obs.NewCounter(),
+		coreReuses:   obs.NewCounter(),
+		windowHits:   obs.NewCounter(),
+		windowMisses: obs.NewCounter(),
+		rocket:       obs.NewCoreTelemetry(),
+		boom:         obs.NewCoreTelemetry(),
+		sample:       sample.NewTelemetry(),
 	}
 }
 
@@ -98,6 +103,10 @@ func registryMetrics(reg *obs.Registry) *runnerMetrics {
 			"cores constructed for the pool"),
 		coreReuses: reg.Counter("icicle_sim_core_reuses_total",
 			"jobs served by a recycled core"),
+		windowHits: reg.Counter("icicle_sim_window_hits_total",
+			"sampled windows served from the window memo"),
+		windowMisses: reg.Counter("icicle_sim_window_misses_total",
+			"sampled windows actually executed"),
 		rocket: obs.CoreTelemetryIn(reg, "rocket"),
 		boom:   obs.CoreTelemetryIn(reg, "boom"),
 		sample: sample.TelemetryIn(reg),
@@ -400,6 +409,9 @@ type Stats struct {
 	CoreBuilds uint64 // cores constructed (pool misses)
 	CoreReuses uint64 // jobs served by a recycled core
 
+	WindowHits   uint64 // sampled windows served from the window memo
+	WindowMisses uint64 // sampled windows actually executed
+
 	// MemStats deltas summed over Run batches (process-wide, approximate).
 	AllocBytes uint64 // heap bytes allocated
 	Mallocs    uint64 // heap objects allocated
@@ -419,16 +431,18 @@ func (r *Runner) Stats() Stats { return r.Snapshot().Stats }
 func (r *Runner) Snapshot() Snapshot {
 	top := r.slow.top()
 	st := Stats{
-		Workers:    r.workers,
-		Jobs:       r.m.jobs.Value(),
-		Hits:       r.m.hits.Value(),
-		Misses:     r.m.misses.Value(),
-		SimWall:    time.Duration(r.m.latency.Sum()),
-		CoreBuilds: r.m.coreBuilds.Value(),
-		CoreReuses: r.m.coreReuses.Value(),
-		AllocBytes: r.allocBytes.Load(),
-		Mallocs:    r.mallocs.Load(),
-		NumGC:      r.numGC.Load(),
+		Workers:      r.workers,
+		Jobs:         r.m.jobs.Value(),
+		Hits:         r.m.hits.Value(),
+		Misses:       r.m.misses.Value(),
+		SimWall:      time.Duration(r.m.latency.Sum()),
+		CoreBuilds:   r.m.coreBuilds.Value(),
+		CoreReuses:   r.m.coreReuses.Value(),
+		WindowHits:   r.m.windowHits.Value(),
+		WindowMisses: r.m.windowMisses.Value(),
+		AllocBytes:   r.allocBytes.Load(),
+		Mallocs:      r.mallocs.Load(),
+		NumGC:        r.numGC.Load(),
 	}
 	if len(top) > 0 {
 		st.Slowest = top[0].Wall
@@ -442,6 +456,9 @@ func (s Stats) String() string {
 		s.Workers, s.Jobs, s.Misses, s.Hits, s.SimWall.Round(time.Millisecond))
 	if s.CoreBuilds > 0 || s.CoreReuses > 0 {
 		out += fmt.Sprintf("; %d cores built, %d reused", s.CoreBuilds, s.CoreReuses)
+	}
+	if s.WindowHits > 0 || s.WindowMisses > 0 {
+		out += fmt.Sprintf("; %d windows run, %d memo hits", s.WindowMisses, s.WindowHits)
 	}
 	if s.Misses > 0 && (s.AllocBytes > 0 || s.Mallocs > 0) {
 		out += fmt.Sprintf("; %s allocated (%s/job, %d objects/job), %d GC cycles",

@@ -47,12 +47,31 @@ type Job struct {
 	// full-detail; an enabled policy runs the sampled engine and returns
 	// extrapolated results (Result.Sampled carries the report).
 	Sample sample.Policy
+
+	// SamplePar > 0 selects the two-phase plan engine for sampled jobs:
+	// one producer pass plus SamplePar window workers. The report is
+	// bit-identical for every worker count (SamplePar == 1 is the serial
+	// reference), so the worker count is deliberately NOT part of Key().
+	// Ignored when Sample is disabled.
+	SamplePar int
 }
 
 // WithSampling returns a copy of the job running under the sampling
 // policy instead of full detail.
 func (j Job) WithSampling(p sample.Policy) Job {
 	j.Sample = p
+	return j
+}
+
+// WithParallelSampling returns a copy of the job running under the
+// two-phase sampled engine with the given window-worker count
+// (workers < 1 is treated as 1).
+func (j Job) WithParallelSampling(p sample.Policy, workers int) Job {
+	if workers < 1 {
+		workers = 1
+	}
+	j.Sample = p
+	j.SamplePar = workers
 	return j
 }
 
@@ -90,7 +109,15 @@ func (j Job) Key() string {
 		key = fmt.Sprintf("rocket|%s|%+v", j.Kernel.Name, j.Rocket)
 	}
 	if j.Sample.Enabled() {
-		key += "|sample{" + j.Sample.String() + "}"
+		if j.SamplePar > 0 {
+			// The plan engine has its own (instruction-anchored) window
+			// semantics, so its results get a distinct key family; the
+			// worker count is excluded because results are bit-identical
+			// across counts.
+			key += "|sample2{" + j.Sample.String() + "}"
+		} else {
+			key += "|sample{" + j.Sample.String() + "}"
+		}
 	}
 	return key
 }
@@ -147,10 +174,14 @@ func (r Result) Tally(event string) uint64 {
 func execute(j Job) Result {
 	res := Result{Job: j}
 	switch {
+	case j.Core == Boom && j.Sample.Enabled() && j.SamplePar > 0:
+		res.Boom, res.Sampled, res.Breakdown, res.Err = perf.SampleBoomPar(j.Boom, j.Kernel, j.Sample, sample.Options{}, j.SamplePar)
 	case j.Core == Boom && j.Sample.Enabled():
 		res.Boom, res.Sampled, res.Breakdown, res.Err = perf.SampleBoom(j.Boom, j.Kernel, j.Sample)
 	case j.Core == Boom:
 		res.Boom, res.Breakdown, res.Err = perf.RunBoom(j.Boom, j.Kernel)
+	case j.Sample.Enabled() && j.SamplePar > 0:
+		res.Rocket, res.Sampled, res.Breakdown, res.Err = perf.SampleRocketPar(j.Rocket, j.Kernel, j.Sample, sample.Options{}, j.SamplePar)
 	case j.Sample.Enabled():
 		res.Rocket, res.Sampled, res.Breakdown, res.Err = perf.SampleRocket(j.Rocket, j.Kernel, j.Sample)
 	default:

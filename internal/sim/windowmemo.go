@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"sync"
+
+	"icicle/internal/obs"
+	"icicle/internal/sample"
+)
+
+// Window-result memo for the two-phase sampled engine. A window's key
+// fingerprints everything its result depends on — core config, program,
+// window length, start instruction, warm span, instruction bound — so
+// results are reusable wherever the keys coincide: a sweep re-run after
+// the job cache was dropped (ConfigureDefault replaces the runner but
+// not this memo, exactly like the core pools), or overlapping policies
+// that schedule some identical windows. Like the job cache it has no
+// eviction; a window result is a few hundred bytes.
+//
+// The memo is process-wide so every runner shares it; per-runner hit and
+// miss counters are layered on by countingWindowMemo.
+type windowStore struct {
+	mu sync.RWMutex
+	m  map[string]sample.WindowResult
+}
+
+func (ws *windowStore) Get(key string) (sample.WindowResult, bool) {
+	ws.mu.RLock()
+	wr, ok := ws.m[key]
+	ws.mu.RUnlock()
+	return wr, ok
+}
+
+func (ws *windowStore) Put(key string, wr sample.WindowResult) {
+	ws.mu.Lock()
+	if ws.m == nil {
+		ws.m = map[string]sample.WindowResult{}
+	}
+	ws.m[key] = wr
+	ws.mu.Unlock()
+}
+
+// Len reports the number of memoized windows (tests and stats).
+func (ws *windowStore) Len() int {
+	ws.mu.RLock()
+	defer ws.mu.RUnlock()
+	return len(ws.m)
+}
+
+var sharedWindows windowStore
+
+// countingWindowMemo attributes memo traffic to a runner's counters.
+type countingWindowMemo struct {
+	store        *windowStore
+	hits, misses *obs.Counter
+}
+
+func (cm countingWindowMemo) Get(key string) (sample.WindowResult, bool) {
+	wr, ok := cm.store.Get(key)
+	if ok {
+		cm.hits.Inc()
+	} else {
+		cm.misses.Inc()
+	}
+	return wr, ok
+}
+
+func (cm countingWindowMemo) Put(key string, wr sample.WindowResult) {
+	cm.store.Put(key, wr)
+}
+
+// windowMemo returns the runner's view of the shared memo, or nil when
+// memoization is off (WithoutCache also disables window reuse, so
+// benchmark ablations measure true window throughput).
+func (r *Runner) windowMemo() sample.WindowMemo {
+	if !r.memoize {
+		return nil
+	}
+	return countingWindowMemo{
+		store:  &sharedWindows,
+		hits:   r.m.windowHits,
+		misses: r.m.windowMisses,
+	}
+}
