@@ -1,0 +1,34 @@
+package main
+
+import (
+	"fmt"
+	"reflect"
+
+	"icicle/internal/boom"
+	"icicle/internal/kernel"
+	"icicle/internal/perf"
+	"icicle/internal/rocket"
+	"icicle/internal/sample"
+)
+
+func main() {
+	// Boundary-saturating policy: huge cycle window, tiny period, no warmup
+	// -> every window retires exactly MaxInsts, ending at the delta boundary.
+	p := sample.Policy{Window: 1 << 20, Period: 512, Warmup: 0}
+	for _, name := range []string{"towers", "mm"} {
+		k, err := kernel.ByName(name)
+		if err != nil { fmt.Println("kernel:", err); return }
+		_, serial, _, err := perf.SampleRocketPar(rocket.DefaultConfig(), k, p, sample.Options{}, 1)
+		if err != nil { fmt.Println("serial rocket:", err); return }
+		_, par, _, err := perf.SampleRocketPar(rocket.DefaultConfig(), k, p, sample.Options{}, 4)
+		if err != nil { fmt.Println("par rocket:", err); return }
+		fmt.Printf("rocket/%s identical=%v serialEst=%d parEst=%d serialInsts=%d parInsts=%d\n",
+			name, reflect.DeepEqual(serial, par), serial.EstCycles, par.EstCycles, serial.DetailedInsts, par.DetailedInsts)
+		_, sb, _, err := perf.SampleBoomPar(boom.NewConfig(boom.Large), k, p, sample.Options{}, 1)
+		if err != nil { fmt.Println("serial boom:", err); return }
+		_, pb, _, err := perf.SampleBoomPar(boom.NewConfig(boom.Large), k, p, sample.Options{}, 4)
+		if err != nil { fmt.Println("par boom:", err); return }
+		fmt.Printf("boom/%s   identical=%v serialEst=%d parEst=%d serialInsts=%d parInsts=%d\n",
+			name, reflect.DeepEqual(sb, pb), sb.EstCycles, pb.EstCycles, sb.DetailedInsts, pb.DetailedInsts)
+	}
+}
