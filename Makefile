@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke check fuzz-smoke fmt vet ci
+.PHONY: all build test race bench bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke superblock-smoke check fuzz-smoke fmt vet ci
 
 all: build
 
@@ -49,6 +49,15 @@ sample-smoke:
 sample-par-smoke:
 	$(GO) test -race -run=SamplePar -count=1 .
 
+# Superblock threaded-code engine smoke: kernel-level differential runs
+# (superblock on vs off, bit-identical state + memory) and sampled-report
+# engine-independence under the race detector, plus the sampled
+# alloc-budget pin, which the epoch-restamp invalidation path must not
+# regress (see superblock_smoke_test.go and internal/isa/superblock.go).
+superblock-smoke:
+	$(GO) test -race -run=SuperblockSmoke -count=1 .
+	$(GO) test -run='SampledRunAllocs|SuperblockRunAllocs' -count=1 .
+
 # Differential oracle + metamorphic invariants + corpus replay
 # (internal/check; see DESIGN.md "Verification").
 check:
@@ -58,7 +67,7 @@ check:
 # target per invocation, hence the loop. A crasher is written to
 # internal/check/testdata/fuzz/<Target>/ and replays in plain `go test`.
 fuzz-smoke:
-	for target in FuzzAssemble FuzzDecodeEncodeRoundtrip FuzzDifferential; do \
+	for target in FuzzAssemble FuzzDecodeEncodeRoundtrip FuzzDifferential FuzzSuperblockDifferential; do \
 		$(GO) test ./internal/check/ -run='^$$' -fuzz=$$target -fuzztime=$(FUZZTIME) || exit 1; \
 	done
 
@@ -71,4 +80,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke check fuzz-smoke
+ci: fmt vet build race bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke superblock-smoke check fuzz-smoke

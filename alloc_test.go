@@ -9,7 +9,9 @@ import (
 	"testing"
 
 	"icicle/internal/boom"
+	"icicle/internal/isa"
 	"icicle/internal/kernel"
+	"icicle/internal/mem"
 	"icicle/internal/obs"
 	"icicle/internal/perf"
 	"icicle/internal/rocket"
@@ -30,6 +32,13 @@ const (
 	// count. Measured 93 on towers/default-policy; the headroom covers
 	// map-growth jitter only, not a per-window regression.
 	sampledRunAllocBudget = 100
+
+	// A warmed superblock functional run allocates nothing: blocks are
+	// translated on the first pass, and Reset's decode flush only bumps
+	// the generation counter — stale blocks re-verify their cached
+	// words and restamp in place rather than re-translating (see
+	// internal/isa/superblock.go).
+	superblockRunAllocBudget = 0
 )
 
 func TestRocketSteadyStateAllocs(t *testing.T) {
@@ -135,6 +144,40 @@ func TestSampledRunAllocs(t *testing.T) {
 	if allocs > sampledRunAllocBudget {
 		t.Errorf("sampled run allocates %.1f objects, budget %d",
 			allocs, sampledRunAllocBudget)
+	}
+}
+
+// TestSuperblockRunAllocs pins the functional engine's steady state:
+// once a program's superblocks are translated, re-running it end to end
+// (memory reset + reload, CPU reset, full execution) stays on the
+// epoch-restamp path and allocates zero objects.
+func TestSuperblockRunAllocs(t *testing.T) {
+	k, err := kernel.ByName("towers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := k.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewSparse()
+	prog.LoadInto(m)
+	c := isa.NewCPU(m, prog.Entry)
+	c.SetSuperblocks(true)
+	allocs := testing.AllocsPerRun(3, func() {
+		m.Reset()
+		prog.LoadInto(m)
+		c.Reset(prog.Entry)
+		if _, err := c.Run(50_000_000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > superblockRunAllocBudget {
+		t.Errorf("warmed superblock run allocates %.1f objects, budget %d",
+			allocs, superblockRunAllocBudget)
+	}
+	if st := c.SuperblockStats(); st.Hits == 0 {
+		t.Error("superblock cache unused; the pin is vacuous")
 	}
 }
 

@@ -18,7 +18,9 @@ import (
 	"icicle/internal/boom"
 	"icicle/internal/core"
 	"icicle/internal/experiments"
+	"icicle/internal/isa"
 	"icicle/internal/kernel"
+	"icicle/internal/mem"
 	"icicle/internal/perf"
 	"icicle/internal/pmu"
 	"icicle/internal/rocket"
@@ -928,5 +930,79 @@ func BenchmarkSweepSerialVsParallel(b *testing.B) {
 			runSweep(b, sim.New(sim.WithoutCache(), sim.WithoutCorePool()), jobs)
 		}
 		b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "jobs/s")
+	})
+}
+
+// BenchmarkFunctionalStep measures the serial functional engine in
+// ns/inst on real kernels: the plain Step loop against the superblock
+// threaded-code path (see internal/isa/superblock.go), plus the
+// two-phase plan producer which rides the same fast-forward path. The
+// engines are bit-identical (pinned by FuzzSuperblockDifferential and
+// the superblock smoke test); this benchmark pins the speed claim —
+// the superblock path must stay at or below 8 ns/inst.
+func BenchmarkFunctionalStep(b *testing.B) {
+	const budget = 50_000_000
+	for _, name := range []string{"towers", "qsort", "coremark"} {
+		k, err := kernel.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := k.Program()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, eng := range []struct {
+			name string
+			on   bool
+		}{{"step", false}, {"superblock", true}} {
+			b.Run(name+"/"+eng.name, func(b *testing.B) {
+				m := mem.NewSparse()
+				cpu := isa.NewCPU(m, prog.Entry)
+				cpu.SetSuperblocks(eng.on)
+				var insts uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Reset()
+					prog.LoadInto(m)
+					cpu.Reset(prog.Entry)
+					n, err := cpu.Run(budget)
+					if err != nil {
+						b.Fatal(err)
+					}
+					insts += n
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/inst")
+			})
+		}
+	}
+	// Plan-build time: one full producer pass (fast-forward +
+	// checkpoints + dirty-frame drains) under the default policy.
+	b.Run("towers/planbuild", func(b *testing.B) {
+		k, err := kernel.ByName("towers")
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := k.Program()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := sample.Default()
+		m := mem.NewSparse()
+		cpu := isa.NewCPU(m, prog.Entry)
+		var insts uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			prog.LoadInto(m)
+			cpu.Reset(prog.Entry)
+			pl, err := sample.BuildPlan(cpu, m, p, sample.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			insts += pl.TotalInsts
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/inst")
 	})
 }

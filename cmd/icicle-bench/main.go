@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"icicle/internal/experiments"
+	"icicle/internal/isa"
 	"icicle/internal/obs"
 	"icicle/internal/sample"
 	"icicle/internal/sim"
@@ -53,12 +54,14 @@ func run() (err error) {
 	samplePeriod := flag.Uint64("sample-period", sampleDef.Period, "sampled artifact: instructions fast-forwarded between windows")
 	sampleWarmup := flag.Int("sample-warmup", sampleDef.Warmup, "sampled artifact: trailing fast-forward instructions that warm caches and predictors")
 	samplePar := flag.Int("sample-par", 8, "sampledpar artifact: window workers for the two-phase engine's parallel leg")
+	noSuperblock := flag.Bool("no-superblock", false, "disable the superblock threaded-code functional engine (debug/ablation; results are bit-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	tracefile := flag.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
 	var o obs.CLI
 	o.AddFlags(flag.CommandLine)
 	flag.Parse()
+	isa.DefaultSuperblocks = !*noSuperblock
 
 	// Telemetry first: Start enables span tracing before the shared runner
 	// is (re)built, so the runner construction below picks the tracer up.

@@ -17,6 +17,7 @@ import (
 
 	"icicle/internal/boom"
 	"icicle/internal/core"
+	"icicle/internal/isa"
 	"icicle/internal/kernel"
 	"icicle/internal/obs"
 	"icicle/internal/perf"
@@ -45,9 +46,12 @@ func main() {
 		samplePeriod = flag.Uint64("sample-period", sampleDef.Period, "sampled simulation: instructions fast-forwarded between windows")
 		sampleWarmup = flag.Int("sample-warmup", sampleDef.Warmup, "sampled simulation: trailing fast-forward instructions that warm caches and predictors")
 		samplePar    = flag.Int("sample-par", 0, "sampled simulation: run the two-phase engine with this many window workers (0 = classic serial engine; report is identical for any worker count)")
+
+		noSuperblock = flag.Bool("no-superblock", false, "disable the superblock threaded-code functional engine (debug/ablation; results are bit-identical either way)")
 	)
 	tele.AddFlags(flag.CommandLine)
 	flag.Parse()
+	isa.DefaultSuperblocks = !*noSuperblock
 	if err := tele.Start("icicle-perf"); err != nil {
 		fatal(err)
 	}

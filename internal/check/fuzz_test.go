@@ -9,6 +9,7 @@ import (
 	"icicle/internal/check"
 	"icicle/internal/isa"
 	"icicle/internal/kernel"
+	"icicle/internal/mem"
 )
 
 // FuzzAssemble throws arbitrary source at the assembler: it must either
@@ -88,6 +89,83 @@ func FuzzDifferential(f *testing.F) {
 		}
 		if rep.Failed() {
 			t.Fatalf("invariant failure on fuzzed program:\n%s\nprogram:\n%s", rep, src)
+		}
+	})
+}
+
+// FuzzSuperblockDifferential pins the superblock threaded-code engine
+// against the plain Step loop: any program that assembles — including
+// self-modifying ones that store over their own instruction stream —
+// must produce identical architectural state, identical Retired
+// streams, identical memory images, and identical errors on both
+// engines. The seeds cover the invalidation machinery: full-word and
+// single-byte (partial-overlap) stores into the executing block, into
+// other blocks, and fence.i flushes.
+func FuzzSuperblockDifferential(f *testing.F) {
+	f.Add("\tli   a0, 42\n\tecall\n")
+	f.Add("loop:\n\taddi a1, a1, -1\n\tbnez a1, loop\n\tecall\n")
+	// Copy the instruction at +12 over the one at +16 (full-word
+	// self-modification inside the executing block).
+	f.Add("\tauipc t0, 0\n\tlw   t1, 12(t0)\n\tsw   t1, 16(t0)\n\taddi a0, a0, 3\n\taddi a0, a0, 5\n\tecall\n")
+	// Single-byte partial-overlap store: rewrite the high immediate byte
+	// of the instruction at +16 before it executes.
+	f.Add("\tauipc t0, 0\n\tli   t1, 0x12\n\tsb   t1, 19(t0)\n\taddi a0, x0, 100\n\taddi a1, x0, 0x064\n\tecall\n")
+	// Rewrite a loop body from a prior block, with a fence.i thrown in.
+	f.Add("\tauipc t0, 0\n\tli   t1, 0x00150513\n\tli   t2, 2\nl:\n\tsw   t1, 28(t0)\n\tfence.i\n\taddi t2, t2, -1\n\taddi a0, a0, 1\n\tbnez t2, l\n\tecall\n")
+	f.Add(kernel.LoopCarried.Program(2))
+	const budget = 50_000
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			return
+		}
+		// Reference: plain Step loop, trace recorded.
+		refMem := mem.NewSparse()
+		prog.LoadInto(refMem)
+		ref := isa.NewCPU(refMem, prog.Entry)
+		ref.SetSuperblocks(false)
+		var trace []isa.Retired
+		_, refErr := ref.RunForTraced(budget, func(r isa.Retired) { trace = append(trace, r) })
+
+		// Subject: superblock engine, compared record by record.
+		sbMem := mem.NewSparse()
+		prog.LoadInto(sbMem)
+		sb := isa.NewCPU(sbMem, prog.Entry)
+		sb.SetSuperblocks(true)
+		idx := 0
+		mismatch := -1
+		_, sbErr := sb.RunForTraced(budget, func(r isa.Retired) {
+			if mismatch < 0 && (idx >= len(trace) || trace[idx] != r) {
+				mismatch = idx
+			}
+			idx++
+		})
+
+		if (refErr == nil) != (sbErr == nil) {
+			t.Fatalf("error divergence: step=%v superblock=%v\nprogram:\n%s", refErr, sbErr, src)
+		}
+		if refErr != nil && refErr.Error() != sbErr.Error() {
+			t.Fatalf("error text divergence:\n step:       %v\n superblock: %v\nprogram:\n%s", refErr, sbErr, src)
+		}
+		if mismatch >= 0 {
+			got := "<none>"
+			if mismatch < idx {
+				got = "see superblock stream"
+			}
+			t.Fatalf("Retired stream diverges at %d (%s)\nprogram:\n%s", mismatch, got, src)
+		}
+		if idx != len(trace) {
+			t.Fatalf("retired %d insts on superblock engine, %d on step\nprogram:\n%s", idx, len(trace), src)
+		}
+		if sb.X != ref.X || sb.PC != ref.PC || sb.InstRet != ref.InstRet ||
+			sb.Halted != ref.Halted || sb.ExitCode != ref.ExitCode {
+			t.Fatalf("architectural state divergence\nprogram:\n%s", src)
+		}
+		if sbMem.Checksum() != refMem.Checksum() {
+			t.Fatalf("memory image divergence\nprogram:\n%s", src)
 		}
 	})
 }

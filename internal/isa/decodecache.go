@@ -25,6 +25,11 @@ func (c *CPU) flushDecode() {
 	for i := range c.dcache {
 		c.dcache[i].valid = false
 	}
+	// Superblocks re-verify lazily: bumping the epoch marks every
+	// translated block stale without walking the cache (see
+	// superblock.go); blocks whose source words are unchanged restamp
+	// allocation-free on next entry.
+	c.sbEpoch++
 }
 
 // FlushDecode invalidates the decode cache. Callers that mutate memory
@@ -34,14 +39,33 @@ func (c *CPU) flushDecode() {
 func (c *CPU) FlushDecode() { c.flushDecode() }
 
 // storeMem performs a data store and invalidates any cached decode of the
-// overwritten words.
+// overwritten words, plus any superblock translated from them. Both
+// invalidation passes are gated on a summary range of cached code
+// ([dcLo,dcHi) / [sbLo,sbHi), never shrinking), so the overwhelmingly
+// common data store pays two compares per cache instead of the word
+// walk.
 func (c *CPU) storeMem(addr uint64, size int, val uint64) {
 	c.Mem.Store(addr, size, val)
-	first := addr >> 2
-	last := (addr + uint64(size-1)) >> 2
-	for w := first; w <= last; w++ {
-		if e := &c.dcache[w&dcMask]; e.valid && e.pc>>2 == w {
-			e.valid = false
+	if c.dcHi != 0 && addr < c.dcHi && addr+uint64(size) > c.dcLo {
+		first := addr >> 2
+		last := (addr + uint64(size-1)) >> 2
+		for w := first; w <= last; w++ {
+			if e := &c.dcache[w&dcMask]; e.valid && e.pc>>2 == w {
+				e.valid = false
+			}
+		}
+	}
+	// Superblock invalidation: [sbLo, sbHi) summarizes all translated
+	// code, so the overwhelmingly common data store pays two compares.
+	// A store inside the range marks every block stale (epoch bump,
+	// re-verified on next entry); if it overlaps the block currently
+	// executing, sbKilled makes the store's own handler exit the block
+	// so the modified bytes are refetched before they can execute.
+	if c.sbHi != 0 && addr < c.sbHi && addr+uint64(size) > c.sbLo {
+		c.sbEpoch++
+		if cur := c.sbCur; cur != nil && addr < cur.end && addr+uint64(size) > cur.pc {
+			c.sbKilled = true
+			c.sbStats.Invalidations++
 		}
 	}
 }

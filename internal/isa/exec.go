@@ -54,17 +54,38 @@ type CPU struct {
 	reservation int64
 
 	// dcache memoizes fetch+decode per word-aligned PC (see
-	// decodecache.go for the invalidation contract).
+	// decodecache.go for the invalidation contract). [dcLo, dcHi)
+	// summarizes every PC ever cached so storeMem can reject data
+	// stores without walking words; it never shrinks.
 	dcache []dcEntry
+	dcLo   uint64
+	dcHi   uint64
+
+	// Superblock engine state (see superblock.go). sb is the
+	// direct-mapped translated-block cache; sbEpoch is bumped by decode
+	// flushes and code-range stores so stale blocks re-verify lazily;
+	// [sbLo, sbHi) summarizes all translated code for the storeMem fast
+	// reject; sbCur/sbKilled coordinate in-flight self-invalidation.
+	sb       []*superblock
+	sbEpoch  uint64
+	sbLo     uint64
+	sbHi     uint64
+	sbCur    *superblock
+	sbKilled bool
+	sbOn     bool
+	sbStats  SBStats
 
 	Halted   bool
 	ExitCode uint64
 	InstRet  uint64
 }
 
-// NewCPU returns a CPU with PC set to entry, executing from mem.
+// NewCPU returns a CPU with PC set to entry, executing from mem. The
+// superblock engine is enabled per DefaultSuperblocks.
 func NewCPU(mem Memory, entry uint64) *CPU {
-	return &CPU{PC: entry, Mem: mem, reservation: -1, dcache: newDecodeCache()}
+	c := &CPU{PC: entry, Mem: mem, reservation: -1, dcache: newDecodeCache()}
+	c.SetSuperblocks(DefaultSuperblocks)
+	return c
 }
 
 // Reset returns the CPU to power-on state at entry, keeping the memory,
@@ -76,6 +97,7 @@ func (c *CPU) Reset(entry uint64) {
 	c.X = [32]uint64{}
 	c.reservation = -1
 	c.flushDecode()
+	c.sbCur, c.sbKilled = nil, false
 	c.Halted = false
 	c.ExitCode = 0
 	c.InstRet = 0
@@ -112,6 +134,12 @@ func (c *CPU) Step() (Retired, error) {
 				fmt.Errorf("isa: illegal instruction 0x%08x at pc 0x%x", word, c.PC)
 		}
 		*e = dcEntry{pc: c.PC, inst: in, valid: true}
+		if c.dcHi == 0 || c.PC < c.dcLo {
+			c.dcLo = c.PC
+		}
+		if c.PC+instBytes > c.dcHi {
+			c.dcHi = c.PC + instBytes
+		}
 	}
 	r := Retired{Seq: c.InstRet, PC: c.PC, Inst: in}
 	next := c.PC + instBytes
@@ -374,18 +402,18 @@ func (c *CPU) execCSR(in Inst, rs1 uint64) {
 }
 
 // Run executes until the CPU halts or maxInsts instructions retire,
-// returning the number of retired instructions.
+// returning the number of retired instructions. It rides the RunFor
+// fast path (superblocks when enabled), which is bit-identical to a
+// Step loop.
 func (c *CPU) Run(maxInsts uint64) (uint64, error) {
-	start := c.InstRet
-	for !c.Halted && c.InstRet-start < maxInsts {
-		if _, err := c.Step(); err != nil {
-			return c.InstRet - start, err
-		}
+	done, err := c.RunFor(maxInsts)
+	if err != nil {
+		return done, err
 	}
 	if !c.Halted {
-		return c.InstRet - start, fmt.Errorf("isa: instruction budget %d exhausted at pc 0x%x", maxInsts, c.PC)
+		return done, fmt.Errorf("isa: instruction budget %d exhausted at pc 0x%x", maxInsts, c.PC)
 	}
-	return c.InstRet - start, nil
+	return done, nil
 }
 
 func extendLoad(op Op, raw uint64) uint64 {
@@ -417,6 +445,11 @@ func mulh(a, b int64) uint64 {
 	if b < 0 {
 		hi -= uint64(a)
 	}
+	return hi
+}
+
+func mulhuHi(a, b uint64) uint64 {
+	hi, _ := bits.Mul64(a, b)
 	return hi
 }
 

@@ -128,6 +128,32 @@ func (m *Sparse) ReadBytes(addr uint64, n int) []byte {
 // on the touched working set, at 4 KiB granularity).
 func (m *Sparse) Footprint() int { return len(m.frames) * frameSize }
 
+// Checksum returns an FNV-1a hash over the memory contents, walking
+// non-zero frames in address order. All-zero frames are skipped, so two
+// memories with identical byte contents hash equal regardless of which
+// frames happen to be allocated (unwritten bytes read as zero either
+// way). Used by the differential tests to compare whole images cheaply.
+func (m *Sparse) Checksum() uint64 {
+	keys := make([]uint64, 0, len(m.frames))
+	for k, f := range m.frames {
+		if *f != [frameSize]byte{} {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, k := range keys {
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (k >> s & 0xff)) * prime
+		}
+		for _, b := range m.frames[k] {
+			h = (h ^ uint64(b)) * prime
+		}
+	}
+	return h
+}
+
 // Reset zeroes every allocated frame in place, keeping the frames
 // themselves: a reloaded program with the same (or smaller) footprint
 // reuses them without allocating. Reads behave exactly as on a fresh

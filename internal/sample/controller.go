@@ -92,6 +92,8 @@ func Run(t Target, p Policy, o Options) (*Report, error) {
 	}
 
 	b := newReportBuilder(p, &o)
+	sb0 := t.CPU.SuperblockStats()
+	defer func() { o.Telemetry.AddSuperblock(t.CPU.SuperblockStats().Sub(sb0)) }()
 	// Scratch tally buffers: one backing array pre-sized from the event
 	// space, split into three views, so the per-window snapshot and diff
 	// never reallocate. (CopyTally/diffInto still grow them if the
@@ -267,16 +269,11 @@ func (b *reportBuilder) finalize(totalInsts, ffInsts, warmReplays, exit uint64, 
 	return rep, nil
 }
 
-// fastForward steps the functional CPU for up to n instructions.
+// fastForward advances the functional CPU by up to n instructions on
+// the superblock threaded-code path (or a plain Step loop when the
+// engine is disabled — results are bit-identical either way).
 func fastForward(cpu *isa.CPU, n uint64) (uint64, error) {
-	var ffed uint64
-	for ffed < n && !cpu.Halted {
-		if _, err := cpu.Step(); err != nil {
-			return ffed, err
-		}
-		ffed++
-	}
-	return ffed, nil
+	return cpu.RunFor(n)
 }
 
 // fastForwardWarming steps the functional CPU for up to n instructions,

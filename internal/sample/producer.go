@@ -34,6 +34,8 @@ func BuildPlan(cpu *isa.CPU, m *mem.Sparse, p Policy, o Options) (*Plan, error) 
 	span := o.Tracer.Begin("plan-produce", "sample", o.Tid)
 	m.SetTracking(true)
 	defer m.SetTracking(false)
+	sb0 := cpu.SuperblockStats()
+	defer func() { o.Telemetry.AddSuperblock(cpu.SuperblockStats().Sub(sb0)) }()
 
 	// Window 0 attaches at the entry point with no warm span: the plan
 	// captures the cold-start transient exactly like the serial engine.
@@ -91,13 +93,14 @@ func BuildPlan(cpu *isa.CPU, m *mem.Sparse, p Policy, o Options) (*Plan, error) 
 	return pl, nil
 }
 
-// runTo steps the functional CPU until InstRet reaches target or the
-// program halts.
+// runTo advances the functional CPU until InstRet reaches target or
+// the program halts, riding the superblock fast-forward path.
+// Translation only loads memory, so dirty-frame tracking sees exactly
+// the stores the program performs.
 func runTo(cpu *isa.CPU, target uint64) error {
-	for cpu.InstRet < target && !cpu.Halted {
-		if _, err := cpu.Step(); err != nil {
-			return err
-		}
+	if cpu.InstRet >= target {
+		return nil
 	}
-	return nil
+	_, err := cpu.RunFor(target - cpu.InstRet)
+	return err
 }

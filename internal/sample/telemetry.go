@@ -1,6 +1,9 @@
 package sample
 
-import "icicle/internal/obs"
+import (
+	"icicle/internal/isa"
+	"icicle/internal/obs"
+)
 
 // Telemetry publishes the sampling controller's per-phase progress
 // counters. Construct standalone with NewTelemetry or registered with
@@ -14,23 +17,36 @@ type Telemetry struct {
 	// QueueDepth is the number of plan windows still waiting for a
 	// worker (two-phase engine only; always 0 between runs).
 	QueueDepth *obs.Gauge
+
+	// Superblock-engine counters: the functional CPU keeps plain
+	// uint64 stats (its hot loop stays allocation- and atomic-free),
+	// and the controller/producer flush per-run deltas here.
+	SBHits          *obs.Counter
+	SBMisses        *obs.Counter
+	SBTranslations  *obs.Counter
+	SBInvalidations *obs.Counter
 }
 
 // NewTelemetry builds an unregistered handle (counters still count; they
 // are just not exported anywhere).
 func NewTelemetry() *Telemetry {
 	return &Telemetry{
-		FFInsts:        obs.NewCounter(),
-		WarmupReplays:  obs.NewCounter(),
-		DetailedCycles: obs.NewCounter(),
-		DetailedInsts:  obs.NewCounter(),
-		Windows:        obs.NewCounter(),
-		QueueDepth:     obs.NewGauge(),
+		FFInsts:         obs.NewCounter(),
+		WarmupReplays:   obs.NewCounter(),
+		DetailedCycles:  obs.NewCounter(),
+		DetailedInsts:   obs.NewCounter(),
+		Windows:         obs.NewCounter(),
+		QueueDepth:      obs.NewGauge(),
+		SBHits:          obs.NewCounter(),
+		SBMisses:        obs.NewCounter(),
+		SBTranslations:  obs.NewCounter(),
+		SBInvalidations: obs.NewCounter(),
 	}
 }
 
 // TelemetryIn registers the counters in reg under the
-// icicle_sample_* names.
+// icicle_sample_* (controller phases) and icicle_isa_superblock_*
+// (functional-engine block cache) names.
 func TelemetryIn(reg *obs.Registry) *Telemetry {
 	return &Telemetry{
 		FFInsts: reg.Counter("icicle_sample_fastforward_insts_total",
@@ -45,5 +61,26 @@ func TelemetryIn(reg *obs.Registry) *Telemetry {
 			"Detailed windows executed by sampled runs."),
 		QueueDepth: reg.Gauge("icicle_sample_queue_depth",
 			"Detailed windows awaiting a worker in the two-phase engine."),
+		SBHits: reg.Counter("icicle_isa_superblock_hits_total",
+			"Superblock dispatches served from the translated-block cache."),
+		SBMisses: reg.Counter("icicle_isa_superblock_misses_total",
+			"Superblock dispatches that had to (re)translate."),
+		SBTranslations: reg.Counter("icicle_isa_superblock_translations_total",
+			"Superblocks translated (including step-through sentinels)."),
+		SBInvalidations: reg.Counter("icicle_isa_superblock_invalidations_total",
+			"Superblocks discarded after code-range stores or decode flushes."),
 	}
+}
+
+// AddSuperblock folds a per-run superblock stats delta into the
+// counters. The nil handle (and nil counters — obs.Counter.Add is
+// nil-safe) are safe no-ops, mirroring the other telemetry guards.
+func (t *Telemetry) AddSuperblock(d isa.SBStats) {
+	if t == nil {
+		return
+	}
+	t.SBHits.Add(d.Hits)
+	t.SBMisses.Add(d.Misses)
+	t.SBTranslations.Add(d.Translations)
+	t.SBInvalidations.Add(d.Invalidations)
 }

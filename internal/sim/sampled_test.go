@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"icicle/internal/isa"
 	"icicle/internal/rocket"
 	"icicle/internal/sample"
 )
@@ -93,5 +94,38 @@ func TestSampledJobsThroughRunner(t *testing.T) {
 	}
 	if r.m.sample.FFInsts.Value() == 0 {
 		t.Error("fast-forward telemetry did not advance")
+	}
+}
+
+// TestSampledKeyEngineIndependent pins that the memo key carries no
+// functional-engine fingerprint: the superblock threaded-code engine is
+// bit-identical to the plain Step loop (see internal/isa/superblock.go
+// and the superblock smoke/fuzz differentials), so toggling it must not
+// split the cache — a result simulated with the engine on is equally
+// valid for a run with it off, and vice versa.
+func TestSampledKeyEngineIndependent(t *testing.T) {
+	k := mustKernel(t, "vvadd")
+	p := sample.Policy{Window: 512, Period: 4096, Warmup: 512}
+	jobs := []Job{
+		RocketJob(rocket.DefaultConfig(), k),
+		RocketJob(rocket.DefaultConfig(), k).WithSampling(p),
+		RocketJob(rocket.DefaultConfig(), k).WithParallelSampling(p, 4),
+	}
+	defer func(old bool) { isa.DefaultSuperblocks = old }(isa.DefaultSuperblocks)
+	for _, j := range jobs {
+		if strings.Contains(strings.ToLower(j.Key()), "superblock") {
+			t.Errorf("memo key leaks the functional engine: %s", j.Key())
+		}
+		isa.DefaultSuperblocks = true
+		on := j.Key()
+		isa.DefaultSuperblocks = false
+		if off := j.Key(); on != off {
+			t.Errorf("memo key varies with the functional engine:\n on: %s\noff: %s", on, off)
+		}
+	}
+	// The plan-engine key family stays distinct from the classic sampled
+	// one (window semantics differ), engine aside.
+	if !strings.Contains(jobs[2].Key(), "sample2{") {
+		t.Errorf("plan-engine key lost its family tag: %s", jobs[2].Key())
 	}
 }
