@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke superblock-smoke check fuzz-smoke fmt vet ci
+.PHONY: all build test race bench bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke superblock-smoke serve-smoke check fuzz-smoke fmt vet scratch-guard ci
 
 all: build
 
@@ -58,6 +58,16 @@ superblock-smoke:
 	$(GO) test -race -run=SuperblockSmoke -count=1 .
 	$(GO) test -run='SampledRunAllocs|SuperblockRunAllocs' -count=1 .
 
+# Sweep-service smoke: the icicle-serve end-to-end contract under the
+# race detector — HTTP results byte-identical to the in-process runner, a
+# second server answering a persisted sweep with zero simulations, and
+# corrupted store blobs quarantined and recomputed (serve_smoke_test.go),
+# plus the serve/store package suites (queueing fairness, sharding,
+# content-addressed store corruption/eviction/recovery).
+serve-smoke:
+	$(GO) test -race -run=ServeSmoke -count=1 .
+	$(GO) test -race ./internal/serve/ ./internal/store/ -count=1
+
 # Differential oracle + metamorphic invariants + corpus replay
 # (internal/check; see DESIGN.md "Verification").
 check:
@@ -80,4 +90,12 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke superblock-smoke check fuzz-smoke
+# No scratch/review litter may be tracked: fail if any path matches the
+# deny patterns (temporary review dirs, editor droppings, stray logs).
+scratch-guard:
+	@out=$$(git ls-files | grep -E '(^|/)(zz_[^/]*|scratch[^/]*|.*\.tmp|.*\.orig|.*\.rej|.*~)$$' || true); \
+	if [ -n "$$out" ]; then \
+		echo "scratch files tracked in git:"; echo "$$out"; exit 1; \
+	fi
+
+ci: fmt vet scratch-guard build race bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke superblock-smoke serve-smoke check fuzz-smoke

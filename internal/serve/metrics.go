@@ -1,0 +1,53 @@
+package serve
+
+import "icicle/internal/obs"
+
+// serveMetrics is the icicle_serve_* counter set, published in the
+// server's registry next to the runner's icicle_sim_* counters and the
+// store's icicle_store_* mirror.
+type serveMetrics struct {
+	requests  *obs.Counter
+	submitted *obs.Counter
+	completed *obs.Counter
+	errored   *obs.Counter
+
+	storeHits *obs.Counter // completed without any simulation, from the persistent store
+	memoHits  *obs.Counter // completed from the in-process memo
+	simulated *obs.Counter // actually simulated here
+
+	forwarded *obs.Counter // executed on a shard peer
+	fallback  *obs.Counter // peer unreachable/failed; ran locally instead
+
+	queueDepth *obs.Gauge
+	latency    *obs.Histogram // per-job wall time through the service
+	queueWait  *obs.Histogram // submit-to-dispatch wait
+}
+
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	return &serveMetrics{
+		requests: reg.Counter("icicle_serve_requests_total",
+			"HTTP requests handled by the serve API"),
+		submitted: reg.Counter("icicle_serve_jobs_submitted_total",
+			"jobs accepted through POST /jobs"),
+		completed: reg.Counter("icicle_serve_jobs_completed_total",
+			"jobs finished (any outcome)"),
+		errored: reg.Counter("icicle_serve_jobs_errored_total",
+			"jobs that finished with a simulation error"),
+		storeHits: reg.Counter("icicle_serve_store_hits_total",
+			"jobs served from the persistent result store without simulating"),
+		memoHits: reg.Counter("icicle_serve_memo_hits_total",
+			"jobs served from the in-process memo cache"),
+		simulated: reg.Counter("icicle_serve_simulated_total",
+			"jobs that actually simulated on this server"),
+		forwarded: reg.Counter("icicle_serve_forwarded_total",
+			"jobs executed on a shard peer"),
+		fallback: reg.Counter("icicle_serve_forward_fallback_total",
+			"shard forwards that failed and ran locally instead"),
+		queueDepth: reg.Gauge("icicle_serve_queue_depth",
+			"tasks waiting in the submission queue"),
+		latency: reg.Histogram("icicle_serve_job_latency_seconds",
+			"wall time from dispatch to completion per job", 1e-9),
+		queueWait: reg.Histogram("icicle_serve_queue_wait_seconds",
+			"wall time from submission to dispatch per job", 1e-9),
+	}
+}

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// The scheduling discipline: strict priority classes on the outside,
+// weighted fairness across clients on the inside. A class only runs when
+// every higher class is empty (priority means priority); within a class,
+// clients share capacity in proportion to their weights via stride
+// scheduling — each client carries a virtual-time "pass", the client
+// with the minimum pass runs next, and running advances its pass by
+// strideUnit/weight. A flood from one client therefore cannot starve
+// another: the flooder's pass races ahead and the light client's tasks
+// keep winning the minimum. Within one client, tasks run FIFO.
+
+// strideUnit is the virtual-time quantum for weight 1; larger weights
+// advance in smaller strides and therefore run proportionally more.
+const strideUnit = 1 << 20
+
+// maxWeight bounds client weights so one client cannot claim effectively
+// the whole machine through a huge weight.
+const maxWeight = 64
+
+// task is one queued unit of work: job t.idx of batch t.b.
+type task struct {
+	b        *batch
+	idx      int
+	enqueued time.Time
+}
+
+// clientQ is one client's FIFO within one priority class, plus its
+// stride-scheduling state.
+type clientQ struct {
+	name   string
+	weight uint64
+	pass   uint64 // virtual time; min-pass active client runs next
+	tasks  []task
+	head   int
+}
+
+func (c *clientQ) empty() bool { return c.head >= len(c.tasks) }
+
+func (c *clientQ) push(t task) {
+	// Compact the drained prefix occasionally so the slice stays bounded.
+	if c.head > 64 && c.head*2 >= len(c.tasks) {
+		n := copy(c.tasks, c.tasks[c.head:])
+		c.tasks = c.tasks[:n]
+		c.head = 0
+	}
+	c.tasks = append(c.tasks, t)
+}
+
+func (c *clientQ) pop() task {
+	t := c.tasks[c.head]
+	c.tasks[c.head] = task{} // release the batch pointer
+	c.head++
+	return t
+}
+
+// classQ is one strict-priority class.
+type classQ struct {
+	priority int
+	clients  map[string]*clientQ
+	active   []*clientQ // non-empty clients, unordered
+}
+
+// minPass returns the smallest pass among active clients (0 when none):
+// the join point for clients that were idle, so idleness never banks
+// credit.
+func (cl *classQ) minPass() uint64 {
+	var min uint64
+	for i, c := range cl.active {
+		if i == 0 || c.pass < min {
+			min = c.pass
+		}
+	}
+	return min
+}
+
+// fairQueue is the submission queue: Push never blocks, Pop blocks until
+// a task is available or the queue closes.
+type fairQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	classes map[int]*classQ
+	prios   []int // class priorities, sorted descending
+	depth   int
+	closed  bool
+}
+
+func newFairQueue() *fairQueue {
+	q := &fairQueue{classes: map[int]*classQ{}}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues one task for (client, weight, priority).
+func (q *fairQueue) Push(client string, weight, priority int, t task) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > maxWeight {
+		weight = maxWeight
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	cl := q.classes[priority]
+	if cl == nil {
+		cl = &classQ{priority: priority, clients: map[string]*clientQ{}}
+		q.classes[priority] = cl
+		// Insert into the descending priority order.
+		pos := len(q.prios)
+		for i, p := range q.prios {
+			if priority > p {
+				pos = i
+				break
+			}
+		}
+		q.prios = append(q.prios, 0)
+		copy(q.prios[pos+1:], q.prios[pos:])
+		q.prios[pos] = priority
+	}
+	c := cl.clients[client]
+	if c == nil {
+		c = &clientQ{name: client, weight: uint64(weight)}
+		cl.clients[client] = c
+	}
+	c.weight = uint64(weight) // latest submission wins
+	if c.empty() {
+		// (Re)joining the active set: start at the current virtual time
+		// floor, keeping any pass already ahead of it.
+		if mp := cl.minPass(); c.pass < mp {
+			c.pass = mp
+		}
+		cl.active = append(cl.active, c)
+	}
+	c.push(t)
+	q.depth++
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// Pop dequeues the next task by priority-then-fairness, blocking while
+// the queue is empty. ok=false means the queue closed.
+func (q *fairQueue) Pop() (task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return task{}, false
+		}
+		if q.depth > 0 {
+			break
+		}
+		q.cond.Wait()
+	}
+	for _, p := range q.prios {
+		cl := q.classes[p]
+		if len(cl.active) == 0 {
+			continue
+		}
+		// Min-pass active client; ties broken by name for determinism.
+		best := 0
+		for i := 1; i < len(cl.active); i++ {
+			c, b := cl.active[i], cl.active[best]
+			if c.pass < b.pass || (c.pass == b.pass && c.name < b.name) {
+				best = i
+			}
+		}
+		c := cl.active[best]
+		t := c.pop()
+		c.pass += strideUnit / c.weight
+		if c.empty() {
+			cl.active[best] = cl.active[len(cl.active)-1]
+			cl.active = cl.active[:len(cl.active)-1]
+		}
+		q.depth--
+		return t, true
+	}
+	// depth said there was work but no class had it: unreachable unless
+	// bookkeeping broke; fail closed.
+	return task{}, false
+}
+
+// Depth reports the number of queued tasks.
+func (q *fairQueue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}
+
+// Close wakes all blocked Pops; queued tasks are dropped.
+func (q *fairQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

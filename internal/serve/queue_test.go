@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"icicle/internal/sim"
+)
+
+// mkBatch builds a batch of n placeholder jobs; queue tests only use the
+// pointer identity and index, never run anything.
+func mkBatch(id string, n int) *batch {
+	return &batch{
+		id:        id,
+		jobs:      make([]sim.Job, n),
+		results:   make([]sim.Result, n),
+		resDone:   make([]bool, n),
+		forwarded: make([]bool, n),
+		remaining: n,
+	}
+}
+
+func pushN(q *fairQueue, client string, weight, prio int, b *batch, n int) {
+	for i := 0; i < n; i++ {
+		q.Push(client, weight, prio, task{b: b, idx: i, enqueued: time.Now()})
+	}
+}
+
+// drain pops up to n tasks and returns the batch id sequence.
+func drain(q *fairQueue, n int) []string {
+	var order []string
+	for i := 0; i < n; i++ {
+		t, ok := q.Pop()
+		if !ok {
+			break
+		}
+		order = append(order, t.b.id)
+	}
+	return order
+}
+
+// A higher priority class must fully drain before any lower class runs,
+// regardless of submission order.
+func TestQueueStrictPriority(t *testing.T) {
+	q := newFairQueue()
+	low := mkBatch("low", 3)
+	high := mkBatch("high", 2)
+	pushN(q, "a", 1, 0, low, 3)
+	pushN(q, "b", 1, 5, high, 2)
+	got := drain(q, 5)
+	want := []string{"high", "high", "low", "low", "low"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// Within a class, clients split capacity in proportion to their weights.
+func TestQueueWeightedFairness(t *testing.T) {
+	q := newFairQueue()
+	heavy := mkBatch("heavy", 30)
+	light := mkBatch("light", 30)
+	pushN(q, "heavy", 3, 0, heavy, 30)
+	pushN(q, "light", 1, 0, light, 30)
+	counts := map[string]int{}
+	for _, id := range drain(q, 24) {
+		counts[id]++
+	}
+	// Exactly 3:1 over any aligned window with stride scheduling; allow a
+	// one-task phase wobble.
+	if counts["heavy"] < 17 || counts["heavy"] > 19 {
+		t.Fatalf("heavy got %d of 24 pops, want ~18 (3:1 split): %v", counts["heavy"], counts)
+	}
+}
+
+// A flood from one client cannot starve a later, lighter client: the
+// newcomer joins at the virtual-time floor and wins pops immediately.
+func TestQueueNoStarvation(t *testing.T) {
+	q := newFairQueue()
+	flood := mkBatch("flood", 200)
+	pushN(q, "flood", 1, 0, flood, 200)
+	// Let the flooder accumulate pass.
+	for i := 0; i < 50; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatal("queue closed early")
+		}
+	}
+	late := mkBatch("late", 1)
+	pushN(q, "late", 1, 0, late, 1)
+	// The late task must surface within the next two pops (tie at the
+	// floor breaks by name, and one more pop bounds either tie outcome).
+	got := drain(q, 2)
+	if got[0] != "late" && got[1] != "late" {
+		t.Fatalf("late client starved: next pops were %v", got)
+	}
+}
+
+// Equal weights alternate: no client gets two consecutive slots while
+// another waits.
+func TestQueueEqualWeightsInterleave(t *testing.T) {
+	q := newFairQueue()
+	a := mkBatch("a", 10)
+	b := mkBatch("b", 10)
+	pushN(q, "a", 1, 0, a, 10)
+	pushN(q, "b", 1, 0, b, 10)
+	got := drain(q, 20)
+	for i := 2; i < len(got); i++ {
+		if got[i] == got[i-1] && got[i] == got[i-2] {
+			t.Fatalf("three consecutive pops for %q at %d: %v", got[i], i, got)
+		}
+	}
+}
+
+// An idle client must not bank credit while away: after rejoining it gets
+// its fair share going forward, not a catch-up burst.
+func TestQueueIdleBanksNoCredit(t *testing.T) {
+	q := newFairQueue()
+	a := mkBatch("a", 40)
+	pushN(q, "a", 1, 0, a, 40)
+	b1 := mkBatch("b1", 1)
+	pushN(q, "b", 1, 0, b1, 1)
+	// b runs once, then sits idle while a runs 20 tasks.
+	for i := 0; i < 21; i++ {
+		q.Pop()
+	}
+	// b rejoins; over the next 10 pops it should get ~5, not 10.
+	b2 := mkBatch("b2", 10)
+	pushN(q, "b", 1, 0, b2, 10)
+	counts := map[string]int{}
+	for _, id := range drain(q, 10) {
+		counts[id]++
+	}
+	if counts["b2"] > 6 {
+		t.Fatalf("rejoining client got a catch-up burst: %v", counts)
+	}
+	if counts["b2"] < 4 {
+		t.Fatalf("rejoining client under fair share: %v", counts)
+	}
+}
+
+// Pop blocks until Push arrives, and Close unblocks every waiter.
+func TestQueueBlockingAndClose(t *testing.T) {
+	q := newFairQueue()
+	got := make(chan string, 1)
+	go func() {
+		t, ok := q.Pop()
+		if !ok {
+			got <- "<closed>"
+			return
+		}
+		got <- t.b.id
+	}()
+	time.Sleep(10 * time.Millisecond) // let the Pop block
+	pushN(q, "c", 1, 0, mkBatch("wake", 1), 1)
+	select {
+	case id := <-got:
+		if id != "wake" {
+			t.Fatalf("blocked Pop got %q", id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop did not wake on Push")
+	}
+
+	done := make(chan bool, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, ok := q.Pop()
+			done <- ok
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	for i := 0; i < 4; i++ {
+		select {
+		case ok := <-done:
+			if ok {
+				t.Fatal("Pop returned ok=true after Close")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("Pop did not unblock on Close")
+		}
+	}
+	// Push after Close is a no-op.
+	pushN(q, "c", 1, 0, mkBatch("dead", 1), 1)
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("Depth after Close+Push = %d, want 0", d)
+	}
+}
+
+// Weights are clamped to [1, maxWeight] so a hostile weight cannot claim
+// the whole machine or divide by zero.
+func TestQueueWeightClamp(t *testing.T) {
+	q := newFairQueue()
+	huge := mkBatch("huge", 20)
+	one := mkBatch("one", 20)
+	pushN(q, "huge", 1<<30, 0, huge, 20)
+	pushN(q, "one", 1, 0, one, 20)
+	counts := map[string]int{}
+	for _, id := range drain(q, 26) {
+		counts[id]++
+	}
+	// Clamped to maxWeight=64: "one" still runs at least every 65th slot,
+	// but also at least once early because it joins at the pass floor.
+	if counts["one"] == 0 {
+		t.Fatalf("weight-1 client fully starved by clamped huge weight: %v", counts)
+	}
+	zero := mkBatch("zero", 2)
+	pushN(q, "zero", -5, 0, zero, 2) // clamps up to 1
+	if q.Depth() == 0 {
+		t.Fatal("negative-weight push dropped")
+	}
+}
+
+// Sanity: depth bookkeeping follows pushes and pops exactly.
+func TestQueueDepth(t *testing.T) {
+	q := newFairQueue()
+	for i := 0; i < 5; i++ {
+		pushN(q, fmt.Sprintf("c%d", i), 1, i%2, mkBatch(fmt.Sprintf("b%d", i), 3), 3)
+	}
+	if d := q.Depth(); d != 15 {
+		t.Fatalf("Depth = %d, want 15", d)
+	}
+	drain(q, 7)
+	if d := q.Depth(); d != 8 {
+		t.Fatalf("Depth after 7 pops = %d, want 8", d)
+	}
+}

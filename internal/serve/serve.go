@@ -1,0 +1,537 @@
+// Package serve is the simulation-as-a-service layer: an HTTP/JSON
+// job-submission API over the internal/sim runner, backed by the
+// persistent content-addressed result store (internal/store) so
+// identical sweeps are free across processes and users. It is the
+// ROADMAP's "millions of users" refactor: submission decouples from
+// execution through a priority queue with per-client weighted fairness,
+// results persist and are content-addressable, and a fleet of servers
+// shards work by config fingerprint over a consistent-hash ring.
+//
+// API:
+//
+//	POST /jobs          submit a batch  → {id, jobs, status_url}
+//	GET  /jobs/{id}     status + per-job results (JSON)
+//	GET  /store/{addr}  raw verified result blob (gob payload)
+//	GET  /healthz       liveness + queue/store snapshot
+//	GET  /metrics       Prometheus text (the server's registry)
+//	POST /internal/run  shard-internal synchronous execution
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icicle/internal/obs"
+	"icicle/internal/sim"
+	"icicle/internal/store"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Store is the persistent result store (nil = in-memory only; the
+	// /store/ endpoint then 404s and nothing survives the process).
+	Store *store.Store
+	// Registry receives the server's icicle_serve_* metrics and the
+	// runner's icicle_sim_* metrics (nil = a fresh private registry).
+	Registry *obs.Registry
+	// Tracer records serve-job spans (nil = no tracing).
+	Tracer *obs.Tracer
+	// QueueWorkers is the number of concurrent job executors (default
+	// GOMAXPROCS). This is the service's parallelism; sampled jobs may
+	// additionally fan out windows per their SamplePar.
+	QueueWorkers int
+	// Self is this server's advertised base URL ("http://host:port") on
+	// the shard ring; Peers lists every shard. Empty/solo = no sharding.
+	Self  string
+	Peers []string
+	// RunnerOpts appends options to the underlying sim runner (tests).
+	RunnerOpts []sim.Option
+}
+
+// Server is one icicle-serve node.
+type Server struct {
+	cfg    Config
+	reg    *obs.Registry
+	tr     *obs.Tracer
+	runner *sim.Runner
+	queue  *fairQueue
+	ring   *ring
+	m      *serveMetrics
+	client *http.Client
+
+	// exec runs one job locally; tests stub it to model synthetic load.
+	exec func(sim.Job) sim.Result
+
+	mu      sync.Mutex
+	batches map[string]*batch
+	nextID  uint64
+
+	started atomic.Int64 // first submission wall clock (unix nanos)
+
+	wg       sync.WaitGroup
+	workers  int
+	httpSrv  *http.Server
+	listener net.Listener
+	closed   atomic.Bool
+}
+
+// batch is one submitted job batch and its accumulating results.
+type batch struct {
+	id       string
+	client   string
+	priority int
+	jobs     []sim.Job
+	created  time.Time
+
+	mu        sync.Mutex
+	results   []sim.Result
+	resDone   []bool
+	forwarded []bool
+	remaining int
+	finished  time.Time
+}
+
+func (b *batch) setResult(i int, res sim.Result, forwarded bool) (batchDone bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.resDone[i] {
+		return false
+	}
+	b.results[i] = res
+	b.resDone[i] = true
+	b.forwarded[i] = forwarded
+	b.remaining--
+	if b.remaining == 0 {
+		b.finished = time.Now()
+		return true
+	}
+	return false
+}
+
+// New builds a server and starts its executor pool. Close releases it.
+func New(cfg Config) *Server {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	workers := cfg.QueueWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ropts := []sim.Option{sim.WithMetricsRegistry(reg)}
+	if cfg.Tracer != nil {
+		ropts = append(ropts, sim.WithTracer(cfg.Tracer))
+	}
+	if cfg.Store != nil {
+		ropts = append(ropts, sim.WithResultStore(cfg.Store))
+	}
+	ropts = append(ropts, cfg.RunnerOpts...)
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		tr:      cfg.Tracer,
+		runner:  sim.New(ropts...),
+		queue:   newFairQueue(),
+		ring:    newRing(cfg.Self, cfg.Peers),
+		m:       newServeMetrics(reg),
+		client:  &http.Client{Timeout: 5 * time.Minute},
+		batches: map[string]*batch{},
+		workers: workers,
+	}
+	s.exec = s.runner.RunOne
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		tid := 100 + w // distinct trace track family from the sim runner's
+		s.tr.NameThread(tid, fmt.Sprintf("serve-worker-%d", w))
+		go s.worker(tid)
+	}
+	return s
+}
+
+// worker drains the fair queue until Close.
+func (s *Server) worker(tid int) {
+	defer s.wg.Done()
+	for {
+		t, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.m.queueDepth.Add(-1)
+		wait := time.Since(t.enqueued)
+		s.m.queueWait.Observe(uint64(wait))
+		j := t.b.jobs[t.idx]
+		sp := s.tr.Begin("serve job "+j.CoreName()+"|"+j.Kernel.Name, "serve", tid)
+		start := time.Now()
+		res, forwarded := s.runTask(j)
+		s.m.latency.Observe(uint64(time.Since(start)))
+		sp.End(obs.Arg{Key: "batch", Val: t.b.id}, obs.Arg{Key: "forwarded", Val: forwarded})
+		s.m.completed.Inc()
+		if res.Err != nil {
+			s.m.errored.Inc()
+		}
+		t.b.setResult(t.idx, res, forwarded)
+	}
+}
+
+// runTask routes one job: shard peer first when the ring says the config
+// belongs elsewhere, with local fallback on any forward failure.
+func (s *Server) runTask(j sim.Job) (res sim.Result, forwarded bool) {
+	if owner := s.ring.owner(j.ConfigFingerprint()); owner != "" && owner != s.cfg.Self {
+		if res, err := s.forward(owner, j); err == nil {
+			s.m.forwarded.Inc()
+			return res, true
+		}
+		s.m.fallback.Inc()
+	}
+	return s.runLocal(j), false
+}
+
+// runLocal executes on this node's runner and classifies the outcome.
+func (s *Server) runLocal(j sim.Job) sim.Result {
+	res := s.exec(j)
+	switch {
+	case res.Err != nil:
+		// counted by the caller via completed/errored
+	case res.FromStore:
+		s.m.storeHits.Inc()
+	case res.Cached:
+		s.m.memoHits.Inc()
+	default:
+		s.m.simulated.Inc()
+	}
+	return res
+}
+
+// forward executes j synchronously on a shard peer via /internal/run and
+// decodes the returned blob payload.
+func (s *Server) forward(owner string, j sim.Job) (sim.Result, error) {
+	spec, err := specFor(j)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	req, err := http.NewRequest(http.MethodPost, owner+"/internal/run", bytes.NewReader(body))
+	if err != nil {
+		return sim.Result{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return sim.Result{}, fmt.Errorf("peer %s: %s: %s", owner, resp.Status, payload)
+	}
+	res, err := sim.DecodeResult(payload, j)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return res, nil
+}
+
+// specFor reconstructs a wire spec from a resolved job (forwarding
+// carries the full config so both sides agree exactly).
+func specFor(j sim.Job) (JobSpec, error) {
+	spec := JobSpec{Kernel: j.Kernel.Name}
+	if j.Core == sim.Boom {
+		spec.Core = "boom"
+		cfg := j.Boom
+		spec.Boom = &cfg
+	} else {
+		spec.Core = "rocket"
+		cfg := j.Rocket
+		spec.Rocket = &cfg
+	}
+	if j.Sample.Enabled() {
+		p := j.Sample
+		spec.Sample = &p
+		spec.SamplePar = j.SamplePar
+	}
+	return spec, nil
+}
+
+// Handler returns the API routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /store/{addr}", s.handleStoreGet)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /internal/run", s.handleInternalRun)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "icicle-serve\n\nPOST /jobs\nGET /jobs/{id}\nGET /store/{addr}\nGET /healthz\nGET /metrics\n")
+	})
+	return s.countRequests(mux)
+}
+
+func (s *Server) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.m.requests.Inc()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty job list")
+		return
+	}
+	if req.Client == "" {
+		req.Client = "anon"
+	}
+	jobs := make([]sim.Job, len(req.Jobs))
+	for i, spec := range req.Jobs {
+		j, err := spec.Job()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			return
+		}
+		jobs[i] = j
+	}
+	if s.closed.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	s.started.CompareAndSwap(0, time.Now().UnixNano())
+	b := &batch{
+		client:    req.Client,
+		priority:  req.Priority,
+		jobs:      jobs,
+		created:   time.Now(),
+		results:   make([]sim.Result, len(jobs)),
+		resDone:   make([]bool, len(jobs)),
+		forwarded: make([]bool, len(jobs)),
+		remaining: len(jobs),
+	}
+	s.mu.Lock()
+	s.nextID++
+	b.id = fmt.Sprintf("b-%06d", s.nextID)
+	s.batches[b.id] = b
+	s.mu.Unlock()
+	now := time.Now()
+	for i := range jobs {
+		s.queue.Push(req.Client, req.Weight, req.Priority, task{b: b, idx: i, enqueued: now})
+		s.m.queueDepth.Add(1)
+	}
+	s.m.submitted.Add(uint64(len(jobs)))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(SubmitResponse{
+		ID:        b.id,
+		Jobs:      len(jobs),
+		StatusURL: "/jobs/" + b.id,
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	b := s.batches[id]
+	s.mu.Unlock()
+	if b == nil {
+		httpError(w, http.StatusNotFound, "unknown batch %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.statusOf(b))
+}
+
+func (s *Server) statusOf(b *batch) StatusResponse {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	done := len(b.jobs) - b.remaining
+	st := StatusResponse{
+		ID:       b.id,
+		Client:   b.client,
+		Priority: b.priority,
+		Done:     done,
+		Total:    len(b.jobs),
+		Results:  make([]JobResult, len(b.jobs)),
+	}
+	switch {
+	case done == 0:
+		st.State = "queued"
+	case b.remaining > 0:
+		st.State = "running"
+	default:
+		st.State = "done"
+	}
+	if b.remaining == 0 {
+		st.ElapsedSec = b.finished.Sub(b.created).Seconds()
+	} else {
+		st.ElapsedSec = time.Since(b.created).Seconds()
+	}
+	withStore := s.cfg.Store != nil
+	for i := range b.jobs {
+		if !b.resDone[i] {
+			st.Results[i] = JobResult{Key: b.jobs[i].Key(), Done: false}
+			continue
+		}
+		st.Results[i] = ResultJSON(b.results[i], withStore)
+		st.Results[i].Forwarded = b.forwarded[i]
+	}
+	return st
+}
+
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		httpError(w, http.StatusNotFound, "no persistent store configured")
+		return
+	}
+	addr := r.PathValue("addr")
+	payload, ok := s.cfg.Store.GetAddr(addr)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no verified blob at %s", addr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Icicle-Store-Addr", addr)
+	w.Write(payload)
+}
+
+func (s *Server) handleInternalRun(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	j, err := spec.Job()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The owner executes locally, never re-forwards: /internal/run is the
+	// ring's terminal hop, so a stale peer list cannot create a cycle.
+	res := s.runLocal(j)
+	s.m.completed.Inc()
+	if res.Err != nil {
+		s.m.errored.Inc()
+		httpError(w, http.StatusInternalServerError, "%v", res.Err)
+		return
+	}
+	payload, err := sim.EncodeResult(res)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(payload)
+}
+
+// healthz is the liveness body.
+type healthz struct {
+	Status     string       `json:"status"`
+	QueueDepth int          `json:"queue_depth"`
+	Batches    int          `json:"batches"`
+	Workers    int          `json:"workers"`
+	Peers      []string     `json:"peers,omitempty"`
+	Store      *store.Stats `json:"store,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	nb := len(s.batches)
+	s.mu.Unlock()
+	h := healthz{
+		Status:     "ok",
+		QueueDepth: s.queue.Depth(),
+		Batches:    nb,
+		Workers:    s.workers,
+		Peers:      s.cfg.Peers,
+	}
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		h.Store = &st
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
+}
+
+// Progress adapts the service counters to the obs /progress shape.
+func (s *Server) Progress() obs.Progress {
+	done := s.m.completed.Value()
+	p := obs.Progress{
+		Done:      done,
+		Total:     s.m.submitted.Value(),
+		CacheHits: s.m.storeHits.Value() + s.m.memoHits.Value(),
+	}
+	if done > 0 {
+		p.HitRate = float64(p.CacheHits) / float64(done)
+	}
+	if t := s.started.Load(); t != 0 {
+		p.ElapsedSec = time.Since(time.Unix(0, t)).Seconds()
+		if p.ElapsedSec > 0 {
+			p.SimsPerSec = float64(done) / p.ElapsedSec
+			if p.Total > done && p.SimsPerSec > 0 {
+				p.ETASec = float64(p.Total-done) / p.SimsPerSec
+			}
+		}
+	}
+	return p
+}
+
+// Runner exposes the underlying sim runner (stats, tests).
+func (s *Server) Runner() *sim.Runner { return s.runner }
+
+// Start serves the API on addr in a background goroutine, returning the
+// bound address ("127.0.0.1:0" picks a free port).
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.listener = ln
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go s.httpSrv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting work, releases the executor pool, and shuts the
+// HTTP listener down. Queued-but-unstarted tasks are dropped (their
+// batches simply never finish); in-flight jobs complete.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.queue.Close()
+	s.wg.Wait()
+	if s.httpSrv != nil {
+		return s.httpSrv.Close()
+	}
+	return nil
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Sharding: jobs are routed across peer servers by consistent hashing on
+// the job's config fingerprint. Routing by configuration (not by job)
+// keeps every kernel of one config on one node, so that node's per-config
+// core pools and plan cache stay hot for the whole sweep — and a shared
+// (or per-node) result store makes the placement a pure performance
+// choice, never a correctness one. Consistent hashing keeps the map
+// stable as peers come and go: each peer projects vnodeReplicas points
+// onto a hash ring and a fingerprint belongs to the first point at or
+// after its own hash. A peer that fails to answer falls back to local
+// execution (the requester can run anything), so sharding degrades to a
+// slower sweep, never a failed one.
+
+// vnodeReplicas is how many ring points each peer projects; more points
+// smooth the load split at the cost of a larger (still tiny) ring.
+const vnodeReplicas = 64
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// ring is an immutable consistent-hash ring over peer base URLs.
+type ring struct {
+	self   string
+	points []ringPoint
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV alone clusters badly for near-identical strings (peer URLs
+	// differing in one byte); a splitmix64-style finalizer avalanches the
+	// bits so vnode points spread uniformly around the ring.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// newRing builds the ring. self is this server's own advertised URL;
+// peers lists every shard (self included or not — it is added). A ring
+// with one distinct peer routes everything locally.
+func newRing(self string, peers []string) *ring {
+	r := &ring{self: self}
+	seen := map[string]bool{}
+	for _, p := range append([]string{self}, peers...) {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		for i := 0; i < vnodeReplicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(fmt.Sprintf("%s#%d", p, i)),
+				peer: p,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// owner returns the peer responsible for the fingerprint ("" on an
+// empty/solo ring, meaning run locally).
+func (r *ring) owner(fingerprint string) string {
+	if r == nil || len(r.points) <= vnodeReplicas { // zero or one peer
+		return ""
+	}
+	h := hash64(fingerprint)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].peer
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func fingerprints(n int) []string {
+	fps := make([]string, n)
+	for i := range fps {
+		fps[i] = fmt.Sprintf("rocket|{XLen:64 Cache:%d}", i)
+	}
+	return fps
+}
+
+// A solo or empty ring routes everything locally ("").
+func TestRingSoloIsLocal(t *testing.T) {
+	for _, r := range []*ring{
+		nil,
+		newRing("", nil),
+		newRing("http://a", nil),
+		newRing("http://a", []string{"http://a"}), // self listed as peer
+		newRing("", []string{"http://a"}),         // single peer, no self
+	} {
+		if got := r.owner("anything"); got != "" {
+			t.Fatalf("solo ring owner = %q, want \"\"", got)
+		}
+	}
+}
+
+// Ownership is deterministic and independent of peer list order.
+func TestRingDeterministic(t *testing.T) {
+	peers := []string{"http://a", "http://b", "http://c"}
+	r1 := newRing("http://a", peers)
+	r2 := newRing("http://a", []string{"http://c", "http://b", "http://a"})
+	for _, fp := range fingerprints(100) {
+		if r1.owner(fp) != r2.owner(fp) {
+			t.Fatalf("owner of %q differs across peer orderings: %q vs %q",
+				fp, r1.owner(fp), r2.owner(fp))
+		}
+	}
+}
+
+// Vnode replication spreads load: with 3 peers, each owns a meaningful
+// share of fingerprints (no peer below 15% or above 60% of 300).
+func TestRingBalance(t *testing.T) {
+	r := newRing("http://a", []string{"http://b", "http://c"})
+	counts := map[string]int{}
+	fps := fingerprints(300)
+	for _, fp := range fps {
+		counts[r.owner(fp)]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("expected all 3 peers to own something, got %v", counts)
+	}
+	for p, n := range counts {
+		if n < len(fps)*15/100 || n > len(fps)*60/100 {
+			t.Fatalf("unbalanced ring: %s owns %d of %d (%v)", p, n, len(fps), counts)
+		}
+	}
+}
+
+// Consistent hashing: removing one peer only remaps the fingerprints that
+// peer owned — everything else keeps its owner.
+func TestRingStabilityOnPeerLoss(t *testing.T) {
+	full := newRing("http://a", []string{"http://b", "http://c"})
+	reduced := newRing("http://a", []string{"http://b"})
+	fps := fingerprints(300)
+	moved := 0
+	for _, fp := range fps {
+		before := full.owner(fp)
+		after := reduced.owner(fp)
+		if before == "http://c" {
+			if after == "http://c" {
+				t.Fatalf("removed peer still owns %q", fp)
+			}
+			moved++
+			continue
+		}
+		if after != before {
+			t.Fatalf("fingerprint %q moved %q → %q although its owner never left",
+				fp, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: removed peer owned nothing")
+	}
+}

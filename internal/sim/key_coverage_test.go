@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"icicle/internal/boom"
+	"icicle/internal/rocket"
+	"icicle/internal/sample"
+)
+
+// Every field of sim.Job must carry an explicit keying decision: either
+// perturbing it changes the memo key (it selects a different
+// simulation), or it provably cannot change the result (worker counts,
+// bit-identical engines) and is excluded. A new Job field added without
+// an entry here fails TestJobKeyFieldCoverage, forcing the author to
+// decide — the memo, the persistent store, and the serve layer all trust
+// this key, so an unkeyed result-changing field would serve wrong
+// results and a keyed result-free field would split the cache.
+type keyRule struct {
+	// perturb returns a copy of the job with only this field changed.
+	perturb func(j Job) Job
+	// wantChange: the perturbation must (true) / must not (false) move
+	// the key.
+	wantChange bool
+	why        string
+}
+
+func jobKeyRules(t *testing.T) map[string]keyRule {
+	t.Helper()
+	other := mustKernel(t, "towers")
+	return map[string]keyRule{
+		"Core": {
+			perturb:    func(j Job) Job { j.Core = Boom; j.Boom = boom.NewConfig(boom.Small); return j },
+			wantChange: true,
+			why:        "different timing model",
+		},
+		"Rocket": {
+			perturb:    func(j Job) Job { j.Rocket.FetchWidth++; return j },
+			wantChange: true,
+			why:        "config selects the microarchitecture",
+		},
+		"Boom": {
+			// Exercised on a BOOM-core job inside the harness.
+			perturb:    func(j Job) Job { j.Core = Boom; j.Boom = boom.NewConfig(boom.Small); j.Boom.ROBEntries++; return j },
+			wantChange: true,
+			why:        "config selects the microarchitecture",
+		},
+		"Kernel": {
+			perturb:    func(j Job) Job { j.Kernel = other; return j },
+			wantChange: true,
+			why:        "different workload",
+		},
+		"Sample": {
+			perturb:    func(j Job) Job { return j.WithSampling(sample.Policy{Window: 512, Period: 4096, Warmup: 512}) },
+			wantChange: true,
+			why:        "sampled and full-detail results differ",
+		},
+		"SamplePar": {
+			// Worker count among enabled values: bit-identical results
+			// for every count (the PR 6 merge contract), so the key must
+			// not move. The 0 → >0 family switch is keyed via Sample
+			// handling and pinned separately below.
+			perturb: func(j Job) Job {
+				j = j.WithParallelSampling(sample.Policy{Window: 512, Period: 4096, Warmup: 512}, 2)
+				j.SamplePar = 7
+				return j
+			},
+			wantChange: false,
+			why:        "results are bit-identical for any worker count",
+		},
+	}
+}
+
+// TestJobKeyFieldCoverage walks sim.Job's fields by reflection and fails
+// when any field lacks a keying decision or behaves against its rule.
+func TestJobKeyFieldCoverage(t *testing.T) {
+	rules := jobKeyRules(t)
+	typ := reflect.TypeOf(Job{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		rule, ok := rules[name]
+		if !ok {
+			t.Errorf("sim.Job field %q has no keying decision: add a keyRule entry (keyed or provably result-free) before shipping it", name)
+			continue
+		}
+		base := RocketJob(rocket.DefaultConfig(), mustKernel(t, "vvadd"))
+		if name == "SamplePar" {
+			base = base.WithParallelSampling(sample.Policy{Window: 512, Period: 4096, Warmup: 512}, 2)
+		}
+		mutated := rule.perturb(base)
+		changed := base.Key() != mutated.Key()
+		if changed != rule.wantChange {
+			t.Errorf("field %s: key changed=%v, rule wants %v (%s)\n base: %s\n mut:  %s",
+				name, changed, rule.wantChange, rule.why, base.Key(), mutated.Key())
+		}
+	}
+	for name := range rules {
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("keyRule for %q names a field sim.Job no longer has; delete it", name)
+		}
+	}
+}
+
+// TestSamplePolicyFieldsPerturbKey: every sample.Policy field must move
+// the key of an enabled sampled job — the policy is part of what was
+// simulated.
+func TestSamplePolicyFieldsPerturbKey(t *testing.T) {
+	k := mustKernel(t, "vvadd")
+	base := RocketJob(rocket.DefaultConfig(), k).
+		WithSampling(sample.Policy{Window: 512, Period: 4096, Warmup: 512})
+	typ := reflect.TypeOf(sample.Policy{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		j := base
+		pv := reflect.ValueOf(&j.Sample).Elem().Field(i)
+		if !bumpScalar(pv) {
+			t.Errorf("sample.Policy field %s has kind %s: teach bumpScalar about it and decide its keying", f.Name, f.Type.Kind())
+			continue
+		}
+		if j.Key() == base.Key() {
+			t.Errorf("sample.Policy field %s does not perturb the memo key: %s", f.Name, base.Key())
+		}
+	}
+}
+
+// TestRocketConfigFieldsPerturbKey / TestBoomConfigFieldsPerturbKey:
+// every config field — including nested hierarchy and cache geometry —
+// must perturb the key. The walk is recursive and rejects field kinds it
+// does not understand, so adding an unkeyable field type (a func, a
+// channel) fails loudly instead of silently falling out of the
+// fingerprint.
+func TestRocketConfigFieldsPerturbKey(t *testing.T) {
+	k := mustKernel(t, "vvadd")
+	base := RocketJob(rocket.DefaultConfig(), k)
+	j := base
+	perturbEachField(t, reflect.ValueOf(&j.Rocket).Elem(), "rocket.Config",
+		func() string { return j.Key() },
+		func() { j = base })
+}
+
+func TestBoomConfigFieldsPerturbKey(t *testing.T) {
+	k := mustKernel(t, "vvadd")
+	base := BoomJob(boom.NewConfig(boom.Small), k)
+	j := base
+	perturbEachField(t, reflect.ValueOf(&j.Boom).Elem(), "boom.Config",
+		func() string { return j.Key() },
+		func() { j = base })
+}
+
+// perturbEachField bumps every leaf field reachable from v (recursing
+// through nested structs), asserting the key moves each time, and
+// restores the baseline between fields.
+func perturbEachField(t *testing.T, v reflect.Value, path string, key func() string, reset func()) {
+	t.Helper()
+	baseKey := key()
+	typ := v.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		fv := v.Field(i)
+		name := path + "." + f.Name
+		switch fv.Kind() {
+		case reflect.Struct:
+			perturbEachField(t, fv, name, key, reset)
+			continue
+		default:
+			if !bumpScalar(fv) {
+				t.Errorf("%s has kind %s the key-coverage walk cannot perturb: extend bumpScalar or exclude it with an explicit decision", name, fv.Kind())
+				continue
+			}
+		}
+		if key() == baseKey {
+			t.Errorf("%s does not perturb the memo key — a sweep varying it would collide in the cache", name)
+		}
+		reset()
+		if key() != baseKey {
+			t.Fatalf("reset failed after %s", name)
+		}
+	}
+}
+
+// bumpScalar mutates a scalar value in place; false when the kind is not
+// supported (the caller turns that into a keying-decision failure).
+func bumpScalar(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 1)
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.String:
+		v.SetString(v.String() + "~")
+	case reflect.Pointer:
+		if v.IsNil() {
+			v.Set(reflect.New(v.Type().Elem()))
+		} else {
+			v.Set(reflect.Zero(v.Type()))
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// TestKeyFamilies pins the three key families (full, sample, sample2)
+// stay mutually distinct — the store depends on it as much as the memo.
+func TestKeyFamilies(t *testing.T) {
+	k := mustKernel(t, "vvadd")
+	p := sample.Policy{Window: 512, Period: 4096, Warmup: 512}
+	full := RocketJob(rocket.DefaultConfig(), k)
+	sampled := full.WithSampling(p)
+	par := full.WithParallelSampling(p, 4)
+	keys := map[string]string{
+		"full": full.Key(), "sampled": sampled.Key(), "sample2": par.Key(),
+	}
+	seen := map[string]string{}
+	for fam, key := range keys {
+		if prev, dup := seen[key]; dup {
+			t.Errorf("key families %s and %s collide: %s", fam, prev, key)
+		}
+		seen[key] = fam
+	}
+	if StoreKey(full) == full.Key() {
+		// The store namespaces job blobs so window blobs can never alias.
+		t.Error("StoreKey must namespace the memo key")
+	}
+	if StoreKey(par) != jobKeyPrefix+par.Key() {
+		t.Errorf("StoreKey shape drifted: %s", StoreKey(par))
+	}
+}

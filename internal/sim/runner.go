@@ -22,6 +22,7 @@ type Runner struct {
 	workers  int
 	memoize  bool
 	corePool bool
+	store    ResultStore // optional persistent L2 (nil = memory only)
 
 	// m holds the runner's counters. New() uses standalone (unregistered)
 	// metrics so each runner's counts stay isolated; WithMetricsRegistry
@@ -65,6 +66,9 @@ type runnerMetrics struct {
 	windowHits   *obs.Counter // sampled windows served from the window memo
 	windowMisses *obs.Counter // sampled windows actually executed
 
+	storeHits   *obs.Counter // jobs served from the persistent result store
+	storeMisses *obs.Counter // memo misses the store couldn't serve either
+
 	rocket *obs.CoreTelemetry
 	boom   *obs.CoreTelemetry
 
@@ -83,6 +87,8 @@ func standaloneMetrics() *runnerMetrics {
 		coreReuses:   obs.NewCounter(),
 		windowHits:   obs.NewCounter(),
 		windowMisses: obs.NewCounter(),
+		storeHits:    obs.NewCounter(),
+		storeMisses:  obs.NewCounter(),
 		rocket:       obs.NewCoreTelemetry(),
 		boom:         obs.NewCoreTelemetry(),
 		sample:       sample.NewTelemetry(),
@@ -107,6 +113,10 @@ func registryMetrics(reg *obs.Registry) *runnerMetrics {
 			"sampled windows served from the window memo"),
 		windowMisses: reg.Counter("icicle_sim_window_misses_total",
 			"sampled windows actually executed"),
+		storeHits: reg.Counter("icicle_sim_store_hits_total",
+			"jobs served from the persistent result store"),
+		storeMisses: reg.Counter("icicle_sim_store_misses_total",
+			"memo misses the persistent store couldn't serve either"),
 		rocket: obs.CoreTelemetryIn(reg, "rocket"),
 		boom:   obs.CoreTelemetryIn(reg, "boom"),
 		sample: sample.TelemetryIn(reg),
@@ -291,7 +301,21 @@ func (r *Runner) lookupOrSimulate(j Job, tid int) Result {
 	e := &cacheEntry{done: make(chan struct{})}
 	r.cache[key] = e
 	r.mu.Unlock()
+	// Memo miss: consult the persistent store (L2) before simulating, and
+	// write fresh results back so the next process gets them for free.
+	if r.store != nil {
+		if res, ok := r.loadStored(j); ok {
+			r.m.storeHits.Inc()
+			e.res = res
+			close(e.done)
+			return res
+		}
+		r.m.storeMisses.Inc()
+	}
 	e.res = r.simulate(j, tid)
+	if r.store != nil {
+		r.storeResult(j, e.res)
+	}
 	close(e.done)
 	return e.res
 }
@@ -412,6 +436,9 @@ type Stats struct {
 	WindowHits   uint64 // sampled windows served from the window memo
 	WindowMisses uint64 // sampled windows actually executed
 
+	StoreHits   uint64 // jobs served from the persistent result store
+	StoreMisses uint64 // memo misses the store couldn't serve either
+
 	// MemStats deltas summed over Run batches (process-wide, approximate).
 	AllocBytes uint64 // heap bytes allocated
 	Mallocs    uint64 // heap objects allocated
@@ -440,6 +467,8 @@ func (r *Runner) Snapshot() Snapshot {
 		CoreReuses:   r.m.coreReuses.Value(),
 		WindowHits:   r.m.windowHits.Value(),
 		WindowMisses: r.m.windowMisses.Value(),
+		StoreHits:    r.m.storeHits.Value(),
+		StoreMisses:  r.m.storeMisses.Value(),
 		AllocBytes:   r.allocBytes.Load(),
 		Mallocs:      r.mallocs.Load(),
 		NumGC:        r.numGC.Load(),
@@ -459,6 +488,9 @@ func (s Stats) String() string {
 	}
 	if s.WindowHits > 0 || s.WindowMisses > 0 {
 		out += fmt.Sprintf("; %d windows run, %d memo hits", s.WindowMisses, s.WindowHits)
+	}
+	if s.StoreHits > 0 || s.StoreMisses > 0 {
+		out += fmt.Sprintf("; %d store hits, %d store misses", s.StoreHits, s.StoreMisses)
 	}
 	if s.Misses > 0 && (s.AllocBytes > 0 || s.Mallocs > 0) {
 		out += fmt.Sprintf("; %s allocated (%s/job, %d objects/job), %d GC cycles",

@@ -122,6 +122,18 @@ func (j Job) Key() string {
 	return key
 }
 
+// ConfigFingerprint is the core-plus-configuration part of the memo key,
+// with the kernel and detail mode stripped: the sharding axis of the
+// serve layer. Routing by config keeps every kernel of one configuration
+// on one node, so that node's core pools and plan cache stay hot for the
+// whole config sweep.
+func (j Job) ConfigFingerprint() string {
+	if j.Core == Boom {
+		return fmt.Sprintf("boom|%+v", j.Boom)
+	}
+	return fmt.Sprintf("rocket|%+v", j.Rocket)
+}
+
 // Result is one job's outcome. Exactly one of Rocket/Boom is populated,
 // per Job.Core. Cached results share Tally/LaneTally maps with every other
 // holder of the same key: treat them as read-only.
@@ -135,7 +147,11 @@ type Result struct {
 	// hold extrapolated cycle and event totals.
 	Sampled *sample.Report
 	Err     error
-	Cached  bool // served from the memoization cache
+	Cached  bool // served without simulating (memo or persistent store)
+	// FromStore marks a result whose bytes came from the persistent
+	// result store (directly, or via a memo entry the store seeded) —
+	// i.e. no process in this lifetime simulated it.
+	FromStore bool
 }
 
 // Cycles returns the simulated cycle count of whichever core ran.

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"icicle/internal/rocket"
+	"icicle/internal/sample"
+	"icicle/internal/store"
+)
+
+// newStore opens a content-addressed store in a test temp dir.
+func newStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// resetSharedWindows empties the process-wide window memo so a test can
+// model a fresh process over a shared store directory.
+func resetSharedWindows() {
+	sharedWindows.mu.Lock()
+	sharedWindows.m = nil
+	sharedWindows.mu.Unlock()
+}
+
+// TestStoreL2CrossRunner models two processes sharing one store
+// directory: the first runner simulates and persists, the second (fresh
+// memo, fresh handle on the same dir) serves the identical result from
+// the store without simulating.
+func TestStoreL2CrossRunner(t *testing.T) {
+	dir := t.TempDir()
+	k := mustKernel(t, "vvadd")
+	j := RocketJob(rocket.DefaultConfig(), k)
+
+	r1 := New(WithResultStore(newStore(t, dir)))
+	first := r1.RunOne(j)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if first.Cached || first.FromStore {
+		t.Fatalf("cold run flagged cached=%v fromStore=%v", first.Cached, first.FromStore)
+	}
+	st1 := r1.Stats()
+	if st1.StoreHits != 0 || st1.StoreMisses != 1 {
+		t.Errorf("first runner store stats = %d hits / %d misses, want 0/1", st1.StoreHits, st1.StoreMisses)
+	}
+
+	r2 := New(WithResultStore(newStore(t, dir)))
+	second := r2.RunOne(j)
+	if second.Err != nil {
+		t.Fatal(second.Err)
+	}
+	if !second.Cached || !second.FromStore {
+		t.Fatalf("warm run not served from store: cached=%v fromStore=%v", second.Cached, second.FromStore)
+	}
+	st2 := r2.Stats()
+	if st2.StoreHits != 1 || st2.Misses != 0 {
+		t.Errorf("second runner = %d store hits / %d simulations, want 1/0", st2.StoreHits, st2.Misses)
+	}
+	if !reflect.DeepEqual(first.Rocket, second.Rocket) {
+		t.Errorf("stored result differs:\n sim: %+v\n store: %+v", first.Rocket, second.Rocket)
+	}
+	if !reflect.DeepEqual(first.Breakdown, second.Breakdown) {
+		t.Error("stored breakdown differs from simulated one")
+	}
+
+	// A memo hit of the store-seeded entry keeps the FromStore mark.
+	third := r2.RunOne(j)
+	if !third.Cached || !third.FromStore {
+		t.Errorf("memo hit of store-seeded entry: cached=%v fromStore=%v", third.Cached, third.FromStore)
+	}
+}
+
+// TestStoreL2Sampled persists a sampled (plan-engine) job including its
+// report, and checks a fresh runner reconstructs it bit-identically.
+func TestStoreL2Sampled(t *testing.T) {
+	dir := t.TempDir()
+	k := mustKernel(t, "towers")
+	p := sample.Policy{Window: 512, Period: 4096, Warmup: 512}
+	j := RocketJob(rocket.DefaultConfig(), k).WithParallelSampling(p, 2)
+
+	r1 := New(WithResultStore(newStore(t, dir)))
+	first := r1.RunOne(j)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if first.Sampled == nil {
+		t.Fatal("sampled job missing its report")
+	}
+
+	r2 := New(WithResultStore(newStore(t, dir)))
+	second := r2.RunOne(j)
+	if !second.FromStore {
+		t.Fatal("sampled result not served from store")
+	}
+	if second.Sampled == nil {
+		t.Fatal("stored sampled result lost its report")
+	}
+	if !reflect.DeepEqual(first.Sampled, second.Sampled) {
+		t.Errorf("stored report differs:\n sim: %+v\n store: %+v", first.Sampled, second.Sampled)
+	}
+	if second.Rocket.Cycles != first.Rocket.Cycles || second.Exit() != first.Exit() {
+		t.Error("stored sampled totals differ")
+	}
+}
+
+// TestWindowMemoPersists pins the PR 6 window memo's L2: window results
+// written through one runner's disk-backed memo are served to a fresh
+// process (empty in-memory memo, same store directory) without
+// re-executing the windows.
+func TestWindowMemoPersists(t *testing.T) {
+	dir := t.TempDir()
+	k := mustKernel(t, "vvadd")
+	p := sample.Policy{Window: 512, Period: 4096, Warmup: 512}
+	j := RocketJob(rocket.DefaultConfig(), k).WithParallelSampling(p, 2)
+
+	resetSharedWindows()
+	defer resetSharedWindows()
+
+	r1 := New(WithResultStore(newStore(t, dir)))
+	if res := r1.RunOne(j); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	st1 := r1.Stats()
+	if st1.WindowMisses == 0 {
+		t.Fatalf("cold sampled run executed no windows: %+v", st1)
+	}
+
+	// Fresh "process" with the full store: the job blob short-circuits
+	// before any window runs — the stronger property.
+	resetSharedWindows()
+	r2 := New(WithResultStore(newStore(t, dir)))
+	if res := r2.RunOne(j); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if st2 := r2.Stats(); st2.Misses != 0 {
+		t.Errorf("warm job simulated (%d misses) despite stored result", st2.Misses)
+	}
+
+	// Fresh "process" that lost its job blobs but kept the checkpointed
+	// windows (the crash-recovery shape): the sweep resumes from
+	// persisted windows, executing none of them again.
+	resetSharedWindows()
+	st := newStore(t, dir)
+	r3 := New(WithResultStore(onlyWindows{st}))
+	if res := r3.RunOne(j); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	st3 := r3.Stats()
+	if st3.WindowHits == 0 {
+		t.Errorf("persisted windows not reused: %+v", st3)
+	}
+	if st3.WindowMisses != 0 {
+		t.Errorf("windows re-executed despite persisted results: %d", st3.WindowMisses)
+	}
+}
+
+// onlyWindows hides job blobs from a store, exposing only window blobs —
+// the shape of a process that lost its job cache but kept checkpointed
+// windows.
+type onlyWindows struct{ st *store.Store }
+
+func (o onlyWindows) Get(key string) ([]byte, bool) {
+	if len(key) >= len(windowKeyPrefix) && key[:len(windowKeyPrefix)] == windowKeyPrefix {
+		return o.st.Get(key)
+	}
+	return nil, false
+}
+
+func (o onlyWindows) Put(key string, payload []byte) error { return o.st.Put(key, payload) }
+
+// TestStoreErrorsNotPersisted: a job that fails must recompute every
+// time — errors are never written to the store.
+func TestStoreErrorsNotPersisted(t *testing.T) {
+	dir := t.TempDir()
+	k := mustKernel(t, "vvadd")
+	cfg := rocket.DefaultConfig()
+	cfg.MaxCycles = 10 // guaranteed budget exhaustion
+	j := RocketJob(cfg, k)
+
+	r1 := New(WithResultStore(newStore(t, dir)))
+	if res := r1.RunOne(j); res.Err == nil {
+		t.Fatal("expected a cycle-budget error")
+	}
+	r2 := New(WithResultStore(newStore(t, dir)))
+	res := r2.RunOne(j)
+	if res.Err == nil {
+		t.Fatal("expected the error again")
+	}
+	if res.FromStore {
+		t.Error("errored result was served from the store")
+	}
+	if r2.Stats().StoreHits != 0 {
+		t.Error("store claims a hit for an errored job")
+	}
+}
+
+// TestEncodeDecodeRoundTrip pins the blob codec on a fully populated
+// result.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	k := mustKernel(t, "median")
+	j := RocketJob(rocket.DefaultConfig(), k)
+	r := New()
+	res := r.RunOne(j)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	payload, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeResult(payload, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Rocket, back.Rocket) {
+		t.Error("rocket result changed through the codec")
+	}
+	if !reflect.DeepEqual(res.Breakdown, back.Breakdown) {
+		t.Error("breakdown changed through the codec")
+	}
+	if back.Job.Key() != j.Key() {
+		t.Error("decoded result lost its job descriptor")
+	}
+}

@@ -48,14 +48,27 @@ func (ws *windowStore) Len() int {
 
 var sharedWindows windowStore
 
-// countingWindowMemo attributes memo traffic to a runner's counters.
+// countingWindowMemo attributes memo traffic to a runner's counters and,
+// when the runner has a persistent store, layers it under the in-memory
+// map as an L2: window results persist across processes, so a sampled
+// sweep on a fresh server resumes from checkpointed windows instead of
+// re-simulating them.
 type countingWindowMemo struct {
 	store        *windowStore
+	disk         ResultStore // optional persistent L2 (nil = memory only)
 	hits, misses *obs.Counter
 }
 
 func (cm countingWindowMemo) Get(key string) (sample.WindowResult, bool) {
 	wr, ok := cm.store.Get(key)
+	if !ok && cm.disk != nil {
+		if payload, found := cm.disk.Get(windowKeyPrefix + key); found {
+			if dec, err := decodeWindow(payload); err == nil {
+				cm.store.Put(key, dec) // promote to L1
+				wr, ok = dec, true
+			}
+		}
+	}
 	if ok {
 		cm.hits.Inc()
 	} else {
@@ -66,6 +79,11 @@ func (cm countingWindowMemo) Get(key string) (sample.WindowResult, bool) {
 
 func (cm countingWindowMemo) Put(key string, wr sample.WindowResult) {
 	cm.store.Put(key, wr)
+	if cm.disk != nil {
+		if payload, err := encodeWindow(wr); err == nil {
+			cm.disk.Put(windowKeyPrefix+key, payload) // best effort
+		}
+	}
 }
 
 // windowMemo returns the runner's view of the shared memo, or nil when
@@ -77,6 +95,7 @@ func (r *Runner) windowMemo() sample.WindowMemo {
 	}
 	return countingWindowMemo{
 		store:  &sharedWindows,
+		disk:   r.store,
 		hits:   r.m.windowHits,
 		misses: r.m.windowMisses,
 	}

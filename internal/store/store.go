@@ -1,0 +1,407 @@
+// Package store is the persistent, content-addressed result store behind
+// the icicle-serve service and the sim runner's L2 memo: a directory of
+// versioned, checksummed blobs keyed by job fingerprint, so identical
+// sweeps are free across processes and users — the host-side analogue of
+// an artifact cache in a FireSim-style simulation farm.
+//
+// Layout under the root directory:
+//
+//	objects/<aa>/<sha256-hex>   verified blobs (aa = first two hex digits)
+//	tmp/                        in-flight writes (atomic write-then-rename)
+//	quarantine/                 blobs that failed verification on read
+//
+// Every blob is framed as
+//
+//	magic "ICB1" (4 bytes: format name + version)
+//	payload length (8 bytes, little-endian)
+//	payload SHA-256 (32 bytes)
+//	payload
+//
+// and is verified on every read: a wrong magic or version, a short or
+// overlong file, or a checksum mismatch moves the blob to quarantine/ and
+// reports a miss, so a crash mid-write, a truncated disk, or bit rot can
+// never serve bad bytes — the caller recomputes and the bad blob is kept
+// aside for inspection. Writes go to tmp/ first and are renamed into
+// place, so concurrent processes sharing one directory only ever observe
+// complete frames.
+//
+// The store is LRU-capped by payload bytes (WithMaxBytes): reads refresh
+// both the in-memory recency list and the file mtime (best effort), so a
+// restarted process rebuilds an approximate recency order from mtimes.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icicle/internal/obs"
+)
+
+// magic is the frame magic: format name plus version. Bumping the blob
+// format means a new magic ("ICB2"), and old blobs verify-fail into
+// quarantine and are recomputed — never misread.
+const magic = "ICB1"
+
+const headerSize = 4 + 8 + sha256.Size
+
+// Addr is the content address of a key: the hex SHA-256 of the key
+// string. It is what appears on disk and in the /store/{addr} URL space.
+func Addr(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// Store is a content-addressed blob store rooted at one directory.
+// It is safe for concurrent use, including by multiple processes sharing
+// the directory (each keeps its own index and falls through to disk on
+// local misses).
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*entry // addr → entry
+	head    *entry            // most recently used
+	tail    *entry            // least recently used
+	bytes   int64             // sum of on-disk blob sizes (frames)
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	writes      atomic.Uint64
+	quarantined atomic.Uint64
+	evicted     atomic.Uint64
+
+	reg *obs.Registry // optional mirror of the counters above
+	g   struct {
+		objects, bytes *obs.Gauge
+	}
+}
+
+// entry is one resident blob on the intrusive LRU list.
+type entry struct {
+	addr       string
+	size       int64
+	prev, next *entry
+}
+
+// Option configures Open.
+type Option func(*Store)
+
+// WithMaxBytes caps the store at n payload-frame bytes; least-recently
+// used blobs are evicted past the cap. n <= 0 means unbounded (the
+// default).
+func WithMaxBytes(n int64) Option {
+	return func(s *Store) { s.maxBytes = n }
+}
+
+// WithMetrics publishes the store's counters in reg as icicle_store_*
+// (hits, misses, writes, quarantined, evicted, plus object/byte gauges).
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Store) { s.reg = reg }
+}
+
+// Open opens (creating if needed) a store rooted at dir, rebuilding the
+// LRU index from the objects on disk (oldest mtime = least recent) and
+// clearing any in-flight tmp files left by a crash.
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := &Store{dir: dir, entries: map[string]*entry{}}
+	for _, o := range opts {
+		o(s)
+	}
+	for _, sub := range []string{"objects", "tmp", "quarantine"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	// Crash recovery: tmp files are incomplete writes by definition.
+	if tmps, err := os.ReadDir(filepath.Join(dir, "tmp")); err == nil {
+		for _, t := range tmps {
+			os.Remove(filepath.Join(dir, "tmp", t.Name()))
+		}
+	}
+	type onDisk struct {
+		addr  string
+		size  int64
+		mtime int64
+	}
+	var found []onDisk
+	buckets, err := os.ReadDir(filepath.Join(dir, "objects"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, b := range buckets {
+		if !b.IsDir() {
+			continue
+		}
+		blobs, err := os.ReadDir(filepath.Join(dir, "objects", b.Name()))
+		if err != nil {
+			continue
+		}
+		for _, bl := range blobs {
+			info, err := bl.Info()
+			if err != nil {
+				continue
+			}
+			found = append(found, onDisk{addr: bl.Name(), size: info.Size(), mtime: info.ModTime().UnixNano()})
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime < found[j].mtime })
+	for _, f := range found { // oldest first: each newer blob becomes the new MRU
+		e := &entry{addr: f.addr, size: f.size}
+		s.entries[f.addr] = e
+		s.makeMRU(e)
+		s.bytes += f.size
+	}
+	if s.reg != nil {
+		s.g.objects = s.reg.Gauge("icicle_store_objects", "blobs resident in the content-addressed store")
+		s.g.bytes = s.reg.Gauge("icicle_store_bytes", "total frame bytes resident in the store")
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.publishLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) objectPath(addr string) string {
+	bucket := "xx"
+	if len(addr) >= 2 {
+		bucket = addr[:2]
+	}
+	return filepath.Join(s.dir, "objects", bucket, addr)
+}
+
+// Get returns the verified payload stored under key, or false. A blob
+// that fails verification is quarantined and reported as a miss.
+func (s *Store) Get(key string) ([]byte, bool) {
+	return s.GetAddr(Addr(key))
+}
+
+// GetAddr is Get by content address (the /store/{addr} path).
+func (s *Store) GetAddr(addr string) ([]byte, bool) {
+	path := s.objectPath(addr)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		s.drop(addr)
+		return nil, false
+	}
+	payload, ok := verify(raw)
+	if !ok {
+		s.misses.Add(1)
+		s.quarantine(addr)
+		return nil, false
+	}
+	// Refresh the mtime (best effort) so a future process rebuilding its
+	// index from disk sees this blob as recently used.
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	s.touch(addr, int64(len(raw)))
+	s.hits.Add(1)
+	return payload, true
+}
+
+// verify checks a raw frame and returns its payload.
+func verify(raw []byte) ([]byte, bool) {
+	if len(raw) < headerSize || string(raw[:4]) != magic {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(raw[4:12])
+	if uint64(len(raw)-headerSize) != n {
+		return nil, false
+	}
+	payload := raw[headerSize:]
+	sum := sha256.Sum256(payload)
+	if string(sum[:]) != string(raw[12:headerSize]) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put stores payload under key with an atomic write-then-rename. Writing
+// an address that already exists replaces it (same content, same
+// address, so replacement is idempotent).
+func (s *Store) Put(key string, payload []byte) error {
+	addr := Addr(key)
+	frame := make([]byte, headerSize+len(payload))
+	copy(frame, magic)
+	binary.LittleEndian.PutUint64(frame[4:12], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(frame[12:headerSize], sum[:])
+	copy(frame[headerSize:], payload)
+
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), addr+".*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(frame); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	dst := s.objectPath(addr)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.writes.Add(1)
+	s.touch(addr, int64(len(frame)))
+	return nil
+}
+
+// touch records addr as most recently used (inserting it if the blob
+// appeared on disk via another process) and runs eviction.
+func (s *Store) touch(addr string, size int64) {
+	s.mu.Lock()
+	e, ok := s.entries[addr]
+	if ok {
+		s.unlink(e)
+		s.bytes -= e.size
+	} else {
+		e = &entry{addr: addr}
+		s.entries[addr] = e
+	}
+	e.size = size
+	s.bytes += size
+	s.makeMRU(e)
+	s.evictLocked()
+	s.publishLocked()
+	s.mu.Unlock()
+}
+
+// drop forgets addr without touching the disk (the file is already gone).
+func (s *Store) drop(addr string) {
+	s.mu.Lock()
+	if e, ok := s.entries[addr]; ok {
+		s.unlink(e)
+		s.bytes -= e.size
+		delete(s.entries, addr)
+	}
+	s.publishLocked()
+	s.mu.Unlock()
+}
+
+// quarantine moves a failed blob aside for inspection and forgets it.
+func (s *Store) quarantine(addr string) {
+	dst := filepath.Join(s.dir, "quarantine", addr)
+	if err := os.Rename(s.objectPath(addr), dst); err == nil || os.IsExist(err) {
+		s.quarantined.Add(1)
+	}
+	s.drop(addr)
+}
+
+// Intrusive LRU plumbing: head = most recently used, tail = least.
+// makeMRU inserts a detached entry at the head.
+func (s *Store) makeMRU(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *Store) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if s.head == e {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if s.tail == e {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *Store) evictLocked() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.maxBytes && s.tail != nil {
+		victim := s.tail
+		s.unlink(victim)
+		s.bytes -= victim.size
+		delete(s.entries, victim.addr)
+		os.Remove(s.objectPath(victim.addr))
+		s.evicted.Add(1)
+	}
+}
+
+func (s *Store) publishLocked() {
+	if s.reg == nil {
+		return
+	}
+	s.g.objects.Set(int64(len(s.entries)))
+	s.g.bytes.Set(s.bytes)
+	// Counters are mirrored by value: the registry handles are
+	// get-or-create, so this is cheap and idempotent.
+	mirror := func(name, help string, v uint64) {
+		c := s.reg.Counter(name, help)
+		if d := v - c.Value(); d > 0 {
+			c.Add(d)
+		}
+	}
+	mirror("icicle_store_hits_total", "store reads served a verified blob", s.hits.Load())
+	mirror("icicle_store_misses_total", "store reads that found no usable blob", s.misses.Load())
+	mirror("icicle_store_writes_total", "blobs written to the store", s.writes.Load())
+	mirror("icicle_store_quarantined_total", "blobs that failed verification and were quarantined", s.quarantined.Load())
+	mirror("icicle_store_evicted_total", "blobs evicted by the LRU size cap", s.evicted.Load())
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	Objects     int    `json:"objects"`
+	Bytes       int64  `json:"bytes"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Writes      uint64 `json:"writes"`
+	Quarantined uint64 `json:"quarantined"`
+	Evicted     uint64 `json:"evicted"`
+}
+
+// Stats returns the current counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	objects, bytes := len(s.entries), s.bytes
+	s.mu.Unlock()
+	return Stats{
+		Objects:     objects,
+		Bytes:       bytes,
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Writes:      s.writes.Load(),
+		Quarantined: s.quarantined.Load(),
+		Evicted:     s.evicted.Load(),
+	}
+}
+
+// Len reports the number of resident blobs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

@@ -1,0 +1,282 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"icicle/internal/obs"
+)
+
+func mustOpen(t *testing.T, dir string, opts ...Option) *Store {
+	t.Helper()
+	s, err := Open(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	key := "job|rocket|towers|{...}"
+	payload := []byte("the result blob")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q", got, ok, payload)
+	}
+	if got, ok := s.GetAddr(Addr(key)); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("GetAddr = %q, %v", got, ok)
+	}
+	st := s.Stats()
+	if st.Objects != 1 || st.Writes != 1 || st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestStoreCrossProcess simulates two processes sharing one directory:
+// a blob written through one handle is visible to a second handle that
+// was opened before the write (disk fall-through on index miss).
+func TestStoreCrossProcess(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir)
+	b := mustOpen(t, dir) // opened while the store is still empty
+	if err := a.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := b.Get("k"); !ok || string(got) != "v" {
+		t.Fatalf("second handle missed a blob on shared disk: %q %v", got, ok)
+	}
+	// And a fresh open (process restart) indexes it immediately.
+	c := mustOpen(t, dir)
+	if c.Len() != 1 {
+		t.Fatalf("reopened store indexed %d blobs, want 1", c.Len())
+	}
+}
+
+// TestStoreCorruptionQuarantine flips, truncates, and rewrites blobs and
+// checks every damaged shape is quarantined — never returned.
+func TestStoreCorruptionQuarantine(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(path string) error
+	}{
+		{"bit-flip-payload", func(p string) error {
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			raw[len(raw)-1] ^= 0xff
+			return os.WriteFile(p, raw, 0o644)
+		}},
+		{"bit-flip-header", func(p string) error {
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			raw[13] ^= 0x01 // inside the stored checksum
+			return os.WriteFile(p, raw, 0o644)
+		}},
+		{"truncated", func(p string) error {
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, raw[:len(raw)/2], 0o644)
+		}},
+		{"empty", func(p string) error {
+			return os.WriteFile(p, nil, 0o644)
+		}},
+		{"wrong-version", func(p string) error {
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			copy(raw, "ICB9")
+			return os.WriteFile(p, raw, 0o644)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir)
+			key := "victim|" + tc.name
+			if err := s.Put(key, []byte("precious bytes")); err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.corrupt(s.objectPath(Addr(key))); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); ok {
+				t.Fatalf("corrupted blob served: %q", got)
+			}
+			if q := s.Stats().Quarantined; q != 1 {
+				t.Errorf("quarantined = %d, want 1", q)
+			}
+			ents, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+			if err != nil || len(ents) != 1 {
+				t.Errorf("quarantine dir holds %d files (err %v), want 1", len(ents), err)
+			}
+			// The slot is writable again and the rewrite verifies.
+			if err := s.Put(key, []byte("recomputed")); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); !ok || string(got) != "recomputed" {
+				t.Fatalf("recomputed blob not served: %q %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestStoreCrashRecovery: a crash mid-write leaves a tmp file, which a
+// fresh Open clears, and a torn rename can't happen (rename is atomic),
+// so the store never indexes half a frame.
+func TestStoreCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.Put("survivor", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash artifact.
+	leftover := filepath.Join(dir, "tmp", "deadbeef.12345")
+	if err := os.WriteFile(leftover, []byte("half a frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir)
+	if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+		t.Error("tmp leftover survived reopen")
+	}
+	if got, ok := s2.Get("survivor"); !ok || string(got) != "ok" {
+		t.Fatalf("survivor lost: %q %v", got, ok)
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Each frame is headerSize + 8 payload bytes; cap at 3 frames.
+	frame := int64(headerSize + 8)
+	s := mustOpen(t, dir, WithMaxBytes(3*frame))
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("8bytes!!")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, ok := s.Get("k0"); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	if err := s.Put("k3", []byte("8bytes!!")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k1"); ok {
+		t.Error("LRU victim k1 still resident")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := s.Get(k); !ok {
+			t.Errorf("%s evicted, want resident", k)
+		}
+	}
+	if ev := s.Stats().Evicted; ev != 1 {
+		t.Errorf("evicted = %d, want 1", ev)
+	}
+	if s.Stats().Bytes > 3*frame {
+		t.Errorf("bytes %d above cap %d", s.Stats().Bytes, 3*frame)
+	}
+}
+
+// TestStoreLRUSurvivesReopen: recency rebuilt from mtimes orders
+// eviction after a restart.
+func TestStoreLRUSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.Put("old", []byte("8bytes!!")); err != nil {
+		t.Fatal(err)
+	}
+	// Ensure a strictly older mtime without sleeping.
+	past := time.Now().Add(-time.Hour)
+	os.Chtimes(s.objectPath(Addr("old")), past, past)
+	if err := s.Put("new", []byte("8bytes!!")); err != nil {
+		t.Fatal(err)
+	}
+	frame := int64(headerSize + 8)
+	s2 := mustOpen(t, dir, WithMaxBytes(2*frame))
+	if err := s2.Put("newer", []byte("8bytes!!")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("old"); ok {
+		t.Error("oldest blob survived a capped reopen+put")
+	}
+	if _, ok := s2.Get("new"); !ok {
+		t.Error("recent blob evicted before the older one")
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), WithMaxBytes(1<<20))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%20)
+				want := []byte(strings.Repeat(key, 4))
+				if got, ok := s.Get(key); ok && !bytes.Equal(got, want) {
+					t.Errorf("torn read for %s: %q", key, got)
+					return
+				}
+				if err := s.Put(key, want); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestStoreMetricsMirror(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := mustOpen(t, t.TempDir(), WithMetrics(reg))
+	s.Put("k", []byte("v"))
+	s.Get("k")
+	s.Get("absent")
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"icicle_store_hits_total 1",
+		"icicle_store_misses_total 1",
+		"icicle_store_writes_total 1",
+		"icicle_store_objects 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestAddrStable(t *testing.T) {
+	if Addr("x") != Addr("x") {
+		t.Fatal("Addr not deterministic")
+	}
+	if Addr("x") == Addr("y") {
+		t.Fatal("Addr collision on distinct keys")
+	}
+	if len(Addr("x")) != 64 {
+		t.Fatalf("Addr length %d, want 64 hex chars", len(Addr("x")))
+	}
+}
