@@ -42,7 +42,7 @@ func run() (err error) {
 	workers := flag.Int("workers", 0, "concurrent job executors (0 = GOMAXPROCS)")
 	jobs := flag.Int("j", 0, "simulation worker goroutines inside the runner (0 = GOMAXPROCS)")
 	self := flag.String("self", "", "this server's advertised base URL on the shard ring, e.g. http://host-a:8080")
-	peers := flag.String("peers", "", "comma-separated shard peer base URLs (config sweeps hash across them)")
+	peers := flag.String("peers", "", "comma-separated shard peer base URLs, this node's -self included (config sweeps hash across them)")
 	var o obs.CLI
 	o.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -81,7 +81,7 @@ func run() (err error) {
 	if *jobs > 0 {
 		runnerOpts = append(runnerOpts, sim.WithWorkers(*jobs))
 	}
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Store:        st,
 		Registry:     reg,
 		Tracer:       obs.Tracing(),
@@ -90,6 +90,9 @@ func run() (err error) {
 		Peers:        peerList,
 		RunnerOpts:   runnerOpts,
 	})
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
 
 	o.ProgressSource = srv.Progress

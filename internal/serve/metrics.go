@@ -18,6 +18,8 @@ type serveMetrics struct {
 	forwarded *obs.Counter // executed on a shard peer
 	fallback  *obs.Counter // peer unreachable/failed; ran locally instead
 
+	batchesEvicted *obs.Counter // completed batches dropped by retention
+
 	queueDepth *obs.Gauge
 	latency    *obs.Histogram // per-job wall time through the service
 	queueWait  *obs.Histogram // submit-to-dispatch wait
@@ -43,6 +45,8 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 			"jobs executed on a shard peer"),
 		fallback: reg.Counter("icicle_serve_forward_fallback_total",
 			"shard forwards that failed and ran locally instead"),
+		batchesEvicted: reg.Counter("icicle_serve_batches_evicted_total",
+			"completed batches evicted by the retention policy (TTL or cap)"),
 		queueDepth: reg.Gauge("icicle_serve_queue_depth",
 			"tasks waiting in the submission queue"),
 		latency: reg.Histogram("icicle_serve_job_latency_seconds",

@@ -13,7 +13,10 @@ import (
 // with the minimum pass runs next, and running advances its pass by
 // strideUnit/weight. A flood from one client therefore cannot starve
 // another: the flooder's pass races ahead and the light client's tasks
-// keep winning the minimum. Within one client, tasks run FIFO.
+// keep winning the minimum. Joiners are floored at the class's virtual
+// time — which persists as a watermark across the class draining — so
+// neither idleness nor a fully-drained history shifts anyone's share.
+// Within one client, tasks run FIFO.
 
 // strideUnit is the virtual-time quantum for weight 1; larger weights
 // advance in smaller strides and therefore run proportionally more.
@@ -64,13 +67,24 @@ type classQ struct {
 	priority int
 	clients  map[string]*clientQ
 	active   []*clientQ // non-empty clients, unordered
+	// watermark is the class's virtual time: the pass of the most recent
+	// dispatch. It survives the active set draining, so the join floor
+	// never rewinds to zero — without it, a fresh client joining an idle
+	// class would start at pass 0 while a returning client kept its
+	// historical pass, starving the returner until the newcomer caught up
+	// (past work would bank debt across idle periods, the mirror image of
+	// the "idleness never banks credit" invariant).
+	watermark uint64
 }
 
-// minPass returns the smallest pass among active clients (0 when none):
-// the join point for clients that were idle, so idleness never banks
-// credit.
+// minPass returns the class's current virtual time: the smallest pass
+// among active clients, or the watermark when none are active. It is the
+// join floor for clients that were idle, so idleness banks no credit and
+// past work banks no debt. Active passes are always >= watermark
+// (clients join at or above it and passes only advance), so the two
+// cases agree at the boundary.
 func (cl *classQ) minPass() uint64 {
-	var min uint64
+	min := cl.watermark
 	for i, c := range cl.active {
 		if i == 0 || c.pass < min {
 			min = c.pass
@@ -96,8 +110,11 @@ func newFairQueue() *fairQueue {
 	return q
 }
 
-// Push enqueues one task for (client, weight, priority).
-func (q *fairQueue) Push(client string, weight, priority int, t task) {
+// Push enqueues one task for (client, weight, priority). It reports
+// whether the task was accepted: false means the queue has closed and
+// the task was dropped — the caller must fail the submission rather
+// than leave its batch waiting on work that will never run.
+func (q *fairQueue) Push(client string, weight, priority int, t task) bool {
 	if weight < 1 {
 		weight = 1
 	}
@@ -107,7 +124,7 @@ func (q *fairQueue) Push(client string, weight, priority int, t task) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return
+		return false
 	}
 	cl := q.classes[priority]
 	if cl == nil {
@@ -143,6 +160,7 @@ func (q *fairQueue) Push(client string, weight, priority int, t task) {
 	q.depth++
 	q.mu.Unlock()
 	q.cond.Signal()
+	return true
 }
 
 // Pop dequeues the next task by priority-then-fairness, blocking while
@@ -174,6 +192,9 @@ func (q *fairQueue) Pop() (task, bool) {
 		}
 		c := cl.active[best]
 		t := c.pop()
+		// The dispatched minimum pass is the class's virtual time; record
+		// it so the join floor persists after the active set drains.
+		cl.watermark = c.pass
 		c.pass += strideUnit / c.weight
 		if c.empty() {
 			cl.active[best] = cl.active[len(cl.active)-1]

@@ -182,10 +182,43 @@ func TestQueueBlockingAndClose(t *testing.T) {
 			t.Fatal("Pop did not unblock on Close")
 		}
 	}
-	// Push after Close is a no-op.
-	pushN(q, "c", 1, 0, mkBatch("dead", 1), 1)
+	// Push after Close reports rejection and enqueues nothing, so callers
+	// can fail the submission instead of waiting forever.
+	if q.Push("c", 1, 0, task{b: mkBatch("dead", 1), enqueued: time.Now()}) {
+		t.Fatal("Push after Close reported accepted")
+	}
 	if d := q.Depth(); d != 0 {
 		t.Fatalf("Depth after Close+Push = %d, want 0", d)
+	}
+}
+
+// The virtual-time floor survives a class fully draining: after one
+// client runs a burst alone and leaves, a newcomer joins at the
+// watermark (not at zero), so the returning client is not starved while
+// the newcomer's pass catches up — past work banks no debt across idle
+// periods, just as idleness banks no credit.
+func TestQueueDrainedClassKeepsWatermark(t *testing.T) {
+	q := newFairQueue()
+	a1 := mkBatch("a1", 20)
+	pushN(q, "a", 1, 0, a1, 20)
+	if got := drain(q, 20); len(got) != 20 {
+		t.Fatalf("drained %d of 20", len(got))
+	}
+	// Class is now empty. b joins "fresh" and queues a backlog.
+	b := mkBatch("b", 20)
+	pushN(q, "b", 1, 0, b, 20)
+	// a returns with one task: it must not sit behind b's whole backlog.
+	a2 := mkBatch("a2", 1)
+	pushN(q, "a", 1, 0, a2, 1)
+	got := drain(q, 3)
+	pos := -1
+	for i, id := range got {
+		if id == "a2" {
+			pos = i
+		}
+	}
+	if pos < 0 {
+		t.Fatalf("returning client starved behind the newcomer's backlog: next pops were %v", got)
 	}
 }
 

@@ -15,6 +15,10 @@
 //	GET  /healthz       liveness + queue/store snapshot
 //	GET  /metrics       Prometheus text (the server's registry)
 //	POST /internal/run  shard-internal synchronous execution
+//
+// Completed batches are retained for Config.BatchTTL (and capped at
+// Config.MaxBatches), then evicted — GET /jobs/{id} 404s afterwards,
+// while the results themselves stay fetchable from the persistent store.
 package serve
 
 import (
@@ -25,6 +29,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,9 +54,25 @@ type Config struct {
 	// additionally fan out windows per their SamplePar.
 	QueueWorkers int
 	// Self is this server's advertised base URL ("http://host:port") on
-	// the shard ring; Peers lists every shard. Empty/solo = no sharding.
+	// the shard ring; Peers lists every shard, Self included, spelled
+	// exactly as Self spells it. Empty Peers = no sharding. New rejects a
+	// non-empty Peers without a matching Self: a node that cannot
+	// recognise itself on the ring would silently forward 100% of jobs —
+	// including its own — and serve them only through the per-job
+	// fallback path.
 	Self  string
 	Peers []string
+	// BatchTTL bounds how long a completed batch (its per-job results and
+	// status) stays queryable via GET /jobs/{id}. Completed batches past
+	// the TTL are evicted so a long-running server does not grow without
+	// bound; the result blobs remain in the persistent store. 0 = the
+	// 30-minute default, negative = retain forever.
+	BatchTTL time.Duration
+	// MaxBatches caps the number of retained batches regardless of age;
+	// past it the oldest *completed* batches are evicted first (batches
+	// still running are never evicted). 0 = the 4096 default, negative =
+	// unlimited.
+	MaxBatches int
 	// RunnerOpts appends options to the underlying sim runner (tests).
 	RunnerOpts []sim.Option
 }
@@ -70,17 +91,21 @@ type Server struct {
 	// exec runs one job locally; tests stub it to model synthetic load.
 	exec func(sim.Job) sim.Result
 
+	batchTTL   time.Duration // retention for completed batches (0 = forever)
+	maxBatches int           // cap on retained batches (0 = unlimited)
+
 	mu      sync.Mutex
 	batches map[string]*batch
 	nextID  uint64
 
 	started atomic.Int64 // first submission wall clock (unix nanos)
 
-	wg       sync.WaitGroup
-	workers  int
-	httpSrv  *http.Server
-	listener net.Listener
-	closed   atomic.Bool
+	wg          sync.WaitGroup
+	workers     int
+	httpSrv     *http.Server
+	listener    net.Listener
+	closed      atomic.Bool
+	janitorStop chan struct{}
 }
 
 // batch is one submitted job batch and its accumulating results.
@@ -116,8 +141,40 @@ func (b *batch) setResult(i int, res sim.Result, forwarded bool) (batchDone bool
 	return false
 }
 
+// doneAt reports when the batch completed (zero time, false while any
+// job is still outstanding).
+func (b *batch) doneAt() (time.Time, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.finished, b.remaining == 0
+}
+
+// validateSharding rejects ring configurations that would silently
+// misroute: with a non-empty peer list, Self must be set and must appear
+// in Peers spelled identically, or owner() can never match this node and
+// every job — including its own — gets forwarded.
+func validateSharding(cfg Config) error {
+	if len(cfg.Peers) == 0 {
+		return nil
+	}
+	if cfg.Self == "" {
+		return fmt.Errorf("serve: Peers is set but Self is empty; a node that is not on its own ring would forward every job, set Self to this server's URL exactly as it appears in Peers")
+	}
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			return nil
+		}
+	}
+	return fmt.Errorf("serve: Self %q is not in Peers %v; the peer list must name this node exactly as Self spells it, or the ring will route this node's own share elsewhere", cfg.Self, cfg.Peers)
+}
+
 // New builds a server and starts its executor pool. Close releases it.
-func New(cfg Config) *Server {
+// It fails on a sharding configuration that cannot route correctly (see
+// Config.Self).
+func New(cfg Config) (*Server, error) {
+	if err := validateSharding(cfg); err != nil {
+		return nil, err
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -134,17 +191,34 @@ func New(cfg Config) *Server {
 		ropts = append(ropts, sim.WithResultStore(cfg.Store))
 	}
 	ropts = append(ropts, cfg.RunnerOpts...)
+	batchTTL := cfg.BatchTTL
+	switch {
+	case batchTTL == 0:
+		batchTTL = 30 * time.Minute
+	case batchTTL < 0:
+		batchTTL = 0 // retain forever
+	}
+	maxBatches := cfg.MaxBatches
+	switch {
+	case maxBatches == 0:
+		maxBatches = 4096
+	case maxBatches < 0:
+		maxBatches = 0 // unlimited
+	}
 	s := &Server{
-		cfg:     cfg,
-		reg:     reg,
-		tr:      cfg.Tracer,
-		runner:  sim.New(ropts...),
-		queue:   newFairQueue(),
-		ring:    newRing(cfg.Self, cfg.Peers),
-		m:       newServeMetrics(reg),
-		client:  &http.Client{Timeout: 5 * time.Minute},
-		batches: map[string]*batch{},
-		workers: workers,
+		cfg:         cfg,
+		reg:         reg,
+		tr:          cfg.Tracer,
+		runner:      sim.New(ropts...),
+		queue:       newFairQueue(),
+		ring:        newRing(cfg.Self, cfg.Peers),
+		m:           newServeMetrics(reg),
+		client:      &http.Client{Timeout: 5 * time.Minute},
+		batches:     map[string]*batch{},
+		workers:     workers,
+		batchTTL:    batchTTL,
+		maxBatches:  maxBatches,
+		janitorStop: make(chan struct{}),
 	}
 	s.exec = s.runner.RunOne
 	for w := 0; w < workers; w++ {
@@ -153,7 +227,73 @@ func New(cfg Config) *Server {
 		s.tr.NameThread(tid, fmt.Sprintf("serve-worker-%d", w))
 		go s.worker(tid)
 	}
-	return s
+	if s.batchTTL > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
+	return s, nil
+}
+
+// janitor periodically evicts completed batches past the retention TTL,
+// so memory is reclaimed even when the server goes idle after a burst.
+// The size cap is additionally enforced inline at submission.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	interval := s.batchTTL / 4
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-tick.C:
+			s.evictBatches(time.Now())
+		}
+	}
+}
+
+// evictBatches applies the retention policy: completed batches older
+// than the TTL go first; if the count still exceeds MaxBatches, the
+// oldest completed batches go next. Running batches are never evicted.
+// Evicted ids 404 on GET /jobs/{id}; the result blobs stay in the store.
+func (s *Server) evictBatches(now time.Time) (evicted int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type done struct {
+		id string
+		at time.Time
+	}
+	var finished []done
+	for id, b := range s.batches {
+		if at, ok := b.doneAt(); ok {
+			if s.batchTTL > 0 && now.Sub(at) > s.batchTTL {
+				delete(s.batches, id)
+				evicted++
+				continue
+			}
+			finished = append(finished, done{id, at})
+		}
+	}
+	if s.maxBatches > 0 && len(s.batches) > s.maxBatches {
+		sort.Slice(finished, func(i, j int) bool { return finished[i].at.Before(finished[j].at) })
+		for _, f := range finished {
+			if len(s.batches) <= s.maxBatches {
+				break
+			}
+			delete(s.batches, f.id)
+			evicted++
+		}
+	}
+	if evicted > 0 {
+		s.m.batchesEvicted.Add(uint64(evicted))
+	}
+	return evicted
 }
 
 // worker drains the fair queue until Close.
@@ -336,10 +476,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	b.id = fmt.Sprintf("b-%06d", s.nextID)
 	s.batches[b.id] = b
+	over := s.maxBatches > 0 && len(s.batches) > s.maxBatches
 	s.mu.Unlock()
+	if over {
+		s.evictBatches(time.Now())
+	}
 	now := time.Now()
+	queued := 0
 	for i := range jobs {
-		s.queue.Push(req.Client, req.Weight, req.Priority, task{b: b, idx: i, enqueued: now})
+		if !s.queue.Push(req.Client, req.Weight, req.Priority, task{b: b, idx: i, enqueued: now}) {
+			// Close raced the submission: the queue dropped this task (and
+			// will drop the rest), so the batch could never finish. Roll
+			// the registration back and refuse the submission; any tasks
+			// already accepted are discarded by the closed queue.
+			s.mu.Lock()
+			delete(s.batches, b.id)
+			s.mu.Unlock()
+			s.m.queueDepth.Add(-int64(queued))
+			httpError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
+		queued++
 		s.m.queueDepth.Add(1)
 	}
 	s.m.submitted.Add(uint64(len(jobs)))
@@ -408,6 +565,15 @@ func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	addr := r.PathValue("addr")
+	// Only well-formed content addresses reach the store. The wildcard
+	// captures unescaped segments, so without this gate a crafted addr
+	// ("..%2F..") would be joined under the store directory and could
+	// read — or, via quarantine's rename, move — files outside it. The
+	// store re-checks, but rejecting here keeps the API contract explicit.
+	if !store.ValidAddr(addr) {
+		httpError(w, http.StatusNotFound, "not a content address (64 lowercase hex digits): %q", addr)
+		return
+	}
 	payload, ok := s.cfg.Store.GetAddr(addr)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no verified blob at %s", addr)
@@ -523,6 +689,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.queue.Close()
+	close(s.janitorStop)
 	s.wg.Wait()
 	if s.httpSrv != nil {
 		return s.httpSrv.Close()

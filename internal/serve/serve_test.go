@@ -7,6 +7,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
@@ -94,6 +96,17 @@ func testSpecs() []JobSpec {
 
 func ptr[T any](v T) *T { return &v }
 
+// mustNew fails the test on a config error (none of these tests use an
+// invalid sharding config).
+func mustNew(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 // End-to-end: submit through HTTP, poll to completion, and require the
 // service's JSON to be byte-identical to the in-process runner's rendering
 // of the same jobs; the /store blob must decode to the same result.
@@ -102,7 +115,7 @@ func TestServeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(Config{Store: st, QueueWorkers: 2})
+	srv := mustNew(t, Config{Store: st, QueueWorkers: 2})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -161,7 +174,7 @@ func TestServeEndToEnd(t *testing.T) {
 // the memo (no new simulations) and says so.
 func TestServeMemoSecondBatch(t *testing.T) {
 	reg := obs.NewRegistry()
-	srv := New(Config{Registry: reg, QueueWorkers: 2})
+	srv := mustNew(t, Config{Registry: reg, QueueWorkers: 2})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -192,7 +205,7 @@ func TestServeMemoSecondBatch(t *testing.T) {
 // API validation: malformed and unresolvable requests fail with 4xx and a
 // JSON error body; nothing is enqueued.
 func TestServeValidation(t *testing.T) {
-	srv := New(Config{QueueWorkers: 1})
+	srv := mustNew(t, Config{QueueWorkers: 1})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -247,7 +260,7 @@ func TestServeHealthzAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(Config{Store: st, QueueWorkers: 3})
+	srv := mustNew(t, Config{Store: st, QueueWorkers: 3})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -301,7 +314,7 @@ func scrapeMetrics(t *testing.T, base string) string {
 // URLs are known before construction.
 func startShard(t *testing.T, cfg Config, ln net.Listener) *Server {
 	t.Helper()
-	srv := New(cfg)
+	srv := mustNew(t, cfg)
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
 	t.Cleanup(func() { srv.Close(); hs.Close() })
@@ -422,7 +435,7 @@ func TestServeShardFallback(t *testing.T) {
 // stub executor, a flooding client and a light client — the light client's
 // single job must not wait behind the whole flood.
 func TestServeFairnessUnderLoad(t *testing.T) {
-	srv := New(Config{QueueWorkers: 1})
+	srv := mustNew(t, Config{QueueWorkers: 1})
 	defer srv.Close()
 	var order []string
 	var mu sync.Mutex
@@ -466,7 +479,7 @@ func TestServeFairnessUnderLoad(t *testing.T) {
 // Priority classes at the service level: high-priority batches preempt the
 // queued backlog of lower classes.
 func TestServePriorityUnderLoad(t *testing.T) {
-	srv := New(Config{QueueWorkers: 1})
+	srv := mustNew(t, Config{QueueWorkers: 1})
 	defer srv.Close()
 	var order []string
 	var mu sync.Mutex
@@ -508,7 +521,7 @@ func TestServePriorityUnderLoad(t *testing.T) {
 // Close is idempotent and racing submissions either complete or are
 // cleanly refused with 503 — never hang.
 func TestServeCloseRefusesNewWork(t *testing.T) {
-	srv := New(Config{QueueWorkers: 1})
+	srv := mustNew(t, Config{QueueWorkers: 1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	if err := srv.Close(); err != nil {
@@ -520,5 +533,177 @@ func TestServeCloseRefusesNewWork(t *testing.T) {
 	code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Jobs: []JobSpec{{Kernel: "multiply"}}}, nil)
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("submit after Close = %d, want 503", code)
+	}
+}
+
+// Sharding is rejected at construction when the node cannot recognise
+// itself on the ring: it would forward 100% of jobs — its own included —
+// and serve them only through the per-job fallback path.
+func TestServeShardingConfigValidation(t *testing.T) {
+	if _, err := New(Config{Peers: []string{"http://a", "http://b"}}); err == nil {
+		t.Fatal("New accepted Peers without Self")
+	}
+	if _, err := New(Config{Self: "http://c", Peers: []string{"http://a", "http://b"}}); err == nil {
+		t.Fatal("New accepted a Self absent from Peers")
+	}
+	srv, err := New(Config{Self: "http://a", Peers: []string{"http://a", "http://b"}, QueueWorkers: 1})
+	if err != nil {
+		t.Fatalf("valid sharding config rejected: %v", err)
+	}
+	srv.Close()
+	// Solo (no peers) never needs Self.
+	srv = mustNew(t, Config{QueueWorkers: 1})
+	srv.Close()
+}
+
+// GET /store rejects anything that is not a content address before the
+// store layer sees it: a traversal-shaped addr must 404 and must not
+// move or read files outside objects/ (quarantine renames by addr).
+func TestServeStoreGetRejectsTraversal(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := mustNew(t, Config{Store: st, QueueWorkers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	victim := filepath.Join(dir, "victim")
+	if err := os.WriteFile(victim, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{
+		"/store/..%2Fvictim",
+		"/store/..%2F..%2Fetc%2Fpasswd",
+		"/store/aa%2F..%2F..%2Fvictim",
+		"/store/" + strings.Repeat("A", 64), // uppercase: not an address
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	if _, err := os.Stat(victim); err != nil {
+		t.Fatalf("victim file was moved by a /store request: %v", err)
+	}
+	if q := st.Stats().Quarantined; q != 0 {
+		t.Fatalf("traversal requests caused %d quarantine renames", q)
+	}
+}
+
+// Completed batches are evicted after the TTL — GET /jobs/{id} then
+// 404s — so a long-running server does not accumulate every batch it
+// ever served.
+func TestServeBatchRetentionTTL(t *testing.T) {
+	srv := mustNew(t, Config{QueueWorkers: 1, BatchTTL: 30 * time.Millisecond})
+	defer srv.Close()
+	srv.exec = func(j sim.Job) sim.Result { return sim.Result{Job: j} }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var ack SubmitResponse
+	postJSON(t, ts.URL+"/jobs", SubmitRequest{Jobs: []JobSpec{{Kernel: "multiply"}}}, &ack)
+	pollDone(t, ts.URL, ack.ID)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/jobs/" + ack.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("completed batch still queryable long past its TTL")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.m.batchesEvicted.Value(); got == 0 {
+		t.Fatal("eviction counter did not move")
+	}
+}
+
+// The MaxBatches cap evicts oldest-completed first and never a batch
+// that is still running.
+func TestServeBatchRetentionCap(t *testing.T) {
+	// Two workers: one sits on the blocked "towers" batch while the other
+	// drains the short batches.
+	srv := mustNew(t, Config{QueueWorkers: 2, BatchTTL: -1, MaxBatches: 2})
+	defer srv.Close()
+	block := make(chan struct{})
+	var releaseOnce sync.Once
+	release := func() { releaseOnce.Do(func() { close(block) }) }
+	defer release() // a failing poll must not leave Close waiting on the worker
+	srv.exec = func(j sim.Job) sim.Result {
+		if j.Kernel.Name == "towers" {
+			<-block // keep this batch running
+		}
+		return sim.Result{Job: j}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var running SubmitResponse
+	postJSON(t, ts.URL+"/jobs", SubmitRequest{Jobs: []JobSpec{{Kernel: "towers"}}}, &running)
+	var done []SubmitResponse
+	for i := 0; i < 4; i++ {
+		var ack SubmitResponse
+		postJSON(t, ts.URL+"/jobs", SubmitRequest{Jobs: []JobSpec{{Kernel: "multiply"}}}, &ack)
+		pollDone(t, ts.URL, ack.ID)
+		done = append(done, ack)
+	}
+
+	srv.evictBatches(time.Now())
+	srv.mu.Lock()
+	n := len(srv.batches)
+	_, runningKept := srv.batches[running.ID]
+	_, newestKept := srv.batches[done[3].ID]
+	_, oldestKept := srv.batches[done[0].ID]
+	srv.mu.Unlock()
+	if !runningKept {
+		t.Fatal("retention evicted a batch that is still running")
+	}
+	if n != 2 {
+		t.Fatalf("retained %d batches, want 2 (cap)", n)
+	}
+	if !newestKept || oldestKept {
+		t.Fatalf("cap did not evict oldest-completed first (newest kept=%v, oldest kept=%v)", newestKept, oldestKept)
+	}
+	release()
+	pollDone(t, ts.URL, running.ID)
+}
+
+// A submission that races Close past the fast-path check is refused with
+// 503 and fully rolled back — no orphan batch that polls "queued"
+// forever, no leaked queue-depth.
+func TestServeSubmitCloseRaceRollsBack(t *testing.T) {
+	srv := mustNew(t, Config{QueueWorkers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Model the race: the queue closes after handleSubmit's closed check
+	// would have passed but before its pushes land.
+	srv.queue.Close()
+	code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Jobs: []JobSpec{{Kernel: "multiply"}, {Kernel: "median"}}}, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit against a closed queue = %d, want 503", code)
+	}
+	srv.mu.Lock()
+	n := len(srv.batches)
+	srv.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("rejected submission left %d orphan batches registered", n)
+	}
+	if d := srv.m.queueDepth.Value(); d != 0 {
+		t.Fatalf("rejected submission leaked queue depth %d", d)
 	}
 }

@@ -59,6 +59,23 @@ func Addr(key string) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// ValidAddr reports whether addr is a well-formed content address:
+// exactly 64 lowercase hex digits. Anything else — in particular path
+// fragments like ".." or "/" smuggled in through a URL — is not an
+// address and must never reach the filesystem layer.
+func ValidAddr(addr string) bool {
+	if len(addr) != 2*sha256.Size {
+		return false
+	}
+	for i := 0; i < len(addr); i++ {
+		c := addr[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // Store is a content-addressed blob store rooted at one directory.
 // It is safe for concurrent use, including by multiple processes sharing
 // the directory (each keeps its own index and falls through to disk on
@@ -188,8 +205,17 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return s.GetAddr(Addr(key))
 }
 
-// GetAddr is Get by content address (the /store/{addr} path).
+// GetAddr is Get by content address (the /store/{addr} path). An addr
+// that is not a well-formed content address (ValidAddr) is a miss before
+// any filesystem access: objectPath joins addr under the store root, so
+// this gate is what keeps URL-supplied addresses ("../...", encoded
+// slashes) from ever reaching, reading, or quarantine-renaming a path
+// outside objects/.
 func (s *Store) GetAddr(addr string) ([]byte, bool) {
+	if !ValidAddr(addr) {
+		s.misses.Add(1)
+		return nil, false
+	}
 	path := s.objectPath(addr)
 	raw, err := os.ReadFile(path)
 	if err != nil {

@@ -280,3 +280,61 @@ func TestAddrStable(t *testing.T) {
 		t.Fatalf("Addr length %d, want 64 hex chars", len(Addr("x")))
 	}
 }
+
+// ValidAddr admits exactly the Addr output alphabet and nothing else.
+func TestValidAddr(t *testing.T) {
+	if !ValidAddr(Addr("x")) {
+		t.Fatal("ValidAddr rejects a real address")
+	}
+	bad := []string{
+		"",
+		"deadbeef", // too short
+		strings.Repeat("g", 64),
+		strings.ToUpper(Addr("x")), // uppercase hex is not an address
+		Addr("x")[:63] + "/",
+		"../" + Addr("x")[3:],
+		"..%2f" + Addr("x")[5:],
+	}
+	for _, a := range bad {
+		if ValidAddr(a) {
+			t.Errorf("ValidAddr(%q) = true, want false", a)
+		}
+	}
+}
+
+// A URL-supplied address containing path fragments must be a plain miss:
+// no read outside the store, and — critically — no quarantine rename,
+// which would let a crafted address move arbitrary writable files.
+func TestStoreTraversalAddrIsMissNotQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+
+	// A victim file that a traversal would be able to reach and move.
+	victim := filepath.Join(dir, "victim")
+	if err := os.WriteFile(victim, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, addr := range []string{
+		"../victim",
+		"../../victim",
+		"aa/../../victim",
+	} {
+		if _, ok := s.GetAddr(addr); ok {
+			t.Fatalf("GetAddr(%q) returned a payload", addr)
+		}
+	}
+	if _, err := os.Stat(victim); err != nil {
+		t.Fatalf("victim file was moved or deleted: %v", err)
+	}
+	if q := s.Stats().Quarantined; q != 0 {
+		t.Fatalf("traversal address triggered %d quarantine renames", q)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("quarantine/ not empty after traversal probes: %v", entries)
+	}
+}

@@ -38,6 +38,16 @@ func serveSmokeSpecs() []serve.JobSpec {
 	}
 }
 
+// mustServe builds a server, failing the test on a config error.
+func mustServe(t testing.TB, cfg serve.Config) *serve.Server {
+	t.Helper()
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 func submitAndWait(t testing.TB, base string, req serve.SubmitRequest) serve.StatusResponse {
 	t.Helper()
 	body, _ := json.Marshal(req)
@@ -121,7 +131,7 @@ func TestServeSmokeByteIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := serve.New(serve.Config{Store: st, Registry: obs.NewRegistry(), QueueWorkers: 2})
+	srv := mustServe(t, serve.Config{Store: st, Registry: obs.NewRegistry(), QueueWorkers: 2})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -154,7 +164,7 @@ func TestServeSmokeCrossProcessStoreHit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv1 := serve.New(serve.Config{Store: st1, Registry: obs.NewRegistry(), QueueWorkers: 2})
+	srv1 := mustServe(t, serve.Config{Store: st1, Registry: obs.NewRegistry(), QueueWorkers: 2})
 	ts1 := httptest.NewServer(srv1.Handler())
 	first := submitAndWait(t, ts1.URL, serve.SubmitRequest{Jobs: specs})
 	ts1.Close()
@@ -166,7 +176,7 @@ func TestServeSmokeCrossProcessStoreHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg2 := obs.NewRegistry()
-	srv2 := serve.New(serve.Config{Store: st2, Registry: reg2, QueueWorkers: 2})
+	srv2 := mustServe(t, serve.Config{Store: st2, Registry: reg2, QueueWorkers: 2})
 	defer srv2.Close()
 	ts2 := httptest.NewServer(srv2.Handler())
 	defer ts2.Close()
@@ -214,7 +224,7 @@ func TestServeSmokeCorruptedBlobRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv1 := serve.New(serve.Config{Store: st1, Registry: obs.NewRegistry(), QueueWorkers: 1})
+	srv1 := mustServe(t, serve.Config{Store: st1, Registry: obs.NewRegistry(), QueueWorkers: 1})
 	ts1 := httptest.NewServer(srv1.Handler())
 	first := submitAndWait(t, ts1.URL, serve.SubmitRequest{Jobs: []serve.JobSpec{spec}})
 	ts1.Close()
@@ -235,7 +245,7 @@ func TestServeSmokeCorruptedBlobRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv2 := serve.New(serve.Config{Store: st2, Registry: obs.NewRegistry(), QueueWorkers: 1})
+	srv2 := mustServe(t, serve.Config{Store: st2, Registry: obs.NewRegistry(), QueueWorkers: 1})
 	defer srv2.Close()
 	ts2 := httptest.NewServer(srv2.Handler())
 	defer ts2.Close()
@@ -288,7 +298,7 @@ func BenchmarkServeColdVsWarm(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			srv := serve.New(serve.Config{Store: st, Registry: obs.NewRegistry(), QueueWorkers: 1})
+			srv := mustServe(b, serve.Config{Store: st, Registry: obs.NewRegistry(), QueueWorkers: 1})
 			ts := httptest.NewServer(srv.Handler())
 			b.StartTimer()
 			submitAndWait(b, ts.URL, serve.SubmitRequest{Jobs: []serve.JobSpec{spec}})
@@ -305,7 +315,7 @@ func BenchmarkServeColdVsWarm(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		srv := serve.New(serve.Config{Store: seed, Registry: obs.NewRegistry(), QueueWorkers: 1})
+		srv := mustServe(b, serve.Config{Store: seed, Registry: obs.NewRegistry(), QueueWorkers: 1})
 		ts := httptest.NewServer(srv.Handler())
 		submitAndWait(b, ts.URL, serve.SubmitRequest{Jobs: []serve.JobSpec{spec}})
 		ts.Close()
@@ -317,7 +327,7 @@ func BenchmarkServeColdVsWarm(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			srv := serve.New(serve.Config{Store: st, Registry: obs.NewRegistry(), QueueWorkers: 1})
+			srv := mustServe(b, serve.Config{Store: st, Registry: obs.NewRegistry(), QueueWorkers: 1})
 			ts := httptest.NewServer(srv.Handler())
 			b.StartTimer()
 			submitAndWait(b, ts.URL, serve.SubmitRequest{Jobs: []serve.JobSpec{spec}})
