@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke superblock-smoke serve-smoke check fuzz-smoke fmt vet scratch-guard ci
+.PHONY: all build test race bench bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke superblock-smoke serve-smoke load-smoke check fuzz-smoke fmt vet scratch-guard ci
 
 all: build
 
@@ -68,6 +68,17 @@ serve-smoke:
 	$(GO) test -race -run=ServeSmoke -count=1 .
 	$(GO) test -race ./internal/serve/ ./internal/store/ -count=1
 
+# Load-harness smoke: icicle-load's library drives a live serve.Server
+# open loop through the real HTTP stack under the race detector — a
+# 3-rung rate ladder in wait mode with coordinated-omission-corrected
+# quantiles, per-priority-class queue-wait scraped from the server's own
+# /metrics, populated SLO verdicts, and zero dropped samples
+# (load_smoke_test.go), plus the internal/load package suite (CO
+# correction, steady-state detection, SLO burn-rate arithmetic).
+load-smoke:
+	$(GO) test -race -run=LoadSmoke -count=1 .
+	$(GO) test -race ./internal/load/ -count=1
+
 # Differential oracle + metamorphic invariants + corpus replay
 # (internal/check; see DESIGN.md "Verification").
 check:
@@ -98,4 +109,4 @@ scratch-guard:
 		echo "scratch files tracked in git:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt vet scratch-guard build race bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke superblock-smoke serve-smoke check fuzz-smoke
+ci: fmt vet scratch-guard build race bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke superblock-smoke serve-smoke load-smoke check fuzz-smoke

@@ -109,6 +109,13 @@ func run() (err error) {
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
+	storeDesc := "memory-only"
+	if st != nil {
+		storeDesc = st.Dir()
+	}
+	fmt.Fprintf(os.Stderr,
+		"icicle-serve: listening on http://%s | store %s | %d peers | %d queue workers (strict priority + weighted fair within class)\n",
+		bound, storeDesc, len(peerList), srv.Workers())
 	fmt.Fprintf(os.Stderr, "icicle-serve: serving on http://%s (POST /jobs, GET /jobs/{id}, /store/{addr}, /healthz, /metrics)\n", bound)
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,512 @@
+// Package load is the service-level measurement harness: a closed/open
+// loop load generator with HDR latency histograms and SLO reporting,
+// the ROADMAP's answer to "you cannot claim heavy traffic without a
+// latency curve". It drives either the in-process sim runner or a live
+// icicle-serve endpoint and reports throughput-vs-latency ladders as a
+// benchmark artifact, so every future scaling PR is judged against a
+// regression-guarded curve instead of an anecdote — the same
+// measure-first discipline the paper applies one level down with
+// hardware TMA counters.
+//
+// Two loop disciplines:
+//
+//   - Closed loop: a fixed worker count, each issuing the next request
+//     the moment the previous one completes. Measures the service's
+//     capacity at a given concurrency; latency is back-pressured, so it
+//     understates what independent clients would see.
+//   - Open loop: requests arrive on an independent schedule (uniform or
+//     Poisson pacing) at a target rate, like real traffic. Latency is
+//     measured from the *intended* arrival time, not the actual send —
+//     the coordinated-omission correction (HdrHistogram/wrk2): when the
+//     service stalls, queued arrivals charge the stall to the service
+//     instead of silently pausing the clock.
+//
+// Each measurement discards warm-up via steady-state detection (leading
+// time slices whose throughput has not yet stabilized), splits results
+// per priority class and per client profile, evaluates declarative SLO
+// targets ("p99 < 50ms") with error-budget burn rates, and — when given
+// a scraper — pairs every ladder step with the server's own deltas
+// (queue-wait histograms per class, store/memo hit rates, in-flight),
+// so one artifact shows client-observed latency next to server-side
+// queueing and cache behavior.
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icicle/internal/obs"
+)
+
+// Mode selects the loop discipline.
+type Mode int
+
+const (
+	// Closed runs a fixed number of workers back to back.
+	Closed Mode = iota
+	// Open paces arrivals at a target rate independent of completions.
+	Open
+)
+
+func (m Mode) String() string {
+	if m == Open {
+		return "open"
+	}
+	return "closed"
+}
+
+// Pacing selects the open-loop inter-arrival process.
+type Pacing int
+
+const (
+	// Uniform spaces arrivals exactly 1/rate apart.
+	Uniform Pacing = iota
+	// Poisson draws exponential inter-arrival gaps (memoryless traffic,
+	// the standard model for independent clients).
+	Poisson
+)
+
+func (p Pacing) String() string {
+	if p == Poisson {
+		return "poisson"
+	}
+	return "uniform"
+}
+
+// Profile is one synthetic client identity: the fairness/priority
+// coordinates it submits under and its share of generated traffic.
+type Profile struct {
+	Client   string  `json:"client"`
+	Priority int     `json:"priority"`
+	Weight   int     `json:"weight"`
+	Share    float64 `json:"share"` // relative traffic share (normalized internally)
+}
+
+// Target executes one request for a profile, blocking until the
+// response is complete. seq is the global request sequence number
+// (targets typically cycle a job list with it). Errors are counted per
+// step, not fatal.
+type Target interface {
+	Do(p Profile, seq int) error
+}
+
+// Options configures one measurement step.
+type Options struct {
+	Mode        Mode
+	Concurrency int           // closed-loop workers (default 1)
+	Rate        float64       // open-loop target arrival rate, req/s
+	Pacing      Pacing        // open-loop inter-arrival process
+	Duration    time.Duration // generation window (default 1s)
+	// MaxInFlight caps concurrent open-loop dispatches (default 256).
+	// Arrivals beyond the cap queue (their wait is charged to latency by
+	// the coordinated-omission correction); arrivals beyond the internal
+	// buffer are counted as dropped samples — a healthy run has zero.
+	MaxInFlight int
+	Seed        int64     // deterministic pacing/schedule seed
+	Profiles    []Profile // default: one "anon" profile, share 1
+	// Slices is the steady-state resolution: the step is cut into this
+	// many equal time slices and leading slices are discarded until
+	// per-slice throughput stabilizes (default 10, minimum 4).
+	Slices int
+	// SliceTolerance is the allowed relative deviation of a steady
+	// slice's throughput from the steady-window mean (default 0.25),
+	// plus Poisson noise slack.
+	SliceTolerance float64
+	SLOs           []SLO
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Concurrency <= 0 {
+		out.Concurrency = 1
+	}
+	if out.Duration <= 0 {
+		out.Duration = time.Second
+	}
+	if out.MaxInFlight <= 0 {
+		out.MaxInFlight = 256
+	}
+	if len(out.Profiles) == 0 {
+		out.Profiles = []Profile{{Client: "anon", Weight: 1, Share: 1}}
+	}
+	if out.Slices < 4 {
+		out.Slices = 10
+	}
+	if out.SliceTolerance <= 0 {
+		out.SliceTolerance = 0.25
+	}
+	return out
+}
+
+// Quantiles is a latency summary in seconds.
+type Quantiles struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean_sec"`
+	P50   float64 `json:"p50_sec"`
+	P90   float64 `json:"p90_sec"`
+	P95   float64 `json:"p95_sec"`
+	P99   float64 `json:"p99_sec"`
+	P999  float64 `json:"p999_sec"`
+	Max   float64 `json:"max_sec"`
+}
+
+func quantilesOf(s *obs.HistogramSnapshot) Quantiles {
+	const ns = 1e-9
+	return Quantiles{
+		Count: s.Count,
+		Mean:  s.Mean() * ns,
+		P50:   float64(s.Quantile(0.5)) * ns,
+		P90:   float64(s.Quantile(0.9)) * ns,
+		P95:   float64(s.Quantile(0.95)) * ns,
+		P99:   float64(s.Quantile(0.99)) * ns,
+		P999:  float64(s.Quantile(0.999)) * ns,
+		Max:   float64(s.Max) * ns,
+	}
+}
+
+// ProfileStats is one client profile's steady-window breakdown.
+type ProfileStats struct {
+	Profile Profile   `json:"profile"`
+	Errors  uint64    `json:"errors"`
+	Latency Quantiles `json:"latency"`
+}
+
+// StepResult is one measurement step: one (mode, rate/concurrency)
+// point on the throughput-vs-latency curve.
+type StepResult struct {
+	Mode        string  `json:"mode"`
+	Pacing      string  `json:"pacing,omitempty"` // open loop only
+	TargetRate  float64 `json:"target_rate,omitempty"`
+	Concurrency int     `json:"concurrency,omitempty"`
+
+	DurationSec float64 `json:"duration_sec"` // generation window
+	Intended    uint64  `json:"intended"`     // arrivals scheduled
+	Started     uint64  `json:"started"`      // requests actually issued
+	Completed   uint64  `json:"completed"`    // successful completions
+	Errors      uint64  `json:"errors"`
+	Dropped     uint64  `json:"dropped"` // arrivals lost to buffer overflow (must be 0)
+
+	// Steady-state window: slice k..end after discarding warm-up.
+	WarmupSlices  int     `json:"warmup_slices"`
+	TotalSlices   int     `json:"total_slices"`
+	SteadySec     float64 `json:"steady_sec"`
+	Throughput    float64 `json:"throughput_rps"` // completions/sec in the steady window
+	OfferedRate   float64 `json:"offered_rps"`    // intended arrivals/sec over the whole step
+	AchievedRatio float64 `json:"achieved_ratio"` // throughput / target (open loop)
+
+	// Latency is coordinated-omission corrected (from intended arrival
+	// time); ServiceLatency is measured from the actual send, i.e. what
+	// a naive benchmark would report. Comparing the two shows how much
+	// queueing the correction recovered. Both cover the steady window.
+	Latency        Quantiles `json:"latency"`
+	ServiceLatency Quantiles `json:"service_latency"`
+
+	PerProfile map[string]*ProfileStats `json:"per_profile,omitempty"`
+	SLOs       []SLOResult              `json:"slos,omitempty"`
+	Server     *ServerStats             `json:"server,omitempty"`
+}
+
+// arrival is one scheduled open-loop request.
+type arrival struct {
+	intended time.Time
+	profile  Profile
+	seq      int
+}
+
+// buildSchedule spreads profile shares over a repeating schedule with
+// smooth interleaving (largest-deficit-first WRR), so "50/50" means
+// alternating requests rather than alternating bursts.
+func buildSchedule(profiles []Profile, n int) []int {
+	shares := make([]float64, len(profiles))
+	var total float64
+	for i, p := range profiles {
+		s := p.Share
+		if s <= 0 {
+			s = 1
+		}
+		shares[i] = s
+		total += s
+	}
+	for i := range shares {
+		shares[i] /= total
+	}
+	assigned := make([]float64, len(profiles))
+	out := make([]int, n)
+	for i := range out {
+		best, bestDef := 0, math.Inf(-1)
+		for j := range profiles {
+			def := shares[j]*float64(i+1) - assigned[j]
+			if def > bestDef {
+				best, bestDef = j, def
+			}
+		}
+		out[i] = best
+		assigned[best]++
+	}
+	return out
+}
+
+// steadyStart returns the first slice index from which per-slice
+// throughput is stable: every slice in the tail within tol of the tail
+// mean, plus Poisson (sqrt) slack for small counts. Falls back to the
+// midpoint when nothing stabilizes.
+func steadyStart(counts []uint64, tol float64) int {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	for k := 0; k <= n/2; k++ {
+		tail := counts[k:]
+		var sum float64
+		for _, c := range tail {
+			sum += float64(c)
+		}
+		mean := sum / float64(len(tail))
+		slack := tol*mean + 2*math.Sqrt(mean) + 1
+		ok := true
+		for _, c := range tail {
+			if math.Abs(float64(c)-mean) > slack {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return k
+		}
+	}
+	return n / 2
+}
+
+// Run executes one measurement step against the target.
+func Run(t Target, opts Options) (*StepResult, error) {
+	o := opts.withDefaults()
+	if o.Mode == Open && o.Rate <= 0 {
+		return nil, fmt.Errorf("load: open loop requires a positive Rate (got %g)", o.Rate)
+	}
+
+	corrected := obs.NewHistogram(1e-9)
+	service := obs.NewHistogram(1e-9)
+	perProfile := make(map[string]*obs.Histogram, len(o.Profiles))
+	perProfileErr := make(map[string]*atomic.Uint64, len(o.Profiles))
+	for _, p := range o.Profiles {
+		perProfile[p.Client] = obs.NewHistogram(1e-9)
+		perProfileErr[p.Client] = &atomic.Uint64{}
+	}
+	schedule := buildSchedule(o.Profiles, 128)
+	pick := func(seq int) Profile { return o.Profiles[schedule[seq%len(schedule)]] }
+
+	var intended, started, completed, errors, dropped atomic.Uint64
+	record := func(p Profile, corr, svc time.Duration, err error) {
+		if err != nil {
+			errors.Add(1)
+			perProfileErr[p.Client].Add(1)
+			return
+		}
+		if corr < 0 {
+			corr = 0
+		}
+		corrected.Observe(uint64(corr))
+		service.Observe(uint64(svc))
+		perProfile[p.Client].Observe(uint64(corr))
+		completed.Add(1)
+	}
+
+	start := time.Now()
+	deadline := start.Add(o.Duration)
+
+	// Slice recorder: snapshot the corrected histogram (and per-profile)
+	// at each slice boundary so warm-up can be trimmed retroactively.
+	sliceDur := o.Duration / time.Duration(o.Slices)
+	type boundary struct {
+		at        time.Time
+		completed uint64
+		snap      *obs.HistogramSnapshot
+		profSnaps map[string]*obs.HistogramSnapshot
+		svcSnap   *obs.HistogramSnapshot
+	}
+	boundaries := make([]boundary, 0, o.Slices)
+	sliceDone := make(chan struct{})
+	go func() {
+		defer close(sliceDone)
+		for i := 1; i <= o.Slices; i++ {
+			at := start.Add(time.Duration(i) * sliceDur)
+			d := time.Until(at)
+			if d > 0 {
+				time.Sleep(d)
+			}
+			ps := make(map[string]*obs.HistogramSnapshot, len(perProfile))
+			for name, h := range perProfile {
+				ps[name] = h.Snapshot()
+			}
+			boundaries = append(boundaries, boundary{
+				at:        time.Now(),
+				completed: completed.Load(),
+				snap:      corrected.Snapshot(),
+				profSnaps: ps,
+				svcSnap:   service.Snapshot(),
+			})
+		}
+	}()
+
+	var wg sync.WaitGroup
+	switch o.Mode {
+	case Closed:
+		var seqCtr atomic.Uint64
+		for w := 0; w < o.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if !time.Now().Before(deadline) {
+						return
+					}
+					seq := int(seqCtr.Add(1) - 1)
+					p := pick(seq)
+					intended.Add(1)
+					started.Add(1)
+					s0 := time.Now()
+					err := t.Do(p, seq)
+					lat := time.Since(s0)
+					record(p, lat, lat, err)
+				}
+			}()
+		}
+	case Open:
+		buf := int(o.Rate*o.Duration.Seconds())*2 + 1024
+		arrivals := make(chan arrival, buf)
+		rng := rand.New(rand.NewSource(o.Seed))
+		interarrival := func() time.Duration {
+			gap := 1.0 / o.Rate
+			if o.Pacing == Poisson {
+				gap = rng.ExpFloat64() / o.Rate
+			}
+			return time.Duration(gap * float64(time.Second))
+		}
+		// Generator: emits every arrival whose intended time has passed
+		// (catch-up bursts preserve the schedule under coarse sleeps),
+		// sleeps until the next one otherwise.
+		go func() {
+			defer close(arrivals)
+			next := start
+			seq := 0
+			for {
+				if next.After(deadline) {
+					return
+				}
+				now := time.Now()
+				if next.After(now) {
+					time.Sleep(next.Sub(now))
+					continue
+				}
+				intended.Add(1)
+				a := arrival{intended: next, profile: pick(seq), seq: seq}
+				select {
+				case arrivals <- a:
+				default:
+					dropped.Add(1)
+				}
+				seq++
+				next = next.Add(interarrival())
+			}
+		}()
+		for w := 0; w < o.MaxInFlight; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for a := range arrivals {
+					started.Add(1)
+					s0 := time.Now()
+					err := t.Do(a.profile, a.seq)
+					end := time.Now()
+					record(a.profile, end.Sub(a.intended), end.Sub(s0), err)
+				}
+			}()
+		}
+	}
+	wg.Wait() // closed: deadline hit; open: generator closed + queue drained
+	<-sliceDone
+	end := time.Now()
+
+	// Per-slice completion deltas drive steady-state detection. The
+	// drain tail (open-loop completions after the last boundary) counts
+	// toward the steady window via the final snapshot.
+	finalB := boundary{
+		at:        end,
+		completed: completed.Load(),
+		snap:      corrected.Snapshot(),
+		svcSnap:   service.Snapshot(),
+	}
+	counts := make([]uint64, len(boundaries))
+	var prev uint64
+	for i, b := range boundaries {
+		counts[i] = b.completed - prev
+		prev = b.completed
+	}
+	k := steadyStart(counts, o.SliceTolerance)
+
+	var warmB *boundary
+	if k > 0 && k <= len(boundaries) {
+		warmB = &boundaries[k-1]
+	}
+	var warmSnap, warmSvc *obs.HistogramSnapshot
+	steadyFrom := start
+	var steadyBase uint64
+	if warmB != nil {
+		warmSnap, warmSvc = warmB.snap, warmB.svcSnap
+		steadyFrom = warmB.at
+		steadyBase = warmB.completed
+	}
+	steady := finalB.snap.Delta(warmSnap)
+	steadySvc := finalB.svcSnap.Delta(warmSvc)
+	steadySec := end.Sub(steadyFrom).Seconds()
+	if steadySec <= 0 {
+		steadySec = o.Duration.Seconds()
+	}
+
+	res := &StepResult{
+		Mode:           o.Mode.String(),
+		TargetRate:     o.Rate,
+		Concurrency:    o.Concurrency,
+		DurationSec:    o.Duration.Seconds(),
+		Intended:       intended.Load(),
+		Started:        started.Load(),
+		Completed:      completed.Load(),
+		Errors:         errors.Load(),
+		Dropped:        dropped.Load(),
+		WarmupSlices:   k,
+		TotalSlices:    o.Slices,
+		SteadySec:      steadySec,
+		Throughput:     float64(finalB.completed-steadyBase) / steadySec,
+		OfferedRate:    float64(intended.Load()) / o.Duration.Seconds(),
+		Latency:        quantilesOf(steady),
+		ServiceLatency: quantilesOf(steadySvc),
+		PerProfile:     map[string]*ProfileStats{},
+	}
+	if o.Mode == Open {
+		res.Pacing = o.Pacing.String()
+		if o.Rate > 0 {
+			res.AchievedRatio = res.Throughput / o.Rate
+		}
+	} else {
+		res.TargetRate = 0
+	}
+	for _, p := range o.Profiles {
+		var ws *obs.HistogramSnapshot
+		if warmB != nil {
+			ws = warmB.profSnaps[p.Client]
+		}
+		res.PerProfile[p.Client] = &ProfileStats{
+			Profile: p,
+			Errors:  perProfileErr[p.Client].Load(),
+			Latency: quantilesOf(perProfile[p.Client].Snapshot().Delta(ws)),
+		}
+	}
+	for _, slo := range o.SLOs {
+		res.SLOs = append(res.SLOs, slo.Evaluate(steady, steadySec))
+	}
+	return res, nil
+}

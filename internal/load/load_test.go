@@ -1,0 +1,331 @@
+package load
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"icicle/internal/obs"
+)
+
+// sleepTarget is a synthetic service with fixed latency and optional
+// serialization (capacity 1), used to provoke queueing.
+type sleepTarget struct {
+	d      time.Duration
+	serial chan struct{} // when non-nil, capacity bounds true concurrency
+	calls  atomic.Uint64
+	fail   func(seq int) bool
+}
+
+func (t *sleepTarget) Do(_ Profile, seq int) error {
+	t.calls.Add(1)
+	if t.fail != nil && t.fail(seq) {
+		return errors.New("synthetic failure")
+	}
+	if t.serial != nil {
+		t.serial <- struct{}{}
+		defer func() { <-t.serial }()
+	}
+	time.Sleep(t.d)
+	return nil
+}
+
+func TestClosedLoopBasic(t *testing.T) {
+	tgt := &sleepTarget{d: time.Millisecond}
+	res, err := Run(tgt, Options{
+		Mode:        Closed,
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		SLOs:        []SLO{{Quantile: 0.99, Bound: 100 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || res.Errors != 0 || res.Dropped != 0 {
+		t.Fatalf("completed=%d errors=%d dropped=%d", res.Completed, res.Errors, res.Dropped)
+	}
+	// 4 workers × ~1ms per call ≈ 4000/s ideal; accept a loose lower bound.
+	if res.Throughput < 500 {
+		t.Fatalf("throughput %.1f/s too low for 4 workers at 1ms", res.Throughput)
+	}
+	q := res.Latency
+	if !(q.P50 <= q.P90 && q.P90 <= q.P99 && q.P99 <= q.Max) {
+		t.Fatalf("quantiles not monotone: %+v", q)
+	}
+	if q.P50 < 0.0005 {
+		t.Fatalf("p50 %.6fs below the 1ms sleep floor", q.P50)
+	}
+	if len(res.SLOs) != 1 || !res.SLOs[0].Pass {
+		t.Fatalf("SLO should pass at 1ms latency vs 100ms bound: %+v", res.SLOs)
+	}
+	if res.SLOs[0].BurnRate != 0 {
+		t.Fatalf("burn rate should be 0 with no violations, got %f", res.SLOs[0].BurnRate)
+	}
+}
+
+// TestOpenLoopCoordinatedOmission overloads a serialized (capacity-1)
+// service: the corrected latency (from intended arrival) must blow up
+// with queueing while the service latency stays near the service time —
+// the entire point of the CO correction.
+func TestOpenLoopCoordinatedOmission(t *testing.T) {
+	tgt := &sleepTarget{d: 5 * time.Millisecond, serial: make(chan struct{}, 1)}
+	res, err := Run(tgt, Options{
+		Mode:        Open,
+		Rate:        1000, // 5x the ~200/s capacity
+		Pacing:      Uniform,
+		Duration:    400 * time.Millisecond,
+		MaxInFlight: 64,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("dropped %d arrivals (buffer should absorb the backlog)", res.Dropped)
+	}
+	if res.Latency.P99 < 4*res.ServiceLatency.P99 {
+		t.Fatalf("corrected p99 %.4fs should dwarf service p99 %.4fs under overload",
+			res.Latency.P99, res.ServiceLatency.P99)
+	}
+	if res.Latency.P50 < res.ServiceLatency.P50 {
+		t.Fatalf("corrected p50 %.4fs below service p50 %.4fs", res.Latency.P50, res.ServiceLatency.P50)
+	}
+}
+
+func TestOpenLoopPoissonKeepsRate(t *testing.T) {
+	tgt := &sleepTarget{d: 100 * time.Microsecond}
+	res, err := Run(tgt, Options{
+		Mode:        Open,
+		Rate:        2000,
+		Pacing:      Poisson,
+		Duration:    400 * time.Millisecond,
+		MaxInFlight: 128,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("dropped %d", res.Dropped)
+	}
+	// Offered rate should track the target within 30% (timer coarseness +
+	// Poisson variance over a short window).
+	if res.OfferedRate < 0.7*2000 || res.OfferedRate > 1.3*2000 {
+		t.Fatalf("offered rate %.1f/s far from 2000/s target", res.OfferedRate)
+	}
+}
+
+func TestRunErrorsCounted(t *testing.T) {
+	tgt := &sleepTarget{d: 100 * time.Microsecond, fail: func(seq int) bool { return seq%2 == 0 }}
+	res, err := Run(tgt, Options{Mode: Closed, Concurrency: 2, Duration: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("expected synthetic failures to be counted")
+	}
+	if res.Completed == 0 {
+		t.Fatal("expected some successes")
+	}
+}
+
+func TestProfileSchedule(t *testing.T) {
+	profiles := []Profile{
+		{Client: "heavy", Share: 0.75},
+		{Client: "light", Share: 0.25},
+	}
+	sched := buildSchedule(profiles, 128)
+	counts := map[int]int{}
+	for _, idx := range sched {
+		counts[idx]++
+	}
+	if counts[0] != 96 || counts[1] != 32 {
+		t.Fatalf("want 96/32 split, got %d/%d", counts[0], counts[1])
+	}
+	// Smoothness: no run of 8 consecutive identical picks for a 3:1 split.
+	run := 1
+	for i := 1; i < len(sched); i++ {
+		if sched[i] == sched[i-1] {
+			run++
+			if run >= 8 {
+				t.Fatalf("schedule bursty: run of %d at %d", run, i)
+			}
+		} else {
+			run = 1
+		}
+	}
+}
+
+func TestPerProfileBreakdown(t *testing.T) {
+	tgt := &sleepTarget{d: time.Millisecond}
+	res, err := Run(tgt, Options{
+		Mode:        Closed,
+		Concurrency: 2,
+		Duration:    200 * time.Millisecond,
+		Profiles: []Profile{
+			{Client: "a", Priority: 2, Share: 0.5},
+			{Client: "b", Priority: 0, Share: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerProfile) != 2 {
+		t.Fatalf("want 2 profiles, got %d", len(res.PerProfile))
+	}
+	for name, ps := range res.PerProfile {
+		if ps.Latency.Count == 0 {
+			t.Fatalf("profile %s recorded nothing", name)
+		}
+	}
+}
+
+func TestSteadyStart(t *testing.T) {
+	cases := []struct {
+		counts []uint64
+		want   int
+	}{
+		{[]uint64{100, 100, 100, 100, 100, 100}, 0},        // flat from the start
+		{[]uint64{1, 10, 100, 100, 100, 100, 100, 100}, 2}, // two warm-up slices
+		{[]uint64{0, 0, 0, 0, 0, 0}, 0},                    // nothing happened; trivially stable
+		{[]uint64{5, 200, 5, 190, 4, 210}, 3},              // oscillating: fall back to midpoint
+	}
+	for i, c := range cases {
+		if got := steadyStart(c.counts, 0.25); got != c.want {
+			t.Errorf("case %d: steadyStart(%v) = %d, want %d", i, c.counts, got, c.want)
+		}
+	}
+}
+
+func TestSLOParse(t *testing.T) {
+	good := map[string]struct {
+		q     float64
+		bound time.Duration
+	}{
+		"p99<50ms":      {0.99, 50 * time.Millisecond},
+		"p99.9 < 100ms": {0.999, 100 * time.Millisecond},
+		"P50 <= 1.5s":   {0.5, 1500 * time.Millisecond},
+	}
+	for spec, want := range good {
+		slo, err := ParseSLO(spec)
+		if err != nil {
+			t.Fatalf("ParseSLO(%q): %v", spec, err)
+		}
+		if abs(slo.Quantile-want.q) > 1e-12 || slo.Bound != want.bound {
+			t.Fatalf("ParseSLO(%q) = {%f %s}, want {%f %s}", spec, slo.Quantile, slo.Bound, want.q, want.bound)
+		}
+		if slo.Spec() != strings.TrimSpace(spec) {
+			t.Fatalf("Spec() round-trip: %q != %q", slo.Spec(), spec)
+		}
+	}
+	for _, bad := range []string{"", "99<50ms", "p0<1ms", "p100<1ms", "p99<", "p99<-5ms", "p99>50ms"} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Fatalf("ParseSLO(%q) should fail", bad)
+		}
+	}
+	list, err := ParseSLOs("p99<50ms, p99.9<200ms")
+	if err != nil || len(list) != 2 {
+		t.Fatalf("ParseSLOs: %v %v", list, err)
+	}
+}
+
+func TestSLOEvaluateBurnRate(t *testing.T) {
+	h := obs.NewHistogram(1e-9)
+	// 98 fast, 2 slow out of 100 → p99 lands in the slow mass; with a
+	// 1% budget and 2% violations, the burn rate is 2.
+	for i := 0; i < 98; i++ {
+		h.Observe(uint64(time.Millisecond))
+	}
+	h.Observe(uint64(time.Second))
+	h.Observe(uint64(time.Second))
+	slo := SLO{Quantile: 0.99, Bound: 100 * time.Millisecond}
+	res := slo.Evaluate(h.Snapshot(), 10)
+	if res.Pass {
+		t.Fatalf("p99 should exceed 100ms: actual %.3fs", res.ActualSec)
+	}
+	if abs(res.BudgetFraction-0.01) > 1e-9 {
+		t.Fatalf("budget fraction %f", res.BudgetFraction)
+	}
+	if res.ViolationFraction < 0.019 || res.ViolationFraction > 0.021 {
+		t.Fatalf("violation fraction %f, want ~0.02", res.ViolationFraction)
+	}
+	if res.BurnRate < 1.9 || res.BurnRate > 2.1 {
+		t.Fatalf("burn rate %f, want ~2", res.BurnRate)
+	}
+
+	fast := obs.NewHistogram(1e-9)
+	for i := 0; i < 100; i++ {
+		fast.Observe(uint64(time.Millisecond))
+	}
+	if r := slo.Evaluate(fast.Snapshot(), 10); !r.Pass || r.BurnRate != 0 {
+		t.Fatalf("all-fast histogram should pass with zero burn: %+v", r)
+	}
+}
+
+func TestLadderWithRegistryScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	completed := reg.Counter("icicle_serve_jobs_completed_total", "test")
+	hits := reg.Counter("icicle_serve_memo_hits_total", "test")
+	qw := reg.Histogram("icicle_serve_queue_wait_seconds", "test", 1e-9)
+
+	tgt := targetFunc(func(p Profile, seq int) error {
+		completed.Inc()
+		if seq%2 == 0 {
+			hits.Inc()
+		}
+		qw.Observe(uint64(200 * time.Microsecond))
+		time.Sleep(500 * time.Microsecond)
+		return nil
+	})
+	rep, err := RunLadder(tgt, Options{
+		Mode:     Closed,
+		Duration: 100 * time.Millisecond,
+		SLOs:     []SLO{{Quantile: 0.95, Bound: 250 * time.Millisecond}},
+	}, []Step{{Concurrency: 1}, {Concurrency: 2}}, RegistryScraper(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Steps) != 2 {
+		t.Fatalf("want 2 steps, got %d", len(rep.Steps))
+	}
+	for i, s := range rep.Steps {
+		if s.Server == nil {
+			t.Fatalf("step %d: no server stats", i)
+		}
+		if s.Server.JobsCompleted == 0 {
+			t.Fatalf("step %d: no completed delta", i)
+		}
+		if s.Server.HitRate < 0.4 || s.Server.HitRate > 0.6 {
+			t.Fatalf("step %d: hit rate %.2f, want ~0.5", i, s.Server.HitRate)
+		}
+		if s.Server.QueueWaitCount == 0 || s.Server.QueueWaitP99 <= 0 {
+			t.Fatalf("step %d: queue wait not scraped: %+v", i, s.Server)
+		}
+		if len(s.SLOs) != 1 {
+			t.Fatalf("step %d: SLOs missing", i)
+		}
+	}
+	// Second step's delta must cover only its own window: roughly the
+	// same completed count per 100ms step at c=1 vs c=2 means the c=2
+	// step should not include the c=1 step's counts (which would double it
+	// beyond the per-step maximum possible).
+	var txt strings.Builder
+	rep.WriteText(&txt)
+	out := txt.String()
+	if !strings.Contains(out, "SLO") || !strings.Contains(out, "PASS") {
+		t.Fatalf("text report missing SLO verdict:\n%s", out)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+type targetFunc func(p Profile, seq int) error
+
+func (f targetFunc) Do(p Profile, seq int) error { return f(p, seq) }

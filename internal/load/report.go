@@ -1,0 +1,264 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"icicle/internal/obs"
+)
+
+// Step is one rung of a throughput-vs-latency ladder: either a target
+// arrival rate (open loop) or a worker count (closed loop), depending on
+// the options' Mode.
+type Step struct {
+	Rate        float64 `json:"rate,omitempty"`
+	Concurrency int     `json:"concurrency,omitempty"`
+}
+
+// ClassWait is one priority class's queue-wait summary from the server's
+// own icicle_serve_queue_wait_seconds{class="N"} histogram, scraped as a
+// per-step delta.
+type ClassWait struct {
+	Class string  `json:"class"`
+	Count float64 `json:"count"`
+	P50   float64 `json:"p50_sec"`
+	P99   float64 `json:"p99_sec"`
+}
+
+// EndpointDuration is one endpoint's server-measured request duration.
+type EndpointDuration struct {
+	Endpoint string  `json:"endpoint"`
+	Count    float64 `json:"count"`
+	P50      float64 `json:"p50_sec"`
+	P99      float64 `json:"p99_sec"`
+}
+
+// ServerStats are the server-side deltas across one load step, scraped
+// from /metrics before and after, aligned with the client-observed
+// latency of the same window.
+type ServerStats struct {
+	QueueWaitCount float64 `json:"queue_wait_count"`
+	QueueWaitP50   float64 `json:"queue_wait_p50_sec"`
+	QueueWaitP99   float64 `json:"queue_wait_p99_sec"`
+
+	PerClass    []ClassWait        `json:"per_class,omitempty"`
+	PerEndpoint []EndpointDuration `json:"per_endpoint,omitempty"`
+
+	JobsCompleted float64 `json:"jobs_completed"`
+	StoreHits     float64 `json:"store_hits"`
+	MemoHits      float64 `json:"memo_hits"`
+	Simulated     float64 `json:"simulated"`
+	Errored       float64 `json:"errored"`
+	// HitRate is (store+memo hits)/completed for the step window — how
+	// much of the offered load the caches absorbed.
+	HitRate float64 `json:"hit_rate"`
+	// QueueDepth is the level at the end of the step (a gauge, not a
+	// delta); nonzero after drain indicates the server is still backed up.
+	QueueDepth float64 `json:"queue_depth"`
+}
+
+// labelValue pulls one label's value out of a series key like
+// `name{class="2"}`.
+func labelValue(key, label string) string {
+	i := strings.Index(key, label+"=\"")
+	if i < 0 {
+		return ""
+	}
+	rest := key[i+len(label)+2:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}
+
+// serverStats reduces a scrape delta (after minus before) plus the raw
+// "after" capture (for gauge levels) into report columns. It prefers the
+// icicle_serve_* series and falls back to icicle_sim_* when the target
+// is the in-process runner.
+func serverStats(d, after *obs.Scraped) *ServerStats {
+	if d == nil {
+		return nil
+	}
+	s := &ServerStats{}
+	if qw := d.Hist("icicle_serve_queue_wait_seconds"); qw != nil && qw.Count > 0 {
+		s.QueueWaitCount = qw.Count
+		s.QueueWaitP50 = qw.Quantile(0.5)
+		s.QueueWaitP99 = qw.Quantile(0.99)
+	}
+	for _, key := range d.HistsWithPrefix("icicle_serve_queue_wait_seconds{") {
+		h := d.Hist(key)
+		if h == nil || h.Count <= 0 {
+			continue
+		}
+		s.PerClass = append(s.PerClass, ClassWait{
+			Class: labelValue(key, "class"),
+			Count: h.Count,
+			P50:   h.Quantile(0.5),
+			P99:   h.Quantile(0.99),
+		})
+	}
+	sort.Slice(s.PerClass, func(i, j int) bool { return s.PerClass[i].Class < s.PerClass[j].Class })
+	for _, key := range d.HistsWithPrefix("icicle_serve_request_duration_seconds{") {
+		h := d.Hist(key)
+		if h == nil || h.Count <= 0 {
+			continue
+		}
+		s.PerEndpoint = append(s.PerEndpoint, EndpointDuration{
+			Endpoint: labelValue(key, "endpoint"),
+			Count:    h.Count,
+			P50:      h.Quantile(0.5),
+			P99:      h.Quantile(0.99),
+		})
+	}
+	sort.Slice(s.PerEndpoint, func(i, j int) bool { return s.PerEndpoint[i].Endpoint < s.PerEndpoint[j].Endpoint })
+
+	s.JobsCompleted = d.Value("icicle_serve_jobs_completed_total")
+	s.StoreHits = d.Value("icicle_serve_store_hits_total")
+	s.MemoHits = d.Value("icicle_serve_memo_hits_total")
+	s.Simulated = d.Value("icicle_serve_simulated_total")
+	s.Errored = d.Value("icicle_serve_jobs_errored_total")
+	if s.JobsCompleted == 0 {
+		// In-process runner: map the sim-layer counters into the same
+		// columns (memo = engine cache, simulated = cache misses).
+		s.JobsCompleted = d.Value("icicle_sim_jobs_total")
+		s.StoreHits = d.Value("icicle_sim_store_hits_total")
+		s.MemoHits = d.Value("icicle_sim_cache_hits_total")
+		s.Simulated = d.Value("icicle_sim_cache_misses_total")
+	}
+	if s.JobsCompleted > 0 {
+		s.HitRate = (s.StoreHits + s.MemoHits) / s.JobsCompleted
+	}
+	if after != nil {
+		s.QueueDepth = after.Value("icicle_serve_queue_depth")
+	}
+	return s
+}
+
+// Report is the full ladder artifact (BENCH_9.json).
+type Report struct {
+	Name        string        `json:"name"` // "icicle-load"
+	Target      string        `json:"target"`
+	Mode        string        `json:"mode"`
+	Pacing      string        `json:"pacing,omitempty"`
+	GeneratedAt string        `json:"generated_at,omitempty"`
+	Profiles    []Profile     `json:"profiles"`
+	SLOSpecs    []string      `json:"slo_specs,omitempty"`
+	Steps       []*StepResult `json:"steps"`
+}
+
+// RunLadder executes each step with the shared options (each step
+// overrides Rate or Concurrency), scraping server metrics around every
+// step when a scraper is provided. Steps run sequentially — each rung
+// measures a settled server, not its neighbor's backlog (the queue has
+// drained by construction: wait-mode requests only return when their
+// jobs finish).
+func RunLadder(t Target, opts Options, steps []Step, scrape Scraper) (*Report, error) {
+	o := opts.withDefaults()
+	rep := &Report{
+		Name:     "icicle-load",
+		Mode:     o.Mode.String(),
+		Profiles: o.Profiles,
+	}
+	if o.Mode == Open {
+		rep.Pacing = o.Pacing.String()
+	}
+	for _, s := range o.SLOs {
+		rep.SLOSpecs = append(rep.SLOSpecs, s.Spec())
+	}
+	for i, st := range steps {
+		stepOpts := o
+		if st.Rate > 0 {
+			stepOpts.Rate = st.Rate
+		}
+		if st.Concurrency > 0 {
+			stepOpts.Concurrency = st.Concurrency
+		}
+		var before *obs.Scraped
+		if scrape != nil {
+			b, err := scrape()
+			if err != nil {
+				return nil, fmt.Errorf("load: step %d pre-scrape: %w", i, err)
+			}
+			before = b
+		}
+		res, err := Run(t, stepOpts)
+		if err != nil {
+			return nil, fmt.Errorf("load: step %d: %w", i, err)
+		}
+		if scrape != nil {
+			after, err := scrape()
+			if err != nil {
+				return nil, fmt.Errorf("load: step %d post-scrape: %w", i, err)
+			}
+			res.Server = serverStats(after.Delta(before), after)
+		}
+		rep.Steps = append(rep.Steps, res)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON to path.
+func (r *Report) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func ms(sec float64) string { return fmt.Sprintf("%.2f", sec*1e3) }
+
+// WriteText renders the human-readable ladder table plus SLO verdicts.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "icicle-load %s loop", r.Mode)
+	if r.Pacing != "" {
+		fmt.Fprintf(w, " (%s pacing)", r.Pacing)
+	}
+	if r.Target != "" {
+		fmt.Fprintf(w, " against %s", r.Target)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s %-10s %-9s %-9s %-9s %-9s %-9s %-6s %-10s %-7s\n",
+		"target", "achieved", "p50 ms", "p95 ms", "p99 ms", "p99.9 ms", "max ms", "drops", "qwait p99", "hitrate")
+	for _, s := range r.Steps {
+		target := fmt.Sprintf("c=%d", s.Concurrency)
+		if s.Mode == "open" {
+			target = fmt.Sprintf("%.0f/s", s.TargetRate)
+		}
+		qwait, hit := "-", "-"
+		if s.Server != nil {
+			if s.Server.QueueWaitCount > 0 {
+				qwait = ms(s.Server.QueueWaitP99)
+			}
+			hit = fmt.Sprintf("%.2f", s.Server.HitRate)
+		}
+		fmt.Fprintf(w, "%-10s %-10s %-9s %-9s %-9s %-9s %-9s %-6d %-10s %-7s\n",
+			target, fmt.Sprintf("%.1f/s", s.Throughput),
+			ms(s.Latency.P50), ms(s.Latency.P95), ms(s.Latency.P99),
+			ms(s.Latency.P999), ms(s.Latency.Max), s.Dropped, qwait, hit)
+	}
+	for _, s := range r.Steps {
+		for _, slo := range s.SLOs {
+			verdict := "PASS"
+			if !slo.Pass {
+				verdict = "FAIL"
+			}
+			target := fmt.Sprintf("c=%d", s.Concurrency)
+			if s.Mode == "open" {
+				target = fmt.Sprintf("%.0f/s", s.TargetRate)
+			}
+			fmt.Fprintf(w, "SLO %-14s @ %-8s %s  actual %sms  burn %.2fx\n",
+				slo.Spec, target, verdict, ms(slo.ActualSec), slo.BurnRate)
+		}
+	}
+}
+
+// Stamp records the generation time; kept out of RunLadder so callers
+// control it (tests want deterministic artifacts).
+func (r *Report) Stamp(t time.Time) { r.GeneratedAt = t.UTC().Format(time.RFC3339) }

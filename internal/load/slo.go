@@ -1,0 +1,106 @@
+package load
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"icicle/internal/obs"
+)
+
+// SLO is one declarative latency objective: "the q-quantile of
+// (coordinated-omission corrected) latency stays under Bound".
+type SLO struct {
+	Quantile float64       // e.g. 0.99
+	Bound    time.Duration // e.g. 50ms
+	spec     string        // original text, for reporting
+}
+
+// sloRe matches "p99 < 50ms", "p99.9<=100ms", "P50 < 1.5s" — a quantile
+// name, a comparator, and a Go duration.
+var sloRe = regexp.MustCompile(`^[pP]([0-9]+(?:\.[0-9]+)?)\s*<=?\s*(\S+)$`)
+
+// ParseSLO parses a declarative SLO spec like "p99<50ms" or
+// "p99.9 < 100ms". The comparator is always treated as ≤ (an SLO bound
+// is inclusive by convention).
+func ParseSLO(spec string) (SLO, error) {
+	m := sloRe.FindStringSubmatch(strings.TrimSpace(spec))
+	if m == nil {
+		return SLO{}, fmt.Errorf("load: bad SLO %q (want e.g. \"p99<50ms\")", spec)
+	}
+	pct, err := strconv.ParseFloat(m[1], 64)
+	if err != nil || pct <= 0 || pct >= 100 {
+		return SLO{}, fmt.Errorf("load: bad SLO quantile in %q (want 0 < p < 100)", spec)
+	}
+	bound, err := time.ParseDuration(m[2])
+	if err != nil || bound <= 0 {
+		return SLO{}, fmt.Errorf("load: bad SLO bound in %q: %v", spec, err)
+	}
+	return SLO{Quantile: pct / 100, Bound: bound, spec: spec}, nil
+}
+
+// ParseSLOs parses a comma-separated SLO list ("p99<50ms,p99.9<200ms").
+func ParseSLOs(specs string) ([]SLO, error) {
+	var out []SLO
+	for _, s := range strings.Split(specs, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		slo, err := ParseSLO(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, slo)
+	}
+	return out, nil
+}
+
+// Spec returns the SLO in canonical text form.
+func (s SLO) Spec() string {
+	if s.spec != "" {
+		return s.spec
+	}
+	pct := s.Quantile * 100
+	return fmt.Sprintf("p%s<%s", strconv.FormatFloat(pct, 'f', -1, 64), s.Bound)
+}
+
+// SLOResult is one evaluated objective with its error-budget arithmetic:
+// the budget fraction is the share of requests allowed over the bound
+// (1−q); the violation fraction is the share actually over it; the burn
+// rate is their ratio — burn 1.0 exactly exhausts the budget, 2.0 burns
+// it twice as fast as allowed (the Google SRE multi-window framing).
+type SLOResult struct {
+	Spec              string  `json:"spec"`
+	Quantile          float64 `json:"quantile"`
+	BoundSec          float64 `json:"bound_sec"`
+	ActualSec         float64 `json:"actual_sec"`
+	Pass              bool    `json:"pass"`
+	BudgetFraction    float64 `json:"budget_fraction"`
+	ViolationFraction float64 `json:"violation_fraction"`
+	BurnRate          float64 `json:"burn_rate"`
+}
+
+// Evaluate checks the objective against a latency snapshot covering
+// windowSec seconds of steady-state traffic. The snapshot's values are
+// nanoseconds (scale 1e-9), matching the load harness histograms.
+func (s SLO) Evaluate(snap *obs.HistogramSnapshot, windowSec float64) SLOResult {
+	actual := float64(snap.Quantile(s.Quantile)) * 1e-9
+	res := SLOResult{
+		Spec:           s.Spec(),
+		Quantile:       s.Quantile,
+		BoundSec:       s.Bound.Seconds(),
+		ActualSec:      actual,
+		Pass:           actual <= s.Bound.Seconds(),
+		BudgetFraction: 1 - s.Quantile,
+	}
+	if snap.Count > 0 {
+		res.ViolationFraction = float64(snap.CountAbove(uint64(s.Bound))) / float64(snap.Count)
+	}
+	if res.BudgetFraction > 0 {
+		res.BurnRate = res.ViolationFraction / res.BudgetFraction
+	}
+	return res
+}

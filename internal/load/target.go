@@ -1,0 +1,113 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"icicle/internal/obs"
+	"icicle/internal/serve"
+	"icicle/internal/sim"
+)
+
+// HTTPTarget drives a live icicle-serve endpoint: each Do posts one job
+// in wait mode (synchronous, HTTP 200 carries the full StatusResponse),
+// so one request equals one end-to-end measured latency that still
+// passes through the server's priority/fairness queue.
+type HTTPTarget struct {
+	BaseURL string
+	Specs   []serve.JobSpec // cycled by sequence number
+	Client  *http.Client
+}
+
+// NewHTTPTarget builds a target for base (e.g. "http://127.0.0.1:8372")
+// with a connection pool sized for maxInFlight concurrent requests.
+func NewHTTPTarget(base string, specs []serve.JobSpec, maxInFlight int) (*HTTPTarget, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("load: HTTP target needs at least one job spec")
+	}
+	if maxInFlight <= 0 {
+		maxInFlight = 256
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        maxInFlight,
+		MaxIdleConnsPerHost: maxInFlight,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &HTTPTarget{
+		BaseURL: base,
+		Specs:   specs,
+		Client:  &http.Client{Transport: tr, Timeout: 5 * time.Minute},
+	}, nil
+}
+
+// Do submits one job synchronously and returns once it has completed.
+func (t *HTTPTarget) Do(p Profile, seq int) error {
+	spec := t.Specs[seq%len(t.Specs)]
+	body, err := json.Marshal(serve.SubmitRequest{
+		Client:   p.Client,
+		Priority: p.Priority,
+		Weight:   p.Weight,
+		Wait:     true,
+		Jobs:     []serve.JobSpec{spec},
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := t.Client.Post(t.BaseURL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("POST /jobs: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var st serve.StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("POST /jobs: decode: %w", err)
+	}
+	if st.State != "done" {
+		return fmt.Errorf("POST /jobs: wait returned state %q", st.State)
+	}
+	for _, r := range st.Results {
+		if r.Error != "" {
+			return fmt.Errorf("job %s: %s", r.Key, r.Error)
+		}
+	}
+	return nil
+}
+
+// SimTarget drives the in-process runner directly — the same measurement
+// harness without the HTTP/queue layers, for isolating engine capacity.
+type SimTarget struct {
+	Runner *sim.Runner
+	Jobs   []sim.Job // cycled by sequence number
+}
+
+// Do runs one job to completion on the runner.
+func (t *SimTarget) Do(_ Profile, seq int) error {
+	res := t.Runner.RunOne(t.Jobs[seq%len(t.Jobs)])
+	return res.Err
+}
+
+// Scraper captures server-side metrics around a load step so the report
+// can pair client-observed latency with the server's own telemetry.
+type Scraper func() (*obs.Scraped, error)
+
+// HTTPScraper scrapes a /metrics URL.
+func HTTPScraper(metricsURL string) Scraper {
+	return func() (*obs.Scraped, error) { return obs.ScrapeURL(metricsURL) }
+}
+
+// RegistryScraper captures an in-process registry through the same
+// render/parse path, so both target kinds produce identical columns.
+func RegistryScraper(reg *obs.Registry) Scraper {
+	return func() (*obs.Scraped, error) { return obs.ScrapeRegistry(reg) }
+}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// The histogram is HDR-style log-linear: every power-of-two range is
+// split into hdrSubCount equal sub-buckets, so the relative error of any
+// reconstructed value is bounded by 1/hdrSubCount (3.125% at 32
+// sub-buckets) across the full uint64 range, while Observe stays a
+// handful of branch-free integer ops on atomics. Values below
+// hdrSubCount land in exact unit buckets. This is the same layout
+// HdrHistogram and wrk2 use to report coordinated-omission-corrected
+// latency, which is exactly what internal/load records into it.
+const (
+	hdrSubBits  = 5
+	hdrSubCount = 1 << hdrSubBits // sub-buckets per power of two
+	// hdrBuckets: hdrSubCount exact unit buckets, then hdrSubCount
+	// sub-buckets for each major power 2^m, m in [hdrSubBits, 63].
+	hdrBuckets = hdrSubCount + (64-hdrSubBits)*hdrSubCount
+)
+
+// bucketIndex maps a value to its bucket. Indices are contiguous and
+// order-preserving: v <= w implies bucketIndex(v) <= bucketIndex(w).
+func bucketIndex(v uint64) int {
+	if v < hdrSubCount {
+		return int(v)
+	}
+	m := bits.Len64(v) - 1 // hdrSubBits..63
+	shift := uint(m - hdrSubBits)
+	// v>>shift is in [hdrSubCount, 2*hdrSubCount), so indices run
+	// contiguously from hdrSubCount upward.
+	return (m-hdrSubBits)*hdrSubCount + int(v>>shift)
+}
+
+// bucketUpper returns the largest value mapping to bucket i (the
+// inclusive upper edge used for quantile reconstruction).
+func bucketUpper(i int) uint64 {
+	if i < hdrSubCount {
+		return uint64(i)
+	}
+	m := i/hdrSubCount + hdrSubBits - 1 // hdrSubBits..63 by construction
+	s := uint64(i%hdrSubCount) + hdrSubCount
+	hi := (s + 1) << uint(m-hdrSubBits)
+	if hi == 0 { // 2^64: the top sub-bucket's edge overflows
+		return math.MaxUint64
+	}
+	return hi - 1
+}
+
+// Histogram is a log-linear (HDR-style) distribution of uint64
+// observations, typically nanoseconds. The hot path (Observe) is
+// lock-free and allocation-free: a count, a sum, a CAS-maintained exact
+// maximum, and one atomic bucket increment. The zero value is usable but
+// renders raw values; construct with NewHistogram to set the exposition
+// scale. A nil *Histogram discards observations.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [hdrBuckets]atomic.Uint64
+	scale   float64 // multiplier applied at exposition (1e-9: ns → s)
+}
+
+// NewHistogram returns a standalone histogram whose Prometheus exposition
+// multiplies bucket bounds and the sum by scale (pass 1e-9 to observe
+// nanoseconds and expose seconds; 0 means 1).
+func NewHistogram(scale float64) *Histogram { return &Histogram{scale: scale} }
+
+// Observe records one value. Nil-safe, lock-free, alloc-free.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the raw (unscaled) observation total.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the exact largest observed value (0 with no observations).
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Scale returns the exposition scale (1 when unset).
+func (h *Histogram) Scale() float64 {
+	if h == nil {
+		return 1
+	}
+	return h.effScale()
+}
+
+func (h *Histogram) effScale() float64 {
+	if h.scale == 0 {
+		return 1
+	}
+	return h.scale
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the raw observed
+// values, exact to the sub-bucket resolution (≤1/32 relative error) and
+// clamped to the exact observed maximum. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	s := h.Snapshot()
+	return s.Quantile(q)
+}
+
+// Merge adds every bucket, the count, and the sum of o into h and raises
+// h's max to o's. Both histograms stay usable; concurrent Observes on
+// either are safe (the merge is atomic per field, not as a whole).
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	om := o.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// Snapshot captures a point-in-time copy of the distribution for
+// delta/quantile work off the hot path. Nil-safe (returns an empty
+// snapshot).
+func (h *Histogram) Snapshot() *HistogramSnapshot {
+	s := &HistogramSnapshot{}
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	s.Scale = h.effScale()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram's state. Deltas
+// between two snapshots of the same histogram isolate one measurement
+// window (internal/load uses this for steady-state trimming: final
+// snapshot minus the warm-up boundary snapshot).
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Max     uint64 // running max at snapshot time (not per-window)
+	Scale   float64
+	Buckets [hdrBuckets]uint64
+}
+
+// Delta returns s minus prev, bucket by bucket. Max carries s's running
+// maximum — an upper bound on the window maximum, and exact whenever the
+// overall maximum occurred inside the window. prev may be nil (the delta
+// is then s itself).
+func (s *HistogramSnapshot) Delta(prev *HistogramSnapshot) *HistogramSnapshot {
+	out := &HistogramSnapshot{Count: s.Count, Sum: s.Sum, Max: s.Max, Scale: s.Scale}
+	out.Buckets = s.Buckets
+	if prev != nil {
+		out.Count -= prev.Count
+		out.Sum -= prev.Sum
+		for i := range out.Buckets {
+			out.Buckets[i] -= prev.Buckets[i]
+		}
+	}
+	return out
+}
+
+// Merge adds o's window into s (count, sum, buckets; max is the larger).
+func (s *HistogramSnapshot) Merge(o *HistogramSnapshot) {
+	if o == nil {
+		return
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Quantile returns the q-quantile of the snapshot, exact to the
+// sub-bucket resolution and clamped to the recorded maximum (so a
+// point-mass distribution reports its exact value, and Quantile(1) ==
+// Max for any stream that contains its own maximum).
+func (s *HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			v := bucketUpper(i)
+			if s.Max > 0 && v > s.Max {
+				return s.Max
+			}
+			return v
+		}
+	}
+	return s.Max
+}
+
+// CountAbove returns the number of observations recorded in buckets
+// entirely above v: a lower bound within one sub-bucket (≤3.125%
+// relative) of the true count of observations > v. This is the SLO
+// burn-rate numerator in internal/load.
+func (s *HistogramSnapshot) CountAbove(v uint64) uint64 {
+	var above uint64
+	for i := bucketIndex(v) + 1; i < hdrBuckets; i++ {
+		above += s.Buckets[i]
+	}
+	return above
+}
+
+// Mean returns the average raw value (0 with no observations).
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -25,7 +25,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -92,92 +91,6 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
-// histBuckets covers bits.Len64's range: bucket i counts observations v
-// with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i), with bucket 0 for
-// v == 0. Log2 bucketing keeps Observe branch-free (no bounds search) and
-// the whole histogram fixed-size.
-const histBuckets = 65
-
-// Histogram is a log2-bucketed distribution of uint64 observations
-// (typically nanoseconds). The zero value is usable but renders raw
-// values; construct with NewHistogram to set the exposition scale. A nil
-// *Histogram discards observations.
-type Histogram struct {
-	count   atomic.Uint64
-	sum     atomic.Uint64
-	buckets [histBuckets]atomic.Uint64
-	scale   float64 // multiplier applied at exposition (1e-9: ns → s)
-}
-
-// NewHistogram returns a standalone histogram whose Prometheus exposition
-// multiplies bucket bounds and the sum by scale (pass 1e-9 to observe
-// nanoseconds and expose seconds; 0 means 1).
-func NewHistogram(scale float64) *Histogram { return &Histogram{scale: scale} }
-
-// Observe records one value. Nil-safe, lock-free, alloc-free.
-func (h *Histogram) Observe(v uint64) {
-	if h == nil {
-		return
-	}
-	h.count.Add(1)
-	h.sum.Add(v)
-	h.buckets[bits.Len64(v)].Add(1)
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() uint64 {
-	if h == nil {
-		return 0
-	}
-	return h.count.Load()
-}
-
-// Sum returns the raw (unscaled) observation total.
-func (h *Histogram) Sum() uint64 {
-	if h == nil {
-		return 0
-	}
-	return h.sum.Load()
-}
-
-func (h *Histogram) effScale() float64 {
-	if h.scale == 0 {
-		return 1
-	}
-	return h.scale
-}
-
-// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) of the
-// raw observed values: the upper edge of the bucket the quantile falls
-// into. Returns 0 with no observations.
-func (h *Histogram) Quantile(q float64) uint64 {
-	if h == nil {
-		return 0
-	}
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	want := uint64(math.Ceil(q * float64(total)))
-	if want == 0 {
-		want = 1
-	}
-	var cum uint64
-	for i := 0; i < histBuckets; i++ {
-		cum += h.buckets[i].Load()
-		if cum >= want {
-			if i == 0 {
-				return 0
-			}
-			if i >= 64 {
-				return math.MaxUint64
-			}
-			return 1<<uint(i) - 1
-		}
-	}
-	return math.MaxUint64
-}
-
 // metric kinds for exposition.
 const (
 	kindCounter = iota
@@ -191,6 +104,51 @@ type entry struct {
 	c          *Counter
 	g          *Gauge
 	h          *Histogram
+}
+
+// LabeledName renders a Prometheus series name with label pairs —
+// LabeledName("x_seconds", "class", "0") → `x_seconds{class="0"}` — for
+// registering labeled series in a Registry. Series sharing a base name
+// are grouped under one HELP/TYPE header at exposition, and histogram
+// series splice their labels into the _bucket/_sum/_count lines.
+func LabeledName(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var b []byte
+	b = append(b, base...)
+	b = append(b, '{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, kv[i]...)
+		b = append(b, '=')
+		b = append(b, fmt.Sprintf("%q", kv[i+1])...)
+	}
+	b = append(b, '}')
+	return string(b)
+}
+
+// splitName splits a registered series name into its base metric name
+// and its label body (the text between the braces, "" when unlabeled).
+func splitName(name string) (base, labels string) {
+	i := len(name)
+	for j := 0; j < len(name); j++ {
+		if name[j] == '{' {
+			i = j
+			break
+		}
+	}
+	if i == len(name) {
+		return name, ""
+	}
+	labels = name[i:]
+	labels = labels[1:]
+	if n := len(labels); n > 0 && labels[n-1] == '}' {
+		labels = labels[:n-1]
+	}
+	return name[:i], labels
 }
 
 // Registry is a named collection of metrics. Registration (Counter, Gauge,
@@ -286,55 +244,91 @@ func (r *Registry) snapshotEntries() []entry {
 }
 
 // WritePrometheus renders the registry in the Prometheus text exposition
-// format (version 0.0.4), in registration order. Nil-safe: a nil registry
-// writes nothing.
+// format (version 0.0.4). Series sharing a base metric name (labeled
+// variants registered via LabeledName) are grouped under a single
+// HELP/TYPE header, in first-registration order. Nil-safe: a nil
+// registry writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	for _, e := range r.snapshotEntries() {
-		var err error
-		switch e.kind {
-		case kindCounter:
-			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
-				e.name, e.help, e.name, e.name, e.c.Value())
-		case kindGauge:
-			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
-				e.name, e.help, e.name, e.name, e.g.Value())
-		case kindHistogram:
-			err = writePromHistogram(w, e.name, e.help, e.h)
+	entries := r.snapshotEntries()
+	var order []string
+	groups := map[string][]entry{}
+	for _, e := range entries {
+		base, _ := splitName(e.name)
+		if _, ok := groups[base]; !ok {
+			order = append(order, base)
 		}
-		if err != nil {
+		groups[base] = append(groups[base], e)
+	}
+	for _, base := range order {
+		g := groups[base]
+		kind := "counter"
+		switch g[0].kind {
+		case kindGauge:
+			kind = "gauge"
+		case kindHistogram:
+			kind = "histogram"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", base, g[0].help, base, kind); err != nil {
 			return err
+		}
+		for _, e := range g {
+			var err error
+			switch e.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.c.Value())
+			case kindGauge:
+				_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.g.Value())
+			case kindHistogram:
+				_, labels := splitName(e.name)
+				err = writePromHistogram(w, base, labels, e.h)
+			}
+			if err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-// writePromHistogram emits cumulative le-buckets up to the last non-empty
-// one, then +Inf, sum, and count. Bucket i's upper bound is 2^i in raw
-// units, scaled for exposition.
-func writePromHistogram(w io.Writer, name, help string, h *Histogram) error {
-	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
-		return err
+// writePromHistogram emits true Prometheus histogram semantics:
+// cumulative le-buckets (each non-empty sub-bucket's exact inclusive
+// upper edge — empty buckets are skipped, which loses nothing because
+// the cumulative count is constant across them), then the +Inf bucket,
+// _sum, and _count, all three mutually consistent (+Inf == _count, _sum
+// scaled like the bounds). labels is the series' own label body (may be
+// empty); le is spliced in after it.
+func writePromHistogram(w io.Writer, base, labels string, h *Histogram) error {
+	s := h.Snapshot()
+	prefix := ""
+	if labels != "" {
+		prefix = labels + ","
 	}
-	last := -1
-	for i := 0; i < histBuckets; i++ {
-		if h.buckets[i].Load() > 0 {
-			last = i
-		}
-	}
-	scale := h.effScale()
 	var cum uint64
-	for i := 0; i <= last; i++ {
-		cum += h.buckets[i].Load()
-		le := math.Ldexp(1, i) * scale // 2^i, scaled
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(le), cum); err != nil {
+	for i := range s.Buckets {
+		n := s.Buckets[i]
+		if n == 0 {
+			continue
+		}
+		cum += n
+		upper := bucketUpper(i)
+		if upper == math.MaxUint64 {
+			continue // the top bucket's edge is 2^64: representable only as +Inf
+		}
+		le := float64(upper) * s.Scale
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", base, prefix, fmtFloat(le), cum); err != nil {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
-		name, h.count.Load(), name, fmtFloat(float64(h.sum.Load())*scale), name, h.count.Load())
+	sumSuffix, countSuffix := "_sum", "_count"
+	if labels != "" {
+		sumSuffix = "_sum{" + labels + "}"
+		countSuffix = "_count{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n%s%s %s\n%s%s %d\n",
+		base, prefix, s.Count, base, sumSuffix, fmtFloat(float64(s.Sum)*s.Scale), base, countSuffix, s.Count)
 	return err
 }
 
@@ -357,11 +351,13 @@ func (r *Registry) Snapshot() map[string]any {
 		case kindGauge:
 			out[e.name] = e.g.Value()
 		case kindHistogram:
+			s := e.h.Snapshot()
 			out[e.name] = map[string]any{
-				"count": e.h.Count(),
-				"sum":   e.h.Sum(),
-				"p50":   e.h.Quantile(0.5),
-				"p99":   e.h.Quantile(0.99),
+				"count": s.Count,
+				"sum":   s.Sum,
+				"p50":   s.Quantile(0.5),
+				"p99":   s.Quantile(0.99),
+				"max":   s.Max,
 			}
 		}
 	}

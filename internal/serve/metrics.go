@@ -1,11 +1,21 @@
 package serve
 
-import "icicle/internal/obs"
+import (
+	"strconv"
+	"sync"
 
-// serveMetrics is the icicle_serve_* counter set, published in the
+	"icicle/internal/obs"
+)
+
+// serveMetrics is the icicle_serve_* metric set, published in the
 // server's registry next to the runner's icicle_sim_* counters and the
-// store's icicle_store_* mirror.
+// store's icicle_store_* mirror. Beyond the job counters it carries the
+// first-class service latency telemetry the load harness correlates
+// against: per-endpoint HTTP duration histograms, per-priority-class
+// queue-wait histograms, and in-flight gauges.
 type serveMetrics struct {
+	reg *obs.Registry
+
 	requests  *obs.Counter
 	submitted *obs.Counter
 	completed *obs.Counter
@@ -21,12 +31,25 @@ type serveMetrics struct {
 	batchesEvicted *obs.Counter // completed batches dropped by retention
 
 	queueDepth *obs.Gauge
+	inflight   *obs.Gauge     // HTTP requests currently being handled (all endpoints)
 	latency    *obs.Histogram // per-job wall time through the service
-	queueWait  *obs.Histogram // submit-to-dispatch wait
+	queueWait  *obs.Histogram // submit-to-dispatch wait, all classes
+
+	// queueWaitClass holds the per-priority-class queue-wait histograms
+	// (icicle_serve_queue_wait_seconds{class="N"}), created on a class's
+	// first dispatch. sync.Map keeps the worker loop lock-free after the
+	// first hit.
+	queueWaitClass sync.Map // int → *obs.Histogram
+
+	// reqDuration / reqInflight hold the per-endpoint series, keyed by
+	// route pattern ("POST /jobs", ...), created on first use.
+	reqDuration sync.Map // string → *obs.Histogram
+	reqInflight sync.Map // string → *obs.Gauge
 }
 
 func newServeMetrics(reg *obs.Registry) *serveMetrics {
 	return &serveMetrics{
+		reg: reg,
 		requests: reg.Counter("icicle_serve_requests_total",
 			"HTTP requests handled by the serve API"),
 		submitted: reg.Counter("icicle_serve_jobs_submitted_total",
@@ -49,9 +72,51 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 			"completed batches evicted by the retention policy (TTL or cap)"),
 		queueDepth: reg.Gauge("icicle_serve_queue_depth",
 			"tasks waiting in the submission queue"),
+		inflight: reg.Gauge("icicle_serve_inflight",
+			"HTTP requests currently in flight across all endpoints"),
 		latency: reg.Histogram("icicle_serve_job_latency_seconds",
 			"wall time from dispatch to completion per job", 1e-9),
 		queueWait: reg.Histogram("icicle_serve_queue_wait_seconds",
-			"wall time from submission to dispatch per job", 1e-9),
+			"wall time from submission to dispatch per job, all priority classes", 1e-9),
 	}
+}
+
+// queueWaitFor returns the queue-wait histogram for one priority class,
+// registering icicle_serve_queue_wait_seconds{class="N"} on first use.
+func (m *serveMetrics) queueWaitFor(class int) *obs.Histogram {
+	if h, ok := m.queueWaitClass.Load(class); ok {
+		return h.(*obs.Histogram)
+	}
+	h := m.reg.Histogram(
+		obs.LabeledName("icicle_serve_queue_wait_seconds", "class", strconv.Itoa(class)),
+		"wall time from submission to dispatch per job, all priority classes", 1e-9)
+	actual, _ := m.queueWaitClass.LoadOrStore(class, h)
+	return actual.(*obs.Histogram)
+}
+
+// durationFor returns the HTTP duration histogram for one endpoint,
+// registering icicle_serve_request_duration_seconds{endpoint="..."} on
+// first use.
+func (m *serveMetrics) durationFor(endpoint string) *obs.Histogram {
+	if h, ok := m.reqDuration.Load(endpoint); ok {
+		return h.(*obs.Histogram)
+	}
+	h := m.reg.Histogram(
+		obs.LabeledName("icicle_serve_request_duration_seconds", "endpoint", endpoint),
+		"HTTP request duration per endpoint", 1e-9)
+	actual, _ := m.reqDuration.LoadOrStore(endpoint, h)
+	return actual.(*obs.Histogram)
+}
+
+// inflightFor returns the in-flight gauge for one endpoint,
+// registering icicle_serve_endpoint_inflight{endpoint="..."} on first use.
+func (m *serveMetrics) inflightFor(endpoint string) *obs.Gauge {
+	if g, ok := m.reqInflight.Load(endpoint); ok {
+		return g.(*obs.Gauge)
+	}
+	g := m.reg.Gauge(
+		obs.LabeledName("icicle_serve_endpoint_inflight", "endpoint", endpoint),
+		"HTTP requests currently in flight per endpoint")
+	actual, _ := m.reqInflight.LoadOrStore(endpoint, g)
+	return actual.(*obs.Gauge)
 }

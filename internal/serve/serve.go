@@ -115,6 +115,7 @@ type batch struct {
 	priority int
 	jobs     []sim.Job
 	created  time.Time
+	done     chan struct{} // closed when the last job completes
 
 	mu        sync.Mutex
 	results   []sim.Result
@@ -136,6 +137,7 @@ func (b *batch) setResult(i int, res sim.Result, forwarded bool) (batchDone bool
 	b.remaining--
 	if b.remaining == 0 {
 		b.finished = time.Now()
+		close(b.done)
 		return true
 	}
 	return false
@@ -307,6 +309,7 @@ func (s *Server) worker(tid int) {
 		s.m.queueDepth.Add(-1)
 		wait := time.Since(t.enqueued)
 		s.m.queueWait.Observe(uint64(wait))
+		s.m.queueWaitFor(t.b.priority).Observe(uint64(wait))
 		j := t.b.jobs[t.idx]
 		sp := s.tr.Begin("serve job "+j.CoreName()+"|"+j.Kernel.Name, "serve", tid)
 		start := time.Now()
@@ -406,33 +409,48 @@ func specFor(j sim.Job) (JobSpec, error) {
 	return spec, nil
 }
 
-// Handler returns the API routes.
+// Handler returns the API routes, each wrapped in per-endpoint
+// instrumentation (request duration histogram + in-flight gauge under
+// the route pattern as the endpoint label).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /store/{addr}", s.handleStoreGet)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("POST /internal/run", s.handleInternalRun)
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("POST /jobs", s.instrument("/jobs", s.handleSubmit))
+	mux.HandleFunc("GET /jobs/{id}", s.instrument("/jobs/{id}", s.handleStatus))
+	mux.HandleFunc("GET /store/{addr}", s.instrument("/store/{addr}", s.handleStoreGet))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("POST /internal/run", s.instrument("/internal/run", s.handleInternalRun))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.reg.WritePrometheus(w)
-	})
-	mux.HandleFunc("GET /", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /", s.instrument("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		fmt.Fprint(w, "icicle-serve\n\nPOST /jobs\nGET /jobs/{id}\nGET /store/{addr}\nGET /healthz\nGET /metrics\n")
-	})
-	return s.countRequests(mux)
+	}))
+	return mux
 }
 
-func (s *Server) countRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+// instrument wraps one route with the request counter, the per-endpoint
+// duration histogram, and the per-endpoint + global in-flight gauges.
+// Wait-mode submissions are measured like everything else, so the
+// /jobs duration histogram is the server-side view of what a
+// synchronous client observes.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	dur := s.m.durationFor(endpoint)
+	inf := s.m.inflightFor(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
 		s.m.requests.Inc()
-		next.ServeHTTP(w, r)
-	})
+		s.m.inflight.Add(1)
+		inf.Add(1)
+		start := time.Now()
+		h(w, r)
+		dur.Observe(uint64(time.Since(start)))
+		inf.Add(-1)
+		s.m.inflight.Add(-1)
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -467,6 +485,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		priority:  req.Priority,
 		jobs:      jobs,
 		created:   time.Now(),
+		done:      make(chan struct{}),
 		results:   make([]sim.Result, len(jobs)),
 		resDone:   make([]bool, len(jobs)),
 		forwarded: make([]bool, len(jobs)),
@@ -500,6 +519,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.m.queueDepth.Add(1)
 	}
 	s.m.submitted.Add(uint64(len(jobs)))
+	if req.Wait {
+		// Synchronous mode: block until the batch completes and answer
+		// with the full status body — one round trip, no polling, which
+		// is what a latency-measuring client wants. The request context
+		// covers client disconnects and server shutdown (Close tears the
+		// connection down, cancelling the context), so no waiter leaks.
+		select {
+		case <-b.done:
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(s.statusOf(b))
+		case <-r.Context().Done():
+			// Client gone or connection torn down; nothing to write.
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(SubmitResponse{
@@ -667,6 +701,9 @@ func (s *Server) Progress() obs.Progress {
 
 // Runner exposes the underlying sim runner (stats, tests).
 func (s *Server) Runner() *sim.Runner { return s.runner }
+
+// Workers reports the size of the executor pool (startup logging).
+func (s *Server) Workers() int { return s.workers }
 
 // Start serves the API on addr in a background goroutine, returning the
 // bound address ("127.0.0.1:0" picks a free port).

@@ -707,3 +707,66 @@ func TestServeSubmitCloseRaceRollsBack(t *testing.T) {
 		t.Fatalf("rejected submission leaked queue depth %d", d)
 	}
 }
+
+// Wait-mode submission: one POST blocks until the batch completes and
+// returns the full status; the per-endpoint duration and per-class
+// queue-wait histograms record it.
+func TestServeSubmitWaitMode(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := mustNew(t, Config{Registry: reg, QueueWorkers: 2})
+	defer srv.Close()
+	srv.exec = func(j sim.Job) sim.Result {
+		time.Sleep(2 * time.Millisecond)
+		return sim.Result{Job: j}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var st StatusResponse
+	code := postJSON(t, ts.URL+"/jobs", SubmitRequest{
+		Client:   "sync",
+		Priority: 3,
+		Wait:     true,
+		Jobs:     []JobSpec{{Core: "rocket", Kernel: "multiply"}, {Core: "rocket", Kernel: "median"}},
+	}, &st)
+	if code != http.StatusOK {
+		t.Fatalf("wait-mode submit status = %d, want 200", code)
+	}
+	if st.State != "done" || st.Done != 2 {
+		t.Fatalf("wait-mode response not a completed status: %+v", st)
+	}
+	for i, r := range st.Results {
+		if !r.Done {
+			t.Fatalf("result %d not done in wait-mode response", i)
+		}
+	}
+
+	var text bytes.Buffer
+	if err := reg.WritePrometheus(&text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	for _, want := range []string{
+		`icicle_serve_request_duration_seconds_count{endpoint="/jobs"} 1`,
+		`icicle_serve_queue_wait_seconds_count{class="3"} 2`,
+		`icicle_serve_endpoint_inflight{endpoint="/jobs"} 0`,
+		"icicle_serve_inflight 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	// The wait-mode request's measured duration must cover the jobs'
+	// execution (≥2ms stub sleep), proving it blocked.
+	sc, err := obs.ParsePrometheus(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sc.Hist(`icicle_serve_request_duration_seconds{endpoint="/jobs"}`)
+	if h == nil {
+		t.Fatal("no /jobs duration series")
+	}
+	if q := h.Quantile(1); q < 0.002 {
+		t.Errorf("wait-mode /jobs duration p100 = %gs, want >= 2ms", q)
+	}
+}

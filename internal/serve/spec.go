@@ -86,6 +86,13 @@ type SubmitRequest struct {
 	Priority int       `json:"priority,omitempty"` // strict class; higher runs first
 	Weight   int       `json:"weight,omitempty"`   // fair share within the class; default 1
 	Jobs     []JobSpec `json:"jobs"`
+	// Wait makes the submission synchronous: the response is the full
+	// StatusResponse (HTTP 200), written once every job in the batch has
+	// completed, instead of the immediate SubmitResponse ack (202). The
+	// batch still goes through the priority/fairness queue like any
+	// other — icicle-load uses this so one request equals one measured
+	// latency with no polling noise.
+	Wait bool `json:"wait,omitempty"`
 }
 
 // SubmitResponse acknowledges a batch.

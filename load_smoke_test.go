@@ -1,0 +1,136 @@
+// Load-harness smoke: an end-to-end open-loop ladder through the real
+// HTTP stack — icicle-load's library driving a live serve.Server in wait
+// mode, scraping the server's own /metrics around every step. This is
+// what `make load-smoke` (part of `make ci`) runs, under the race
+// detector. It pins the acceptance contract for the harness: zero
+// dropped samples, ordered CO-corrected quantiles, populated SLO
+// verdicts, and server-side queue-wait/hit-rate columns aligned with
+// every ladder step.
+package icicle_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"icicle/internal/load"
+	"icicle/internal/obs"
+	"icicle/internal/serve"
+	"icicle/internal/store"
+)
+
+func TestLoadSmoke(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv := mustServe(t, serve.Config{Store: st, Registry: reg, QueueWorkers: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	specs := []serve.JobSpec{
+		{Core: "rocket", Kernel: "vvadd"},
+		{Core: "rocket", Kernel: "multiply"},
+	}
+	// Warm the memo so the ladder measures service behavior, not two
+	// cold simulations dominating the first step.
+	submitAndWait(t, ts.URL, serve.SubmitRequest{Client: "warmup", Jobs: specs})
+
+	tgt, err := load.NewHTTPTarget(ts.URL, specs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slos, err := load.ParseSLOs("p99<2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []load.Step{{Rate: 40}, {Rate: 80}, {Rate: 160}}
+	rep, err := load.RunLadder(tgt, load.Options{
+		Mode:        load.Open,
+		Pacing:      load.Poisson,
+		Duration:    500 * time.Millisecond,
+		MaxInFlight: 64,
+		Seed:        1,
+		Profiles: []load.Profile{
+			{Client: "interactive", Priority: 2, Weight: 2, Share: 0.5},
+			{Client: "batch", Priority: 0, Weight: 1, Share: 0.5},
+		},
+		SLOs: slos,
+	}, steps, load.HTTPScraper(ts.URL+"/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rep.Steps) != len(steps) {
+		t.Fatalf("want %d ladder steps, got %d", len(steps), len(rep.Steps))
+	}
+	for i, s := range rep.Steps {
+		if s.Dropped != 0 {
+			t.Errorf("step %d: %d dropped samples (must be 0)", i, s.Dropped)
+		}
+		if s.Completed == 0 {
+			t.Errorf("step %d: nothing completed", i)
+		}
+		if s.Errors != 0 {
+			t.Errorf("step %d: %d request errors", i, s.Errors)
+		}
+		q := s.Latency
+		if !(q.P50 <= q.P95 && q.P95 <= q.P99 && q.P99 <= q.P999 && q.P999 <= q.Max) {
+			t.Errorf("step %d: quantiles not monotone: %+v", i, q)
+		}
+		if q.P50 <= 0 || q.Max <= 0 {
+			t.Errorf("step %d: empty latency distribution: %+v", i, q)
+		}
+		// SLO fields must all be populated per step.
+		if len(s.SLOs) != 1 {
+			t.Fatalf("step %d: want 1 SLO verdict, got %d", i, len(s.SLOs))
+		}
+		v := s.SLOs[0]
+		if v.Spec == "" || v.Quantile != 0.99 || v.BoundSec != 2 || v.ActualSec <= 0 {
+			t.Errorf("step %d: SLO verdict not populated: %+v", i, v)
+		}
+		if v.BudgetFraction <= 0 || v.BurnRate < 0 {
+			t.Errorf("step %d: SLO budget arithmetic missing: %+v", i, v)
+		}
+		// Per-profile breakdown covers both synthetic clients.
+		if len(s.PerProfile) != 2 {
+			t.Errorf("step %d: want 2 per-profile entries, got %d", i, len(s.PerProfile))
+		}
+		// Server-side columns scraped for this step's window.
+		if s.Server == nil {
+			t.Fatalf("step %d: no server stats scraped", i)
+		}
+		if s.Server.JobsCompleted == 0 {
+			t.Errorf("step %d: server completed delta is 0", i)
+		}
+		if s.Server.QueueWaitCount == 0 {
+			t.Errorf("step %d: server queue-wait histogram empty", i)
+		}
+		if len(s.Server.PerClass) != 2 {
+			t.Errorf("step %d: want queue-wait for 2 priority classes, got %+v", i, s.Server.PerClass)
+		}
+		if s.Server.HitRate <= 0.9 {
+			t.Errorf("step %d: warmed ladder should be cache-served, hit rate %.2f", i, s.Server.HitRate)
+		}
+		foundJobs := false
+		for _, ep := range s.Server.PerEndpoint {
+			if ep.Endpoint == "/jobs" && ep.Count > 0 {
+				foundJobs = true
+			}
+		}
+		if !foundJobs {
+			t.Errorf("step %d: no /jobs endpoint duration scraped: %+v", i, s.Server.PerEndpoint)
+		}
+	}
+
+	var txt strings.Builder
+	rep.WriteText(&txt)
+	out := txt.String()
+	if !strings.Contains(out, "p99 ms") || !strings.Contains(out, "SLO") {
+		t.Fatalf("text report incomplete:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}
