@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke superblock-smoke serve-smoke load-smoke check fuzz-smoke fmt vet scratch-guard ci
+.PHONY: all build test race bench bench-smoke bench-diff alloc-smoke obs-smoke sample-smoke sample-par-smoke superblock-smoke detail-smoke serve-smoke load-smoke check fuzz-smoke fmt vet scratch-guard ci
 
 all: build
 
@@ -24,10 +24,18 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Sweep -benchtime=1x .
 
+# Benchmark snapshot regression gate: diff the time-per-work metrics the
+# two newest BENCH_<n>.json snapshots share and flag slowdowns beyond 10%
+# (see internal/benchdiff). Non-blocking in ci — snapshots measure
+# different things across PRs, so a disjoint pair is informational.
+bench-diff:
+	$(GO) run ./cmd/icicle-benchdiff -dir . -tol 0.10
+
 # Allocation-regression smoke: fails if a warmed core's Reset+RunCycles
-# exceeds the checked-in allocs-per-run budget (see alloc_test.go).
+# exceeds the checked-in allocs-per-run budget (see alloc_test.go),
+# including the event-driven stall-skip path on both detailed cores.
 alloc-smoke:
-	$(GO) test -run=SteadyStateAllocs -count=1 .
+	$(GO) test -run='SteadyStateAllocs|StallSkipAllocs' -count=1 .
 
 # Observability smoke: runs a traced sweep plus a sampled temporal-TMA
 # capture and validates the Chrome trace-event JSON shape and the
@@ -57,6 +65,14 @@ sample-par-smoke:
 superblock-smoke:
 	$(GO) test -race -run=SuperblockSmoke -count=1 .
 	$(GO) test -run='SampledRunAllocs|SuperblockRunAllocs' -count=1 .
+
+# Event-driven detailed-core smoke: skip-vs-step golden equivalence on
+# kernel differentials for Rocket and every BOOM size, Reset-reuse
+# identity with the skip on, and a sampled report compared deep-equal
+# across the two cycle loops, run under the race detector (see
+# detail_smoke_test.go and DESIGN.md "Event-driven detailed cycle loops").
+detail-smoke:
+	$(GO) test -race -run=DetailSmoke -count=1 .
 
 # Sweep-service smoke: the icicle-serve end-to-end contract under the
 # race detector — HTTP results byte-identical to the in-process runner, a
@@ -88,7 +104,7 @@ check:
 # target per invocation, hence the loop. A crasher is written to
 # internal/check/testdata/fuzz/<Target>/ and replays in plain `go test`.
 fuzz-smoke:
-	for target in FuzzAssemble FuzzDecodeEncodeRoundtrip FuzzDifferential FuzzSuperblockDifferential; do \
+	for target in FuzzAssemble FuzzDecodeEncodeRoundtrip FuzzDifferential FuzzSuperblockDifferential FuzzStallSkipDifferential; do \
 		$(GO) test ./internal/check/ -run='^$$' -fuzz=$$target -fuzztime=$(FUZZTIME) || exit 1; \
 	done
 
@@ -109,4 +125,5 @@ scratch-guard:
 		echo "scratch files tracked in git:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt vet scratch-guard build race bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke superblock-smoke serve-smoke load-smoke check fuzz-smoke
+ci: fmt vet scratch-guard build race bench-smoke alloc-smoke obs-smoke sample-smoke sample-par-smoke superblock-smoke detail-smoke serve-smoke load-smoke check fuzz-smoke
+	-$(MAKE) bench-diff

@@ -181,6 +181,56 @@ func TestSuperblockRunAllocs(t *testing.T) {
 	}
 }
 
+// TestStallSkipAllocs pins the event-driven skip path: on a memory-bound
+// kernel where quiescent stretches dominate, a warmed run must stay at
+// zero allocations whether stall skipping is on (the quiescence predicate
+// and bulk tallies allocate nothing) or off, on both detailed cores. The
+// skip-on legs also assert the skip actually engaged, so the pin cannot
+// go vacuous if a future change quietly disables skipping.
+func TestStallSkipAllocs(t *testing.T) {
+	k, err := kernel.ByName("spmv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := k.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := rocket.New(rocket.DefaultConfig(), prog)
+	bc, err := boom.New(boom.NewConfig(boom.Large), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, skip := range []bool{true, false} {
+		rc.SetStallSkip(skip)
+		if allocs := testing.AllocsPerRun(3, func() {
+			rc.Reset(prog)
+			if err := rc.RunCycles(); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs > rocketRunAllocBudget {
+			t.Errorf("rocket run (skip=%v) allocates %.1f objects, budget %d",
+				skip, allocs, rocketRunAllocBudget)
+		}
+		if skipped, _ := rc.SkipStats(); skip && skipped == 0 {
+			t.Error("rocket skip path never engaged on spmv; the pin is vacuous")
+		}
+		bc.SetStallSkip(skip)
+		if allocs := testing.AllocsPerRun(3, func() {
+			bc.Reset(prog)
+			if err := bc.RunCycles(); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs > boomRunAllocBudget {
+			t.Errorf("boom run (skip=%v) allocates %.1f objects, budget %d",
+				skip, allocs, boomRunAllocBudget)
+		}
+		if skipped, _ := bc.SkipStats(); skip && skipped == 0 {
+			t.Error("boom skip path never engaged on spmv; the pin is vacuous")
+		}
+	}
+}
+
 func TestBoomSteadyStateAllocs(t *testing.T) {
 	k, err := kernel.ByName("towers")
 	if err != nil {

@@ -1006,3 +1006,73 @@ func BenchmarkFunctionalStep(b *testing.B) {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/inst")
 	})
 }
+
+// BenchmarkDetailedSkip measures the event-driven stall-skipping path
+// (PR 10): detailed ns/inst with the skip enabled vs the -no-skip
+// ablation, on memory/stall-bound kernels (where quiescent stretches
+// dominate) and ALU-dense ones (where the predicate must stay cheap).
+// Results are bit-identical either way — detail_smoke_test.go proves
+// that — so this benchmark is purely about throughput.
+func BenchmarkDetailedSkip(b *testing.B) {
+	kernels := []string{"505.mcf_r", "523.xalancbmk_r", "brmiss", "spmv", "towers", "qsort", "multiply"}
+	for _, name := range kernels {
+		k, err := kernel.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := k.Program()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			label string
+			skip  bool
+		}{{"skip", true}, {"noskip", false}} {
+			b.Run("rocket/"+name+"/"+mode.label, func(b *testing.B) {
+				c := rocket.New(rocket.DefaultConfig(), prog)
+				c.SetStallSkip(mode.skip)
+				c.Reset(prog)
+				if err := c.RunCycles(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var insts uint64
+				for i := 0; i < b.N; i++ {
+					c.Reset(prog)
+					if err := c.RunCycles(); err != nil {
+						b.Fatal(err)
+					}
+					insts += c.Insts()
+				}
+				b.ReportMetric(b.Elapsed().Seconds()*1e9/float64(insts), "ns/inst")
+				sc, _ := c.SkipStats()
+				b.ReportMetric(100*float64(sc)/float64(c.Cycles()), "%skipped")
+			})
+			b.Run("boom-large/"+name+"/"+mode.label, func(b *testing.B) {
+				c, err := boom.New(boom.NewConfig(boom.Large), prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.SetStallSkip(mode.skip)
+				c.Reset(prog)
+				if err := c.RunCycles(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var insts uint64
+				for i := 0; i < b.N; i++ {
+					c.Reset(prog)
+					if err := c.RunCycles(); err != nil {
+						b.Fatal(err)
+					}
+					insts += c.Insts()
+				}
+				b.ReportMetric(b.Elapsed().Seconds()*1e9/float64(insts), "ns/inst")
+				sc, _ := c.SkipStats()
+				b.ReportMetric(100*float64(sc)/float64(c.Cycles()), "%skipped")
+			})
+		}
+	}
+}

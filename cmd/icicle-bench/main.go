@@ -21,9 +21,11 @@ import (
 	"strings"
 	"time"
 
+	"icicle/internal/boom"
 	"icicle/internal/experiments"
 	"icicle/internal/isa"
 	"icicle/internal/obs"
+	"icicle/internal/rocket"
 	"icicle/internal/sample"
 	"icicle/internal/sim"
 )
@@ -55,6 +57,7 @@ func run() (err error) {
 	sampleWarmup := flag.Int("sample-warmup", sampleDef.Warmup, "sampled artifact: trailing fast-forward instructions that warm caches and predictors")
 	samplePar := flag.Int("sample-par", 8, "sampledpar artifact: window workers for the two-phase engine's parallel leg")
 	noSuperblock := flag.Bool("no-superblock", false, "disable the superblock threaded-code functional engine (debug/ablation; results are bit-identical either way)")
+	noSkip := flag.Bool("no-skip", false, "disable event-driven stall-cycle skipping in the detailed cores (debug/ablation; results are bit-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	tracefile := flag.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
@@ -62,6 +65,8 @@ func run() (err error) {
 	o.AddFlags(flag.CommandLine)
 	flag.Parse()
 	isa.DefaultSuperblocks = !*noSuperblock
+	rocket.DefaultStallSkip = !*noSkip
+	boom.DefaultStallSkip = !*noSkip
 
 	// Telemetry first: Start enables span tracing before the shared runner
 	// is (re)built, so the runner construction below picks the tracer up.

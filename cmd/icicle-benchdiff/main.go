@@ -1,0 +1,95 @@
+// Command icicle-benchdiff gates checked-in benchmark snapshots: it
+// diffs the time-per-work metrics (ns_per_inst / ns_per_op style keys)
+// two BENCH_<n>.json files share and exits nonzero when the newer
+// snapshot is slower beyond the tolerance. With no -old/-new it compares
+// the two highest-numbered snapshots in -dir, so `make bench-diff` keeps
+// every PR honest against the one before it.
+//
+// Usage:
+//
+//	icicle-benchdiff                      # newest pair under .
+//	icicle-benchdiff -old BENCH_7.json -new BENCH_9.json -tol 0.05
+//	icicle-benchdiff -all                 # every consecutive pair
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"icicle/internal/benchdiff"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_<n>.json snapshots")
+	oldPath := flag.String("old", "", "older snapshot (default: second-newest in -dir)")
+	newPath := flag.String("new", "", "newer snapshot (default: newest in -dir)")
+	tol := flag.Float64("tol", 0.10, "fractional slowdown tolerated before a shared metric counts as a regression")
+	all := flag.Bool("all", false, "compare every consecutive snapshot pair in -dir, not just the newest")
+	flag.Parse()
+
+	if err := run(*dir, *oldPath, *newPath, *tol, *all); err != nil {
+		fmt.Fprintln(os.Stderr, "icicle-benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, oldPath, newPath string, tol float64, all bool) error {
+	var pairs [][2]string
+	switch {
+	case oldPath != "" && newPath != "":
+		pairs = [][2]string{{oldPath, newPath}}
+	case oldPath != "" || newPath != "":
+		return fmt.Errorf("-old and -new must be given together")
+	default:
+		snaps, err := benchdiff.Snapshots(dir)
+		if err != nil {
+			return err
+		}
+		if len(snaps) < 2 {
+			return fmt.Errorf("need at least two BENCH_<n>.json snapshots in %s, found %d", dir, len(snaps))
+		}
+		if all {
+			for i := 1; i < len(snaps); i++ {
+				pairs = append(pairs, [2]string{snaps[i-1], snaps[i]})
+			}
+		} else {
+			pairs = [][2]string{{snaps[len(snaps)-2], snaps[len(snaps)-1]}}
+		}
+	}
+
+	regressed := false
+	for _, p := range pairs {
+		rep, err := benchdiff.Compare(p[0], p[1], tol)
+		if err != nil {
+			return err
+		}
+		printReport(rep)
+		if len(rep.Regressions()) > 0 {
+			regressed = true
+		}
+	}
+	if regressed {
+		return fmt.Errorf("regressions beyond %.0f%% tolerance", tol*100)
+	}
+	return nil
+}
+
+func printReport(rep *benchdiff.Report) {
+	fmt.Printf("%s -> %s (tolerance %.0f%%)\n", rep.Old.Path, rep.New.Path, rep.Tol*100)
+	if len(rep.Deltas) == 0 {
+		fmt.Println("  no shared time-per-work metrics to compare")
+		return
+	}
+	for _, d := range rep.Deltas {
+		verdict := "ok"
+		switch {
+		case d.Regressed(rep.Tol):
+			verdict = "REGRESSION"
+		case d.Improved(rep.Tol):
+			verdict = "improved"
+		}
+		fmt.Printf("  %-56s %10.2f -> %10.2f  %+7.1f%%  %s\n",
+			d.Key, d.Old, d.New, d.Change()*100, verdict)
+	}
+}

@@ -48,10 +48,13 @@ func main() {
 		samplePar    = flag.Int("sample-par", 0, "sampled simulation: run the two-phase engine with this many window workers (0 = classic serial engine; report is identical for any worker count)")
 
 		noSuperblock = flag.Bool("no-superblock", false, "disable the superblock threaded-code functional engine (debug/ablation; results are bit-identical either way)")
+		noSkip       = flag.Bool("no-skip", false, "disable event-driven stall-cycle skipping in the detailed cores (debug/ablation; results are bit-identical either way)")
 	)
 	tele.AddFlags(flag.CommandLine)
 	flag.Parse()
 	isa.DefaultSuperblocks = !*noSuperblock
+	rocket.DefaultStallSkip = !*noSkip
+	boom.DefaultStallSkip = !*noSkip
 	if err := tele.Start("icicle-perf"); err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,184 @@
+// Package benchdiff is the performance-regression gate over the repo's
+// checked-in BENCH_<n>.json snapshots. Each snapshot records headline
+// numbers for the PR that produced it; this package flattens the ad-hoc
+// JSON shapes into a flat set of "time per unit of work" metrics (any
+// numeric leaf under a key containing "ns_per_"), pairs consecutive
+// snapshots on the metric keys they share, and flags a regression when a
+// newer snapshot is slower than an older one by more than a tolerance.
+//
+// Snapshots intentionally measure different things as the project grows,
+// so the diff is over the key intersection only: a disjoint pair is
+// reported as having nothing to compare rather than passing vacuously.
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is one BENCH_<n>.json flattened to its comparable metrics.
+type Snapshot struct {
+	Path string
+	// Label is the snapshot's own description of itself (the "snapshot"
+	// field), if present.
+	Label string
+	// Metrics maps slash-joined key paths (e.g.
+	// "headline/ns_per_inst/towers/superblock") to their values, in
+	// nanoseconds per unit. Lower is better for every metric collected.
+	Metrics map[string]float64
+}
+
+// Load parses a snapshot file and collects its metrics.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var root map[string]any
+	if err := json.Unmarshal(data, &root); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	s := &Snapshot{Path: path, Metrics: map[string]float64{}}
+	if label, ok := root["snapshot"].(string); ok {
+		s.Label = label
+	}
+	collect(nil, root, s.Metrics)
+	return s, nil
+}
+
+// collect walks the decoded JSON accumulating numeric leaves whose key
+// path contains a "ns_per_" segment. Ratio-style leaves (speedup factors)
+// live under the same parents but are higher-is-better, so they are
+// excluded by name.
+func collect(path []string, v any, out map[string]float64) {
+	switch node := v.(type) {
+	case map[string]any:
+		for k, child := range node {
+			collect(append(path, k), child, out)
+		}
+	case float64:
+		if !comparableKey(path) {
+			return
+		}
+		out[strings.Join(path, "/")] = node
+	}
+}
+
+// comparableKey reports whether a key path names a lower-is-better
+// time-per-work metric.
+func comparableKey(path []string) bool {
+	perWork := false
+	for _, seg := range path {
+		if strings.Contains(seg, "ns_per_") {
+			perWork = true
+		}
+		if strings.Contains(seg, "speedup") || strings.Contains(seg, "ratio") {
+			return false
+		}
+	}
+	return perWork
+}
+
+// Delta is one shared metric compared across two snapshots.
+type Delta struct {
+	Key      string
+	Old, New float64
+}
+
+// Change returns the fractional change, positive when the new snapshot is
+// slower.
+func (d Delta) Change() float64 {
+	if d.Old == 0 {
+		return 0
+	}
+	return d.New/d.Old - 1
+}
+
+// Regressed reports whether the new value is slower than tolerance allows.
+func (d Delta) Regressed(tol float64) bool { return d.New > d.Old*(1+tol) }
+
+// Improved reports whether the new value is faster beyond the tolerance.
+func (d Delta) Improved(tol float64) bool { return d.New < d.Old*(1-tol) }
+
+// Diff pairs two snapshots on their shared metric keys, sorted by key.
+func Diff(old, new *Snapshot) []Delta {
+	var ds []Delta
+	for k, ov := range old.Metrics {
+		if nv, ok := new.Metrics[k]; ok {
+			ds = append(ds, Delta{Key: k, Old: ov, New: nv})
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Key < ds[j].Key })
+	return ds
+}
+
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// Snapshots lists the BENCH_<n>.json files under dir in ascending PR
+// order.
+func Snapshots(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var found []numbered
+	for _, e := range entries {
+		m := benchFile.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		found = append(found, numbered{n, filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	paths := make([]string, len(found))
+	for i, f := range found {
+		paths[i] = f.path
+	}
+	return paths, nil
+}
+
+// Report is the outcome of gating one snapshot pair.
+type Report struct {
+	Old, New *Snapshot
+	Deltas   []Delta
+	Tol      float64
+}
+
+// Regressions returns the deltas beyond tolerance, slowest-relative first.
+func (r *Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regressed(r.Tol) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Change() > out[j].Change() })
+	return out
+}
+
+// Compare loads and diffs two snapshot files with the given tolerance.
+func Compare(oldPath, newPath string, tol float64) (*Report, error) {
+	older, err := Load(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newer, err := Load(newPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Old: older, New: newer, Deltas: Diff(older, newer), Tol: tol}, nil
+}

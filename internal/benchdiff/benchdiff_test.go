@@ -1,0 +1,120 @@
+package benchdiff
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldSnap = `{
+  "snapshot": "PR 7: example",
+  "headline": {
+    "ns_per_inst": {
+      "towers": { "step": 20.5, "superblock": 7.2, "speedup_x": 2.84 },
+      "qsort":  { "step": 19.8, "superblock": 6.8 }
+    },
+    "plan_build_ns_per_inst": { "before": 17.9, "after": 7.5 },
+    "coverage_pct": 99.0,
+    "note": "strings are ignored"
+  }
+}`
+
+const newSnap = `{
+  "snapshot": "PR 8: example",
+  "headline": {
+    "ns_per_inst": {
+      "towers": { "step": 20.4, "superblock": 9.9, "speedup_x": 2.1 },
+      "spmv":   { "step": 30.0 }
+    },
+    "plan_build_ns_per_inst": { "before": 18.0, "after": 7.4 }
+  }
+}`
+
+func TestLoadCollectsOnlyPerWorkMetrics(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Load(write(t, dir, "BENCH_7.json", oldSnap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Label != "PR 7: example" {
+		t.Errorf("label = %q", s.Label)
+	}
+	want := map[string]float64{
+		"headline/ns_per_inst/towers/step":       20.5,
+		"headline/ns_per_inst/towers/superblock": 7.2,
+		"headline/ns_per_inst/qsort/step":        19.8,
+		"headline/ns_per_inst/qsort/superblock":  6.8,
+		"headline/plan_build_ns_per_inst/before": 17.9,
+		"headline/plan_build_ns_per_inst/after":  7.5,
+	}
+	if len(s.Metrics) != len(want) {
+		t.Fatalf("collected %d metrics, want %d: %v", len(s.Metrics), len(want), s.Metrics)
+	}
+	for k, v := range want {
+		if s.Metrics[k] != v {
+			t.Errorf("%s = %v, want %v", k, s.Metrics[k], v)
+		}
+	}
+	if _, ok := s.Metrics["headline/ns_per_inst/towers/speedup_x"]; ok {
+		t.Error("speedup ratio collected as a lower-is-better metric")
+	}
+	if _, ok := s.Metrics["headline/coverage_pct"]; ok {
+		t.Error("non-ns_per_ key collected")
+	}
+}
+
+func TestCompareFlagsOnlyOutOfToleranceRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := write(t, dir, "BENCH_7.json", oldSnap)
+	newPath := write(t, dir, "BENCH_8.json", newSnap)
+	rep, err := Compare(oldPath, newPath, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared keys only: towers step+superblock, plan_build before+after.
+	if len(rep.Deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4: %v", len(rep.Deltas), rep.Deltas)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	if regs[0].Key != "headline/ns_per_inst/towers/superblock" {
+		t.Errorf("regression key = %s", regs[0].Key)
+	}
+	// +0.56% (17.9 -> 18.0) sits inside the 10% band.
+	for _, d := range rep.Deltas {
+		if d.Key == "headline/plan_build_ns_per_inst/before" && d.Regressed(rep.Tol) {
+			t.Error("in-tolerance delta flagged as regression")
+		}
+	}
+}
+
+func TestSnapshotsSortNumerically(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_10.json", `{}`)
+	write(t, dir, "BENCH_2.json", `{}`)
+	write(t, dir, "BENCH_9.json", `{}`)
+	write(t, dir, "OTHER.json", `{}`)
+	paths, err := Snapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("found %d snapshots, want 3", len(paths))
+	}
+	for i, want := range []string{"BENCH_2.json", "BENCH_9.json", "BENCH_10.json"} {
+		if filepath.Base(paths[i]) != want {
+			t.Errorf("paths[%d] = %s, want %s", i, filepath.Base(paths[i]), want)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package boom
 
 import (
 	"fmt"
-	"math/bits"
 
 	"icicle/internal/asm"
 	"icicle/internal/branch"
@@ -10,6 +9,7 @@ import (
 	"icicle/internal/mem"
 	"icicle/internal/obs"
 	"icicle/internal/pmu"
+	"icicle/internal/stats"
 )
 
 // CycleHook observes every simulated cycle (used by the trace bridge).
@@ -74,16 +74,30 @@ type Core struct {
 	memory *mem.Sparse
 
 	sample pmu.Sample
-	tally  []uint64
-	// lanes holds per-lane totals for multi-source events, indexed by
-	// event id (nil for single-source events) — the dense form of
-	// Result.LaneTally, updated in the per-cycle loop without map lookups.
-	lanes [][]uint64
+	// tally accumulates per-event totals and per-lane totals (the dense
+	// form of Result.Tally/LaneTally), bulk-advanced by the skip path.
+	tally *stats.Tally
 	hook  CycleHook
 	ids   eventIDs
 
 	cycle uint64
 	seq   uint64
+
+	// Event-driven skip state (see skip.go): noSkip disables the path,
+	// skipLimit is the exclusive cycle cap the active run loop installs
+	// (0 = skipping off), skipped/skipEvents count bulk-advanced cycles
+	// and jumps since Reset.
+	noSkip     bool
+	skipLimit  uint64
+	skipped    uint64
+	skipEvents uint64
+	// quiet records that the previous cycle's stages mutated nothing
+	// observable. quiesceTarget's queue scans are only worth running
+	// right after such a cycle — busy cycles (the common case on
+	// compute-bound code) then pay a few compares, not O(ROB) scans.
+	// Purely a performance gate: a stale false only delays a skip by one
+	// cycle, never changes results.
+	quiet bool
 
 	// frontend; fb is a ring: live entries are fb[fbHead:], compacted on
 	// push so the backing array never creeps past FBEntries.
@@ -121,6 +135,8 @@ type Core struct {
 	tel       *obs.CoreTelemetry
 	telCycles uint64
 	telInsts  uint64
+	telSkipC  uint64
+	telSkipE  uint64
 
 	// per-cycle scratch
 	issuedThisCycle int
@@ -146,8 +162,8 @@ func New(cfg Config, prog *asm.Program) (*Core, error) {
 		Space:    space,
 		memory:   memory,
 		sample:   space.NewSample(),
-		tally:    make([]uint64, len(space.Events)),
-		lanes:    make([][]uint64, len(space.Events)),
+		tally:    stats.NewTally(space.SourceCounts()),
+		noSkip:   !DefaultStallSkip,
 		ids:      resolveEventIDs(space),
 		uops:     newArena(cfg.ROBEntries),
 		rob:      make([]int32, cfg.ROBEntries),
@@ -163,11 +179,6 @@ func New(cfg Config, prog *asm.Program) (*Core, error) {
 	}
 	if cfg.UseRAS {
 		c.RAS = branch.NewRAS(cfg.RASEntries)
-	}
-	for i, e := range space.Events {
-		if e.Sources > 1 {
-			c.lanes[i] = make([]uint64, e.Sources)
-		}
 	}
 	return c, nil
 }
@@ -198,17 +209,16 @@ func (c *Core) Reset(prog *asm.Program) {
 	}
 	c.PMU.Reset()
 	c.sample.Reset()
-	for i := range c.tally {
-		c.tally[i] = 0
-	}
-	for _, lt := range c.lanes {
-		for j := range lt {
-			lt[j] = 0
-		}
-	}
+	c.tally.Reset()
 	c.hook = nil
 	c.cycle = 0
 	c.seq = 0
+	// noSkip survives Reset like the telemetry handle: an engine choice,
+	// not per-program state.
+	c.skipLimit = 0
+	c.skipped = 0
+	c.skipEvents = 0
+	c.quiet = false
 
 	c.putback = c.putback[:0]
 	c.fb = c.fb[:0]
@@ -239,6 +249,8 @@ func (c *Core) Reset(prog *asm.Program) {
 	c.issuedThisCycle = 0
 	c.telCycles = 0
 	c.telInsts = 0
+	c.telSkipC = 0
+	c.telSkipE = 0
 }
 
 // SetCycleHook installs a per-cycle observer.
@@ -255,7 +267,9 @@ func (c *Core) flushTelemetry() {
 		return
 	}
 	c.tel.Add(c.cycle-c.telCycles, c.retiredTotal-c.telInsts)
+	c.tel.AddSkip(c.skipped-c.telSkipC, c.skipEvents-c.telSkipE)
 	c.telCycles, c.telInsts = c.cycle, c.retiredTotal
+	c.telSkipC, c.telSkipE = c.skipped, c.skipEvents
 }
 
 // Cycles returns the cycles simulated so far (the final count after Run).
@@ -369,6 +383,7 @@ func (c *Core) RunCycles() error {
 	if maxCycles == 0 {
 		maxCycles = 2_000_000_000
 	}
+	c.skipLimit = maxCycles
 	for !c.done {
 		if c.cycle >= maxCycles {
 			c.flushTelemetry()
@@ -390,7 +405,7 @@ func (c *Core) Result() Result {
 	res := Result{
 		Cycles:    c.cycle,
 		Insts:     c.retiredTotal,
-		Tally:     make(map[string]uint64, len(c.tally)),
+		Tally:     make(map[string]uint64, c.tally.Len()),
 		LaneTally: make(map[string][]uint64),
 		L1I:       c.Hier.L1I.Stats(),
 		L1D:       c.Hier.L1D.Stats(),
@@ -398,10 +413,10 @@ func (c *Core) Result() Result {
 		Exit:      c.CPU.ExitCode,
 	}
 	for i, e := range c.Space.Events {
-		res.Tally[e.Name] = c.tally[i]
-		if c.lanes[i] != nil {
-			lt := make([]uint64, len(c.lanes[i]))
-			copy(lt, c.lanes[i])
+		res.Tally[e.Name] = c.tally.Totals[i]
+		if src := c.tally.Lanes[i]; src != nil {
+			lt := make([]uint64, len(src))
+			copy(lt, src)
 			res.LaneTally[e.Name] = lt
 		}
 	}
@@ -409,9 +424,31 @@ func (c *Core) Result() Result {
 }
 
 func (c *Core) step() error {
+	// Event-driven skip (skip.go): when the core is provably quiescent,
+	// run the stages once — they mutate nothing and produce the stretch's
+	// constant event sample — then bulk-account that sample for the extra
+	// skipped cycles. The hook gate keeps trace/temporal-sampling runs
+	// per-cycle; skipLimit caps jumps at the active run loop's bound.
+	var bulk uint64
+	if c.quiet && !c.noSkip && c.hook == nil && c.skipLimit != 0 {
+		if target, ok := c.quiesceTarget(); ok {
+			if target > c.skipLimit {
+				target = c.skipLimit
+			}
+			if target > c.cycle+1 {
+				bulk = target - c.cycle - 1
+			}
+		}
+	}
+
 	c.sample.Reset()
 	c.assert(c.ids.cycles)
 	c.issuedThisCycle = 0
+
+	seqBefore := c.seq
+	inflightBefore := len(c.inflight)
+	putbackBefore := len(c.putback)
+	fbBefore := c.fbLen()
 
 	c.completeStage()
 	retired := c.commitStage()
@@ -420,6 +457,14 @@ func (c *Core) step() error {
 	if err := c.fetchStage(); err != nil {
 		return err
 	}
+
+	// A cycle is quiet when no stage moved anything: nothing retired,
+	// issued, renamed (seq), completed or executed (inflight), flushed
+	// (putback), or fetched (fb). Quiet cycles are where quiesceTarget
+	// can prove a skip, so the next step only attempts it after one.
+	c.quiet = retired == 0 && c.issuedThisCycle == 0 && c.seq == seqBefore &&
+		len(c.inflight) == inflightBefore && len(c.putback) == putbackBefore &&
+		c.fbLen() == fbBefore
 
 	// I$-blocked heuristic (§IV-A): refill in flight and fetch buffer empty.
 	if c.refillUntil > c.cycle && c.fbLen() == 0 {
@@ -434,26 +479,20 @@ func (c *Core) step() error {
 		}
 	}
 
-	for i, m := range c.sample {
-		n := bits.OnesCount64(m)
-		c.tally[i] += uint64(n)
-		if lt := c.lanes[i]; lt != nil {
-			mm := m
-			for mm != 0 {
-				l := bits.TrailingZeros64(mm)
-				mm &^= 1 << uint(l)
-				if l < len(lt) {
-					lt[l]++
-				}
-			}
-		}
+	c.tally.AddSample(c.sample, 1+bulk)
+	if bulk == 0 {
+		c.PMU.Tick(c.sample, retired)
+	} else {
+		c.PMU.TickN(c.sample, retired, 1+bulk) // retired is provably 0 here
+		c.skipped += bulk
+		c.skipEvents++
 	}
-	c.PMU.Tick(c.sample, retired)
 	if c.hook != nil {
 		c.hook(c.cycle, c.sample)
 	}
-	c.cycle++
-	if c.tel != nil && c.cycle&(obs.TelemetryFlushInterval-1) == 0 {
+	prev := c.cycle
+	c.cycle += 1 + bulk
+	if c.tel != nil && (prev^c.cycle)&^uint64(obs.TelemetryFlushInterval-1) != 0 {
 		c.flushTelemetry()
 	}
 

@@ -48,6 +48,11 @@ func (c *Core) ResetPipeline() {
 	c.longBusy = 0
 	c.issuedThisCycle = 0
 
+	// Defensive: a detached core must not skip until a run loop installs
+	// its window/budget bound again.
+	c.skipLimit = 0
+	c.quiet = false
+
 	c.done = false
 }
 
@@ -72,6 +77,12 @@ func (c *Core) RunWindow(maxCycles uint64) error {
 		budget = 2_000_000_000
 	}
 	end := c.cycle + maxCycles
+	// Cap skips at the window end and the cycle budget so the loop
+	// re-evaluates both conditions exactly where per-cycle stepping would.
+	c.skipLimit = end
+	if budget < end {
+		c.skipLimit = budget
+	}
 	for !c.done && c.cycle < end {
 		if c.cycle >= budget {
 			c.flushTelemetry()
@@ -100,6 +111,12 @@ func (c *Core) RunWindowBounded(maxCycles, maxInsts uint64) error {
 		budget = 2_000_000_000
 	}
 	end := c.cycle + maxCycles
+	c.skipLimit = end
+	if budget < end {
+		c.skipLimit = budget
+	}
+	// No skip cap is needed for the instruction bound: a skipped stretch
+	// retires nothing, and the loop re-checks retiredTotal every step.
 	c.retireLimit = c.retiredTotal + maxInsts
 	defer func() { c.retireLimit = 0 }()
 	for !c.done && c.cycle < end && c.retiredTotal < c.retireLimit {
@@ -149,10 +166,11 @@ func (c *Core) Done() bool { return c.done }
 // and returns it. The slice is indexed like Space.Events; the sampling
 // controller diffs snapshots taken around each window.
 func (c *Core) CopyTally(dst []uint64) []uint64 {
-	if cap(dst) < len(c.tally) {
-		dst = make([]uint64, len(c.tally))
+	n := c.tally.Len()
+	if cap(dst) < n {
+		dst = make([]uint64, n)
 	}
-	dst = dst[:len(c.tally)]
-	copy(dst, c.tally)
+	dst = dst[:n]
+	copy(dst, c.tally.Totals)
 	return dst
 }

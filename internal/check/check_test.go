@@ -157,6 +157,39 @@ func TestInjectedFaultCaughtAndShrunk(t *testing.T) {
 	}
 }
 
+// TestSkipDifferentialCatchesDivergence proves the skip-differential
+// invariant is not vacuous: a model whose skip-toggled replay disagrees
+// with the fresh run — a stand-in for a quiescence-predicate bug that
+// jumps past a wake-up event — is flagged as InvSkipDiff.
+func TestSkipDifferentialCatchesDivergence(t *testing.T) {
+	inner := check.RocketModel()
+	faulty := check.Model{
+		Name: "rocket-skip-faulty",
+		Run: func(prog *asm.Program, opt check.RunOptions) (check.Outcome, error) {
+			out, err := inner.Run(prog, opt)
+			if out.SkipDiff != nil {
+				out.SkipDiff.Cycles += 3 // as if a skip overshot a refill
+			}
+			return out, err
+		},
+	}
+	eng := check.New(
+		check.WithModels(faulty),
+		check.WithoutDeterminism(),
+		check.WithoutTrace(),
+	)
+	rep, err := eng.CheckSource(kernel.Mixed.Program(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("planted skip divergence not caught")
+	}
+	if f := rep.FirstFailure(); f.Invariant != check.InvSkipDiff {
+		t.Fatalf("planted skip divergence classified as %q, want %q", f.Invariant, check.InvSkipDiff)
+	}
+}
+
 // TestReportString pins the two Report renderings the test-failure UX
 // depends on.
 func TestReportString(t *testing.T) {

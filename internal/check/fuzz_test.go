@@ -93,6 +93,47 @@ func FuzzDifferential(f *testing.F) {
 	})
 }
 
+// FuzzStallSkipDifferential pins the event-driven stall-skip cycle loop
+// against per-cycle stepping: any program that assembles and terminates
+// must produce a bit-identical Result (cycles, every tally, lane tallies,
+// cache stats) and register file with the skip on and off, on Rocket and
+// on the smallest and largest BOOM. The seeds lean on memory aliasing,
+// pointer chases, AMOs, and fences — the paths where quiescence bounds
+// interact with MSHR refills, replays, and machine clears.
+func FuzzStallSkipDifferential(f *testing.F) {
+	f.Add("\tli   a0, 42\n\tecall\n")
+	// Pointer chase through a linked ring: every load depends on the last.
+	f.Add("\tli   s0, 4194304\n\tsd   s0, 0(s0)\n\tli   t0, 50\nc:\n\tld   s0, 0(s0)\n\taddi t0, t0, -1\n\tbnez t0, c\n\txor  a0, s0, t0\n\tecall\n")
+	// Store/load aliasing with mixed widths plus an AMO on the same line.
+	f.Add("\tli   s0, 4194304\n\tli   t0, 77\n\tsd   t0, 0(s0)\n\tlbu  a1, 1(s0)\n\tamoadd.d a2, a1, (s0)\n\tsb   a2, 3(s0)\n\tlw   a3, 0(s0)\n\txor  a0, a1, a3\n\tecall\n")
+	// Fence-separated store bursts (drain + replay pressure).
+	f.Add("\tli   s0, 4194304\n\tli   t0, 9\nf:\n\tsd   t0, 0(s0)\n\tfence\n\tld   a1, 0(s0)\n\taddi t0, t0, -1\n\tbnez t0, f\n\tmv   a0, a1\n\tecall\n")
+	f.Add(kernel.MemoryAliasing.Program(3))
+	f.Add(kernel.LoopCarried.Program(2))
+	eng := check.New(
+		check.WithBoomSizes(boom.Small, boom.Giga),
+		check.WithWorkers(1),
+		check.WithMaxInsts(300_000),
+		check.WithoutDeterminism(),
+		check.WithoutTrace(),
+	)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		if strings.Contains(src, "csr") {
+			return
+		}
+		rep, err := eng.CheckSource(src)
+		if err != nil {
+			return
+		}
+		if rep.Failed() {
+			t.Fatalf("invariant failure on fuzzed program:\n%s\nprogram:\n%s", rep, src)
+		}
+	})
+}
+
 // FuzzSuperblockDifferential pins the superblock threaded-code engine
 // against the plain Step loop: any program that assembles — including
 // self-modifying ones that store over their own instruction stream —

@@ -31,6 +31,9 @@ const (
 	InvTrace = "trace"
 	// InvPMU: CSR counter reads disagree with the dense tallies.
 	InvPMU = "pmu"
+	// InvSkipDiff: the stall-skip-toggled re-run diverged from the first
+	// run (the event-driven cycle loop is not bit-identical to stepping).
+	InvSkipDiff = "skip-differential"
 )
 
 // tmaTol absorbs float summation noise in slot fractions.
@@ -119,6 +122,13 @@ func evaluate(ref Ref, runs []ModelRun) []Failure {
 			checkReplay(add, r.Name, &r.Outcome, r.Replay)
 		}
 
+		// Metamorphic: skip-vs-step equivalence. The stall-skip-toggled
+		// re-run observes the same program through the other cycle loop, so
+		// every architectural and counted quantity must match exactly.
+		if r.SkipDiff != nil {
+			checkPair(add, r.Name, InvSkipDiff, "skip-toggled", &r.Outcome, r.SkipDiff)
+		}
+
 		// Metamorphic: counter-vs-trace consistency. Both observation
 		// paths watch the same per-cycle source assertions the dense
 		// tallies sum, so all three totals must be equal.
@@ -138,21 +148,29 @@ func evaluate(ref Ref, runs []ModelRun) []Failure {
 // checkReplay compares a Reset-reused core's re-run against the fresh run.
 func checkReplay(add func(model, inv, format string, args ...any),
 	name string, fresh, replay *Outcome) {
-	if replay.Cycles != fresh.Cycles {
-		add(name, InvDeterminism, "replay cycles %d != fresh %d", replay.Cycles, fresh.Cycles)
+	checkPair(add, name, InvDeterminism, "replay", fresh, replay)
+}
+
+// checkPair demands two outcomes of the same program on the same model be
+// identical in every architectural and counted quantity; label names the
+// second run in failure details.
+func checkPair(add func(model, inv, format string, args ...any),
+	name, inv, label string, fresh, other *Outcome) {
+	if other.Cycles != fresh.Cycles {
+		add(name, inv, "%s cycles %d != fresh %d", label, other.Cycles, fresh.Cycles)
 	}
-	if replay.Insts != fresh.Insts {
-		add(name, InvDeterminism, "replay retired %d != fresh %d", replay.Insts, fresh.Insts)
+	if other.Insts != fresh.Insts {
+		add(name, inv, "%s retired %d != fresh %d", label, other.Insts, fresh.Insts)
 	}
-	if replay.Exit != fresh.Exit {
-		add(name, InvDeterminism, "replay exit %#x != fresh %#x", replay.Exit, fresh.Exit)
+	if other.Exit != fresh.Exit {
+		add(name, inv, "%s exit %#x != fresh %#x", label, other.Exit, fresh.Exit)
 	}
-	if replay.Regs != fresh.Regs {
-		add(name, InvDeterminism, "replay register file differs from fresh run")
+	if other.Regs != fresh.Regs {
+		add(name, inv, "%s register file differs from fresh run", label)
 	}
 	for ev, want := range fresh.Tally {
-		if got := replay.Tally[ev]; got != want {
-			add(name, InvDeterminism, "replay tally %s = %d != fresh %d", ev, got, want)
+		if got := other.Tally[ev]; got != want {
+			add(name, inv, "%s tally %s = %d != fresh %d", label, ev, got, want)
 		}
 	}
 }

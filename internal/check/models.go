@@ -25,6 +25,14 @@ type RunOptions struct {
 	// records their independent event totals for the consistency
 	// invariant.
 	Trace bool
+	// SkipDifferential re-runs the program on the same core after Reset
+	// with the event-driven stall skip toggled to the opposite of what the
+	// first run effectively used, and records the outcome in
+	// Outcome.SkipDiff. A traced first run carries a cycle hook, which
+	// forces per-cycle stepping, so its differential replay skips; an
+	// untraced first run skips (the default), so its replay steps. Either
+	// way the pair pins skip-vs-step bit identity.
+	SkipDifferential bool
 }
 
 // Outcome is one model execution's observable result.
@@ -41,6 +49,10 @@ type Outcome struct {
 
 	// Replay is the Reset-reuse re-run (nil unless RunOptions.Determinism).
 	Replay *Outcome
+
+	// SkipDiff is the stall-skip-toggled re-run (nil unless
+	// RunOptions.SkipDifferential).
+	SkipDiff *Outcome
 
 	// TracedEvents names the events cross-checked below (nil unless
 	// RunOptions.Trace).
@@ -118,6 +130,15 @@ func RocketModel() Model {
 				}
 				out.Replay = &replay
 			}
+			if opt.SkipDifferential {
+				c.Reset(prog)
+				c.SetStallSkip(opt.Trace)
+				sd, err := rocketOnce(c, RunOptions{MaxCycles: opt.MaxCycles})
+				if err != nil {
+					return out, fmt.Errorf("skip differential: %w", err)
+				}
+				out.SkipDiff = &sd
+			}
 			return out, nil
 		},
 	}
@@ -180,6 +201,15 @@ func BoomModel(size boom.Size) Model {
 					return out, fmt.Errorf("replay: %w", err)
 				}
 				out.Replay = &replay
+			}
+			if opt.SkipDifferential {
+				c.Reset(prog)
+				c.SetStallSkip(opt.Trace)
+				sd, err := boomOnce(c, RunOptions{MaxCycles: opt.MaxCycles})
+				if err != nil {
+					return out, fmt.Errorf("skip differential: %w", err)
+				}
+				out.SkipDiff = &sd
 			}
 			return out, nil
 		},

@@ -92,6 +92,23 @@ func (h *Hierarchy) Reset() {
 	h.pfValid = false
 }
 
+// NextEvent returns the earliest cycle strictly after now at which the
+// hierarchy's autonomous state changes — an MSHR refill completes or the
+// next-line prefetch stream's in-flight refill lands — or 0 when nothing
+// is in flight. Demand accesses and writebacks are charged inline at
+// access time (the hierarchy holds no other timers), so this bound is
+// exhaustive: between now and NextEvent(now) every hierarchy query made
+// with the same arguments returns the same answer. The cores'
+// event-driven skip path uses it to cap how far the clock may jump
+// across a provably quiescent stretch.
+func (h *Hierarchy) NextEvent(now uint64) uint64 {
+	next := h.MSHRs.NextReady(now)
+	if h.pfValid && h.pfReadyAt > now && (next == 0 || h.pfReadyAt < next) {
+		next = h.pfReadyAt
+	}
+	return next
+}
+
 // IResult describes one instruction-fetch access.
 type IResult struct {
 	Latency   int // total extra cycles beyond the L1 hit pipeline

@@ -83,3 +83,20 @@ func (f *MSHRFile) Busy(now uint64) int {
 
 // AnyBusy reports whether at least one refill is in flight at cycle now.
 func (f *MSHRFile) AnyBusy(now uint64) bool { return f.Busy(now) > 0 }
+
+// NextReady returns the earliest cycle strictly after now at which an
+// in-flight refill completes, or 0 when nothing is in flight. It is a
+// pure query (no lazy entry reclamation) — the cores' event-driven skip
+// path uses it to bound how far the clock may jump while the pipeline is
+// quiescent: any refill landing flips occupancy-derived events (BOOM's
+// D$-blocked heuristic) and wakes dependent loads.
+func (f *MSHRFile) NextReady(now uint64) uint64 {
+	var next uint64
+	for i := range f.entries {
+		e := &f.entries[i]
+		if e.busy && e.readyAt > now && (next == 0 || e.readyAt < next) {
+			next = e.readyAt
+		}
+	}
+	return next
+}

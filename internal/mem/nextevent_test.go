@@ -1,0 +1,68 @@
+package mem
+
+import "testing"
+
+// The event-driven skip path in the cores relies on NextReady/NextEvent
+// being (a) pure — no lazy reclamation, unlike Lookup — and (b) exact
+// lower bounds on the next hierarchy state change. These tests pin both.
+
+func TestMSHRNextReady(t *testing.T) {
+	f := NewMSHRFile(4)
+	if got := f.NextReady(0); got != 0 {
+		t.Fatalf("empty file NextReady = %d, want 0", got)
+	}
+	if !f.Allocate(0x100, 10, 110) {
+		t.Fatal("allocate failed")
+	}
+	if !f.Allocate(0x200, 12, 92) {
+		t.Fatal("allocate failed")
+	}
+	if got := f.NextReady(12); got != 92 {
+		t.Fatalf("NextReady(12) = %d, want 92 (earliest in-flight)", got)
+	}
+	// Strictly-after-now semantics: at now == 92 the 92-refill has landed.
+	if got := f.NextReady(92); got != 110 {
+		t.Fatalf("NextReady(92) = %d, want 110", got)
+	}
+	if got := f.NextReady(110); got != 0 {
+		t.Fatalf("NextReady(110) = %d, want 0 (all landed)", got)
+	}
+	// Purity: querying must not reclaim entries (Busy still sees them
+	// until their ready cycle passes).
+	if n := f.Busy(50); n != 2 {
+		t.Fatalf("Busy(50) = %d after NextReady queries, want 2", n)
+	}
+}
+
+func TestHierarchyNextEvent(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig(2))
+	if got := h.NextEvent(0); got != 0 {
+		t.Fatalf("idle hierarchy NextEvent = %d, want 0", got)
+	}
+	// A cold data miss allocates an MSHR whose completion must bound the
+	// next event.
+	d := h.AccessD(0x8000, false, 100)
+	if !d.Miss {
+		t.Fatal("expected cold miss")
+	}
+	next := h.NextEvent(100)
+	if next == 0 || next <= 100 {
+		t.Fatalf("NextEvent after miss = %d, want a future cycle", next)
+	}
+	if got := h.MSHRs.NextReady(100); got != next {
+		t.Fatalf("NextEvent = %d but MSHR NextReady = %d", next, got)
+	}
+	// Once the refill lands the hierarchy is idle again.
+	if got := h.NextEvent(next); got != 0 {
+		t.Fatalf("NextEvent(%d) = %d, want 0", next, got)
+	}
+
+	// The next-line prefetch stream is an in-flight refill too: a cold
+	// instruction fetch primes block+1, and its landing cycle must be
+	// visible as a pending event.
+	h.Reset()
+	h.AccessI(0x0, 200)
+	if got := h.NextEvent(200); got == 0 {
+		t.Fatal("prefetch in flight but NextEvent reports idle")
+	}
+}

@@ -11,24 +11,40 @@ package obs
 type CoreTelemetry struct {
 	Cycles *Counter // cycles simulated
 	Insts  *Counter // instructions retired
+
+	// Event-driven skip accounting: cycles the detailed loop advanced in
+	// bulk instead of stepping (a subset of Cycles), and how many skip
+	// jumps produced them. skipped/cycles is the live quiescence ratio.
+	SkippedCycles *Counter
+	SkipEvents    *Counter
 }
 
 // NewCoreTelemetry returns a standalone (unregistered) handle.
 func NewCoreTelemetry() *CoreTelemetry {
-	return &CoreTelemetry{Cycles: NewCounter(), Insts: NewCounter()}
+	return &CoreTelemetry{
+		Cycles:        NewCounter(),
+		Insts:         NewCounter(),
+		SkippedCycles: NewCounter(),
+		SkipEvents:    NewCounter(),
+	}
 }
 
 // CoreTelemetryIn registers the handle's counters in reg under
-// icicle_<core>_cycles_simulated_total / icicle_<core>_insts_retired_total.
-// A nil registry yields a handle with nil counters (updates discarded) —
-// callers that want true disabled mode should pass a nil *CoreTelemetry
-// instead.
+// icicle_<core>_cycles_simulated_total / icicle_<core>_insts_retired_total,
+// plus the shared skip series icicle_core_skipped_cycles_total /
+// icicle_core_skip_events_total labeled by core. A nil registry yields a
+// handle with nil counters (updates discarded) — callers that want true
+// disabled mode should pass a nil *CoreTelemetry instead.
 func CoreTelemetryIn(reg *Registry, core string) *CoreTelemetry {
 	return &CoreTelemetry{
 		Cycles: reg.Counter("icicle_"+core+"_cycles_simulated_total",
 			"cycles simulated on the "+core+" timing model"),
 		Insts: reg.Counter("icicle_"+core+"_insts_retired_total",
 			"instructions retired on the "+core+" timing model"),
+		SkippedCycles: reg.Counter(LabeledName("icicle_core_skipped_cycles_total", "core", core),
+			"detailed cycles advanced in bulk by the event-driven skip path"),
+		SkipEvents: reg.Counter(LabeledName("icicle_core_skip_events_total", "core", core),
+			"quiescent-stretch jumps taken by the event-driven skip path"),
 	}
 }
 
@@ -45,4 +61,15 @@ func (t *CoreTelemetry) Add(cycles, insts uint64) {
 	}
 	t.Cycles.Add(cycles)
 	t.Insts.Add(insts)
+}
+
+// AddSkip publishes a (skipped cycles, skip events) delta. Nil-safe,
+// alloc-free; handles predating the skip counters (zero-value struct
+// literals) are tolerated via the counters' own nil-safety.
+func (t *CoreTelemetry) AddSkip(cycles, events uint64) {
+	if t == nil {
+		return
+	}
+	t.SkippedCycles.Add(cycles)
+	t.SkipEvents.Add(events)
 }

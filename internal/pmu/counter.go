@@ -50,6 +50,9 @@ type counter interface {
 	// tick advances one cycle; asserted is the per-selected-event lane
 	// masks (pre-filtered to this counter's selection).
 	tick(asserted []uint64)
+	// tickN advances n cycles that all carry the identical asserted
+	// masks, bit-identical to n tick calls (the bulk skip path).
+	tickN(asserted []uint64, n uint64)
 	// read returns the software-visible value.
 	read() uint64
 	// write sets the architectural count (software CSR write).
@@ -69,6 +72,15 @@ func (c *scalarCounter) tick(asserted []uint64) {
 	for _, m := range asserted {
 		if m != 0 {
 			c.v++ // one increment regardless of how many lanes/events fired
+			return
+		}
+	}
+}
+
+func (c *scalarCounter) tickN(asserted []uint64, n uint64) {
+	for _, m := range asserted {
+		if m != 0 {
+			c.v += n // one increment per cycle regardless of lane count
 			return
 		}
 	}
@@ -96,6 +108,17 @@ func (c *addWiresCounter) tick(asserted []uint64) {
 		c.chainLen = inc
 	}
 	c.v += uint64(inc)
+}
+
+func (c *addWiresCounter) tickN(asserted []uint64, n uint64) {
+	inc := 0
+	for _, m := range asserted {
+		inc += bits.OnesCount64(m)
+	}
+	if inc > c.chainLen {
+		c.chainLen = inc // the same chain depth every repeated cycle
+	}
+	c.v += uint64(inc) * n
 }
 
 func (c *addWiresCounter) read() uint64   { return c.v }
@@ -180,6 +203,18 @@ func (c *distributedCounter) tick(asserted []uint64) {
 	if c.overflow[i] {
 		c.overflow[i] = false // clear-on-select
 		c.global++
+	}
+}
+
+// tickN has no closed form for the distributed architecture: the global
+// counter's value depends on which overflow flags the rotating arbiter
+// visits on which cycle, so repeated identical cycles are genuinely
+// phase-dependent. Stepping keeps the skip path bit-identical; it only
+// costs when a counter is programmed AND the core skips, which the
+// perf-harness workloads (short counter windows) keep rare.
+func (c *distributedCounter) tickN(asserted []uint64, n uint64) {
+	for ; n > 0; n-- {
+		c.tick(asserted)
 	}
 }
 

@@ -89,6 +89,16 @@ func (s *Space) MustIndex(name string) int {
 	return i
 }
 
+// SourceCounts returns the per-event lane counts, parallel to Events.
+// It is the shape stats.Tally is built from.
+func (s *Space) SourceCounts() []int {
+	out := make([]int, len(s.Events))
+	for i, e := range s.Events {
+		out[i] = e.Sources
+	}
+	return out
+}
+
 // Lookup resolves an event by (set, bit).
 func (s *Space) Lookup(id ID) (Event, bool) {
 	i, ok := s.byID[id]

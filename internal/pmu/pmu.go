@@ -183,6 +183,42 @@ func (p *PMU) Tick(sample Sample, retired int) {
 	}
 }
 
+// TickN advances the PMU n cycles that all carry the identical sample and
+// per-cycle retire count — the event-driven skip path's bulk form of Tick.
+// It is bit-identical to calling Tick(sample, retired) n times: scalar and
+// add-wires counters admit a closed form, while distributed counters are
+// stepped cycle by cycle because their rotating arbiter makes the global
+// counter depend on the tick phase, not just the tick count.
+func (p *PMU) TickN(sample Sample, retired int, n uint64) {
+	if n == 0 {
+		return
+	}
+	if p.inhibit&1 == 0 {
+		p.mcycle += n
+	}
+	if p.inhibit&4 == 0 {
+		p.minstret += uint64(retired) * n
+	}
+	for i := range p.counters {
+		if p.inhibit&(1<<uint(i+3)) != 0 {
+			continue
+		}
+		sel := p.selected[i]
+		if len(sel) == 0 {
+			continue
+		}
+		buf := p.scratch[i]
+		any := false
+		for j, idx := range sel {
+			buf[j] = sample[idx]
+			any = any || buf[j] != 0
+		}
+		if any || p.Arch == Distributed {
+			p.counters[i].tickN(buf, n)
+		}
+	}
+}
+
 // Read returns the software-visible value of programmable counter i.
 func (p *PMU) Read(i int) uint64 {
 	if i < 0 || i >= NumHPMCounters {

@@ -361,6 +361,83 @@ func TestDistributedWidthSweep(t *testing.T) {
 	}
 }
 
+// TestTickNMatchesRepeatedTicks pins the bulk-accounting contract the
+// event-driven skip path depends on: TickN(sample, retired, n) must leave
+// every observable counter — hpm reads, residues, lost totals, mcycle,
+// minstret — exactly where n individual Tick calls with the same sample
+// would, on all three counter microarchitectures (the distributed
+// arbiter's rotating grant is phase-dependent, so TickN must really turn
+// the crank n times there).
+func TestTickNMatchesRepeatedTicks(t *testing.T) {
+	s := testSpace(t)
+	fb, ui := s.MustIndex("fetch-bubbles"), s.MustIndex("uops-issued")
+	for _, arch := range []Architecture{Scalar, AddWires, Distributed} {
+		bulk, step := New(s, arch), New(s, arch)
+		for _, p := range []*PMU{bulk, step} {
+			if err := p.ConfigureEvents(0, "fetch-bubbles", "uops-issued"); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.ConfigureEvents(1, "uops-issued"); err != nil {
+				t.Fatal(err)
+			}
+			p.EnableAll()
+		}
+		r := rand.New(rand.NewSource(11))
+		sample := s.NewSample()
+		// Interleave single ticks (desynchronizing the arbiter phase from
+		// zero) with bulk stretches of every size class the skip path emits.
+		for round := 0; round < 200; round++ {
+			sample.Reset()
+			sample.AssertN(fb, r.Intn(4))
+			sample.AssertN(ui, r.Intn(6))
+			retired := r.Intn(2)
+			n := uint64(r.Intn(70) + 1)
+			bulk.TickN(sample, retired, n)
+			for i := uint64(0); i < n; i++ {
+				step.Tick(sample, retired)
+			}
+		}
+		for ctr := 0; ctr < 2; ctr++ {
+			if bulk.Read(ctr) != step.Read(ctr) {
+				t.Errorf("%v: counter %d: bulk %d != step %d", arch, ctr, bulk.Read(ctr), step.Read(ctr))
+			}
+			if bulk.Residue(ctr) != step.Residue(ctr) {
+				t.Errorf("%v: counter %d residue: bulk %d != step %d", arch, ctr, bulk.Residue(ctr), step.Residue(ctr))
+			}
+			if bulk.Lost(ctr) != step.Lost(ctr) {
+				t.Errorf("%v: counter %d lost: bulk %d != step %d", arch, ctr, bulk.Lost(ctr), step.Lost(ctr))
+			}
+		}
+		if bulk.Cycles() != step.Cycles() || bulk.Instret() != step.Instret() {
+			t.Errorf("%v: cycles/instret: bulk %d/%d != step %d/%d",
+				arch, bulk.Cycles(), bulk.Instret(), step.Cycles(), step.Instret())
+		}
+	}
+}
+
+// TestTickNOne pins the degenerate case: TickN with n == 1 is exactly one
+// Tick (the cores call TickN only on skip cycles, but the contract should
+// hold at the boundary).
+func TestTickNOne(t *testing.T) {
+	s := testSpace(t)
+	for _, arch := range []Architecture{Scalar, AddWires, Distributed} {
+		a, b := New(s, arch), New(s, arch)
+		for _, p := range []*PMU{a, b} {
+			if err := p.ConfigureEvents(0, "fetch-bubbles"); err != nil {
+				t.Fatal(err)
+			}
+			p.EnableAll()
+		}
+		sample := s.NewSample()
+		sample.AssertN(s.MustIndex("fetch-bubbles"), 2)
+		a.TickN(sample, 1, 1)
+		b.Tick(sample, 1)
+		if a.Read(0) != b.Read(0) || a.Cycles() != b.Cycles() || a.Instret() != b.Instret() {
+			t.Errorf("%v: TickN(1) diverges from Tick", arch)
+		}
+	}
+}
+
 func TestDistributedUndersizedWidthDropsUnderSaturation(t *testing.T) {
 	// With width 1 and 5 sources saturated every cycle, the arbiter
 	// (1 service/cycle) cannot keep up and events must be dropped.

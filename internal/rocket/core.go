@@ -2,7 +2,6 @@ package rocket
 
 import (
 	"fmt"
-	"math/bits"
 
 	"icicle/internal/asm"
 	"icicle/internal/branch"
@@ -10,6 +9,7 @@ import (
 	"icicle/internal/mem"
 	"icicle/internal/obs"
 	"icicle/internal/pmu"
+	"icicle/internal/stats"
 )
 
 // CycleHook observes every simulated cycle (used by the trace bridge).
@@ -45,8 +45,27 @@ type Core struct {
 	memory *mem.Sparse
 
 	sample pmu.Sample
-	tally  []uint64 // exact per-event totals (source assertions)
+	tally  *stats.Tally // exact per-event totals (source assertions)
 	hook   CycleHook
+
+	// Event-driven skip state (see skip.go): noSkip disables the
+	// quiescent-stretch fast path (engine choice, never part of the memo
+	// key — results are bit-identical either way); skipLimit is the
+	// exclusive cycle bound the active run loop imposes so a bulk jump
+	// never overshoots a window end or the cycle budget (0 = skipping
+	// off, the safe default for any future caller that forgets to set
+	// it); skipped/skipEvents count bulk-advanced cycles and jumps.
+	noSkip     bool
+	skipLimit  uint64
+	skipped    uint64
+	skipEvents uint64
+	// quiet records that the previous cycle's stages mutated nothing
+	// observable (nothing issued, fetched, or squashed). quiesceTarget
+	// can only prove a skip right after such a cycle, so busy cycles pay
+	// three compares instead of the full predicate. Purely a performance
+	// gate: a stale false only delays a skip by one cycle, never changes
+	// results.
+	quiet bool
 
 	// Host-side throughput telemetry (nil = disabled, zero cost beyond
 	// one pointer test per flush check). The handle survives Reset so a
@@ -55,6 +74,8 @@ type Core struct {
 	tel       *obs.CoreTelemetry
 	telCycles uint64
 	telInsts  uint64
+	telSkipC  uint64
+	telSkipE  uint64
 
 	cycle uint64
 
@@ -99,7 +120,8 @@ func New(cfg Config, prog *asm.Program) *Core {
 		PMU:         p,
 		memory:      memory,
 		sample:      Events.NewSample(),
-		tally:       make([]uint64, len(Events.Events)),
+		tally:       stats.NewTally(Events.SourceCounts()),
+		noSkip:      !DefaultStallSkip,
 		ibuf:        make([]fetchEntry, 0, cfg.IBufEntries),
 		putback:     make([]isa.Retired, 0, cfg.IBufEntries),
 		stallEvents: make([]int, 0, 1),
@@ -120,13 +142,19 @@ func (c *Core) Reset(prog *asm.Program) {
 	branch.Reset(c.Pred)
 	c.PMU.Reset()
 	c.sample.Reset()
-	for i := range c.tally {
-		c.tally[i] = 0
-	}
+	c.tally.Reset()
 	c.hook = nil
 	c.cycle = 0
 	c.telCycles = 0
 	c.telInsts = 0
+	c.telSkipC = 0
+	c.telSkipE = 0
+	// noSkip survives Reset like the telemetry handle: an engine choice,
+	// not program state (results are bit-identical either way).
+	c.skipLimit = 0
+	c.skipped = 0
+	c.skipEvents = 0
+	c.quiet = false
 
 	c.ibuf = c.ibuf[:0]
 	c.ibufHead = 0
@@ -163,7 +191,9 @@ func (c *Core) flushTelemetry() {
 		return
 	}
 	c.tel.Add(c.cycle-c.telCycles, c.retiredTotal-c.telInsts)
+	c.tel.AddSkip(c.skipped-c.telSkipC, c.skipEvents-c.telSkipE)
 	c.telCycles, c.telInsts = c.cycle, c.retiredTotal
+	c.telSkipC, c.telSkipE = c.skipped, c.skipEvents
 }
 
 // Cycles returns the cycles simulated so far (the final count after Run).
@@ -262,6 +292,7 @@ func (c *Core) RunCycles() error {
 	if maxCycles == 0 {
 		maxCycles = 2_000_000_000
 	}
+	c.skipLimit = maxCycles
 	for !c.done {
 		if c.cycle >= maxCycles {
 			c.flushTelemetry()
@@ -283,26 +314,50 @@ func (c *Core) Result() Result {
 	res := Result{
 		Cycles: c.cycle,
 		Insts:  c.retiredTotal,
-		Tally:  make(map[string]uint64, len(c.tally)),
+		Tally:  make(map[string]uint64, c.tally.Len()),
 		L1I:    c.Hier.L1I.Stats(),
 		L1D:    c.Hier.L1D.Stats(),
 		L2:     c.Hier.L2.Stats(),
 		Exit:   c.CPU.ExitCode,
 	}
 	for i, e := range Events.Events {
-		res.Tally[e.Name] = c.tally[i]
+		res.Tally[e.Name] = c.tally.Totals[i]
 	}
 	return res
 }
 
-// step advances one cycle.
+// step advances one cycle — or, when the core is provably quiescent, a
+// whole stretch of identical cycles at once: the stage functions run once
+// (they cannot mutate state on a quiescent cycle), and the resulting
+// sample is bulk-applied for the skipped cycles, bit-identical to
+// stepping each one (see skip.go for the proof obligations).
 func (c *Core) step() error {
+	var bulk uint64
+	if c.quiet && !c.noSkip && c.hook == nil && c.skipLimit != 0 {
+		if target, ok := c.quiesceTarget(); ok {
+			if target > c.skipLimit {
+				target = c.skipLimit
+			}
+			if target > c.cycle+1 {
+				bulk = target - c.cycle - 1
+			}
+		}
+	}
+
 	c.sample.Reset()
 	c.assert(idCycles)
+	ibufBefore := c.ibufLen()
+	putbackBefore := len(c.putback)
 	retired := c.issueStage()
 	if err := c.fetchStage(); err != nil {
 		return err
 	}
+	// A cycle is quiet when neither stage moved anything: nothing issued
+	// (covers every execute/squash mutation) and nothing entered or left
+	// the instruction stream. Recovering/stall countdowns slip through as
+	// "quiet", but quiesceTarget rejects those in its first compares.
+	c.quiet = retired == 0 && c.ibufLen() == ibufBefore &&
+		len(c.putback) == putbackBefore
 
 	// I$-blocked heuristic (§IV-A): refill in progress and no valid
 	// instructions buffered.
@@ -310,16 +365,23 @@ func (c *Core) step() error {
 		c.assert(idICacheBlocked)
 	}
 
-	// Exact tallies and PMU.
-	for i, m := range c.sample {
-		c.tally[i] += uint64(bits.OnesCount64(m))
+	// Exact tallies and PMU, for this cycle plus any bulk-skipped ones.
+	c.tally.AddSample(c.sample, 1+bulk)
+	if bulk == 0 {
+		c.PMU.Tick(c.sample, retired)
+	} else {
+		// retired is provably 0 on a quiescent cycle, so the repeated
+		// sample is the whole story for the PMU too.
+		c.PMU.TickN(c.sample, retired, 1+bulk)
+		c.skipped += bulk
+		c.skipEvents++
 	}
-	c.PMU.Tick(c.sample, retired)
 	if c.hook != nil {
 		c.hook(c.cycle, c.sample)
 	}
-	c.cycle++
-	if c.tel != nil && c.cycle&(obs.TelemetryFlushInterval-1) == 0 {
+	prev := c.cycle
+	c.cycle += 1 + bulk
+	if c.tel != nil && (prev^c.cycle)&^uint64(obs.TelemetryFlushInterval-1) != 0 {
 		c.flushTelemetry()
 	}
 

@@ -1,0 +1,119 @@
+package rocket
+
+// Event-driven stall skipping (DESIGN.md "Event-driven detailed cycle
+// loops"): when the core is provably quiescent — the issue stage cannot
+// issue and the fetch stage cannot deliver — every cycle until the next
+// wake-up event replays the exact same event sample and mutates nothing,
+// so the loop jumps the clock and bulk-accounts the sample instead of
+// stepping. The proof obligations quiesceTarget discharges:
+//
+//  1. No stage mutates state on a quiescent cycle (the one real step()
+//     the skip path still runs is a no-op apart from the sample).
+//  2. The sample is constant across the stretch: every predicate the
+//     stages consult either reads constant state or is a "until cycle X"
+//     timer, and every such X bounds the returned target.
+//  3. The stretch ends no later than the earliest wake-up: stall expiry,
+//     replay cycle, operand-ready cycle, head-available cycle, fetch
+//     redirect/refill expiry. A smaller target is always safe — the loop
+//     simply re-evaluates — so the bound may be conservative, never late.
+//
+// Deliberately NOT part of Config: skipping is an engine choice with
+// bit-identical results (like isa.DefaultSuperblocks), so it must not
+// perturb sim memo keys.
+
+// DefaultStallSkip is the construction-time default for the event-driven
+// skip path. The -no-skip CLI ablation flips it before any core is built.
+var DefaultStallSkip = true
+
+// SetStallSkip enables or disables the event-driven skip path on this
+// core. The setting survives Reset (an engine choice, like telemetry);
+// results are bit-identical either way.
+func (c *Core) SetStallSkip(on bool) { c.noSkip = !on }
+
+// StallSkip reports whether the event-driven skip path is enabled.
+func (c *Core) StallSkip() bool { return !c.noSkip }
+
+// SkipStats returns how many cycles were bulk-advanced and in how many
+// jumps since the last Reset.
+func (c *Core) SkipStats() (cycles, events uint64) { return c.skipped, c.skipEvents }
+
+// quiesceTarget reports whether the core is quiescent at the current
+// cycle and, if so, the earliest future cycle at which any stage can act
+// or any sampled event can change. The caller caps the target at the run
+// loop's window/budget bound and re-enters the normal step there.
+func (c *Core) quiesceTarget() (uint64, bool) {
+	// Phase 1: pure O(1) rejection tests, ordered so the common busy
+	// cycle exits after a handful of compares. Bounds are computed only
+	// in phase 2, once the cycle is known quiescent.
+	//
+	// recovering decrements every cycle (a mutation) and its expiry is
+	// not a simple "until" timer — never skip through it.
+	if c.recovering > 0 {
+		return 0, false
+	}
+	t := c.cycle
+	// Backend: the issue stage must have nothing to do this cycle.
+	var interlock uint64 // phase-2 bound when the head is interlocked
+	switch {
+	case c.stallUntil > t:
+		// Multi-cycle stall: constant stallEvents sample until the replay
+		// cycle (which asserts issue+replay — a different sample) or the
+		// stall expiry.
+		if c.replayAt == t {
+			return 0, false
+		}
+	case c.ibufLen() == 0:
+		// Fetch bubble (or drain): nothing to issue. The wake-up comes
+		// from the frontend bounds below; with none pending (stream over)
+		// there is no bound and no skip.
+	case c.ibuf[c.ibufHead].availableAt > t:
+	default:
+		// Head is available: quiescent only if an operand interlock
+		// blocks it, until the producer's ready cycle.
+		rs1, rs2 := c.ibuf[c.ibufHead].rec.Inst.SrcRegs()
+		interlock = c.regReady[rs1]
+		if c.regReady[rs2] > interlock {
+			interlock = c.regReady[rs2]
+		}
+		if interlock <= t {
+			return 0, false // would issue this cycle
+		}
+	}
+	// Frontend: fetch must be unable to change state this cycle. Timer
+	// blocks (redirect stalls, I$ refills) bound the target; structural
+	// blocks (wrong-path freeze, full buffer, drained stream) are
+	// constant while the backend is quiescent.
+	if !c.fetchBlocked && c.fetchStall <= t && c.refillUntil <= t &&
+		c.ibufLen() < c.Cfg.IBufEntries && !c.streamEmpty() {
+		return 0, false // fetch would deliver this cycle
+	}
+
+	// Phase 2: quiescent — take the min over every pending wake-up
+	// timer. The refill/redirect timers are always bounds: the
+	// I$-blocked heuristic reads refillUntil even when fetch is blocked
+	// for another reason too.
+	const never = ^uint64(0)
+	bound := never
+	add := func(x uint64) {
+		if x > t && x < bound {
+			bound = x
+		}
+	}
+	if c.stallUntil > t {
+		add(c.replayAt)
+		add(c.stallUntil)
+	} else if c.ibufLen() > 0 {
+		if avail := c.ibuf[c.ibufHead].availableAt; avail > t {
+			add(avail)
+		} else {
+			add(interlock)
+		}
+	}
+	add(c.fetchStall)
+	add(c.refillUntil)
+
+	if bound == never {
+		return 0, false
+	}
+	return bound, true
+}

@@ -39,6 +39,11 @@ func (c *Core) ResetPipeline() {
 	c.regReady = [32]uint64{}
 	c.regProd = [32]producerKind{}
 
+	// Defensive: a detached core must not skip until a run loop installs
+	// its window/budget bound again.
+	c.skipLimit = 0
+	c.quiet = false
+
 	c.done = false
 }
 
@@ -63,6 +68,12 @@ func (c *Core) RunWindow(maxCycles uint64) error {
 		budget = 2_000_000_000
 	}
 	end := c.cycle + maxCycles
+	// Cap skips at the window end and the cycle budget so the loop
+	// re-evaluates both conditions exactly where per-cycle stepping would.
+	c.skipLimit = end
+	if budget < end {
+		c.skipLimit = budget
+	}
 	for !c.done && c.cycle < end {
 		if c.cycle >= budget {
 			c.flushTelemetry()
@@ -92,6 +103,12 @@ func (c *Core) RunWindowBounded(maxCycles, maxInsts uint64) error {
 	}
 	end := c.cycle + maxCycles
 	instEnd := c.retiredTotal + maxInsts
+	c.skipLimit = end
+	if budget < end {
+		c.skipLimit = budget
+	}
+	// No instruction-bound cap is needed: a skipped stretch retires
+	// nothing, and the loop re-checks retiredTotal after every step.
 	for !c.done && c.cycle < end && c.retiredTotal < instEnd {
 		if c.cycle >= budget {
 			c.flushTelemetry()
@@ -135,10 +152,11 @@ func (c *Core) Done() bool { return c.done }
 // and returns it. The slice is indexed like Events.Events; the sampling
 // controller diffs snapshots taken around each window.
 func (c *Core) CopyTally(dst []uint64) []uint64 {
-	if cap(dst) < len(c.tally) {
-		dst = make([]uint64, len(c.tally))
+	n := c.tally.Len()
+	if cap(dst) < n {
+		dst = make([]uint64, n)
 	}
-	dst = dst[:len(c.tally)]
-	copy(dst, c.tally)
+	dst = dst[:n]
+	copy(dst, c.tally.Totals)
 	return dst
 }

@@ -1,0 +1,82 @@
+package stats
+
+import "math/bits"
+
+// Tally accumulates exact per-event source-assertion totals, with
+// per-lane breakdowns for multi-source events. It is the dense
+// accumulator behind the cores' Result tallies, and it is where the
+// event-driven cycle loops bulk-account skipped quiescent cycles: a
+// stretch of N identical cycles is applied in O(events) instead of
+// O(N × events), bit-identical to asserting each cycle individually.
+//
+// Indices are parallel to the core's pmu.Space event list; lane masks
+// are the 64-bit source bitmasks pmu.Sample carries.
+type Tally struct {
+	// Totals holds the per-event assertion totals (every lane counted).
+	Totals []uint64
+	// Lanes holds per-lane totals for events with more than one source
+	// (nil for single-source events), matching Result.LaneTally.
+	Lanes [][]uint64
+}
+
+// NewTally builds a tally for an event list described by its per-event
+// source counts (see pmu.Space.SourceCounts). Events with one source get
+// no lane vector — their total is their only lane.
+func NewTally(sourceCounts []int) *Tally {
+	t := &Tally{
+		Totals: make([]uint64, len(sourceCounts)),
+		Lanes:  make([][]uint64, len(sourceCounts)),
+	}
+	for i, n := range sourceCounts {
+		if n > 1 {
+			t.Lanes[i] = make([]uint64, n)
+		}
+	}
+	return t
+}
+
+// Reset zeroes every total in place.
+func (t *Tally) Reset() {
+	for i := range t.Totals {
+		t.Totals[i] = 0
+	}
+	for _, lt := range t.Lanes {
+		for j := range lt {
+			lt[j] = 0
+		}
+	}
+}
+
+// Len returns the number of events tracked.
+func (t *Tally) Len() int { return len(t.Totals) }
+
+// Assert accounts event ev's source lane asserted for n consecutive
+// cycles. Equivalent to n single-cycle assertions.
+func (t *Tally) Assert(ev, lane int, n uint64) {
+	t.Totals[ev] += n
+	if lt := t.Lanes[ev]; lt != nil && lane < len(lt) {
+		lt[lane] += n
+	}
+}
+
+// AddSample applies one cycle's full lane-mask sample n times: each
+// event's total grows by popcount(mask)·n and each asserted lane by n.
+// This is the cores' single accumulation entry point — the per-cycle
+// loop calls it with n == 1, the skip path with n == 1 + skipped.
+func (t *Tally) AddSample(sample []uint64, n uint64) {
+	for i, m := range sample {
+		if m == 0 {
+			continue
+		}
+		t.Totals[i] += uint64(bits.OnesCount64(m)) * n
+		if lt := t.Lanes[i]; lt != nil {
+			for mm := m; mm != 0; {
+				l := bits.TrailingZeros64(mm)
+				mm &^= 1 << uint(l)
+				if l < len(lt) {
+					lt[l] += n
+				}
+			}
+		}
+	}
+}

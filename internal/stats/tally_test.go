@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestTallyAddSampleBulkMatchesSingles pins the bulk-accounting identity
+// the event-driven skip loops rely on: AddSample(s, n) must leave the
+// tally exactly where n AddSample(s, 1) calls would — totals and every
+// lane vector — for arbitrary lane masks including out-of-range bits.
+func TestTallyAddSampleBulkMatchesSingles(t *testing.T) {
+	counts := []int{1, 3, 5, 1, 8}
+	bulk, step := NewTally(counts), NewTally(counts)
+	r := rand.New(rand.NewSource(5))
+	sample := make([]uint64, len(counts))
+	for round := 0; round < 100; round++ {
+		for i, c := range counts {
+			// Random subset of valid lanes, occasionally with a stray high
+			// bit to pin the out-of-range-lane behavior (total counts it,
+			// no lane vector entry receives it).
+			sample[i] = r.Uint64() & (1<<uint(c) - 1)
+			if r.Intn(10) == 0 {
+				sample[i] |= 1 << 60
+			}
+		}
+		n := uint64(r.Intn(1000) + 1)
+		bulk.AddSample(sample, n)
+		for i := uint64(0); i < n; i++ {
+			step.AddSample(sample, 1)
+		}
+	}
+	if !reflect.DeepEqual(bulk, step) {
+		t.Fatalf("bulk tally diverges from stepped tally:\nbulk: %+v\nstep: %+v", bulk, step)
+	}
+}
+
+// TestTallyAssertBulk pins the scalar entry point the same way.
+func TestTallyAssertBulk(t *testing.T) {
+	counts := []int{4}
+	bulk, step := NewTally(counts), NewTally(counts)
+	bulk.Assert(0, 2, 7)
+	for i := 0; i < 7; i++ {
+		step.Assert(0, 2, 1)
+	}
+	if !reflect.DeepEqual(bulk, step) {
+		t.Fatalf("Assert(n=7) diverges from 7 singles: %+v vs %+v", bulk, step)
+	}
+	if bulk.Totals[0] != 7 || bulk.Lanes[0][2] != 7 {
+		t.Fatalf("totals/lanes wrong: %+v", bulk)
+	}
+}
+
+// TestTallyReset pins Reset zeroing in place without reallocating lane
+// vectors (the cores reuse one Tally across Reset).
+func TestTallyReset(t *testing.T) {
+	tl := NewTally([]int{1, 3})
+	tl.AddSample([]uint64{1, 0b101}, 9)
+	lanes := &tl.Lanes[1][0]
+	tl.Reset()
+	for i, v := range tl.Totals {
+		if v != 0 {
+			t.Fatalf("Totals[%d] = %d after Reset", i, v)
+		}
+	}
+	for _, lt := range tl.Lanes {
+		for j, v := range lt {
+			if v != 0 {
+				t.Fatalf("lane %d = %d after Reset", j, v)
+			}
+		}
+	}
+	if lanes != &tl.Lanes[1][0] {
+		t.Fatal("Reset reallocated lane storage")
+	}
+}
